@@ -1,0 +1,76 @@
+// E10 — Figure 12, "Total Map Output Size and Runtime for Theta-Join Query".
+// The 1-Bucket-Theta band self-join on the Cloud stand-in: bucket-grid
+// replication inflates map output by ~(rows+cols); no Combiner applies.
+// Strategies: Original, EagerSH, AdaptiveSH, then all three with gzip map
+// output compression ("-CP"). LazySH is not reported separately because
+// AdaptiveSH chooses LazySH for every record (as the paper observed).
+// Expected shape: AdaptiveSH cuts map output ~(replication / partitions
+// touched); compressed Original remains larger than *uncompressed*
+// Anti-Combining; runtime tracks map output thanks to 1-Bucket-Theta's
+// near-perfect load balance.
+#include "bench_util.h"
+#include "datagen/cloud.h"
+#include "workloads/theta_join.h"
+
+using namespace antimr;         // NOLINT
+using namespace antimr::bench;  // NOLINT
+
+int main() {
+  Header("E10: theta-join map output size and runtime", "paper Figure 12",
+         "1-Bucket-Theta band join on Cloud, with and without compression");
+
+  CloudConfig cc;
+  cc.num_records = 8000;
+  CloudGenerator gen(cc);
+  const auto splits = gen.MakeSplits(8);
+
+  workloads::ThetaJoinConfig cfg;
+  // Memory-aware sizing: regions of ~1000 records, like the paper's
+  // "chunks just small enough to join in memory".
+  workloads::SizeGridForMemory(cc.num_records, 1000, &cfg.grid_rows,
+                               &cfg.grid_cols);
+  cfg.num_reduce_tasks = 8;
+  std::printf("grid %dx%d -> replication factor %d, %d reduce tasks\n\n",
+              cfg.grid_rows, cfg.grid_cols, cfg.grid_rows + cfg.grid_cols,
+              cfg.num_reduce_tasks);
+
+  struct Row {
+    const char* label;
+    Strategy strategy;
+    CodecType codec;
+  } rows[] = {
+      {"Original", Strategy::kOriginal, CodecType::kNone},
+      {"EagerSH", Strategy::kEagerSH, CodecType::kNone},
+      {"AdaptiveSH", Strategy::kAdaptiveSH, CodecType::kNone},
+      {"Original-CP", Strategy::kOriginal, CodecType::kGzip},
+      {"EagerSH-CP", Strategy::kEagerSH, CodecType::kGzip},
+      {"AdaptiveSH-CP", Strategy::kAdaptiveSH, CodecType::kGzip},
+  };
+
+  std::printf("%-16s %14s %14s %12s %12s\n", "strategy", "map output",
+              "transferred", "runtime", "lazy recs");
+  uint64_t original_bytes = 0, original_wall = 0;
+  for (const Row& r : rows) {
+    workloads::ThetaJoinConfig run_cfg = cfg;
+    run_cfg.codec = r.codec;
+    const JobMetrics m = RunStrategy(workloads::MakeThetaJoinJob(run_cfg),
+                                     r.strategy, splits, {}, PaperHardware());
+    if (r.strategy == Strategy::kOriginal && r.codec == CodecType::kNone) {
+      original_bytes = m.emitted_bytes;
+      original_wall = m.wall_nanos;
+    }
+    std::printf("%-16s %14s %14s %12s %12llu\n", r.label,
+                FormatBytes(m.emitted_bytes).c_str(),
+                FormatBytes(m.shuffle_bytes).c_str(),
+                FormatNanos(m.wall_nanos).c_str(),
+                static_cast<unsigned long long>(m.lazy_records));
+  }
+  (void)original_bytes;
+  (void)original_wall;
+
+  PaperNote("Figure 12: replication ~67x made Original emit 926 GB; "
+            "AdaptiveSH (all-LazySH) cut map output 9.5x and runtime 9.6x "
+            "(6x with compression); compressed Original still exceeded "
+            "uncompressed Anti-Combining");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E4 — Figure 10, "Total Map Output Size for Query-Suggestion using Combiner
+// and Compression". Map output compressed with gzip (the paper's pick for
+// best CPU/ratio balance), Combiner present with C = 0 for Anti-Combining.
+// Expected shape: compression shrinks every strategy, yet Anti-Combining
+// still beats Original under every partitioner — the two compose.
+#include "bench_util.h"
+#include "datagen/qlog.h"
+#include "workloads/query_suggestion.h"
+
+using namespace antimr;         // NOLINT
+using namespace antimr::bench;  // NOLINT
+
+int main() {
+  Header("E4: map output size with Combiner + gzip compression",
+         "paper Figure 10",
+         "4 strategies x {Hash, Prefix-5, Prefix-1}, compressed shuffle");
+
+  QLogConfig qc;
+  qc.num_records = 15000;
+  QLogGenerator gen(qc);
+  const auto splits = gen.MakeSplits(8);
+
+  using Scheme = workloads::QuerySuggestionConfig::Scheme;
+  struct SchemeRow {
+    const char* name;
+    Scheme scheme;
+  } schemes[] = {{"Hash", Scheme::kHash},
+                 {"Prefix-5", Scheme::kPrefix5},
+                 {"Prefix-1", Scheme::kPrefix1}};
+
+  anticombine::AntiCombineOptions options;
+  options.map_phase_combiner = false;  // C = 0 (Section 7.3's conclusion)
+
+  std::printf("%-10s %-12s %16s %12s\n", "partition", "strategy",
+              "compressed output", "vs Original");
+  for (const SchemeRow& sr : schemes) {
+    workloads::QuerySuggestionConfig cfg;
+    cfg.scheme = sr.scheme;
+    cfg.with_combiner = true;
+    cfg.codec = CodecType::kGzip;
+    const JobSpec spec = workloads::MakeQuerySuggestionJob(cfg);
+    uint64_t original_bytes = 0;
+    for (Strategy s : {Strategy::kOriginal, Strategy::kEagerSH,
+                       Strategy::kLazySH, Strategy::kAdaptiveSH}) {
+      const JobMetrics m = RunStrategy(spec, s, splits, options);
+      if (s == Strategy::kOriginal) original_bytes = m.shuffle_bytes;
+      std::printf("%-10s %-12s %16s %12s\n", sr.name, StrategyName(s),
+                  FormatBytes(m.shuffle_bytes).c_str(),
+                  Ratio(original_bytes, m.shuffle_bytes).c_str());
+    }
+    std::printf("\n");
+  }
+
+  PaperNote("Figure 10: gzip cuts all strategies' transfer substantially, "
+            "but Anti-Combining remains below Original for every "
+            "partitioner — lightweight encoding and general-purpose "
+            "compression stack");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E8 — Section 7.7.1, "Word Count" on RandomText.
+// The sum Combiner is extremely effective here (360 GB -> 92 MB in the
+// paper), so shuffle volume is a solved problem; the interesting costs are
+// map-side disk I/O and CPU. Expected shape: AdaptiveSH (with the
+// transformed Combiner still on, C = 1) cuts disk read/write by large
+// factors, cuts pre-Combine record counts ~7x, trims CPU and runtime, and
+// changes network transfer only by the encoding-flag bytes.
+#include "bench_util.h"
+#include "datagen/random_text.h"
+#include "workloads/wordcount.h"
+
+using namespace antimr;         // NOLINT
+using namespace antimr::bench;  // NOLINT
+
+int main() {
+  Header("E8: WordCount with a highly effective Combiner",
+         "paper Section 7.7.1", "Original vs AdaptiveSH, Combiner on (C=1)");
+
+  RandomTextConfig rc;
+  rc.num_lines = 20000;
+  rc.words_per_line = 60;
+  rc.vocabulary_words = 3000;
+  RandomTextGenerator gen(rc);
+  // Small map buffer so spills (and spill-time combining) actually happen.
+  const auto splits = gen.MakeSplits(8);
+
+  workloads::WordCountConfig wc;
+  wc.with_combiner = true;
+  wc.map_buffer_bytes = 256 * 1024;
+  wc.num_reduce_tasks = 8;
+  const JobSpec spec = workloads::MakeWordCountJob(wc);
+
+  anticombine::AntiCombineOptions options;
+  options.map_phase_combiner = true;  // C = 1: Combiner is worth keeping
+
+  const JobMetrics orig =
+      RunStrategy(spec, Strategy::kOriginal, splits, {}, PaperHardware());
+  const JobMetrics anti = RunStrategy(spec, Strategy::kAdaptiveSH, splits,
+                                      options, PaperHardware());
+
+  std::printf("%-28s %14s %14s %10s\n", "metric", "Original", "AdaptiveSH",
+              "factor");
+  auto row = [](const char* name, uint64_t a, uint64_t b) {
+    std::printf("%-28s %14s %14s %10s\n", name, FormatBytes(a).c_str(),
+                FormatBytes(b).c_str(), Ratio(a, b).c_str());
+  };
+  row("disk read", orig.disk_bytes_read, anti.disk_bytes_read);
+  row("disk write", orig.disk_bytes_written, anti.disk_bytes_written);
+  std::printf("%-28s %14llu %14llu %10s\n", "records before Combine",
+              static_cast<unsigned long long>(orig.emitted_records),
+              static_cast<unsigned long long>(anti.emitted_records),
+              Ratio(orig.emitted_records, anti.emitted_records).c_str());
+  row("network transfer", orig.shuffle_bytes, anti.shuffle_bytes);
+  std::printf("%-28s %14s %14s %10s\n", "total CPU",
+              FormatNanos(orig.total_cpu_nanos).c_str(),
+              FormatNanos(anti.total_cpu_nanos).c_str(),
+              Ratio(orig.total_cpu_nanos, anti.total_cpu_nanos).c_str());
+  std::printf("%-28s %14s %14s %10s\n", "runtime",
+              FormatNanos(orig.wall_nanos).c_str(),
+              FormatNanos(anti.wall_nanos).c_str(),
+              Ratio(orig.wall_nanos, anti.wall_nanos).c_str());
+
+  PaperNote("Section 7.7.1: disk reads 9.1x and writes 6.3x smaller, "
+            "records before Combine 7x fewer, CPU 1.7x and runtime 1.44x "
+            "lower; network transfer within 8 MB of Original (flag bytes "
+            "only) because the Combiner already minimized it");
+  return 0;
+}

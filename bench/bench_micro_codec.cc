@@ -1,0 +1,73 @@
+// Micro-benchmarks (google-benchmark): compression and decompression
+// throughput of each codec on text-like data. Not a paper experiment, but
+// documents the CPU/ratio trade-off Table 1 rests on.
+#include <benchmark/benchmark.h>
+
+#include "codec/codec.h"
+#include "common/random.h"
+
+namespace antimr {
+namespace {
+
+std::string MakeTextCorpus(size_t target) {
+  static const char* words[] = {"map",     "reduce",  "shuffle", "combine",
+                                "network", "mapper",  "reducer", "key",
+                                "value",   "cluster", "hadoop",  "sort"};
+  Random rng(42);
+  std::string s;
+  s.reserve(target + 16);
+  while (s.size() < target) {
+    s += words[rng.Uniform(12)];
+    s.push_back(' ');
+  }
+  return s;
+}
+
+void BM_Compress(benchmark::State& state) {
+  const CodecType type = static_cast<CodecType>(state.range(0));
+  const Codec* codec = GetCodec(type);
+  const std::string input = MakeTextCorpus(256 * 1024);
+  std::string out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Compress(input, &out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+  state.SetLabel(std::string(codec->name()) + " ratio=" +
+                 std::to_string(static_cast<double>(input.size()) /
+                                static_cast<double>(out.size())));
+}
+
+void BM_Decompress(benchmark::State& state) {
+  const CodecType type = static_cast<CodecType>(state.range(0));
+  const Codec* codec = GetCodec(type);
+  const std::string input = MakeTextCorpus(256 * 1024);
+  std::string compressed, out;
+  if (!codec->Compress(input, &compressed).ok()) {
+    state.SkipWithError("compress failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Decompress(compressed, &out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+  state.SetLabel(codec->name());
+}
+
+BENCHMARK(BM_Compress)
+    ->Arg(static_cast<int>(CodecType::kSnappyLike))
+    ->Arg(static_cast<int>(CodecType::kDeflateLike))
+    ->Arg(static_cast<int>(CodecType::kGzip))
+    ->Arg(static_cast<int>(CodecType::kBzip2Like))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Decompress)
+    ->Arg(static_cast<int>(CodecType::kSnappyLike))
+    ->Arg(static_cast<int>(CodecType::kDeflateLike))
+    ->Arg(static_cast<int>(CodecType::kGzip))
+    ->Arg(static_cast<int>(CodecType::kBzip2Like))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,59 @@
+// Five PageRank iterations on a synthetic power-law web graph (the paper's
+// Section 7.7.2): compares Original vs Anti-Combining across all iterations
+// and prints the top-ranked pages.
+//
+//   $ ./build/examples/pagerank_demo [num_nodes]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "antimr.h"
+#include "datagen/graph.h"
+#include "workloads/pagerank.h"
+
+using namespace antimr;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  GraphConfig gc;
+  gc.num_nodes = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+  const auto graph = GraphGenerator(gc).Generate();
+  std::printf("graph: %llu nodes, power-law out-degree (mean %.0f)\n\n",
+              static_cast<unsigned long long>(gc.num_nodes),
+              gc.mean_out_degree);
+
+  workloads::PageRankConfig cfg;
+  cfg.num_nodes = gc.num_nodes;
+  const int kIterations = 5;
+
+  workloads::PageRankRunResult original;
+  ANTIMR_CHECK_OK(workloads::RunPageRank(cfg, graph, kIterations, nullptr,
+                                         /*num_map_tasks=*/4, &original));
+  anticombine::AntiCombineOptions options;
+  workloads::PageRankRunResult anti;
+  ANTIMR_CHECK_OK(workloads::RunPageRank(cfg, graph, kIterations, &options,
+                                         /*num_map_tasks=*/4, &anti));
+
+  std::printf("%d iterations, totals:\n", kIterations);
+  std::printf("  Original:       shuffle %9s  disk R/W %9s/%9s  cpu %9s\n",
+              FormatBytes(original.total.shuffle_bytes).c_str(),
+              FormatBytes(original.total.disk_bytes_read).c_str(),
+              FormatBytes(original.total.disk_bytes_written).c_str(),
+              FormatNanos(original.total.total_cpu_nanos).c_str());
+  std::printf("  Anti-Combining: shuffle %9s  disk R/W %9s/%9s  cpu %9s\n\n",
+              FormatBytes(anti.total.shuffle_bytes).c_str(),
+              FormatBytes(anti.total.disk_bytes_read).c_str(),
+              FormatBytes(anti.total.disk_bytes_written).c_str(),
+              FormatNanos(anti.total.total_cpu_nanos).c_str());
+
+  auto ranks = anti.final_ranks;
+  std::sort(ranks.begin(), ranks.end(), [](const KV& a, const KV& b) {
+    return std::strtod(a.value.c_str(), nullptr) >
+           std::strtod(b.value.c_str(), nullptr);
+  });
+  std::printf("top pages by rank:\n");
+  for (size_t i = 0; i < 5 && i < ranks.size(); ++i) {
+    std::printf("  %s  rank=%.3e\n", ranks[i].key.c_str(),
+                std::strtod(ranks[i].value.c_str(), nullptr));
+  }
+  return 0;
+}

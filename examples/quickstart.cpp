@@ -1,0 +1,81 @@
+// Quickstart: write a MapReduce program against the antimr API, run it, then
+// enable Anti-Combining with one call and compare the data-transfer metrics.
+//
+//   $ ./build/examples/quickstart
+//
+// The program is the paper's running example in miniature: count occurrences
+// of every prefix of every input word.
+#include <cstdio>
+#include <memory>
+
+#include "antimr.h"
+
+namespace {
+
+using namespace antimr;  // NOLINT: example brevity
+
+// Map: word -> (prefix, word) for every prefix.
+class PrefixMapper : public Mapper {
+ public:
+  void Map(const Slice& key, const Slice& value, MapContext* ctx) override {
+    (void)key;
+    for (size_t len = 1; len <= value.size(); ++len) {
+      ctx->Emit(Slice(value.data(), len), value);
+    }
+  }
+};
+
+// Reduce: prefix -> number of words carrying it.
+class CountReducer : public Reducer {
+ public:
+  void Reduce(const Slice& key, ValueIterator* values,
+              ReduceContext* ctx) override {
+    uint64_t n = 0;
+    Slice v;
+    while (values->Next(&v)) ++n;
+    ctx->Emit(key, std::to_string(n));
+  }
+};
+
+}  // namespace
+
+int main() {
+  // 1. Describe the job.
+  JobSpec spec;
+  spec.name = "prefix_count";
+  spec.mapper_factory = [] { return std::make_unique<PrefixMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<CountReducer>(); };
+  spec.num_reduce_tasks = 4;
+
+  // 2. Provide input splits (one map task each).
+  std::vector<KV> words = {{"1", "mango"},  {"2", "manga"}, {"3", "map"},
+                           {"4", "mantle"}, {"5", "maple"}, {"6", "mango"}};
+  const auto splits = MakeSplits(words, 2);
+
+  // 3. Run the original program.
+  JobResult original;
+  ANTIMR_CHECK_OK(RunJob(spec, splits, &original));
+
+  // 4. Enable Anti-Combining: a purely syntactic transformation, no changes
+  //    to PrefixMapper or CountReducer.
+  const JobSpec transformed =
+      anticombine::EnableAntiCombining(spec, anticombine::AntiCombineOptions());
+  JobResult anti;
+  ANTIMR_CHECK_OK(RunJob(transformed, splits, &anti));
+
+  // 5. Same answers, less data moved.
+  std::printf("prefix counts (from the Anti-Combining run):\n");
+  for (const KV& kv : anti.FlatOutput()) {
+    std::printf("  %-8s %s\n", kv.key.c_str(), kv.value.c_str());
+  }
+  std::printf("\noriginal:       %llu records, %llu bytes shuffled\n",
+              static_cast<unsigned long long>(original.metrics.emitted_records),
+              static_cast<unsigned long long>(original.metrics.emitted_bytes));
+  std::printf("anti-combining: %llu records, %llu bytes shuffled "
+              "(eager=%llu lazy=%llu)\n",
+              static_cast<unsigned long long>(anti.metrics.emitted_records),
+              static_cast<unsigned long long>(anti.metrics.emitted_bytes),
+              static_cast<unsigned long long>(anti.metrics.eager_records),
+              static_cast<unsigned long long>(anti.metrics.lazy_records));
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "anticombine/advisor.h"
+
+namespace antimr {
+namespace anticombine {
+
+Status AdviseCombinerFlag(const JobSpec& original,
+                          const std::vector<InputSplit>& sample_splits,
+                          CombinerAdvice* advice, double min_reduction) {
+  if (!original.combiner_factory) {
+    return Status::InvalidArgument(
+        "AdviseCombinerFlag: the job has no Combiner to advise about");
+  }
+  RunOptions options;
+  options.collect_output = false;
+
+  JobSpec with_combiner = original;
+  JobResult with_result;
+  ANTIMR_RETURN_NOT_OK(
+      RunJob(with_combiner, sample_splits, options, &with_result));
+
+  JobSpec without_combiner = original;
+  without_combiner.combiner_factory = nullptr;
+  JobResult without_result;
+  ANTIMR_RETURN_NOT_OK(
+      RunJob(without_combiner, sample_splits, options, &without_result));
+
+  advice->sample_bytes_with = with_result.metrics.shuffle_bytes;
+  advice->sample_bytes_without = without_result.metrics.shuffle_bytes;
+  advice->combiner_reduction =
+      without_result.metrics.shuffle_bytes == 0
+          ? 1.0
+          : static_cast<double>(with_result.metrics.shuffle_bytes) /
+                static_cast<double>(without_result.metrics.shuffle_bytes);
+  advice->map_phase_combiner = advice->combiner_reduction <= min_reduction;
+  return Status::OK();
+}
+
+}  // namespace anticombine
+}  // namespace antimr

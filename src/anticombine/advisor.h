@@ -1,0 +1,43 @@
+// Sample-based configuration advice (paper Section 6.2): "the decision
+// about turning the Combiner off can be made by running the program with
+// and without Combiner on a sample of input file splits, choosing the
+// winner based on this sample run."
+#ifndef ANTIMR_ANTICOMBINE_ADVISOR_H_
+#define ANTIMR_ANTICOMBINE_ADVISOR_H_
+
+#include "mr/job_runner.h"
+#include "mr/job_spec.h"
+
+namespace antimr {
+namespace anticombine {
+
+/// Outcome of a sample run comparison.
+struct CombinerAdvice {
+  /// Recommended flag C: keep the (transformed) Combiner in the map phase?
+  bool map_phase_combiner = true;
+  /// Map-output reduction the Combiner achieved on the sample (1.0 = none).
+  double combiner_reduction = 1.0;
+  /// Shuffled bytes observed with and without the map-phase Combiner.
+  uint64_t sample_bytes_with = 0;
+  uint64_t sample_bytes_without = 0;
+};
+
+/// Run `original` (which must have a combiner_factory) twice on a sample of
+/// its input splits — Combiner on and off — and recommend the C flag.
+///
+/// The paper's rule of thumb: a Combiner that shrinks map output by less
+/// than ~20% is not worth running over encoded records, since it decodes
+/// (i.e., undoes) Anti-Combining for little gain; a highly effective one
+/// pays for itself. `min_reduction` is that threshold (default 0.8: keep
+/// the Combiner if with/without <= 0.8).
+///
+/// \param sample_splits a subset of the job's input (e.g. the first split)
+Status AdviseCombinerFlag(const JobSpec& original,
+                          const std::vector<InputSplit>& sample_splits,
+                          CombinerAdvice* advice,
+                          double min_reduction = 0.8);
+
+}  // namespace anticombine
+}  // namespace antimr
+
+#endif  // ANTIMR_ANTICOMBINE_ADVISOR_H_

@@ -1,0 +1,382 @@
+#include "anticombine/anti_mapper.h"
+
+#include <algorithm>
+#include <map>
+
+#include "anticombine/encoding.h"
+#include "common/stopwatch.h"
+#include "mr/metrics.h"
+
+namespace antimr {
+namespace anticombine {
+
+AntiMapper::AntiMapper(MapperFactory o_mapper_factory,
+                       AntiCombineOptions options, bool allow_lazy)
+    : o_mapper_factory_(std::move(o_mapper_factory)),
+      options_(options),
+      allow_lazy_(allow_lazy) {}
+
+void AntiMapper::Setup(const TaskInfo& info, MapContext* ctx) {
+  info_ = info;
+  o_mapper_ = o_mapper_factory_();
+  capture_.Clear();
+  const uint64_t t0 = NowNanos();
+  o_mapper_->Setup(info, &capture_);
+  const uint64_t cost = NowNanos() - t0;
+  if (!capture_.empty()) {
+    EncodeAndEmit(Slice(), Slice(), /*have_input=*/false, cost, ctx);
+  }
+}
+
+void AntiMapper::Cleanup(MapContext* ctx) {
+  if (options_.cross_call_window > 1) FlushWindow(ctx);
+  capture_.Clear();
+  const uint64_t t0 = NowNanos();
+  o_mapper_->Cleanup(&capture_);
+  const uint64_t cost = NowNanos() - t0;
+  if (!capture_.empty()) {
+    EncodeAndEmit(Slice(), Slice(), /*have_input=*/false, cost, ctx);
+  }
+}
+
+void AntiMapper::Map(const Slice& key, const Slice& value, MapContext* ctx) {
+  capture_.Clear();
+  // Run the original Map, measuring its exact cost (Figure 7: "Call
+  // original map, measure cost").
+  const uint64_t t0 = NowNanos();
+  o_mapper_->Map(key, value, &capture_);
+  const uint64_t map_cost = NowNanos() - t0;
+  if (info_.metrics != nullptr) info_.metrics->cpu.map_fn += map_cost;
+  if (options_.cross_call_window > 1) {
+    BufferCall(key, value, map_cost, ctx);
+    return;
+  }
+  EncodeAndEmit(key, value, /*have_input=*/true, map_cost, ctx);
+}
+
+void AntiMapper::BufferCall(const Slice& input_key, const Slice& input_value,
+                            uint64_t map_cost_nanos, MapContext* ctx) {
+  JobMetrics* m = info_.metrics;
+  const size_t call = window_inputs_.size();
+  for (size_t i = 0; i < capture_.size(); ++i) {
+    window_capture_.Emit(capture_.key(i), capture_.value(i));
+    window_call_of_.push_back(call);
+    if (m != nullptr) {
+      m->map_output_records += 1;
+      m->map_output_bytes += capture_.key(i).size() + capture_.value(i).size();
+    }
+  }
+  window_inputs_.emplace_back(input_key.ToString(), input_value.ToString());
+  window_cost_nanos_ += map_cost_nanos;
+  if (window_inputs_.size() >=
+      static_cast<size_t>(options_.cross_call_window)) {
+    FlushWindow(ctx);
+  }
+}
+
+void AntiMapper::FlushWindow(MapContext* ctx) {
+  JobMetrics* m = info_.metrics;
+  const size_t n = window_capture_.size();
+  if (n == 0) {
+    window_inputs_.clear();
+    window_cost_nanos_ = 0;
+    return;
+  }
+
+  partitions_.resize(n);
+  const uint64_t p0 = NowNanos();
+  for (size_t i = 0; i < n; ++i) {
+    partitions_[i] = info_.partitioner->Partition(window_capture_.key(i),
+                                                  info_.num_reduce_tasks);
+  }
+  const uint64_t partition_cost = NowNanos() - p0;
+  if (m != nullptr) m->cpu.partition_fn += partition_cost;
+
+  const uint64_t encode_start = NowNanos();
+  order_.resize(n);
+  for (size_t i = 0; i < n; ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+    if (partitions_[a] != partitions_[b]) {
+      return partitions_[a] < partitions_[b];
+    }
+    const int vc = window_capture_.value(a).compare(window_capture_.value(b));
+    if (vc != 0) return vc < 0;
+    return info_.key_cmp(window_capture_.key(a), window_capture_.key(b)) < 0;
+  });
+
+  // Per (partition, call) minimal key: the representative a LazySH record
+  // for that call would use in that partition.
+  std::map<std::pair<int, size_t>, Slice> call_min_key;
+  for (size_t i = 0; i < n; ++i) {
+    const auto pc = std::make_pair(partitions_[i], window_call_of_[i]);
+    auto [it, inserted] = call_min_key.emplace(pc, window_capture_.key(i));
+    if (!inserted &&
+        info_.key_cmp(window_capture_.key(i), it->second) < 0) {
+      it->second = window_capture_.key(i);
+    }
+  }
+
+  // Count partitions touched for the threshold test (coarse batch form of
+  // Figure 7: the whole window's Map cost would be re-paid per task).
+  int partitions_touched = 0;
+  {
+    int prev = -1;
+    for (size_t i = 0; i < n; ++i) {
+      const int p = partitions_[order_[i]];
+      if (p != prev) {
+        ++partitions_touched;
+        prev = p;
+      }
+    }
+  }
+  const uint64_t re_exec_cost =
+      (window_cost_nanos_ + partition_cost) *
+      static_cast<uint64_t>(partitions_touched);
+  const bool lazy_allowed = allow_lazy_ &&
+                            options_.lazy_threshold_nanos > 0 &&
+                            re_exec_cost <= options_.lazy_threshold_nanos;
+
+  // Walk partition ranges; inside each, value-group runs give the
+  // cross-call EagerSH encoding.
+  struct EagerGroup {
+    Slice rep_key;
+    std::vector<Slice> other_keys;
+    Slice value;
+  };
+  size_t pos = 0;
+  std::vector<EagerGroup> groups;
+  while (pos < n) {
+    const int partition = partitions_[order_[pos]];
+    groups.clear();
+    size_t eager_bytes = 0;
+    while (pos < n && partitions_[order_[pos]] == partition) {
+      EagerGroup g;
+      g.value = window_capture_.value(order_[pos]);
+      g.rep_key = window_capture_.key(order_[pos]);
+      ++pos;
+      while (pos < n && partitions_[order_[pos]] == partition &&
+             window_capture_.value(order_[pos]) == g.value) {
+        g.other_keys.push_back(window_capture_.key(order_[pos]));
+        ++pos;
+      }
+      eager_bytes += g.rep_key.size() + EagerPayloadSize(g.other_keys, g.value);
+      groups.push_back(std::move(g));
+    }
+
+    // LazySH alternative: resend every buffered input that contributed to
+    // this partition.
+    size_t lazy_bytes = 0;
+    size_t lazy_count = 0;
+    for (size_t c = 0; c < window_inputs_.size(); ++c) {
+      auto it = call_min_key.find({partition, c});
+      if (it == call_min_key.end()) continue;
+      lazy_bytes += it->second.size() +
+                    LazyPayloadSize(window_inputs_[c].key,
+                                    window_inputs_[c].value);
+      ++lazy_count;
+    }
+
+    if (lazy_allowed && lazy_count > 0 &&
+        (options_.force_lazy || lazy_bytes < eager_bytes)) {
+      for (size_t c = 0; c < window_inputs_.size(); ++c) {
+        auto it = call_min_key.find({partition, c});
+        if (it == call_min_key.end()) continue;
+        EncodeLazyPayload(window_inputs_[c].key, window_inputs_[c].value,
+                          &payload_);
+        ctx->Emit(it->second, payload_);
+        if (m != nullptr) m->lazy_records += 1;
+      }
+      continue;
+    }
+    std::sort(groups.begin(), groups.end(),
+              [this](const EagerGroup& a, const EagerGroup& b) {
+                return info_.key_cmp(a.rep_key, b.rep_key) < 0;
+              });
+    for (const EagerGroup& g : groups) {
+      EncodeEagerPayload(g.other_keys, g.value, &payload_);
+      ctx->Emit(g.rep_key, payload_);
+      if (m != nullptr) {
+        if (g.other_keys.empty()) {
+          m->plain_records += 1;
+        } else {
+          m->eager_records += 1;
+        }
+      }
+    }
+  }
+  if (m != nullptr) m->cpu.encode += NowNanos() - encode_start;
+
+  window_capture_.Clear();
+  window_call_of_.clear();
+  window_inputs_.clear();
+  window_cost_nanos_ = 0;
+}
+
+void AntiMapper::EncodeAndEmit(const Slice& input_key,
+                               const Slice& input_value, bool have_input,
+                               uint64_t map_cost_nanos, MapContext* ctx) {
+  JobMetrics* m = info_.metrics;
+  const size_t n = capture_.size();
+  if (m != nullptr) {
+    m->map_output_records += n;
+    for (size_t i = 0; i < n; ++i) {
+      m->map_output_bytes += capture_.key(i).size() + capture_.value(i).size();
+    }
+  }
+  if (n == 0) return;
+
+  // Fast path for fan-out 1 (e.g. Sort): no sharing is possible, so skip
+  // the grouping machinery and emit one record — flagged-plain, or Lazy
+  // when resending the input is strictly smaller (Figure 7's size test
+  // degenerates to a single comparison). Keeps the Section 7.1 overhead to
+  // the flag bytes plus one size comparison.
+  if (n == 1) {
+    const Slice only_key = capture_.key(0);
+    const Slice only_value = capture_.value(0);
+    static const std::vector<Slice> kNoKeys;
+    const size_t eager_bytes =
+        only_key.size() + EagerPayloadSize(kNoKeys, only_value);
+    const bool lazy_ok = allow_lazy_ && have_input &&
+                         options_.lazy_threshold_nanos > 0 &&
+                         map_cost_nanos <= options_.lazy_threshold_nanos;
+    const size_t lazy_bytes =
+        only_key.size() + LazyPayloadSize(input_key, input_value);
+    if (lazy_ok && (options_.force_lazy || lazy_bytes < eager_bytes)) {
+      EncodeLazyPayload(input_key, input_value, &payload_);
+      ctx->Emit(only_key, payload_);
+      if (m != nullptr) m->lazy_records += 1;
+    } else {
+      EncodeEagerPayload(kNoKeys, only_value, &payload_);
+      ctx->Emit(only_key, payload_);
+      if (m != nullptr) m->plain_records += 1;
+    }
+    return;
+  }
+
+  // Partition every output record, measuring the Partitioner's cost
+  // (Figure 7: "Call Partitioner, measure cost").
+  partitions_.resize(n);
+  const uint64_t p0 = NowNanos();
+  for (size_t i = 0; i < n; ++i) {
+    partitions_[i] =
+        info_.partitioner->Partition(capture_.key(i), info_.num_reduce_tasks);
+  }
+  const uint64_t partition_cost = NowNanos() - p0;
+  if (m != nullptr) m->cpu.partition_fn += partition_cost;
+
+  const uint64_t encode_start = NowNanos();
+
+  // One sort by (partition, value, key) replaces the per-call hash maps:
+  // after it, each partition is a contiguous range, each value group a
+  // contiguous run inside it, and the run's first record carries the
+  // minimal (representative) key.
+  order_.resize(n);
+  for (size_t i = 0; i < n; ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+    if (partitions_[a] != partitions_[b]) return partitions_[a] < partitions_[b];
+    const int vc = capture_.value(a).compare(capture_.value(b));
+    if (vc != 0) return vc < 0;
+    return info_.key_cmp(capture_.key(a), capture_.key(b)) < 0;
+  });
+
+  struct EagerGroup {
+    Slice rep_key;
+    std::vector<Slice> other_keys;
+    Slice value;
+  };
+  struct PartitionPlan {
+    std::vector<EagerGroup> groups;
+    size_t eager_bytes = 0;
+    Slice min_key;
+    size_t lazy_bytes = 0;
+  };
+
+  // Phase 1: build each partition's EagerSH encoding and size both options.
+  std::vector<PartitionPlan> plans;
+  size_t pos = 0;
+  while (pos < order_.size()) {
+    const int partition = partitions_[order_[pos]];
+    PartitionPlan plan;
+    while (pos < order_.size() && partitions_[order_[pos]] == partition) {
+      // One value group: a run of equal values, keys ascending.
+      EagerGroup g;
+      g.value = capture_.value(order_[pos]);
+      g.rep_key = capture_.key(order_[pos]);
+      ++pos;
+      while (pos < order_.size() && partitions_[order_[pos]] == partition &&
+             capture_.value(order_[pos]) == g.value) {
+        g.other_keys.push_back(capture_.key(order_[pos]));
+        ++pos;
+      }
+      if (plan.groups.empty() ||
+          info_.key_cmp(g.rep_key, plan.min_key) < 0) {
+        plan.min_key = g.rep_key;
+      }
+      plan.eager_bytes +=
+          g.rep_key.size() + EagerPayloadSize(g.other_keys, g.value);
+      plan.groups.push_back(std::move(g));
+    }
+    // LazySH resends the input record keyed by this partition's minimal key.
+    plan.lazy_bytes =
+        plan.min_key.size() + LazyPayloadSize(input_key, input_value);
+    plans.push_back(std::move(plan));
+  }
+
+  // Figure 7's threshold test: if re-executing this Map call (plus its
+  // Partition calls) on every receiving reduce task would exceed T, fall
+  // back to EagerSH for all partitions.
+  const uint64_t re_exec_cost =
+      (map_cost_nanos + partition_cost) * static_cast<uint64_t>(plans.size());
+  const bool lazy_allowed = allow_lazy_ && have_input &&
+                            options_.lazy_threshold_nanos > 0 &&
+                            re_exec_cost <= options_.lazy_threshold_nanos;
+
+  // Phase 2: choose the encoding. Normally per partition (Figure 7); the
+  // global mode (an ablation) makes one choice for the whole Map call.
+  bool global_lazy = false;
+  if (!options_.per_partition_choice && lazy_allowed) {
+    size_t eager_total = 0, lazy_total = 0;
+    for (const PartitionPlan& plan : plans) {
+      eager_total += plan.eager_bytes;
+      lazy_total += plan.lazy_bytes;
+    }
+    global_lazy = options_.force_lazy || lazy_total < eager_total;
+  }
+
+  for (PartitionPlan& plan : plans) {
+    bool use_lazy = false;
+    if (lazy_allowed) {
+      use_lazy = options_.per_partition_choice
+                     ? (options_.force_lazy ||
+                        plan.lazy_bytes < plan.eager_bytes)
+                     : global_lazy;
+    }
+    if (use_lazy) {
+      EncodeLazyPayload(input_key, input_value, &payload_);
+      ctx->Emit(plan.min_key, payload_);
+      if (m != nullptr) m->lazy_records += 1;
+      continue;
+    }
+    // Deterministic emission order: sort groups by representative key.
+    std::sort(plan.groups.begin(), plan.groups.end(),
+              [this](const EagerGroup& a, const EagerGroup& b) {
+                return info_.key_cmp(a.rep_key, b.rep_key) < 0;
+              });
+    for (const EagerGroup& g : plan.groups) {
+      EncodeEagerPayload(g.other_keys, g.value, &payload_);
+      ctx->Emit(g.rep_key, payload_);
+      if (m != nullptr) {
+        if (g.other_keys.empty()) {
+          m->plain_records += 1;
+        } else {
+          m->eager_records += 1;
+        }
+      }
+    }
+  }
+
+  if (m != nullptr) m->cpu.encode += NowNanos() - encode_start;
+}
+
+}  // namespace anticombine
+}  // namespace antimr

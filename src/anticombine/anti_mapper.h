@@ -1,0 +1,114 @@
+// AntiMapper: the mapper-side half of the syntactic transformation (paper
+// Figure 7). Wraps the original Mapper as a black box, intercepts each Map
+// call's output through a capturing context, measures the call's Map +
+// Partition cost, and — independently per target partition — emits the
+// cheaper of the EagerSH and LazySH encodings, constrained by threshold T.
+#ifndef ANTIMR_ANTICOMBINE_ANTI_MAPPER_H_
+#define ANTIMR_ANTICOMBINE_ANTI_MAPPER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anticombine/options.h"
+#include "mr/api.h"
+
+namespace antimr {
+namespace anticombine {
+
+/// \brief MapContext that records emissions instead of forwarding them.
+///
+/// Arena-backed: one Map call's output lands in a single reused buffer, so
+/// interception costs no per-record allocations after warm-up.
+class CaptureContext : public MapContext {
+ public:
+  void Emit(const Slice& key, const Slice& value) override {
+    Entry e;
+    e.key_off = arena_.size();
+    e.key_len = key.size();
+    arena_.append(key.data(), key.size());
+    e.val_len = value.size();
+    arena_.append(value.data(), value.size());
+    entries_.push_back(e);
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  Slice key(size_t i) const {
+    const Entry& e = entries_[i];
+    return Slice(arena_.data() + e.key_off, e.key_len);
+  }
+  Slice value(size_t i) const {
+    const Entry& e = entries_[i];
+    return Slice(arena_.data() + e.key_off + e.key_len, e.val_len);
+  }
+
+  void Clear() {
+    arena_.clear();
+    entries_.clear();
+  }
+
+ private:
+  struct Entry {
+    size_t key_off;
+    size_t key_len;
+    size_t val_len;
+  };
+  std::string arena_;
+  std::vector<Entry> entries_;
+};
+
+/// \brief Adaptive encoding mapper.
+///
+/// `allow_lazy` must be false when the original Map or Partition function is
+/// non-deterministic (paper Section 6.2); the transform derives it from
+/// JobSpec::deterministic.
+class AntiMapper : public Mapper {
+ public:
+  AntiMapper(MapperFactory o_mapper_factory, AntiCombineOptions options,
+             bool allow_lazy);
+
+  void Setup(const TaskInfo& info, MapContext* ctx) override;
+  void Map(const Slice& key, const Slice& value, MapContext* ctx) override;
+  void Cleanup(MapContext* ctx) override;
+
+ private:
+  /// Encode and emit the captured batch. `have_input` is false for batches
+  /// captured outside a Map call (Setup/Cleanup emissions), which cannot be
+  /// Lazy-encoded because there is no input record to resend.
+  void EncodeAndEmit(const Slice& input_key, const Slice& input_value,
+                     bool have_input, uint64_t map_cost_nanos,
+                     MapContext* ctx);
+
+  /// Cross-call mode (options_.cross_call_window > 1): stash one Map
+  /// call's capture into the window buffers, flushing when full.
+  void BufferCall(const Slice& input_key, const Slice& input_value,
+                  uint64_t map_cost_nanos, MapContext* ctx);
+
+  /// Encode and emit the whole buffered window: EagerSH value groups span
+  /// calls; LazySH records still resend individual inputs.
+  void FlushWindow(MapContext* ctx);
+
+  MapperFactory o_mapper_factory_;
+  AntiCombineOptions options_;
+  bool allow_lazy_;
+
+  std::unique_ptr<Mapper> o_mapper_;
+  CaptureContext capture_;
+  TaskInfo info_;
+  std::string payload_;         // scratch reused across emissions
+  std::vector<int> partitions_;  // scratch per-record partition assignment
+  std::vector<size_t> order_;    // scratch index sort for grouping
+
+  // Cross-call window state (only used when cross_call_window > 1).
+  CaptureContext window_capture_;     // records of all buffered calls
+  std::vector<size_t> window_call_of_;  // record index -> buffered call
+  std::vector<KV> window_inputs_;     // buffered calls' input records
+  uint64_t window_cost_nanos_ = 0;    // summed Map cost of buffered calls
+};
+
+}  // namespace anticombine
+}  // namespace antimr
+
+#endif  // ANTIMR_ANTICOMBINE_ANTI_MAPPER_H_

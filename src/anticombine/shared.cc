@@ -1,0 +1,254 @@
+#include "anticombine/shared.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/stopwatch.h"
+#include "io/run_file.h"
+#include "mr/reduce_task.h"
+
+namespace antimr {
+namespace anticombine {
+
+namespace {
+
+// Exposes the prefix of `inner` whose keys are grouping-equal to `bound`,
+// leaving `inner` positioned at the first record beyond the group.
+class GroupBoundedStream : public KVStream {
+ public:
+  GroupBoundedStream(KVStream* inner, const std::string* bound,
+                     const KeyComparator* grouping_cmp)
+      : inner_(inner), bound_(bound), grouping_cmp_(grouping_cmp) {}
+
+  bool Valid() const override {
+    return inner_->Valid() &&
+           (*grouping_cmp_)(inner_->key(), Slice(*bound_)) == 0;
+  }
+  Slice key() const override { return inner_->key(); }
+  Slice value() const override { return inner_->value(); }
+  Status Next() override { return inner_->Next(); }
+
+ private:
+  KVStream* inner_;
+  const std::string* bound_;
+  const KeyComparator* grouping_cmp_;
+};
+
+}  // namespace
+
+Shared::Shared(Options options)
+    : options_(std::move(options)),
+      heap_(HeapCmp{&options_.key_cmp}) {
+  assert(options_.key_cmp);
+  assert(options_.grouping_cmp);
+  assert(options_.env != nullptr);
+}
+
+Shared::~Shared() {
+  for (const SpillRun& run : spills_) {
+    options_.env->DeleteFile(run.fname);
+  }
+}
+
+void Shared::Add(const Slice& key, const Slice& value) {
+  uint64_t* shared_nanos =
+      options_.metrics ? &options_.metrics->cpu.shared : nullptr;
+  uint64_t local = 0;
+  {
+    ScopedTimer t(shared_nanos ? shared_nanos : &local);
+    AddInternal(key, value, /*allow_combine=*/true);
+    if (options_.metrics) options_.metrics->shared_insertions += 1;
+    if (memory_bytes_ > options_.memory_limit_bytes) {
+      SpillToDisk();
+      MaybeMergeSpills();
+    }
+  }
+}
+
+void Shared::AddInternal(const Slice& key, const Slice& value,
+                         bool allow_combine) {
+  auto it = table_.find(std::string(key.view()));
+  if (it == table_.end()) {
+    // First sighting of this key in memory: register it in the min-heap
+    // (the paper's "inserting the key into the min-heap requires
+    // logarithmic time").
+    std::string key_str = key.ToString();
+    heap_.push(key_str);
+    it = table_.emplace(std::move(key_str), ValueList()).first;
+    memory_bytes_ += key.size();
+  }
+  it->second.values.emplace_back(value.view());
+  memory_bytes_ += value.size();
+  if (allow_combine && options_.combiner != nullptr &&
+      it->second.values.size() >= it->second.next_combine) {
+    CombineKey(it->first, &it->second.values);
+    it->second.next_combine =
+        std::max<size_t>(2, 2 * it->second.values.size());
+  }
+}
+
+void Shared::CombineKey(const std::string& key,
+                        std::vector<std::string>* values) {
+  uint64_t combine_nanos = 0;
+  std::vector<KV> combined;
+  {
+    ScopedTimer t(&combine_nanos);
+    VectorValueIterator it(values);
+    CollectingContext ctx(&combined);
+    options_.combiner->Reduce(key, &it, &ctx);
+  }
+  if (options_.metrics) {
+    options_.metrics->cpu.combine += combine_nanos;
+    options_.metrics->combine_input_records += values->size();
+    options_.metrics->combine_output_records += combined.size();
+  }
+  for (const std::string& v : *values) memory_bytes_ -= v.size();
+  values->clear();
+  for (KV& kv : combined) {
+    if (Slice(kv.key) == Slice(key)) {
+      memory_bytes_ += kv.value.size();
+      values->push_back(std::move(kv.value));
+    } else {
+      // A combiner emitting a different key is unusual but legal; store it
+      // without re-combining to guarantee termination.
+      AddInternal(kv.key, kv.value, /*allow_combine=*/false);
+    }
+  }
+}
+
+void Shared::SpillToDisk() {
+  if (table_.empty()) return;
+  const std::string fname = options_.file_prefix + "_shared_spill_" +
+                            std::to_string(spill_counter_++);
+  std::unique_ptr<WritableFile> file;
+  ANTIMR_CHECK_OK(options_.env->NewWritableFile(fname, &file));
+  RunWriter writer(std::move(file));
+  // Drain the heap to emit keys in sorted order, mirroring the map phase's
+  // sorted spills (paper Section 5).
+  while (!heap_.empty()) {
+    const std::string key = heap_.top();
+    heap_.pop();
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;  // stale heap entry
+    for (const std::string& value : it->second.values) {
+      ANTIMR_CHECK_OK(writer.Add(key, value));
+    }
+    table_.erase(it);
+  }
+  ANTIMR_CHECK_OK(writer.Close());
+  memory_bytes_ = 0;
+
+  SpillRun run;
+  run.fname = fname;
+  std::unique_ptr<KVStream> stream;
+  ANTIMR_CHECK_OK(OpenRun(options_.env, fname, &stream));
+  run.stream = std::move(stream);
+  spills_.push_back(std::move(run));
+  if (options_.metrics) {
+    options_.metrics->shared_spills += 1;
+    options_.metrics->shared_spill_bytes += writer.bytes_written();
+  }
+}
+
+void Shared::MaybeMergeSpills() {
+  if (spills_.size() <= static_cast<size_t>(options_.spill_merge_threshold)) {
+    return;
+  }
+  const std::string fname = options_.file_prefix + "_shared_spill_" +
+                            std::to_string(spill_counter_++);
+  {
+    std::vector<std::unique_ptr<KVStream>> inputs;
+    inputs.reserve(spills_.size());
+    for (SpillRun& run : spills_) inputs.push_back(std::move(run.stream));
+    MergingStream merged(std::move(inputs), options_.key_cmp);
+    std::unique_ptr<WritableFile> file;
+    ANTIMR_CHECK_OK(options_.env->NewWritableFile(fname, &file));
+    RunWriter writer(std::move(file));
+    while (merged.Valid()) {
+      ANTIMR_CHECK_OK(writer.Add(merged.key(), merged.value()));
+      ANTIMR_CHECK_OK(merged.Next());
+    }
+    ANTIMR_CHECK_OK(writer.Close());
+  }
+  for (const SpillRun& run : spills_) {
+    ANTIMR_CHECK_OK(options_.env->DeleteFile(run.fname));
+  }
+  spills_.clear();
+  SpillRun run;
+  run.fname = fname;
+  std::unique_ptr<KVStream> stream;
+  ANTIMR_CHECK_OK(OpenRun(options_.env, fname, &stream));
+  run.stream = std::move(stream);
+  spills_.push_back(std::move(run));
+  if (options_.metrics) options_.metrics->shared_spill_merges += 1;
+}
+
+bool Shared::FindMinKey(std::string* out) {
+  bool found = false;
+  // Drop stale heap entries (keys whose table entry was spilled away).
+  while (!heap_.empty() && table_.find(heap_.top()) == table_.end()) {
+    heap_.pop();
+  }
+  if (!heap_.empty()) {
+    *out = heap_.top();
+    found = true;
+  }
+  for (const SpillRun& run : spills_) {
+    if (!run.stream->Valid()) continue;
+    if (!found || options_.key_cmp(run.stream->key(), Slice(*out)) < 0) {
+      *out = run.stream->key().ToString();
+      found = true;
+    }
+  }
+  return found;
+}
+
+bool Shared::Empty() {
+  std::string ignored;
+  return !FindMinKey(&ignored);
+}
+
+bool Shared::PeekMinKey(std::string* key) { return FindMinKey(key); }
+
+bool Shared::PopMinKeyValues(std::string* group_key,
+                             std::vector<std::string>* values) {
+  uint64_t* shared_nanos =
+      options_.metrics ? &options_.metrics->cpu.shared : nullptr;
+  uint64_t local = 0;
+  ScopedTimer t(shared_nanos ? shared_nanos : &local);
+
+  if (!FindMinKey(group_key)) return false;
+
+  // Collect the group's in-memory records in key order (heap pops ascend).
+  std::vector<KV> mem_records;
+  while (!heap_.empty() &&
+         options_.grouping_cmp(Slice(heap_.top()), Slice(*group_key)) == 0) {
+    const std::string key = heap_.top();
+    heap_.pop();
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;  // stale
+    for (std::string& value : it->second.values) {
+      memory_bytes_ -= value.size();
+      mem_records.emplace_back(key, std::move(value));
+    }
+    memory_bytes_ -= key.size();
+    table_.erase(it);
+  }
+
+  // Merge memory records with the group prefix of each spill stream.
+  std::vector<std::unique_ptr<KVStream>> inputs;
+  inputs.push_back(std::make_unique<KVVectorStream>(&mem_records));
+  for (SpillRun& run : spills_) {
+    inputs.push_back(std::make_unique<GroupBoundedStream>(
+        run.stream.get(), group_key, &options_.grouping_cmp));
+  }
+  MergingStream merged(std::move(inputs), options_.key_cmp);
+  while (merged.Valid()) {
+    values->emplace_back(merged.value().view());
+    ANTIMR_CHECK_OK(merged.Next());
+  }
+  return true;
+}
+
+}  // namespace anticombine
+}  // namespace antimr

@@ -1,0 +1,123 @@
+// The Shared structure (paper Section 5): a reduce-task-level store for
+// decoded key/value pairs awaiting their Reduce call. Faithful to the paper's
+// design: a min-heap over keys for O(1) peeks, a hash table from key to value
+// list, sorted spills to local disk when the memory budget is exceeded,
+// spill merging past a threshold, buffered sequential reads of spilled
+// groups, and optional reduce-phase Combining that collapses each key's
+// values as they arrive.
+#ifndef ANTIMR_ANTICOMBINE_SHARED_H_
+#define ANTIMR_ANTICOMBINE_SHARED_H_
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "io/merger.h"
+#include "mr/api.h"
+#include "mr/metrics.h"
+
+namespace antimr {
+namespace anticombine {
+
+/// \brief Buffer for decoded records, drained in key order.
+class Shared {
+ public:
+  struct Options {
+    KeyComparator key_cmp;       ///< total key order (drain order)
+    KeyComparator grouping_cmp;  ///< key equality for groups
+    Env* env = nullptr;          ///< node-local disk for spills
+    std::string file_prefix;     ///< unique per reduce task
+    size_t memory_limit_bytes = 8 * 1024 * 1024;
+    /// Merge spill files once their count exceeds this (mirrors the map
+    /// phase's io.sort.factor-style merging).
+    int spill_merge_threshold = 10;
+    /// Optional reduce-phase Combiner: values of one key are combined as
+    /// they are added, often keeping Shared entirely in memory (paper
+    /// Sections 5, 7.5).
+    Reducer* combiner = nullptr;
+    JobMetrics* metrics = nullptr;
+  };
+
+  explicit Shared(Options options);
+  ~Shared();
+
+  Shared(const Shared&) = delete;
+  Shared& operator=(const Shared&) = delete;
+
+  /// Insert one decoded record; may trigger combining and/or a spill.
+  void Add(const Slice& key, const Slice& value);
+
+  /// True when no records remain (memory and spills).
+  bool Empty();
+
+  /// Copy the minimal key into *key. Returns false when empty.
+  bool PeekMinKey(std::string* key);
+
+  /// Remove the minimal group (all keys grouping-equal to the minimal key,
+  /// from memory and spills) and append its values, in key order, to
+  /// *values. *group_key gets the minimal key. Returns false when empty.
+  bool PopMinKeyValues(std::string* group_key,
+                       std::vector<std::string>* values);
+
+  size_t memory_usage() const { return memory_bytes_; }
+
+ private:
+  struct HeapCmp {
+    const KeyComparator* cmp;
+    bool operator()(const std::string& a, const std::string& b) const {
+      return (*cmp)(a, b) > 0;  // min-heap
+    }
+  };
+
+  void AddInternal(const Slice& key, const Slice& value, bool allow_combine);
+  void CombineKey(const std::string& key, std::vector<std::string>* values);
+  void SpillToDisk();
+  void MaybeMergeSpills();
+  /// Minimal key across the in-memory heap and spill stream heads; false
+  /// when everything is empty.
+  bool FindMinKey(std::string* out);
+
+  /// A key's pending values plus the size at which the next combine fires.
+  /// The doubling threshold keeps combining amortized-linear even when the
+  /// combiner cannot shrink a key's values below 2 (e.g. top-k style
+  /// aggregates over many distinct sub-values).
+  struct ValueList {
+    std::vector<std::string> values;
+    size_t next_combine = 2;
+  };
+
+  Options options_;
+  std::unordered_map<std::string, ValueList> table_;
+  std::priority_queue<std::string, std::vector<std::string>, HeapCmp> heap_;
+  struct SpillRun {
+    std::string fname;
+    std::unique_ptr<KVStream> stream;
+  };
+  std::vector<SpillRun> spills_;
+  size_t memory_bytes_ = 0;
+  int spill_counter_ = 0;
+};
+
+/// \brief ValueIterator over a vector of strings (a popped group).
+class VectorValueIterator : public ValueIterator {
+ public:
+  explicit VectorValueIterator(const std::vector<std::string>* values)
+      : values_(values) {}
+
+  bool Next(Slice* value) override {
+    if (pos_ >= values_->size()) return false;
+    *value = (*values_)[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<std::string>* values_;
+  size_t pos_ = 0;
+};
+
+}  // namespace anticombine
+}  // namespace antimr
+
+#endif  // ANTIMR_ANTICOMBINE_SHARED_H_

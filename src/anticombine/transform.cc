@@ -1,0 +1,40 @@
+#include "anticombine/transform.h"
+
+#include "anticombine/anti_mapper.h"
+#include "anticombine/anti_reducer.h"
+
+namespace antimr {
+namespace anticombine {
+
+JobSpec EnableAntiCombining(const JobSpec& original,
+                            const AntiCombineOptions& options) {
+  JobSpec transformed = original;
+  transformed.name = original.name + "+anticombine";
+
+  const bool allow_lazy = original.deterministic;
+  const MapperFactory o_mapper = original.mapper_factory;
+  const ReducerFactory o_reducer = original.reducer_factory;
+  const ReducerFactory o_combiner = original.combiner_factory;
+
+  transformed.mapper_factory = [o_mapper, options, allow_lazy]() {
+    return std::make_unique<AntiMapper>(o_mapper, options, allow_lazy);
+  };
+  transformed.reducer_factory = [o_reducer, o_mapper, o_combiner, options]() {
+    return std::make_unique<AntiReducer>(o_reducer, o_mapper, o_combiner,
+                                         options);
+  };
+  if (o_combiner && options.map_phase_combiner) {
+    transformed.combiner_factory = [o_combiner, o_mapper]() {
+      return std::make_unique<AntiCombiner>(o_combiner, o_mapper);
+    };
+  } else {
+    // Flag C = 0: drop the Combiner from the map phase; AntiReducer still
+    // applies the original Combiner inside Shared.
+    transformed.combiner_factory = nullptr;
+  }
+  transformed.mapper_reports_logical_output = true;
+  return transformed;
+}
+
+}  // namespace anticombine
+}  // namespace antimr

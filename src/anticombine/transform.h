@@ -1,0 +1,33 @@
+// The syntactic program transformation (paper Section 6.1, Figures 7-8):
+// rewrite a JobSpec so its mapper, reducer, and combiner classes are replaced
+// by the Anti-Combining wrappers. The original classes are treated as black
+// boxes — no semantic analysis, exactly as in the paper.
+#ifndef ANTIMR_ANTICOMBINE_TRANSFORM_H_
+#define ANTIMR_ANTICOMBINE_TRANSFORM_H_
+
+#include "anticombine/options.h"
+#include "mr/job_spec.h"
+
+namespace antimr {
+namespace anticombine {
+
+/// Return the Anti-Combining-enabled version of `original`.
+///
+/// Mirrors the paper's rewrite:
+///  * mapper class  -> AntiMapper(original mapper)
+///  * reducer class -> AntiReducer(original reducer, original mapper,
+///                                 original combiner)
+///  * combiner class-> AntiCombiner(original combiner, original mapper)
+///                     when options.map_phase_combiner (flag C) is set;
+///                     removed from the map phase otherwise
+///
+/// When `original.deterministic` is false, LazySH is disabled regardless of
+/// the threshold (equivalent to forcing T = 0 for the lazy choice while
+/// keeping EagerSH adaptivity).
+JobSpec EnableAntiCombining(const JobSpec& original,
+                            const AntiCombineOptions& options);
+
+}  // namespace anticombine
+}  // namespace antimr
+
+#endif  // ANTIMR_ANTICOMBINE_TRANSFORM_H_

@@ -1,0 +1,21 @@
+// Umbrella header: the public API of the antimr library.
+//
+// A downstream user typically needs three things:
+//   1. write a MapReduce program:     mr/api.h, mr/job_spec.h
+//   2. run it:                        mr/job_runner.h
+//   3. enable Anti-Combining:         anticombine/transform.h
+//
+// Everything else (codecs, data generators, reference workloads) is optional.
+#ifndef ANTIMR_ANTIMR_H_
+#define ANTIMR_ANTIMR_H_
+
+#include "anticombine/options.h"
+#include "anticombine/transform.h"
+#include "codec/codec.h"
+#include "common/status.h"
+#include "mr/api.h"
+#include "mr/job_runner.h"
+#include "mr/job_spec.h"
+#include "mr/metrics.h"
+
+#endif  // ANTIMR_ANTIMR_H_

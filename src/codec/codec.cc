@@ -1,0 +1,58 @@
+#include "codec/codec.h"
+
+namespace antimr {
+
+const Codec* GetSnappyLikeCodec();
+const Codec* GetDeflateLikeCodec();
+const Codec* GetGzipCodec();
+const Codec* GetBzip2LikeCodec();
+
+namespace {
+
+class NullCodec : public Codec {
+ public:
+  const char* name() const override { return "none"; }
+  CodecType type() const override { return CodecType::kNone; }
+
+  Status Compress(const Slice& input, std::string* output) const override {
+    output->assign(input.data(), input.size());
+    return Status::OK();
+  }
+
+  Status Decompress(const Slice& input, std::string* output) const override {
+    output->assign(input.data(), input.size());
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Codec* GetCodec(CodecType type) {
+  static NullCodec null_codec;
+  switch (type) {
+    case CodecType::kNone:
+      return &null_codec;
+    case CodecType::kSnappyLike:
+      return GetSnappyLikeCodec();
+    case CodecType::kDeflateLike:
+      return GetDeflateLikeCodec();
+    case CodecType::kGzip:
+      return GetGzipCodec();
+    case CodecType::kBzip2Like:
+      return GetBzip2LikeCodec();
+  }
+  return &null_codec;
+}
+
+Result<CodecType> CodecTypeFromName(const std::string& name) {
+  if (name == "none") return CodecType::kNone;
+  if (name == "snappy") return CodecType::kSnappyLike;
+  if (name == "deflate") return CodecType::kDeflateLike;
+  if (name == "gzip") return CodecType::kGzip;
+  if (name == "bzip2") return CodecType::kBzip2Like;
+  return Status::InvalidArgument("unknown codec: " + name);
+}
+
+const char* CodecTypeName(CodecType type) { return GetCodec(type)->name(); }
+
+}  // namespace antimr

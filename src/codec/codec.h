@@ -1,0 +1,60 @@
+// General-purpose compression codecs applied to shuffled map output, standing
+// in for Hadoop's codec suite (paper Sections 1, 7.4, Table 1). Each codec is
+// implemented from scratch so the library has no external dependencies:
+//
+//   kNone        pass-through
+//   kSnappyLike  fast greedy hash-table LZ (low CPU, modest ratio)  ~ Snappy
+//   kDeflateLike chained-hash LZ with longer searches               ~ Deflate
+//   kGzip        kDeflateLike payload + header/CRC32/size trailer   ~ Gzip
+//   kBzip2Like   block BWT + MTF + RLE + canonical Huffman          ~ Bzip2
+//
+// The relative CPU-cost/ratio ordering mirrors the real codecs, which is the
+// property Table 1's reproduction depends on.
+#ifndef ANTIMR_CODEC_CODEC_H_
+#define ANTIMR_CODEC_CODEC_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace antimr {
+
+enum class CodecType : int {
+  kNone = 0,
+  kSnappyLike = 1,
+  kDeflateLike = 2,
+  kGzip = 3,
+  kBzip2Like = 4,
+};
+
+/// \brief Block compressor/decompressor.
+///
+/// Implementations are stateless and thread-safe; GetCodec returns shared
+/// singletons.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual const char* name() const = 0;
+  virtual CodecType type() const = 0;
+
+  /// Compress `input`, replacing *output.
+  virtual Status Compress(const Slice& input, std::string* output) const = 0;
+
+  /// Decompress `input` (which must be a full Compress result), replacing
+  /// *output. Returns Corruption on malformed input.
+  virtual Status Decompress(const Slice& input, std::string* output) const = 0;
+};
+
+/// Singleton lookup. Never returns null.
+const Codec* GetCodec(CodecType type);
+
+/// Parse "none"/"snappy"/"deflate"/"gzip"/"bzip2" (paper-style aliases).
+Result<CodecType> CodecTypeFromName(const std::string& name);
+
+const char* CodecTypeName(CodecType type);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_CODEC_CODEC_H_

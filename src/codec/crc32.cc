@@ -1,0 +1,30 @@
+#include "codec/crc32.h"
+
+#include <array>
+
+namespace antimr {
+
+namespace {
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32(uint32_t crc, const Slice& data) {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  uint32_t c = crc ^ 0xffffffffU;
+  for (size_t i = 0; i < data.size(); ++i) {
+    c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffU;
+}
+
+}  // namespace antimr

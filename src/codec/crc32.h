@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial), used by GzipCodec's trailer.
+#ifndef ANTIMR_CODEC_CRC32_H_
+#define ANTIMR_CODEC_CRC32_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace antimr {
+
+/// Compute crc32 of `data`, continuing from `crc` (pass 0 to start).
+uint32_t Crc32(uint32_t crc, const Slice& data);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_CODEC_CRC32_H_

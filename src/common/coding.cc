@@ -1,0 +1,119 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace antimr {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);  // little-endian hosts only (x86/arm64)
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int i = 0;
+  while (value >= 0x80) {
+    buf[i++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[i++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), i);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int i = 0;
+  while (value >= 0x80) {
+    buf[i++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[i++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), i);
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64;
+  Slice copy = *input;
+  if (!GetVarint64(&copy, &v64) || v64 > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v64);
+  *input = copy;
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      input->RemovePrefix(static_cast<size_t>(p - input->data()));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* result) {
+  Slice copy = *input;
+  uint64_t len;
+  if (!GetVarint64(&copy, &len) || copy.size() < len) return false;
+  *result = Slice(copy.data(), static_cast<size_t>(len));
+  copy.RemovePrefix(static_cast<size_t>(len));
+  *input = copy;
+  return true;
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  *value = DecodeFixed32(input->data());
+  input->RemovePrefix(4);
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  *value = DecodeFixed64(input->data());
+  input->RemovePrefix(8);
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace antimr

@@ -1,0 +1,52 @@
+// Varint and fixed-width little-endian primitives used by every on-disk and
+// on-wire format in the project (spill runs, shuffle segments, Anti-Combining
+// record encodings).
+#ifndef ANTIMR_COMMON_CODING_H_
+#define ANTIMR_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace antimr {
+
+/// Append a 32-bit little-endian value.
+void PutFixed32(std::string* dst, uint32_t value);
+/// Append a 64-bit little-endian value.
+void PutFixed64(std::string* dst, uint64_t value);
+/// Append a LEB128 varint (1-5 bytes for 32-bit).
+void PutVarint32(std::string* dst, uint32_t value);
+/// Append a LEB128 varint (1-10 bytes for 64-bit).
+void PutVarint64(std::string* dst, uint64_t value);
+/// Append varint(length) followed by the bytes of value.
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+
+uint32_t DecodeFixed32(const char* p);
+uint64_t DecodeFixed64(const char* p);
+
+/// Consume a varint32 from the front of *input. Returns false on truncation
+/// or overflow; *input is unchanged on failure.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+/// Consume varint(length)+bytes from *input into *result (non-owning view
+/// into the input buffer).
+bool GetLengthPrefixed(Slice* input, Slice* result);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+/// Number of bytes PutVarint32/64 would append.
+int VarintLength(uint64_t value);
+
+/// Zig-zag encoding so small negative ints stay small on the wire.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace antimr
+
+#endif  // ANTIMR_COMMON_CODING_H_

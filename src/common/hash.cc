@@ -1,0 +1,32 @@
+#include "common/hash.h"
+
+namespace antimr {
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint32_t HashMix32(uint32_t v) {
+  v ^= v >> 16;
+  v *= 0x85ebca6bU;
+  v ^= v >> 13;
+  v *= 0xc2b2ae35U;
+  v ^= v >> 16;
+  return v;
+}
+
+uint64_t HashMix64(uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ULL;
+  v ^= v >> 33;
+  return v;
+}
+
+}  // namespace antimr

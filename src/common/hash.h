@@ -1,0 +1,25 @@
+// Hash functions for partitioners and hash tables.
+#ifndef ANTIMR_COMMON_HASH_H_
+#define ANTIMR_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace antimr {
+
+/// 64-bit FNV-1a over an arbitrary byte range. Deterministic across runs, so
+/// partition assignments (and therefore experiment results) are reproducible.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// 32-bit mixing finalizer (murmur3 fmix) for integer keys.
+uint32_t HashMix32(uint32_t v);
+uint64_t HashMix64(uint64_t v);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_COMMON_HASH_H_

@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr. Quiet by default so test and bench
+// output stays readable; benches raise the level for progress lines.
+#ifndef ANTIMR_COMMON_LOGGING_H_
+#define ANTIMR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace antimr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define ANTIMR_LOG(level)                                               \
+  if (static_cast<int>(::antimr::LogLevel::level) <                     \
+      static_cast<int>(::antimr::GetLogLevel())) {                      \
+  } else                                                                \
+    ::antimr::internal::LogMessage(::antimr::LogLevel::level, __FILE__, \
+                                   __LINE__)                            \
+        .stream()
+
+}  // namespace antimr
+
+#endif  // ANTIMR_COMMON_LOGGING_H_

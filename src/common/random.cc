@@ -1,0 +1,81 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace antimr {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 expansion of the seed so nearby seeds give unrelated streams.
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  for (auto& s : s_) {
+    z += 0x9e3779b97f4a7c15ULL;
+    uint64_t x = z;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    s = x ^ (x >> 31);
+  }
+  if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s_[0];
+  const uint64_t y = s_[1];
+  s_[0] = y;
+  x ^= x << 23;
+  s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s_[1] + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Rejection-free multiply-shift is biased for huge n; acceptable here since
+  // n is far below 2^48 in all call sites, but use rejection to be exact.
+  const uint64_t threshold = -n % n;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Random::Skewed(int max_log) {
+  const uint64_t base = Uniform(static_cast<uint64_t>(max_log) + 1);
+  return Next() & ((1ULL << base) - 1);
+}
+
+double Random::NextGaussian(double mean, double stddev) {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Random* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace antimr

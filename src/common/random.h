@@ -1,0 +1,62 @@
+// Deterministic PRNGs and samplers for the synthetic data generators and the
+// 1-Bucket-Theta randomized bucket assignment. We avoid <random> engines in
+// hot paths and for cross-platform reproducibility of generated data sets.
+#ifndef ANTIMR_COMMON_RANDOM_H_
+#define ANTIMR_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace antimr {
+
+/// \brief xorshift128+ generator: fast, decent quality, fully deterministic.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool OneIn(uint32_t n) { return Uniform(n) == 0; }
+
+  /// Geometric-ish skewed value: picks base in [0, max_log] uniformly and
+  /// returns a uniform value in [0, 2^base). Matches rocksdb::Random::Skewed.
+  uint64_t Skewed(int max_log);
+
+  /// Gaussian via Box-Muller.
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  uint64_t s_[2];
+};
+
+/// \brief Zipf(s) sampler over ranks 1..n using precomputed CDF.
+///
+/// Used to give synthetic query logs and graph degrees the heavy-tailed
+/// popularity profile the paper's real data sets have.
+class ZipfSampler {
+ public:
+  /// \param n number of distinct items
+  /// \param s skew exponent (s=0 is uniform; ~1 is classic Zipf)
+  ZipfSampler(size_t n, double s);
+
+  /// Sample a rank in [0, n), rank 0 being the most popular.
+  size_t Sample(Random* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_COMMON_RANDOM_H_

@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace antimr {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+namespace internal {
+void FatalStatus(const Status& st, const char* file, int line) {
+  std::fprintf(stderr, "FATAL %s:%d status not OK: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace antimr

@@ -1,0 +1,136 @@
+// Status / Result error handling in the RocksDB/Arrow style: no exceptions on
+// hot paths, explicit propagation, cheap OK path.
+#ifndef ANTIMR_COMMON_STATUS_H_
+#define ANTIMR_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace antimr {
+
+/// \brief Outcome of an operation that can fail.
+///
+/// The OK status carries no allocation. Error statuses carry a code and a
+/// human-readable message. Statuses must be checked by the caller; helper
+/// macros ANTIMR_RETURN_NOT_OK / ANTIMR_CHECK_OK cover the common patterns.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kCorruption,
+    kNotSupported,
+    kResourceExhausted,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Full "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+/// \brief A value-or-error union, like arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  T ValueOr(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define ANTIMR_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::antimr::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define ANTIMR_CHECK_OK(expr)                                         \
+  do {                                                                \
+    ::antimr::Status _st = (expr);                                    \
+    if (!_st.ok()) {                                                  \
+      ::antimr::internal::FatalStatus(_st, __FILE__, __LINE__);       \
+    }                                                                 \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void FatalStatus(const Status& st, const char* file, int line);
+}  // namespace internal
+
+}  // namespace antimr
+
+#endif  // ANTIMR_COMMON_STATUS_H_

@@ -1,0 +1,20 @@
+#include "common/stopwatch.h"
+
+#include <ctime>
+
+namespace antimr {
+
+namespace {
+inline uint64_t ClockNanos(clockid_t id) {
+  timespec ts;
+  clock_gettime(id, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+}  // namespace
+
+uint64_t NowNanos() { return ClockNanos(CLOCK_MONOTONIC); }
+
+uint64_t ThreadCpuNanos() { return ClockNanos(CLOCK_THREAD_CPUTIME_ID); }
+
+}  // namespace antimr

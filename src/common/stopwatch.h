@@ -1,0 +1,52 @@
+// Wall-clock and per-thread CPU-clock timing. Anti-Combining's adaptive
+// threshold logic (paper Fig. 7) needs the measured cost of each Map +
+// Partition call, and the benchmark harness needs per-phase CPU totals that
+// mirror the paper's "total CPU time" columns.
+#ifndef ANTIMR_COMMON_STOPWATCH_H_
+#define ANTIMR_COMMON_STOPWATCH_H_
+
+#include <cstdint>
+
+namespace antimr {
+
+/// Monotonic wall-clock time in nanoseconds.
+uint64_t NowNanos();
+
+/// CPU time of the calling thread in nanoseconds (CLOCK_THREAD_CPUTIME_ID).
+uint64_t ThreadCpuNanos();
+
+/// \brief Accumulates elapsed nanoseconds across Start/Stop cycles.
+class Stopwatch {
+ public:
+  void Start() { start_ = NowNanos(); }
+  /// Stop and add the elapsed interval; returns the interval length.
+  uint64_t Stop() {
+    const uint64_t d = NowNanos() - start_;
+    total_ += d;
+    return d;
+  }
+  uint64_t total_nanos() const { return total_; }
+  void Reset() { total_ = 0; }
+
+ private:
+  uint64_t start_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// \brief RAII guard adding a scope's wall time into a counter.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(uint64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimer() { *sink_ += NowNanos() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_COMMON_STOPWATCH_H_

@@ -1,0 +1,50 @@
+// Synthetic stand-in for the Cloud data set [11]: extended cloud reports
+// from ships and land stations, 382M records x 28 attributes in the paper.
+// The theta-join's behaviour depends on the join attributes (date, longitude,
+// latitude) and record width, both reproduced here.
+#ifndef ANTIMR_DATAGEN_CLOUD_H_
+#define ANTIMR_DATAGEN_CLOUD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/api.h"
+
+namespace antimr {
+
+struct CloudConfig {
+  uint64_t num_records = 20000;
+  int num_days = 30;         ///< distinct report dates
+  int num_longitudes = 36;   ///< longitude grid cells (10-degree bins)
+  uint64_t seed = 42;
+};
+
+/// A parsed cloud report's join attributes.
+struct CloudReport {
+  int date = 0;       ///< days since epoch start
+  int longitude = 0;  ///< degrees, [-180, 180)
+  int latitude = 0;   ///< degrees, [-90, 90]
+};
+
+/// \brief Deterministic cloud-report generator.
+///
+/// Records: key = report id, value = 28 comma-separated attributes with
+/// date, longitude, latitude in fixed positions (0, 1, 2).
+class CloudGenerator {
+ public:
+  explicit CloudGenerator(const CloudConfig& config) : config_(config) {}
+
+  std::vector<KV> Generate() const;
+  std::vector<InputSplit> MakeSplits(int num_splits) const;
+
+  /// Parse the join attributes out of a record value. Returns false on
+  /// malformed input.
+  static bool ParseReport(const Slice& value, CloudReport* report);
+
+ private:
+  CloudConfig config_;
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_DATAGEN_CLOUD_H_

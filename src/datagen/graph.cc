@@ -1,0 +1,58 @@
+#include "datagen/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace antimr {
+
+std::string GraphGenerator::NodeId(uint64_t node) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "n%010llu",
+                static_cast<unsigned long long>(node));
+  return buf;
+}
+
+std::vector<KV> GraphGenerator::Generate() const {
+  Random rng(config_.seed);
+  // Degree sampler: Zipf over [1, max_out_degree], rescaled so the empirical
+  // mean lands near mean_out_degree.
+  const size_t degree_range =
+      std::max<uint64_t>(2, config_.max_out_degree);
+  ZipfSampler degree_sampler(degree_range, config_.degree_skew);
+  // First pass to find the sampler's natural mean.
+  Random probe(config_.seed ^ 0x5eed);
+  double natural_mean = 0;
+  const int kProbes = 2000;
+  for (int i = 0; i < kProbes; ++i) {
+    natural_mean += static_cast<double>(degree_sampler.Sample(&probe) + 1);
+  }
+  natural_mean /= kProbes;
+  const double scale = config_.mean_out_degree / natural_mean;
+
+  std::vector<KV> records;
+  records.reserve(config_.num_nodes);
+  const double init_rank = 1.0 / static_cast<double>(config_.num_nodes);
+  char rank_buf[40];
+  std::snprintf(rank_buf, sizeof(rank_buf), "%.10e", init_rank);
+  for (uint64_t node = 0; node < config_.num_nodes; ++node) {
+    uint64_t degree = static_cast<uint64_t>(
+        static_cast<double>(degree_sampler.Sample(&rng) + 1) * scale);
+    degree = std::min<uint64_t>(std::max<uint64_t>(degree, 1),
+                                config_.max_out_degree);
+    std::string value = rank_buf;
+    for (uint64_t e = 0; e < degree; ++e) {
+      value.push_back(' ');
+      value += NodeId(rng.Uniform(config_.num_nodes));
+    }
+    records.emplace_back(NodeId(node), std::move(value));
+  }
+  return records;
+}
+
+std::vector<InputSplit> GraphGenerator::MakeSplits(int num_splits) const {
+  return ::antimr::MakeSplits(Generate(), num_splits);
+}
+
+}  // namespace antimr

@@ -1,0 +1,43 @@
+// Synthetic stand-in for ClueWeb09 (50M pages, 1.4B links): a directed graph
+// with power-law out-degrees (mean ~28 in the paper; configurable here).
+// PageRank's map fan-out equals a node's out-degree, which is the property
+// Anti-Combining exploits, so degree skew is what matters.
+#ifndef ANTIMR_DATAGEN_GRAPH_H_
+#define ANTIMR_DATAGEN_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/api.h"
+
+namespace antimr {
+
+struct GraphConfig {
+  uint64_t num_nodes = 10000;
+  double mean_out_degree = 28.0;
+  double degree_skew = 1.2;  ///< Zipf exponent of the degree distribution
+  uint64_t max_out_degree = 2000;
+  uint64_t seed = 42;
+};
+
+/// \brief Deterministic power-law digraph generator.
+///
+/// Records are PageRank-ready: key = node id (zero-padded decimal), value =
+/// "<rank> <nbr1> <nbr2> ..." with rank initialized to 1/num_nodes.
+class GraphGenerator {
+ public:
+  explicit GraphGenerator(const GraphConfig& config) : config_(config) {}
+
+  std::vector<KV> Generate() const;
+  std::vector<InputSplit> MakeSplits(int num_splits) const;
+
+  /// Zero-padded node id, the graph's key format.
+  static std::string NodeId(uint64_t node);
+
+ private:
+  GraphConfig config_;
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_DATAGEN_GRAPH_H_

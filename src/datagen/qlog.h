@@ -1,0 +1,55 @@
+// Synthetic stand-in for the paper's QLog data set (140M real search-engine
+// queries, avg 19.07 chars). Reproduces the properties Query-Suggestion's
+// behaviour depends on: Zipf-skewed query popularity over a large distinct
+// set, multi-word queries with an English-like first-letter distribution,
+// and an average length near 19 characters.
+#ifndef ANTIMR_DATAGEN_QLOG_H_
+#define ANTIMR_DATAGEN_QLOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mr/api.h"
+
+namespace antimr {
+
+struct QLogConfig {
+  uint64_t num_records = 100000;   ///< query-log entries to generate
+  uint64_t num_distinct = 20000;   ///< distinct query strings
+  double popularity_skew = 1.0;    ///< Zipf exponent over distinct queries
+  uint64_t vocabulary_words = 4000;
+  uint64_t seed = 42;
+  /// Append the paper's two per-query features (occurrence count, browsed
+  /// links) to the value as tab-separated fields.
+  bool include_features = false;
+};
+
+/// \brief Deterministic query-log generator.
+///
+/// Records are (user-id, query[\t feature1 \t feature2]).
+class QLogGenerator {
+ public:
+  explicit QLogGenerator(const QLogConfig& config);
+
+  /// Materialize all records.
+  std::vector<KV> Generate() const;
+
+  /// Input splits generating lazily, `num_splits` map tasks.
+  std::vector<InputSplit> MakeSplits(int num_splits) const;
+
+  /// Mean query length in characters (for sanity checks against 19.07).
+  double MeanQueryLength() const;
+
+  const std::vector<std::string>& distinct_queries() const {
+    return queries_;
+  }
+
+ private:
+  QLogConfig config_;
+  std::vector<std::string> queries_;
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_DATAGEN_QLOG_H_

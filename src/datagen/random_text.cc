@@ -1,0 +1,46 @@
+#include "datagen/random_text.h"
+
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace antimr {
+
+RandomTextGenerator::RandomTextGenerator(const RandomTextConfig& config)
+    : config_(config) {
+  Random rng(config_.seed);
+  vocabulary_.reserve(config_.vocabulary_words);
+  for (uint64_t i = 0; i < config_.vocabulary_words; ++i) {
+    const size_t len = 3 + rng.Uniform(8);
+    std::string word;
+    for (size_t c = 0; c < len; ++c) {
+      word.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    vocabulary_.push_back(std::move(word));
+  }
+}
+
+std::vector<KV> RandomTextGenerator::Generate() const {
+  Random rng(config_.seed + 1);
+  ZipfSampler word_sampler(vocabulary_.size(), config_.word_skew);
+  std::vector<KV> records;
+  records.reserve(config_.num_lines);
+  char key_buf[24];
+  for (uint64_t line = 0; line < config_.num_lines; ++line) {
+    std::snprintf(key_buf, sizeof(key_buf), "l%010llu",
+                  static_cast<unsigned long long>(line));
+    std::string text;
+    for (int w = 0; w < config_.words_per_line; ++w) {
+      if (w > 0) text.push_back(' ');
+      text += vocabulary_[word_sampler.Sample(&rng)];
+    }
+    records.emplace_back(key_buf, std::move(text));
+  }
+  return records;
+}
+
+std::vector<InputSplit> RandomTextGenerator::MakeSplits(int num_splits) const {
+  return ::antimr::MakeSplits(Generate(), num_splits);
+}
+
+}  // namespace antimr

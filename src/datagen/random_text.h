@@ -1,0 +1,42 @@
+// Synthetic stand-in for the paper's RandomText data set: lines of randomly
+// generated words, used by the Sort overhead experiment (Section 7.1) and
+// WordCount (Section 7.7.1).
+#ifndef ANTIMR_DATAGEN_RANDOM_TEXT_H_
+#define ANTIMR_DATAGEN_RANDOM_TEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/api.h"
+
+namespace antimr {
+
+struct RandomTextConfig {
+  uint64_t num_lines = 20000;
+  int words_per_line = 10;
+  /// Distinct words; WordCount's combiner effectiveness depends on this
+  /// being small relative to the corpus (the paper's combiner shrinks 360 GB
+  /// to 92 MB, i.e., a modest vocabulary).
+  uint64_t vocabulary_words = 5000;
+  double word_skew = 1.0;  ///< Zipf exponent of word popularity
+  uint64_t seed = 42;
+};
+
+/// \brief Deterministic random-text generator.
+///
+/// Records: key = line number (zero-padded), value = space-separated words.
+class RandomTextGenerator {
+ public:
+  explicit RandomTextGenerator(const RandomTextConfig& config);
+
+  std::vector<KV> Generate() const;
+  std::vector<InputSplit> MakeSplits(int num_splits) const;
+
+ private:
+  RandomTextConfig config_;
+  std::vector<std::string> vocabulary_;
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_DATAGEN_RANDOM_TEXT_H_

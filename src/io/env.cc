@@ -1,0 +1,8 @@
+#include "io/env.h"
+
+namespace antimr {
+
+// env.h is interface-only; concrete implementations live in mem_env.cc and
+// posix_env.cc. This translation unit anchors the vtables.
+
+}  // namespace antimr

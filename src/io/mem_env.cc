@@ -1,0 +1,187 @@
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "io/env.h"
+
+namespace antimr {
+namespace {
+
+struct FileState {
+  std::string contents;
+};
+
+class MemEnv;
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<FileState> state,
+                  std::atomic<uint64_t>* bytes_written)
+      : state_(std::move(state)), bytes_written_(bytes_written) {}
+
+  Status Append(const Slice& data) override {
+    state_->contents.append(data.data(), data.size());
+    bytes_written_->fetch_add(data.size(), std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<FileState> state_;
+  std::atomic<uint64_t>* bytes_written_;
+};
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  MemSequentialFile(std::shared_ptr<FileState> state,
+                    std::atomic<uint64_t>* bytes_read)
+      : state_(std::move(state)), bytes_read_(bytes_read) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    const std::string& c = state_->contents;
+    if (pos_ >= c.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    const size_t avail = c.size() - pos_;
+    const size_t take = n < avail ? n : avail;
+    std::memcpy(scratch, c.data() + pos_, take);
+    pos_ += take;
+    bytes_read_->fetch_add(take, std::memory_order_relaxed);
+    *result = Slice(scratch, take);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    const size_t avail = state_->contents.size() - pos_;
+    pos_ += n < avail ? static_cast<size_t>(n) : avail;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FileState> state_;
+  std::atomic<uint64_t>* bytes_read_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(std::shared_ptr<FileState> state,
+                      std::atomic<uint64_t>* bytes_read)
+      : state_(std::move(state)), bytes_read_(bytes_read) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    const std::string& c = state_->contents;
+    if (offset >= c.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    const size_t avail = c.size() - static_cast<size_t>(offset);
+    const size_t take = n < avail ? n : avail;
+    std::memcpy(scratch, c.data() + offset, take);
+    bytes_read_->fetch_add(take, std::memory_order_relaxed);
+    *result = Slice(scratch, take);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FileState> state_;
+  std::atomic<uint64_t>* bytes_read_;
+};
+
+class MemEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto state = std::make_shared<FileState>();
+    files_[fname] = state;
+    files_created_.fetch_add(1, std::memory_order_relaxed);
+    *file = std::make_unique<MemWritableFile>(std::move(state), &bytes_written_);
+    return Status::OK();
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* file) override {
+    auto state = Find(fname);
+    if (!state) return Status::NotFound(fname);
+    *file = std::make_unique<MemSequentialFile>(std::move(state), &bytes_read_);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    auto state = Find(fname);
+    if (!state) return Status::NotFound(fname);
+    *file =
+        std::make_unique<MemRandomAccessFile>(std::move(state), &bytes_read_);
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    auto state = Find(fname);
+    if (!state) return Status::NotFound(fname);
+    *size = state->contents.size();
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) return Status::NotFound(fname);
+    files_.erase(it);
+    files_deleted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(fname) > 0;
+  }
+
+  Status ListFiles(std::vector<std::string>* names) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    names->clear();
+    for (const auto& [name, state] : files_) names->push_back(name);
+    return Status::OK();
+  }
+
+  IoStats stats() const override {
+    IoStats s;
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.files_created = files_created_.load(std::memory_order_relaxed);
+    s.files_deleted = files_deleted_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void ResetStats() override {
+    bytes_written_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    files_created_.store(0, std::memory_order_relaxed);
+    files_deleted_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<FileState> Find(const std::string& fname) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    return it == files_.end() ? nullptr : it->second;
+  }
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> files_created_{0};
+  std::atomic<uint64_t> files_deleted_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace antimr

@@ -1,0 +1,48 @@
+// K-way merge of sorted KVStreams with a pluggable comparator. Used on the
+// map side (merging spill files per partition), the reduce side (merging
+// shuffled segments), and inside Shared (merging its spills).
+#ifndef ANTIMR_IO_MERGER_H_
+#define ANTIMR_IO_MERGER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "io/run_file.h"
+
+namespace antimr {
+
+/// Three-way key comparator; negative/zero/positive like memcmp.
+using KeyComparator = std::function<int(const Slice&, const Slice&)>;
+
+/// Bytewise comparison; the default key order.
+int BytewiseCompare(const Slice& a, const Slice& b);
+
+/// \brief Heap-based k-way merging stream.
+///
+/// Stable across inputs: on equal keys, records from lower-indexed input
+/// streams are produced first, so merge output is deterministic.
+class MergingStream : public KVStream {
+ public:
+  MergingStream(std::vector<std::unique_ptr<KVStream>> inputs,
+                KeyComparator cmp);
+
+  bool Valid() const override { return current_ >= 0; }
+  Slice key() const override { return inputs_[current_]->key(); }
+  Slice value() const override { return inputs_[current_]->value(); }
+  Status Next() override;
+
+ private:
+  void SiftDown(size_t i);
+  bool HeapLess(int a, int b) const;
+  void InitHeap();
+
+  std::vector<std::unique_ptr<KVStream>> inputs_;
+  KeyComparator cmp_;
+  std::vector<int> heap_;  // indexes into inputs_
+  int current_ = -1;       // stream whose head is the current record
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_IO_MERGER_H_

@@ -1,0 +1,204 @@
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "io/env.h"
+
+namespace antimr {
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
+// File names may contain '/'; they are flattened to a single path component
+// under the root so the Env does not need recursive directory management.
+std::string Mangle(const std::string& fname) {
+  std::string out = fname;
+  for (char& c : out) {
+    if (c == '/') c = '_';
+  }
+  return out;
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(FILE* f, std::atomic<uint64_t>* bytes_written)
+      : f_(f), bytes_written_(bytes_written) {}
+  ~PosixWritableFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Append(const Slice& data) override {
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return PosixError("fwrite", errno);
+    }
+    bytes_written_->fetch_add(data.size(), std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (f_ != nullptr && std::fclose(f_) != 0) {
+      f_ = nullptr;
+      return PosixError("fclose", errno);
+    }
+    f_ = nullptr;
+    return Status::OK();
+  }
+
+ private:
+  FILE* f_;
+  std::atomic<uint64_t>* bytes_written_;
+};
+
+class PosixSequentialFile : public SequentialFile {
+ public:
+  PosixSequentialFile(FILE* f, std::atomic<uint64_t>* bytes_read)
+      : f_(f), bytes_read_(bytes_read) {}
+  ~PosixSequentialFile() override { std::fclose(f_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    const size_t got = std::fread(scratch, 1, n, f_);
+    if (got < n && std::ferror(f_)) return PosixError("fread", errno);
+    bytes_read_->fetch_add(got, std::memory_order_relaxed);
+    *result = Slice(scratch, got);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    if (std::fseek(f_, static_cast<long>(n), SEEK_CUR) != 0) {
+      return PosixError("fseek", errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  FILE* f_;
+  std::atomic<uint64_t>* bytes_read_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::atomic<uint64_t>* bytes_read)
+      : fd_(fd), bytes_read_(bytes_read) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    const ssize_t got = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (got < 0) return PosixError("pread", errno);
+    bytes_read_->fetch_add(static_cast<uint64_t>(got),
+                           std::memory_order_relaxed);
+    *result = Slice(scratch, static_cast<size_t>(got));
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::atomic<uint64_t>* bytes_read_;
+};
+
+class PosixEnv : public Env {
+ public:
+  explicit PosixEnv(std::string root) : root_(std::move(root)) {
+    ::mkdir(root_.c_str(), 0755);
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override {
+    FILE* f = std::fopen(Path(fname).c_str(), "wb");
+    if (f == nullptr) return PosixError("fopen " + fname, errno);
+    files_created_.fetch_add(1, std::memory_order_relaxed);
+    *file = std::make_unique<PosixWritableFile>(f, &bytes_written_);
+    return Status::OK();
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* file) override {
+    FILE* f = std::fopen(Path(fname).c_str(), "rb");
+    if (f == nullptr) return Status::NotFound(fname);
+    *file = std::make_unique<PosixSequentialFile>(f, &bytes_read_);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    int fd = ::open(Path(fname).c_str(), O_RDONLY);
+    if (fd < 0) return Status::NotFound(fname);
+    *file = std::make_unique<PosixRandomAccessFile>(fd, &bytes_read_);
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    struct stat st;
+    if (::stat(Path(fname).c_str(), &st) != 0) return Status::NotFound(fname);
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& fname) override {
+    if (::unlink(Path(fname).c_str()) != 0) return Status::NotFound(fname);
+    files_deleted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    struct stat st;
+    return ::stat(Path(fname).c_str(), &st) == 0;
+  }
+
+  Status ListFiles(std::vector<std::string>* names) override {
+    names->clear();
+    DIR* dir = ::opendir(root_.c_str());
+    if (dir == nullptr) return PosixError("opendir " + root_, errno);
+    while (dirent* ent = ::readdir(dir)) {
+      const std::string name = ent->d_name;
+      if (name != "." && name != "..") names->push_back(name);
+    }
+    ::closedir(dir);
+    return Status::OK();
+  }
+
+  IoStats stats() const override {
+    IoStats s;
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.files_created = files_created_.load(std::memory_order_relaxed);
+    s.files_deleted = files_deleted_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void ResetStats() override {
+    bytes_written_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    files_created_.store(0, std::memory_order_relaxed);
+    files_deleted_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string Path(const std::string& fname) const {
+    return root_ + "/" + Mangle(fname);
+  }
+
+  std::string root_;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> files_created_{0};
+  std::atomic<uint64_t> files_deleted_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewPosixEnv(const std::string& root_dir) {
+  return std::make_unique<PosixEnv>(root_dir);
+}
+
+}  // namespace antimr

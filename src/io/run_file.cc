@@ -1,0 +1,79 @@
+#include "io/run_file.h"
+
+#include "common/coding.h"
+
+namespace antimr {
+
+Status ReadFileToString(Env* env, const std::string& fname, std::string* out) {
+  std::unique_ptr<SequentialFile> file;
+  ANTIMR_RETURN_NOT_OK(env->NewSequentialFile(fname, &file));
+  out->clear();
+  uint64_t size = 0;
+  if (env->GetFileSize(fname, &size).ok()) out->reserve(size);
+  char scratch[64 * 1024];
+  while (true) {
+    Slice chunk;
+    ANTIMR_RETURN_NOT_OK(file->Read(sizeof(scratch), &chunk, scratch));
+    if (chunk.empty()) break;
+    out->append(chunk.data(), chunk.size());
+  }
+  return Status::OK();
+}
+
+RunWriter::RunWriter(std::unique_ptr<WritableFile> file)
+    : writer_(std::move(file)) {}
+
+Status RunWriter::Add(const Slice& key, const Slice& value) {
+  ANTIMR_RETURN_NOT_OK(writer_.AppendLengthPrefixed(key));
+  ANTIMR_RETURN_NOT_OK(writer_.AppendLengthPrefixed(value));
+  ++record_count_;
+  return Status::OK();
+}
+
+Status RunWriter::Close() { return writer_.Close(); }
+
+RunReader::RunReader(std::unique_ptr<SequentialFile> file)
+    : reader_(std::move(file)) {}
+
+Status RunReader::Open() { return Next(); }
+
+Status RunReader::Next() {
+  if (reader_.AtEof()) {
+    valid_ = false;
+    return Status::OK();
+  }
+  ANTIMR_RETURN_NOT_OK(reader_.ReadLengthPrefixed(&key_));
+  ANTIMR_RETURN_NOT_OK(reader_.ReadLengthPrefixed(&value_));
+  valid_ = true;
+  return Status::OK();
+}
+
+Status StringRunStream::Next() {
+  Slice in(data_.data() + pos_, data_.size() - pos_);
+  if (in.empty()) {
+    valid_ = false;
+    return Status::OK();
+  }
+  Slice k, v;
+  if (!GetLengthPrefixed(&in, &k) || !GetLengthPrefixed(&in, &v)) {
+    valid_ = false;
+    return Status::Corruption("StringRunStream: truncated record");
+  }
+  key_ = k;
+  value_ = v;
+  pos_ = data_.size() - in.size();
+  valid_ = true;
+  return Status::OK();
+}
+
+Status OpenRun(Env* env, const std::string& fname,
+               std::unique_ptr<KVStream>* stream) {
+  std::unique_ptr<SequentialFile> file;
+  ANTIMR_RETURN_NOT_OK(env->NewSequentialFile(fname, &file));
+  auto reader = std::make_unique<RunReader>(std::move(file));
+  ANTIMR_RETURN_NOT_OK(reader->Open());
+  *stream = std::move(reader);
+  return Status::OK();
+}
+
+}  // namespace antimr

@@ -1,0 +1,122 @@
+// Sorted-run file format and streams. A "run" is a sequence of key/value
+// records sorted by key: varint(klen) key varint(vlen) value, repeated. Map
+// spills, merged map output partitions, and Shared spills all use this
+// format, mirroring Hadoop's IFile.
+#ifndef ANTIMR_IO_RUN_FILE_H_
+#define ANTIMR_IO_RUN_FILE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "io/buffered_io.h"
+#include "io/env.h"
+
+namespace antimr {
+
+/// \brief Forward iteration over a sorted key/value sequence.
+///
+/// A freshly constructed stream is positioned at its first record; Valid()
+/// is false when exhausted. key()/value() views are valid until the next
+/// call to Next().
+class KVStream {
+ public:
+  virtual ~KVStream() = default;
+  virtual bool Valid() const = 0;
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status Next() = 0;
+};
+
+/// \brief Appends key/value records to a run file.
+class RunWriter {
+ public:
+  explicit RunWriter(std::unique_ptr<WritableFile> file);
+
+  Status Add(const Slice& key, const Slice& value);
+  Status Close();
+
+  uint64_t bytes_written() const { return writer_.bytes_written(); }
+  uint64_t record_count() const { return record_count_; }
+
+ private:
+  BufferedWriter writer_;
+  uint64_t record_count_ = 0;
+};
+
+/// \brief KVStream over a run file.
+class RunReader : public KVStream {
+ public:
+  explicit RunReader(std::unique_ptr<SequentialFile> file);
+
+  /// Position at the first record. Must be called once before use.
+  Status Open();
+
+  bool Valid() const override { return valid_; }
+  Slice key() const override { return key_; }
+  Slice value() const override { return value_; }
+  Status Next() override;
+
+ private:
+  BufferedReader reader_;
+  std::string key_;
+  std::string value_;
+  bool valid_ = false;
+};
+
+/// \brief KVStream over an in-memory vector of records (borrowed).
+class VectorStream : public KVStream {
+ public:
+  explicit VectorStream(const std::vector<std::pair<std::string, std::string>>* records)
+      : records_(records) {}
+
+  bool Valid() const override { return pos_ < records_->size(); }
+  Slice key() const override { return (*records_)[pos_].first; }
+  Slice value() const override { return (*records_)[pos_].second; }
+  Status Next() override {
+    ++pos_;
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<std::pair<std::string, std::string>>* records_;
+  size_t pos_ = 0;
+};
+
+/// \brief KVStream over an owned buffer of run-format bytes.
+///
+/// Used for decompressed spill segments: the segment is inflated into a
+/// string and parsed in place without further copies.
+class StringRunStream : public KVStream {
+ public:
+  /// Takes ownership of `data`; call Open() before use.
+  explicit StringRunStream(std::string data) : data_(std::move(data)) {}
+
+  Status Open() { return Next(); }
+
+  bool Valid() const override { return valid_; }
+  Slice key() const override { return key_; }
+  Slice value() const override { return value_; }
+  Status Next() override;
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+  Slice key_;
+  Slice value_;
+  bool valid_ = false;
+};
+
+/// Convenience: open a run file on `env` and return a positioned reader.
+Status OpenRun(Env* env, const std::string& fname,
+               std::unique_ptr<KVStream>* stream);
+
+/// Read an entire file into *out (counted as disk read by the Env).
+Status ReadFileToString(Env* env, const std::string& fname, std::string* out);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_IO_RUN_FILE_H_

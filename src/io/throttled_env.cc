@@ -1,0 +1,129 @@
+#include "io/throttled_env.h"
+
+#include <chrono>
+#include <thread>
+
+namespace antimr {
+
+void SleepForBytes(uint64_t bytes, double mb_per_s) {
+  if (mb_per_s <= 0 || bytes == 0) return;
+  const double seconds =
+      static_cast<double>(bytes) / (mb_per_s * 1024.0 * 1024.0);
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<int64_t>(seconds * 1e9)));
+}
+
+namespace {
+
+class ThrottledWritableFile : public WritableFile {
+ public:
+  ThrottledWritableFile(std::unique_ptr<WritableFile> base, double mb_per_s)
+      : base_(std::move(base)), mb_per_s_(mb_per_s) {}
+
+  Status Append(const Slice& data) override {
+    SleepForBytes(data.size(), mb_per_s_);
+    return base_->Append(data);
+  }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  double mb_per_s_;
+};
+
+class ThrottledSequentialFile : public SequentialFile {
+ public:
+  ThrottledSequentialFile(std::unique_ptr<SequentialFile> base,
+                          double mb_per_s)
+      : base_(std::move(base)), mb_per_s_(mb_per_s) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status st = base_->Read(n, result, scratch);
+    if (st.ok()) SleepForBytes(result->size(), mb_per_s_);
+    return st;
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  double mb_per_s_;
+};
+
+class ThrottledRandomAccessFile : public RandomAccessFile {
+ public:
+  ThrottledRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                            double mb_per_s)
+      : base_(std::move(base)), mb_per_s_(mb_per_s) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status st = base_->Read(offset, n, result, scratch);
+    if (st.ok()) SleepForBytes(result->size(), mb_per_s_);
+    return st;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  double mb_per_s_;
+};
+
+class ThrottledEnv : public Env {
+ public:
+  ThrottledEnv(Env* base, double mb_per_s)
+      : base_(base), mb_per_s_(mb_per_s) {}
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override {
+    std::unique_ptr<WritableFile> inner;
+    ANTIMR_RETURN_NOT_OK(base_->NewWritableFile(fname, &inner));
+    *file = std::make_unique<ThrottledWritableFile>(std::move(inner),
+                                                    mb_per_s_);
+    return Status::OK();
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* file) override {
+    std::unique_ptr<SequentialFile> inner;
+    ANTIMR_RETURN_NOT_OK(base_->NewSequentialFile(fname, &inner));
+    *file = std::make_unique<ThrottledSequentialFile>(std::move(inner),
+                                                      mb_per_s_);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    std::unique_ptr<RandomAccessFile> inner;
+    ANTIMR_RETURN_NOT_OK(base_->NewRandomAccessFile(fname, &inner));
+    *file = std::make_unique<ThrottledRandomAccessFile>(std::move(inner),
+                                                        mb_per_s_);
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status DeleteFile(const std::string& fname) override {
+    return base_->DeleteFile(fname);
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status ListFiles(std::vector<std::string>* names) override {
+    return base_->ListFiles(names);
+  }
+  IoStats stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  Env* base_;
+  double mb_per_s_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewThrottledEnv(Env* base, double disk_mb_per_s) {
+  return std::make_unique<ThrottledEnv>(base, disk_mb_per_s);
+}
+
+}  // namespace antimr

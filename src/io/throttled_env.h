@@ -1,0 +1,26 @@
+// Bandwidth-throttled Env wrapper: the simulated cluster's "hardware".
+// The paper ran on 7.2K-RPM SATA disks and a shared gigabit switch, where
+// moving bytes — not CPU — dominated job runtime. Wrapping a node's Env (and
+// sleeping on shuffle transfers) reproduces that regime so runtime-shaped
+// claims (e.g., Figure 12's "runtime tracks map output size") can be
+// observed at laptop scale.
+#ifndef ANTIMR_IO_THROTTLED_ENV_H_
+#define ANTIMR_IO_THROTTLED_ENV_H_
+
+#include <memory>
+
+#include "io/env.h"
+
+namespace antimr {
+
+/// Block the calling thread for the time `bytes` would take at
+/// `mb_per_s` megabytes/second. No-op when mb_per_s <= 0.
+void SleepForBytes(uint64_t bytes, double mb_per_s);
+
+/// Wrap `base` (not owned) so every file read/write pays simulated disk
+/// time at the given bandwidth.
+std::unique_ptr<Env> NewThrottledEnv(Env* base, double disk_mb_per_s);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_IO_THROTTLED_ENV_H_

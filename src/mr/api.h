@@ -1,0 +1,188 @@
+// The user-facing MapReduce programming model: Mapper, Reducer (a Combiner is
+// a Reducer, as in Hadoop), Partitioner, and the contexts they emit into.
+// Records are opaque byte strings; typed layers serialize through
+// common/coding.h.
+#ifndef ANTIMR_MR_API_H_
+#define ANTIMR_MR_API_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "io/env.h"
+#include "io/merger.h"
+
+namespace antimr {
+
+/// A materialized key/value record.
+struct KV {
+  std::string key;
+  std::string value;
+
+  KV() = default;
+  KV(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+
+  bool operator==(const KV& other) const = default;
+};
+
+/// \brief Assigns intermediate keys to reduce tasks.
+///
+/// Implementations must be stateless and thread-safe: one instance is shared
+/// by all tasks, and Anti-Combining re-invokes it on reducers (LazySH decode).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  /// Return the reduce task in [0, num_partitions) for `key`.
+  virtual int Partition(const Slice& key, int num_partitions) const = 0;
+};
+
+/// Default partitioner: hash(key) mod num_partitions.
+class HashPartitioner : public Partitioner {
+ public:
+  int Partition(const Slice& key, int num_partitions) const override;
+};
+
+std::shared_ptr<const Partitioner> DefaultPartitioner();
+
+class JobMetrics;  // defined in mr/metrics.h
+
+/// \brief Per-task environment handed to Setup.
+///
+/// Mirrors the slice of Hadoop's task context that Anti-Combining needs: the
+/// task's identity, the job's Partitioner and comparators, node-local
+/// storage, and a metrics sink.
+struct TaskInfo {
+  int task_id = 0;             ///< map task index or reduce partition index
+  int num_reduce_tasks = 1;
+  /// The shuffle partition whose records this task/combiner instance sees:
+  /// the reduce partition index in reduce tasks, and the partition being
+  /// combined during map-side spill/merge combining. -1 in map tasks.
+  int shuffle_partition = -1;
+  const Partitioner* partitioner = nullptr;
+  KeyComparator key_cmp;
+  KeyComparator grouping_cmp;
+  Env* env = nullptr;          ///< node-local disk for task-scoped files
+  JobMetrics* metrics = nullptr;  ///< task-private; aggregated at job end
+};
+
+/// \brief Sink for Map output records.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+  virtual void Emit(const Slice& key, const Slice& value) = 0;
+};
+
+/// \brief The Map primitive. One instance per map task (may hold state).
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void Setup(const TaskInfo& info, MapContext* ctx) {
+    (void)info;
+    (void)ctx;
+  }
+  /// Called once per input record.
+  virtual void Map(const Slice& key, const Slice& value, MapContext* ctx) = 0;
+  virtual void Cleanup(MapContext* ctx) { (void)ctx; }
+};
+
+/// \brief Forward iteration over the values of one reduce group.
+class ValueIterator {
+ public:
+  virtual ~ValueIterator() = default;
+  /// Advance to the next value; returns false when the group is exhausted.
+  /// *value stays valid until the next call.
+  virtual bool Next(Slice* value) = 0;
+
+  /// Key of the record whose value the last successful Next returned. With
+  /// a grouping comparator (secondary sort) this can differ from the
+  /// Reduce call's group key. Only valid after Next returned true;
+  /// iterators over bare value lists return an empty slice.
+  virtual Slice key() const { return Slice(); }
+};
+
+/// \brief ValueIterator over a plain vector of strings (one key's values).
+class StringVectorIterator : public ValueIterator {
+ public:
+  explicit StringVectorIterator(const std::vector<std::string>* values)
+      : values_(values) {}
+
+  bool Next(Slice* value) override {
+    if (pos_ >= values_->size()) return false;
+    *value = (*values_)[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<std::string>* values_;
+  size_t pos_ = 0;
+};
+
+/// \brief Sink for Reduce output records.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  virtual void Emit(const Slice& key, const Slice& value) = 0;
+};
+
+/// \brief The Reduce primitive. One instance per reduce task. Also the
+/// interface for Combiners (Hadoop defines a Combiner as a reducer class).
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Setup(const TaskInfo& info, ReduceContext* ctx) {
+    (void)info;
+    (void)ctx;
+  }
+  /// Called once per key group, in key order.
+  virtual void Reduce(const Slice& key, ValueIterator* values,
+                      ReduceContext* ctx) = 0;
+  virtual void Cleanup(ReduceContext* ctx) { (void)ctx; }
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+/// \brief Streaming reader over one input split.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  /// Produce the next record; returns false at end of split.
+  virtual bool Next(KV* record) = 0;
+};
+
+/// \brief An input split: a factory so each map task opens its own reader.
+struct InputSplit {
+  std::function<std::unique_ptr<RecordSource>()> open;
+};
+
+/// RecordSource over a materialized vector (shared ownership so splits can
+/// be reopened cheaply).
+class VectorSource : public RecordSource {
+ public:
+  explicit VectorSource(std::shared_ptr<const std::vector<KV>> records)
+      : records_(std::move(records)) {}
+
+  bool Next(KV* record) override {
+    if (pos_ >= records_->size()) return false;
+    *record = (*records_)[pos_++];
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<KV>> records_;
+  size_t pos_ = 0;
+};
+
+/// Wrap materialized records as an InputSplit.
+InputSplit MakeSplit(std::vector<KV> records);
+
+/// Split `records` into `num_splits` contiguous chunks.
+std::vector<InputSplit> MakeSplits(std::vector<KV> records, int num_splits);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_MR_API_H_

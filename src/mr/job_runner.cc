@@ -1,0 +1,146 @@
+#include "mr/job_runner.h"
+
+#include <atomic>
+
+#include "common/stopwatch.h"
+#include "io/throttled_env.h"
+#include "mr/map_task.h"
+#include "mr/reduce_task.h"
+
+namespace antimr {
+
+std::vector<KV> JobResult::FlatOutput() const {
+  std::vector<KV> flat;
+  for (const auto& task_output : outputs) {
+    flat.insert(flat.end(), task_output.begin(), task_output.end());
+  }
+  return flat;
+}
+
+namespace {
+std::string UniqueJobId(const std::string& name) {
+  static std::atomic<uint64_t> counter{0};
+  return "job_" + name + "_" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+}  // namespace
+
+Status RunJob(const JobSpec& spec, const std::vector<InputSplit>& splits,
+              const RunOptions& options, JobResult* result) {
+  ANTIMR_RETURN_NOT_OK(spec.Validate());
+  const uint64_t wall_start = NowNanos();
+
+  std::unique_ptr<Env> owned_env;
+  Env* env = options.env;
+  IoStats io_before;
+  if (env == nullptr) {
+    owned_env = NewMemEnv();
+    env = owned_env.get();
+  } else {
+    io_before = env->stats();
+  }
+  // Simulated local-disk bandwidth: tasks see the throttled wrapper; the
+  // underlying env still owns the bytes and the counters.
+  std::unique_ptr<Env> throttled_env;
+  Env* task_env = env;
+  if (options.hardware.disk_mb_per_s > 0) {
+    throttled_env = NewThrottledEnv(env, options.hardware.disk_mb_per_s);
+    task_env = throttled_env.get();
+  }
+
+  const std::string job_id =
+      options.job_id.empty() ? UniqueJobId(spec.name) : options.job_id;
+
+  TaskPool pool(options.num_workers);
+
+  // ---- Map wave -----------------------------------------------------------
+  std::vector<MapTaskResult> map_results(splits.size());
+  std::vector<uint64_t> map_cpu(splits.size(), 0);
+  {
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(splits.size());
+    for (size_t i = 0; i < splits.size(); ++i) {
+      tasks.push_back([&, i]() {
+        const uint64_t cpu_start = ThreadCpuNanos();
+        Status st = RunMapTask(spec, job_id, static_cast<int>(i), splits[i],
+                               task_env, &map_results[i]);
+        map_cpu[i] = ThreadCpuNanos() - cpu_start;
+        return st;
+      });
+    }
+    ANTIMR_RETURN_NOT_OK(pool.RunWave(tasks));
+  }
+
+  // ---- Reduce wave ---------------------------------------------------------
+  const size_t num_reduce = static_cast<size_t>(spec.num_reduce_tasks);
+  std::vector<ReduceTaskResult> reduce_results(num_reduce);
+  std::vector<uint64_t> reduce_cpu(num_reduce, 0);
+  {
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(num_reduce);
+    for (size_t p = 0; p < num_reduce; ++p) {
+      tasks.push_back([&, p]() {
+        ReduceTaskInputs inputs;
+        inputs.network_mb_per_s = options.hardware.network_mb_per_s;
+        for (const MapTaskResult& mr : map_results) {
+          const std::string& fname = mr.segment_files[p];
+          if (!fname.empty()) inputs.segment_files.push_back(fname);
+        }
+        const uint64_t cpu_start = ThreadCpuNanos();
+        Status st =
+            RunReduceTask(spec, static_cast<int>(p), inputs, task_env,
+                          options.collect_output, &reduce_results[p]);
+        reduce_cpu[p] = ThreadCpuNanos() - cpu_start;
+        return st;
+      });
+    }
+    ANTIMR_RETURN_NOT_OK(pool.RunWave(tasks));
+  }
+
+  // ---- Aggregate ------------------------------------------------------------
+  result->metrics = JobMetrics();
+  result->outputs.clear();
+  result->task_metrics.clear();
+  for (size_t i = 0; i < map_results.size(); ++i) {
+    result->metrics.Add(map_results[i].metrics);
+    result->metrics.total_cpu_nanos += map_cpu[i];
+    if (options.collect_task_metrics) {
+      result->task_metrics.push_back({/*is_map=*/true, static_cast<int>(i),
+                                      map_cpu[i], map_results[i].metrics});
+    }
+  }
+  for (size_t p = 0; p < num_reduce; ++p) {
+    result->metrics.Add(reduce_results[p].metrics);
+    result->metrics.total_cpu_nanos += reduce_cpu[p];
+    if (options.collect_task_metrics) {
+      result->task_metrics.push_back({/*is_map=*/false, static_cast<int>(p),
+                                      reduce_cpu[p],
+                                      reduce_results[p].metrics});
+    }
+    if (options.collect_output) {
+      result->outputs.push_back(std::move(reduce_results[p].output));
+    }
+  }
+
+  if (options.cleanup_intermediates) {
+    for (const MapTaskResult& mr : map_results) {
+      for (const std::string& fname : mr.segment_files) {
+        if (!fname.empty()) env->DeleteFile(fname);
+      }
+    }
+  }
+
+  const IoStats io_after = env->stats();
+  result->metrics.disk_bytes_read = io_after.bytes_read - io_before.bytes_read;
+  result->metrics.disk_bytes_written =
+      io_after.bytes_written - io_before.bytes_written;
+  result->metrics.wall_nanos = NowNanos() - wall_start;
+  return Status::OK();
+}
+
+Status RunJob(const JobSpec& spec, const std::vector<InputSplit>& splits,
+              JobResult* result) {
+  return RunJob(spec, splits, RunOptions(), result);
+}
+
+}  // namespace antimr

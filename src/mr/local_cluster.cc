@@ -1,0 +1,58 @@
+#include "mr/local_cluster.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace antimr {
+
+TaskPool::TaskPool(int num_workers) {
+  if (num_workers <= 0) {
+    num_workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_workers <= 0) num_workers = 4;
+  }
+  num_workers_ = num_workers;
+}
+
+Status TaskPool::RunWave(const std::vector<std::function<Status()>>& tasks) {
+  if (tasks.empty()) return Status::OK();
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  Status first_failure;
+  size_t first_failure_index = tasks.size();
+
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      Status st = tasks[i]();
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < first_failure_index) {
+          first_failure = std::move(st);
+          first_failure_index = i;
+        }
+      }
+    }
+  };
+
+  const int threads =
+      static_cast<int>(std::min<size_t>(tasks.size(),
+                                        static_cast<size_t>(num_workers_)));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return first_failure;
+}
+
+LocalCluster::LocalCluster(const Options& options)
+    : pool_(options.num_workers),
+      env_(options.posix_root.empty() ? NewMemEnv()
+                                      : NewPosixEnv(options.posix_root)) {}
+
+}  // namespace antimr

@@ -1,0 +1,54 @@
+// The simulated shared-nothing cluster: a pool of worker threads standing in
+// for the paper's 44 worker cores, plus the storage Env standing in for the
+// workers' local disks. Thread CPU time is sampled per task so the harness
+// can report "total CPU time" summed over all tasks, like the paper does.
+#ifndef ANTIMR_MR_LOCAL_CLUSTER_H_
+#define ANTIMR_MR_LOCAL_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "io/env.h"
+
+namespace antimr {
+
+/// \brief Fixed-size worker pool that runs task batches ("waves").
+class TaskPool {
+ public:
+  /// \param num_workers worker threads; 0 means hardware concurrency.
+  explicit TaskPool(int num_workers);
+
+  /// Run all tasks to completion. Each task returns a Status; the first
+  /// failure (by task index) is returned. Tasks are claimed in index order.
+  Status RunWave(const std::vector<std::function<Status()>>& tasks);
+
+  int num_workers() const { return num_workers_; }
+
+ private:
+  int num_workers_;
+};
+
+/// \brief Cluster facade: worker pool + local-disk Env factory.
+class LocalCluster {
+ public:
+  struct Options {
+    int num_workers = 0;  ///< 0 = hardware concurrency
+    /// Create the cluster on a real directory instead of in-memory storage.
+    std::string posix_root;  ///< empty = in-memory Env
+  };
+
+  explicit LocalCluster(const Options& options);
+
+  TaskPool* pool() { return &pool_; }
+  Env* env() { return env_.get(); }
+
+ private:
+  TaskPool pool_;
+  std::unique_ptr<Env> env_;
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_MR_LOCAL_CLUSTER_H_

@@ -1,0 +1,72 @@
+// In-memory map output collection: an arena plus a record index, sorted by
+// (partition, key) before each spill — the scaled-down analog of Hadoop's
+// io.sort.mb circular buffer.
+#ifndef ANTIMR_MR_MAP_OUTPUT_BUFFER_H_
+#define ANTIMR_MR_MAP_OUTPUT_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/merger.h"
+#include "io/run_file.h"
+
+namespace antimr {
+
+/// \brief Buffers map output records grouped by target partition.
+class MapOutputBuffer {
+ public:
+  MapOutputBuffer(int num_partitions, KeyComparator key_cmp);
+
+  /// Append one record destined for `partition`.
+  void Add(int partition, const Slice& key, const Slice& value);
+
+  /// Approximate bytes held (payload + per-record index overhead).
+  size_t memory_usage() const;
+  size_t record_count() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Sort records by (partition, key); stable so equal keys keep insertion
+  /// order. Must be called before PartitionStream.
+  void Sort();
+
+  /// Stream over the sorted records of one partition. Valid until
+  /// Clear()/Add()/Sort() is next called.
+  std::unique_ptr<KVStream> PartitionStream(int partition) const;
+
+  /// Number of records currently buffered for `partition` (post-Sort).
+  uint64_t PartitionRecords(int partition) const;
+
+  /// Drop all buffered data, retaining arena capacity.
+  void Clear();
+
+ private:
+  struct Entry {
+    int32_t partition;
+    uint32_t key_off;
+    uint32_t key_len;
+    uint32_t val_off;
+    uint32_t val_len;
+  };
+
+  class BufferStream;
+
+  Slice KeyOf(const Entry& e) const {
+    return Slice(arena_.data() + e.key_off, e.key_len);
+  }
+  Slice ValueOf(const Entry& e) const {
+    return Slice(arena_.data() + e.val_off, e.val_len);
+  }
+
+  int num_partitions_;
+  KeyComparator key_cmp_;
+  std::string arena_;
+  std::vector<Entry> entries_;
+  std::vector<size_t> partition_begin_;  // boundaries after Sort
+  bool sorted_ = false;
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_MR_MAP_OUTPUT_BUFFER_H_

@@ -1,0 +1,231 @@
+#include "mr/map_task.h"
+
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "mr/map_output_buffer.h"
+#include "mr/reduce_task.h"
+
+namespace antimr {
+
+namespace {
+
+// MapContext that partitions each emitted record into the output buffer and
+// triggers spills when the buffer exceeds its budget.
+class MapTaskContext : public MapContext {
+ public:
+  MapTaskContext(const JobSpec& spec, const std::string& job_id, int task_id,
+                 const TaskInfo& info, Env* env, JobMetrics* metrics)
+      : spec_(spec),
+        job_id_(job_id),
+        task_id_(task_id),
+        info_(info),
+        env_(env),
+        metrics_(metrics),
+        buffer_(spec.num_reduce_tasks, spec.key_cmp),
+        spill_files_per_partition_(
+            static_cast<size_t>(spec.num_reduce_tasks)) {}
+
+  void Emit(const Slice& key, const Slice& value) override {
+    int partition;
+    {
+      ScopedTimer t(&metrics_->cpu.partition_fn);
+      partition =
+          spec_.partitioner->Partition(key, spec_.num_reduce_tasks);
+    }
+    buffer_.Add(partition, key, value);
+    metrics_->emitted_records += 1;
+    metrics_->emitted_bytes += key.size() + value.size();
+  }
+
+  /// Spill when over budget. Called between Map invocations (not from Emit)
+  /// so sort/combine/compress cost is not attributed to map_fn.
+  Status MaybeSpill() {
+    if (buffer_.memory_usage() >= spec_.map_buffer_bytes) {
+      return SpillBuffer();
+    }
+    return Status::OK();
+  }
+
+  /// Sort + (combine) + write the current buffer as spill files.
+  Status SpillBuffer() {
+    if (buffer_.empty()) return Status::OK();
+    {
+      ScopedTimer t(&metrics_->cpu.sort);
+      buffer_.Sort();
+    }
+    const Codec* codec = GetCodec(spec_.map_output_codec);
+    for (int p = 0; p < spec_.num_reduce_tasks; ++p) {
+      if (buffer_.PartitionRecords(p) == 0) continue;
+      std::unique_ptr<KVStream> stream = buffer_.PartitionStream(p);
+      const std::string fname =
+          SpillFileName(job_id_, task_id_, spill_count_, p);
+      SegmentWriteResult res;
+      ANTIMR_RETURN_NOT_OK(
+          WritePossiblyCombined(stream.get(), p, fname, codec, &res));
+      spill_files_per_partition_[static_cast<size_t>(p)].push_back(fname);
+    }
+    ++spill_count_;
+    metrics_->map_spills += 1;
+    buffer_.Clear();
+    return Status::OK();
+  }
+
+  /// Finalize the task's output: one merged, compressed segment per
+  /// partition. Fills result->segment_files.
+  Status Finish(MapTaskResult* result) {
+    result->segment_files.assign(
+        static_cast<size_t>(spec_.num_reduce_tasks), "");
+    const Codec* codec = GetCodec(spec_.map_output_codec);
+
+    if (spill_count_ == 0) {
+      // Everything fits in memory: sort and write final segments directly
+      // (this is Hadoop's single final spill).
+      {
+        ScopedTimer t(&metrics_->cpu.sort);
+        buffer_.Sort();
+      }
+      for (int p = 0; p < spec_.num_reduce_tasks; ++p) {
+        if (buffer_.PartitionRecords(p) == 0) continue;
+        std::unique_ptr<KVStream> stream = buffer_.PartitionStream(p);
+        const std::string fname = SegmentFileName(job_id_, task_id_, p);
+        SegmentWriteResult res;
+        ANTIMR_RETURN_NOT_OK(
+            WritePossiblyCombined(stream.get(), p, fname, codec, &res));
+        result->segment_files[static_cast<size_t>(p)] = fname;
+      }
+      buffer_.Clear();
+      return Status::OK();
+    }
+
+    // Spill the tail of the buffer, then merge all spills per partition.
+    ANTIMR_RETURN_NOT_OK(SpillBuffer());
+    const bool combine_on_merge =
+        spec_.combiner_factory != nullptr &&
+        spill_count_ >= spec_.min_spills_for_combine;
+    for (int p = 0; p < spec_.num_reduce_tasks; ++p) {
+      const auto& spills = spill_files_per_partition_[static_cast<size_t>(p)];
+      if (spills.empty()) continue;
+      std::vector<std::unique_ptr<KVStream>> inputs;
+      inputs.reserve(spills.size());
+      for (const std::string& fname : spills) {
+        std::unique_ptr<KVStream> stream;
+        uint64_t ignored_bytes = 0;
+        ANTIMR_RETURN_NOT_OK(FetchSegment(env_, fname, codec,
+                                          &metrics_->cpu.decompress,
+                                          &ignored_bytes, &stream));
+        if (stream->Valid()) inputs.push_back(std::move(stream));
+      }
+      uint64_t merge_start = NowNanos();
+      MergingStream merged(std::move(inputs), spec_.key_cmp);
+      metrics_->cpu.merge += NowNanos() - merge_start;
+      const std::string fname = SegmentFileName(job_id_, task_id_, p);
+      SegmentWriteResult res;
+      if (combine_on_merge) {
+        ANTIMR_RETURN_NOT_OK(
+            WriteCombined(&merged, p, fname, codec, &res));
+      } else {
+        ScopedTimer t(&metrics_->cpu.merge);
+        ANTIMR_RETURN_NOT_OK(WriteSegment(env_, fname, &merged, codec,
+                                          &metrics_->cpu.compress, &res));
+      }
+      result->segment_files[static_cast<size_t>(p)] = fname;
+      for (const std::string& sf : spills) {
+        ANTIMR_RETURN_NOT_OK(env_->DeleteFile(sf));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status WritePossiblyCombined(KVStream* stream, int partition,
+                               const std::string& fname, const Codec* codec,
+                               SegmentWriteResult* res) {
+    if (spec_.combiner_factory != nullptr) {
+      return WriteCombined(stream, partition, fname, codec, res);
+    }
+    return WriteSegment(env_, fname, stream, codec, &metrics_->cpu.compress,
+                        res);
+  }
+
+  Status WriteCombined(KVStream* stream, int partition,
+                       const std::string& fname, const Codec* codec,
+                       SegmentWriteResult* res) {
+    TaskInfo info = info_;
+    info.shuffle_partition = partition;
+    std::vector<KV> combined;
+    GroupRunStats stats;
+    ANTIMR_RETURN_NOT_OK(
+        ApplyCombiner(spec_, info, stream, &combined, &stats));
+    metrics_->cpu.combine += stats.fn_nanos;
+    metrics_->combine_input_records += stats.records;
+    metrics_->combine_output_records += combined.size();
+    KVVectorStream out(&combined);
+    return WriteSegment(env_, fname, &out, codec, &metrics_->cpu.compress,
+                        res);
+  }
+
+  const JobSpec& spec_;
+  const std::string& job_id_;
+  int task_id_;
+  const TaskInfo& info_;
+  Env* env_;
+  JobMetrics* metrics_;
+  MapOutputBuffer buffer_;
+  std::vector<std::vector<std::string>> spill_files_per_partition_;
+  int spill_count_ = 0;
+};
+
+}  // namespace
+
+Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
+                  const InputSplit& split, Env* env, MapTaskResult* result) {
+  JobMetrics& m = result->metrics;
+
+  TaskInfo info;
+  info.task_id = task_id;
+  info.num_reduce_tasks = spec.num_reduce_tasks;
+  info.shuffle_partition = -1;
+  info.partitioner = spec.partitioner.get();
+  info.key_cmp = spec.key_cmp;
+  info.grouping_cmp = spec.EffectiveGroupingCmp();
+  info.env = env;
+  info.metrics = &m;
+
+  MapTaskContext ctx(spec, job_id, task_id, info, env, &m);
+  std::unique_ptr<Mapper> mapper = spec.mapper_factory();
+  mapper->Setup(info, &ctx);
+
+  // Anti-Combining mappers attribute their own map_fn/encode/partition
+  // phases; timing them again here would double-count inside PhaseCpu.
+  const bool outer_times_map = !spec.mapper_reports_logical_output;
+
+  std::unique_ptr<RecordSource> source = split.open();
+  KV record;
+  while (source->Next(&record)) {
+    m.input_records += 1;
+    m.input_bytes += record.key.size() + record.value.size();
+    if (outer_times_map) {
+      ScopedTimer t(&m.cpu.map_fn);
+      mapper->Map(record.key, record.value, &ctx);
+    } else {
+      mapper->Map(record.key, record.value, &ctx);
+    }
+    ANTIMR_RETURN_NOT_OK(ctx.MaybeSpill());
+  }
+  if (outer_times_map) {
+    ScopedTimer t(&m.cpu.map_fn);
+    mapper->Cleanup(&ctx);
+  } else {
+    mapper->Cleanup(&ctx);
+  }
+  ANTIMR_RETURN_NOT_OK(ctx.Finish(result));
+
+  if (!spec.mapper_reports_logical_output) {
+    m.map_output_records = m.emitted_records;
+    m.map_output_bytes = m.emitted_bytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace antimr

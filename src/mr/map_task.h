@@ -1,0 +1,31 @@
+// Map task driver: run the Mapper over its split, buffer output, spill with
+// partition/sort (+Combiner), merge spills, and produce one compressed
+// segment per reduce partition — the Hadoop 1.x map-side pipeline the paper
+// executes on (Section 2, Figure 2).
+#ifndef ANTIMR_MR_MAP_TASK_H_
+#define ANTIMR_MR_MAP_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "mr/job_spec.h"
+#include "mr/metrics.h"
+#include "mr/shuffle.h"
+
+namespace antimr {
+
+struct MapTaskResult {
+  /// Segment file name per reduce partition ("" when the partition got no
+  /// records from this task).
+  std::vector<std::string> segment_files;
+  JobMetrics metrics;
+};
+
+/// Execute map task `task_id` over `split`, writing output to `env` under
+/// names scoped by `job_id`.
+Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
+                  const InputSplit& split, Env* env, MapTaskResult* result);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_MR_MAP_TASK_H_

@@ -1,0 +1,169 @@
+#include "mr/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace antimr {
+
+uint64_t PhaseCpu::Total() const {
+  return map_fn + partition_fn + encode + sort + combine + compress +
+         decompress + merge + decode + remap + shared + reduce_fn;
+}
+
+void PhaseCpu::Add(const PhaseCpu& other) {
+  map_fn += other.map_fn;
+  partition_fn += other.partition_fn;
+  encode += other.encode;
+  sort += other.sort;
+  combine += other.combine;
+  compress += other.compress;
+  decompress += other.decompress;
+  merge += other.merge;
+  decode += other.decode;
+  remap += other.remap;
+  shared += other.shared;
+  reduce_fn += other.reduce_fn;
+}
+
+void JobMetrics::Add(const JobMetrics& other) {
+  input_records += other.input_records;
+  input_bytes += other.input_bytes;
+  map_output_records += other.map_output_records;
+  map_output_bytes += other.map_output_bytes;
+  emitted_records += other.emitted_records;
+  emitted_bytes += other.emitted_bytes;
+  combine_input_records += other.combine_input_records;
+  combine_output_records += other.combine_output_records;
+  map_spills += other.map_spills;
+  shuffle_bytes += other.shuffle_bytes;
+  reduce_input_records += other.reduce_input_records;
+  reduce_groups += other.reduce_groups;
+  output_records += other.output_records;
+  output_bytes += other.output_bytes;
+  eager_records += other.eager_records;
+  lazy_records += other.lazy_records;
+  plain_records += other.plain_records;
+  shared_insertions += other.shared_insertions;
+  shared_spills += other.shared_spills;
+  shared_spill_bytes += other.shared_spill_bytes;
+  shared_spill_merges += other.shared_spill_merges;
+  remap_calls += other.remap_calls;
+  disk_bytes_read += other.disk_bytes_read;
+  disk_bytes_written += other.disk_bytes_written;
+  cpu.Add(other.cpu);
+  total_cpu_nanos += other.total_cpu_nanos;
+}
+
+std::string JobMetrics::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  auto field = [&](const char* name, uint64_t value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64, first ? "" : ", ",
+                  name, value);
+    out += buf;
+    first = false;
+  };
+  field("input_records", input_records);
+  field("input_bytes", input_bytes);
+  field("map_output_records", map_output_records);
+  field("map_output_bytes", map_output_bytes);
+  field("emitted_records", emitted_records);
+  field("emitted_bytes", emitted_bytes);
+  field("combine_input_records", combine_input_records);
+  field("combine_output_records", combine_output_records);
+  field("map_spills", map_spills);
+  field("shuffle_bytes", shuffle_bytes);
+  field("reduce_input_records", reduce_input_records);
+  field("reduce_groups", reduce_groups);
+  field("output_records", output_records);
+  field("output_bytes", output_bytes);
+  field("eager_records", eager_records);
+  field("lazy_records", lazy_records);
+  field("plain_records", plain_records);
+  field("shared_insertions", shared_insertions);
+  field("shared_spills", shared_spills);
+  field("shared_spill_bytes", shared_spill_bytes);
+  field("shared_spill_merges", shared_spill_merges);
+  field("remap_calls", remap_calls);
+  field("disk_bytes_read", disk_bytes_read);
+  field("disk_bytes_written", disk_bytes_written);
+  field("cpu_map_fn_nanos", cpu.map_fn);
+  field("cpu_partition_fn_nanos", cpu.partition_fn);
+  field("cpu_encode_nanos", cpu.encode);
+  field("cpu_sort_nanos", cpu.sort);
+  field("cpu_combine_nanos", cpu.combine);
+  field("cpu_compress_nanos", cpu.compress);
+  field("cpu_decompress_nanos", cpu.decompress);
+  field("cpu_merge_nanos", cpu.merge);
+  field("cpu_decode_nanos", cpu.decode);
+  field("cpu_remap_nanos", cpu.remap);
+  field("cpu_shared_nanos", cpu.shared);
+  field("cpu_reduce_fn_nanos", cpu.reduce_fn);
+  field("total_cpu_nanos", total_cpu_nanos);
+  field("wall_nanos", wall_nanos);
+  out += "}";
+  return out;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1ULL << 30) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1ULL << 30));
+  } else if (bytes >= 1ULL << 20) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1ULL << 20));
+  } else if (bytes >= 1ULL << 10) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / (1ULL << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  }
+  return buf;
+}
+
+std::string FormatNanos(uint64_t nanos) {
+  char buf[64];
+  const double n = static_cast<double>(nanos);
+  if (nanos >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", n / 1e9);
+  } else if (nanos >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", n / 1e6);
+  } else if (nanos >= 1000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", n / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " ns", nanos);
+  }
+  return buf;
+}
+
+std::string JobMetrics::ToString() const {
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "input:           %" PRIu64 " records, %s\n"
+      "map output:      %" PRIu64 " records, %s\n"
+      "emitted:         %" PRIu64 " records, %s"
+      " (eager=%" PRIu64 " lazy=%" PRIu64 " plain=%" PRIu64 ")\n"
+      "combine:         %" PRIu64 " -> %" PRIu64 " records\n"
+      "map spills:      %" PRIu64 "\n"
+      "shuffle:         %s\n"
+      "reduce input:    %" PRIu64 " records in %" PRIu64 " groups\n"
+      "shared:          %" PRIu64 " inserts, %" PRIu64 " spills (%s), %" PRIu64
+      " remap calls\n"
+      "output:          %" PRIu64 " records, %s\n"
+      "disk:            read %s, written %s\n"
+      "cpu (phases):    %s   wall: %s\n",
+      input_records, FormatBytes(input_bytes).c_str(), map_output_records,
+      FormatBytes(map_output_bytes).c_str(), emitted_records,
+      FormatBytes(emitted_bytes).c_str(), eager_records, lazy_records,
+      plain_records, combine_input_records, combine_output_records, map_spills,
+      FormatBytes(shuffle_bytes).c_str(), reduce_input_records, reduce_groups,
+      shared_insertions, shared_spills, FormatBytes(shared_spill_bytes).c_str(),
+      remap_calls, output_records, FormatBytes(output_bytes).c_str(),
+      FormatBytes(disk_bytes_read).c_str(),
+      FormatBytes(disk_bytes_written).c_str(),
+      FormatNanos(cpu.Total()).c_str(), FormatNanos(wall_nanos).c_str());
+  return buf;
+}
+
+}  // namespace antimr

@@ -1,0 +1,97 @@
+// Per-job cost accounting. The benchmark harness reads these counters to
+// reproduce the paper's reported columns: total map output size, shuffle
+// (network) bytes, local disk read/write, per-phase CPU time, wall time, and
+// the Anti-Combining-specific counters (encoding mix, Shared spills, Map
+// re-executions on reducers).
+#ifndef ANTIMR_MR_METRICS_H_
+#define ANTIMR_MR_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace antimr {
+
+/// CPU nanoseconds attributed to each pipeline phase. Task sections are
+/// single-threaded pure CPU, so scoped wall time is used as the CPU proxy,
+/// matching the paper's "total CPU time" (summed across all tasks).
+struct PhaseCpu {
+  uint64_t map_fn = 0;        ///< user Map function
+  uint64_t partition_fn = 0;  ///< Partitioner calls
+  uint64_t encode = 0;        ///< Anti-Combining encoding (mapper side)
+  uint64_t sort = 0;          ///< map-side buffer sorts
+  uint64_t combine = 0;       ///< Combiner calls (map or reduce phase)
+  uint64_t compress = 0;      ///< codec compression
+  uint64_t decompress = 0;    ///< codec decompression
+  uint64_t merge = 0;         ///< spill / segment merging
+  uint64_t decode = 0;        ///< Anti-Combining decoding (reducer side)
+  uint64_t remap = 0;         ///< LazySH Map re-execution on reducers
+  uint64_t shared = 0;        ///< Shared structure maintenance incl. spills
+  uint64_t reduce_fn = 0;     ///< user Reduce function
+
+  uint64_t Total() const;
+  void Add(const PhaseCpu& other);
+};
+
+/// \brief Aggregated counters for one job execution.
+class JobMetrics {
+ public:
+  // --- volume -------------------------------------------------------------
+  uint64_t input_records = 0;
+  uint64_t input_bytes = 0;
+  /// Output of the *original* Map function (in an Anti-Combining job this is
+  /// the intercepted, pre-encoding output).
+  uint64_t map_output_records = 0;
+  uint64_t map_output_bytes = 0;
+  /// Records/bytes actually entering the shuffle pipeline (encoded form for
+  /// Anti-Combining jobs; equals map_output_* for original jobs).
+  uint64_t emitted_records = 0;
+  uint64_t emitted_bytes = 0;
+  uint64_t combine_input_records = 0;
+  uint64_t combine_output_records = 0;
+  uint64_t map_spills = 0;
+  /// Bytes fetched by reducers from map output files (post-compression):
+  /// the paper's mapper->reducer "data transfer".
+  uint64_t shuffle_bytes = 0;
+  uint64_t reduce_input_records = 0;
+  uint64_t reduce_groups = 0;
+  uint64_t output_records = 0;
+  uint64_t output_bytes = 0;
+
+  // --- Anti-Combining -----------------------------------------------------
+  uint64_t eager_records = 0;  ///< EagerSH-encoded records emitted
+  uint64_t lazy_records = 0;   ///< LazySH-encoded records emitted
+  uint64_t plain_records = 0;  ///< degenerate Eager (empty key set)
+  uint64_t shared_insertions = 0;
+  uint64_t shared_spills = 0;
+  uint64_t shared_spill_bytes = 0;
+  uint64_t shared_spill_merges = 0;
+  uint64_t remap_calls = 0;  ///< Map re-executions during LazySH decode
+
+  // --- environment --------------------------------------------------------
+  uint64_t disk_bytes_read = 0;
+  uint64_t disk_bytes_written = 0;
+
+  // --- time ---------------------------------------------------------------
+  PhaseCpu cpu;
+  uint64_t total_cpu_nanos = 0;  ///< thread CPU time summed over all tasks
+  uint64_t wall_nanos = 0;       ///< job wall-clock time
+
+  /// Merge `other` (a task's metrics) into this job aggregate. Time maxima
+  /// are summed except wall_nanos, which the runner sets directly.
+  void Add(const JobMetrics& other);
+
+  /// Multi-line human-readable dump for examples and debugging.
+  std::string ToString() const;
+
+  /// Flat JSON object (all counters in base units) for external tooling.
+  std::string ToJson() const;
+};
+
+/// "12.3 MB"-style formatting used by the bench tables.
+std::string FormatBytes(uint64_t bytes);
+/// "1.23 s"-style formatting.
+std::string FormatNanos(uint64_t nanos);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_MR_METRICS_H_

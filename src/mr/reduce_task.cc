@@ -1,0 +1,143 @@
+#include "mr/reduce_task.h"
+
+#include "common/stopwatch.h"
+#include "io/throttled_env.h"
+
+namespace antimr {
+
+namespace {
+
+// Iterates the values of one group, advancing the underlying merge stream.
+class GroupValueIterator : public ValueIterator {
+ public:
+  GroupValueIterator(KVStream* stream, const std::string* group_key,
+                     const KeyComparator* grouping_cmp)
+      : stream_(stream), group_key_(group_key), grouping_cmp_(grouping_cmp) {}
+
+  bool Next(Slice* value) override {
+    if (exhausted_) return false;
+    if (!started_) {
+      started_ = true;
+      *value = stream_->value();
+      ++consumed_;
+      return true;
+    }
+    ANTIMR_CHECK_OK(stream_->Next());
+    if (!stream_->Valid() ||
+        (*grouping_cmp_)(stream_->key(), Slice(*group_key_)) != 0) {
+      exhausted_ = true;
+      return false;
+    }
+    *value = stream_->value();
+    ++consumed_;
+    return true;
+  }
+
+  Slice key() const override { return stream_->key(); }
+
+  /// Advance past any unconsumed records of this group.
+  void Drain() {
+    Slice ignored;
+    while (Next(&ignored)) {
+    }
+  }
+
+  uint64_t consumed() const { return consumed_; }
+
+ private:
+  KVStream* stream_;
+  const std::string* group_key_;
+  const KeyComparator* grouping_cmp_;
+  bool started_ = false;
+  bool exhausted_ = false;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace
+
+Status RunGroups(KVStream* stream, const KeyComparator& grouping_cmp,
+                 Reducer* reducer, ReduceContext* ctx, GroupRunStats* stats) {
+  std::string group_key;
+  while (stream->Valid()) {
+    group_key.assign(stream->key().data(), stream->key().size());
+    GroupValueIterator values(stream, &group_key, &grouping_cmp);
+    {
+      ScopedTimer t(&stats->fn_nanos);
+      reducer->Reduce(group_key, &values, ctx);
+    }
+    values.Drain();
+    stats->groups += 1;
+    stats->records += values.consumed();
+  }
+  return Status::OK();
+}
+
+Status ApplyCombiner(const JobSpec& spec, const TaskInfo& info,
+                     KVStream* stream, std::vector<KV>* out,
+                     GroupRunStats* stats) {
+  std::unique_ptr<Reducer> combiner = spec.combiner_factory();
+  CollectingContext ctx(out);
+  combiner->Setup(info, &ctx);
+  ANTIMR_RETURN_NOT_OK(
+      RunGroups(stream, spec.EffectiveGroupingCmp(), combiner.get(), &ctx,
+                stats));
+  {
+    // AntiCombiner does its combining and re-encoding work in Cleanup.
+    ScopedTimer t(&stats->fn_nanos);
+    combiner->Cleanup(&ctx);
+  }
+  return Status::OK();
+}
+
+Status RunReduceTask(const JobSpec& spec, int partition,
+                     const ReduceTaskInputs& inputs, Env* env,
+                     bool collect_output, ReduceTaskResult* result) {
+  JobMetrics& m = result->metrics;
+  const Codec* codec = GetCodec(spec.map_output_codec);
+
+  // Fetch every map task's segment for this partition ("network transfer").
+  std::vector<std::unique_ptr<KVStream>> segments;
+  segments.reserve(inputs.segment_files.size());
+  for (const std::string& fname : inputs.segment_files) {
+    std::unique_ptr<KVStream> stream;
+    const uint64_t fetched_before = m.shuffle_bytes;
+    ANTIMR_RETURN_NOT_OK(FetchSegment(env, fname, codec, &m.cpu.decompress,
+                                      &m.shuffle_bytes, &stream));
+    SleepForBytes(m.shuffle_bytes - fetched_before, inputs.network_mb_per_s);
+    if (stream->Valid()) segments.push_back(std::move(stream));
+  }
+
+  MergingStream merged(std::move(segments), spec.key_cmp);
+
+  TaskInfo info;
+  info.task_id = partition;
+  info.num_reduce_tasks = spec.num_reduce_tasks;
+  info.shuffle_partition = partition;
+  info.partitioner = spec.partitioner.get();
+  info.key_cmp = spec.key_cmp;
+  info.grouping_cmp = spec.EffectiveGroupingCmp();
+  info.env = env;
+  info.metrics = &m;
+
+  std::unique_ptr<Reducer> reducer = spec.reducer_factory();
+  std::vector<KV> sink;
+  CollectingContext ctx(collect_output ? &result->output : &sink);
+  reducer->Setup(info, &ctx);
+  GroupRunStats stats;
+  ANTIMR_RETURN_NOT_OK(
+      RunGroups(&merged, info.grouping_cmp, reducer.get(), &ctx, &stats));
+  {
+    ScopedTimer t(&stats.fn_nanos);
+    reducer->Cleanup(&ctx);
+  }
+  m.cpu.reduce_fn += stats.fn_nanos;
+  m.reduce_groups += stats.groups;
+  m.reduce_input_records += stats.records;
+  m.output_records +=
+      collect_output ? result->output.size() : sink.size();
+  m.output_bytes += ctx.bytes();
+  if (!collect_output) sink.clear();
+  return Status::OK();
+}
+
+}  // namespace antimr

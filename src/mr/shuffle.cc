@@ -1,0 +1,66 @@
+#include "mr/shuffle.h"
+
+#include "common/coding.h"
+#include "common/stopwatch.h"
+#include "io/buffered_io.h"
+
+namespace antimr {
+
+std::string SegmentFileName(const std::string& job_id, int map_task,
+                            int partition) {
+  return job_id + "/map_" + std::to_string(map_task) + "_p" +
+         std::to_string(partition);
+}
+
+std::string SpillFileName(const std::string& job_id, int map_task, int spill,
+                          int partition) {
+  return job_id + "/map_" + std::to_string(map_task) + "_spill_" +
+         std::to_string(spill) + "_p" + std::to_string(partition);
+}
+
+Status WriteSegment(Env* env, const std::string& fname, KVStream* stream,
+                    const Codec* codec, uint64_t* compress_nanos,
+                    SegmentWriteResult* out) {
+  std::string raw;
+  uint64_t records = 0;
+  while (stream->Valid()) {
+    PutLengthPrefixed(&raw, stream->key());
+    PutLengthPrefixed(&raw, stream->value());
+    ++records;
+    ANTIMR_RETURN_NOT_OK(stream->Next());
+  }
+  std::string stored;
+  {
+    ScopedTimer t(compress_nanos);
+    ANTIMR_RETURN_NOT_OK(codec->Compress(raw, &stored));
+  }
+  std::unique_ptr<WritableFile> file;
+  ANTIMR_RETURN_NOT_OK(env->NewWritableFile(fname, &file));
+  ANTIMR_RETURN_NOT_OK(file->Append(stored));
+  ANTIMR_RETURN_NOT_OK(file->Close());
+  if (out != nullptr) {
+    out->raw_bytes = raw.size();
+    out->stored_bytes = stored.size();
+    out->records = records;
+  }
+  return Status::OK();
+}
+
+Status FetchSegment(Env* env, const std::string& fname, const Codec* codec,
+                    uint64_t* decompress_nanos, uint64_t* fetched_bytes,
+                    std::unique_ptr<KVStream>* stream) {
+  std::string stored;
+  ANTIMR_RETURN_NOT_OK(ReadFileToString(env, fname, &stored));
+  if (fetched_bytes != nullptr) *fetched_bytes += stored.size();
+  std::string raw;
+  {
+    ScopedTimer t(decompress_nanos);
+    ANTIMR_RETURN_NOT_OK(codec->Decompress(stored, &raw));
+  }
+  auto run = std::make_unique<StringRunStream>(std::move(raw));
+  ANTIMR_RETURN_NOT_OK(run->Open());
+  *stream = std::move(run);
+  return Status::OK();
+}
+
+}  // namespace antimr

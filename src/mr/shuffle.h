@@ -1,0 +1,47 @@
+// Map-output segment format and the mapper->reducer transfer path. A segment
+// is one partition's sorted records, serialized in run format and compressed
+// with the job's map-output codec. Spill files and final map outputs share
+// the format; reducers "fetch" final segments, which is where the paper's
+// network-transfer bytes are counted.
+#ifndef ANTIMR_MR_SHUFFLE_H_
+#define ANTIMR_MR_SHUFFLE_H_
+
+#include <memory>
+#include <string>
+
+#include "codec/codec.h"
+#include "io/env.h"
+#include "io/run_file.h"
+
+namespace antimr {
+
+/// File name for map task `map_task`'s final output segment for `partition`.
+std::string SegmentFileName(const std::string& job_id, int map_task,
+                            int partition);
+
+/// File name for spill `spill` of map task `map_task`, partition `partition`.
+std::string SpillFileName(const std::string& job_id, int map_task, int spill,
+                          int partition);
+
+struct SegmentWriteResult {
+  uint64_t raw_bytes = 0;     ///< serialized run bytes before compression
+  uint64_t stored_bytes = 0;  ///< bytes written to the file
+  uint64_t records = 0;
+};
+
+/// Serialize `stream` (already key-sorted) into run format, compress with
+/// `codec`, and write to `fname`. Compression CPU is added to *compress_nanos.
+Status WriteSegment(Env* env, const std::string& fname, KVStream* stream,
+                    const Codec* codec, uint64_t* compress_nanos,
+                    SegmentWriteResult* out);
+
+/// Read, decompress, and open a segment as a KVStream. *fetched_bytes gets
+/// the on-disk (transferred) size; decompression CPU goes to
+/// *decompress_nanos.
+Status FetchSegment(Env* env, const std::string& fname, const Codec* codec,
+                    uint64_t* decompress_nanos, uint64_t* fetched_bytes,
+                    std::unique_ptr<KVStream>* stream);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_MR_SHUFFLE_H_

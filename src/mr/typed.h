@@ -1,0 +1,189 @@
+// Typed convenience layer over the byte-oriented core API: serializers for
+// common key/value types plus TypedMapper / TypedReducer adapters, so user
+// programs can work with uint64_t/double/string instead of raw slices.
+//
+// Key encodings are ORDER-PRESERVING: the framework sorts keys bytewise by
+// default, so Serializer<uint64_t> uses big-endian fixed width and
+// Serializer<double> the sign-flipped IEEE trick; bytewise order equals
+// numeric order. Value encodings favour compactness (varint/zig-zag).
+#ifndef ANTIMR_MR_TYPED_H_
+#define ANTIMR_MR_TYPED_H_
+
+#include <cstring>
+#include <string>
+
+#include "common/coding.h"
+#include "mr/api.h"
+
+namespace antimr {
+
+/// \brief Byte (de)serialization for a type T. Specialize to extend.
+template <typename T>
+struct Serializer;
+
+template <>
+struct Serializer<std::string> {
+  static void Encode(const std::string& v, std::string* out) { *out = v; }
+  static bool Decode(const Slice& in, std::string* v) {
+    v->assign(in.data(), in.size());
+    return true;
+  }
+};
+
+/// Big-endian fixed width: bytewise order == numeric order.
+template <>
+struct Serializer<uint64_t> {
+  static void Encode(const uint64_t& v, std::string* out) {
+    out->clear();
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      out->push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+  }
+  static bool Decode(const Slice& in, uint64_t* v) {
+    if (in.size() != 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v = (*v << 8) | static_cast<unsigned char>(in[i]);
+    }
+    return true;
+  }
+};
+
+/// Offset big-endian: negative values sort before positive ones.
+template <>
+struct Serializer<int64_t> {
+  static void Encode(const int64_t& v, std::string* out) {
+    Serializer<uint64_t>::Encode(
+        static_cast<uint64_t>(v) ^ (uint64_t{1} << 63), out);
+  }
+  static bool Decode(const Slice& in, int64_t* v) {
+    uint64_t u;
+    if (!Serializer<uint64_t>::Decode(in, &u)) return false;
+    *v = static_cast<int64_t>(u ^ (uint64_t{1} << 63));
+    return true;
+  }
+};
+
+/// IEEE-754 total-order transform: flip all bits of negatives, flip the
+/// sign bit of non-negatives; bytewise order == numeric order (NaNs sort
+/// above +inf or below -inf depending on sign bit).
+template <>
+struct Serializer<double> {
+  static void Encode(const double& v, std::string* out) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    bits = (bits & (uint64_t{1} << 63)) ? ~bits : bits | (uint64_t{1} << 63);
+    Serializer<uint64_t>::Encode(bits, out);
+  }
+  static bool Decode(const Slice& in, double* v) {
+    uint64_t bits;
+    if (!Serializer<uint64_t>::Decode(in, &bits)) return false;
+    bits = (bits & (uint64_t{1} << 63)) ? bits & ~(uint64_t{1} << 63) : ~bits;
+    std::memcpy(v, &bits, 8);
+    return true;
+  }
+};
+
+/// \brief Mapper adapter: decode input, run TypedMap, encode output.
+///
+/// KI/VI are the input record types, KO/VO the intermediate types.
+template <typename KI, typename VI, typename KO, typename VO>
+class TypedMapper : public Mapper {
+ public:
+  /// Typed emission facade over the framework MapContext.
+  class Context {
+   public:
+    explicit Context(MapContext* base) : base_(base) {}
+
+    void Emit(const KO& key, const VO& value) {
+      Serializer<KO>::Encode(key, &key_buf_);
+      Serializer<VO>::Encode(value, &value_buf_);
+      base_->Emit(key_buf_, value_buf_);
+    }
+
+   private:
+    MapContext* base_;
+    std::string key_buf_;
+    std::string value_buf_;
+  };
+
+  virtual void TypedMap(const KI& key, const VI& value, Context* ctx) = 0;
+
+  void Map(const Slice& key, const Slice& value, MapContext* ctx) final {
+    KI k;
+    VI v;
+    if (!Serializer<KI>::Decode(key, &k) ||
+        !Serializer<VI>::Decode(value, &v)) {
+      return;  // skip malformed records, like Hadoop's record skipping
+    }
+    Context typed(ctx);
+    TypedMap(k, v, &typed);
+  }
+};
+
+/// \brief Iterator adapter decoding each value to VO.
+template <typename VO>
+class TypedValueIterator {
+ public:
+  explicit TypedValueIterator(ValueIterator* base) : base_(base) {}
+
+  bool Next(VO* value) {
+    Slice raw;
+    while (base_->Next(&raw)) {
+      if (Serializer<VO>::Decode(raw, value)) return true;
+    }
+    return false;
+  }
+
+ private:
+  ValueIterator* base_;
+};
+
+/// \brief Reducer adapter: decode group key and values, encode output.
+///
+/// KI/VI are the intermediate types, KO/VO the output types. Also usable as
+/// a typed Combiner (KO = KI, VO = VI).
+template <typename KI, typename VI, typename KO, typename VO>
+class TypedReducer : public Reducer {
+ public:
+  class Context {
+   public:
+    explicit Context(ReduceContext* base) : base_(base) {}
+
+    void Emit(const KO& key, const VO& value) {
+      Serializer<KO>::Encode(key, &key_buf_);
+      Serializer<VO>::Encode(value, &value_buf_);
+      base_->Emit(key_buf_, value_buf_);
+    }
+
+   private:
+    ReduceContext* base_;
+    std::string key_buf_;
+    std::string value_buf_;
+  };
+
+  virtual void TypedReduce(const KI& key, TypedValueIterator<VI>* values,
+                           Context* ctx) = 0;
+
+  void Reduce(const Slice& key, ValueIterator* values,
+              ReduceContext* ctx) final {
+    KI k;
+    if (!Serializer<KI>::Decode(key, &k)) return;
+    TypedValueIterator<VI> typed_values(values);
+    Context typed_ctx(ctx);
+    TypedReduce(k, &typed_values, &typed_ctx);
+  }
+};
+
+/// Build a typed KV record (for inputs).
+template <typename K, typename V>
+KV MakeTypedKV(const K& key, const V& value) {
+  KV kv;
+  Serializer<K>::Encode(key, &kv.key);
+  Serializer<V>::Encode(value, &kv.value);
+  return kv;
+}
+
+}  // namespace antimr
+
+#endif  // ANTIMR_MR_TYPED_H_

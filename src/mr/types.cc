@@ -1,0 +1,41 @@
+#include "mr/api.h"
+
+#include "common/hash.h"
+
+namespace antimr {
+
+int HashPartitioner::Partition(const Slice& key, int num_partitions) const {
+  return static_cast<int>(Hash64(key) % static_cast<uint64_t>(num_partitions));
+}
+
+std::shared_ptr<const Partitioner> DefaultPartitioner() {
+  static std::shared_ptr<const Partitioner> instance =
+      std::make_shared<HashPartitioner>();
+  return instance;
+}
+
+InputSplit MakeSplit(std::vector<KV> records) {
+  auto shared = std::make_shared<const std::vector<KV>>(std::move(records));
+  InputSplit split;
+  split.open = [shared]() { return std::make_unique<VectorSource>(shared); };
+  return split;
+}
+
+std::vector<InputSplit> MakeSplits(std::vector<KV> records, int num_splits) {
+  std::vector<InputSplit> splits;
+  if (num_splits <= 0) num_splits = 1;
+  const size_t n = records.size();
+  const size_t per = (n + num_splits - 1) / static_cast<size_t>(num_splits);
+  size_t start = 0;
+  while (start < n) {
+    const size_t end = std::min(n, start + per);
+    splits.push_back(MakeSplit(std::vector<KV>(
+        std::make_move_iterator(records.begin() + static_cast<long>(start)),
+        std::make_move_iterator(records.begin() + static_cast<long>(end)))));
+    start = end;
+  }
+  if (splits.empty()) splits.push_back(MakeSplit({}));
+  return splits;
+}
+
+}  // namespace antimr

@@ -1,0 +1,47 @@
+// PageRank (paper Section 7.7.2): each iteration's Map divides a node's rank
+// over its out-edges and emits one contribution per edge (plus the adjacency
+// structure so it survives the iteration); Reduce sums contributions and
+// applies the damping factor. Anti-Combining collapses the per-edge
+// duplication of the contribution value.
+#ifndef ANTIMR_WORKLOADS_PAGERANK_H_
+#define ANTIMR_WORKLOADS_PAGERANK_H_
+
+#include <vector>
+
+#include "anticombine/options.h"
+#include "mr/job_runner.h"
+#include "mr/job_spec.h"
+
+namespace antimr {
+namespace workloads {
+
+struct PageRankConfig {
+  uint64_t num_nodes = 0;  ///< required: damping uses (1-d)/N
+  double damping = 0.85;
+  int num_reduce_tasks = 8;
+  CodecType codec = CodecType::kNone;
+  size_t map_buffer_bytes = 1 * 1024 * 1024;
+};
+
+/// One PageRank iteration as a MapReduce job. Input and output records use
+/// the GraphGenerator format: key = node id, value = "<rank> <nbr>...".
+JobSpec MakePageRankJob(const PageRankConfig& config);
+
+/// Aggregate metrics across `iterations` runs, feeding each iteration's
+/// output into the next. When `anti_combine` is non-null every iteration is
+/// run through the Anti-Combining transform with those options.
+struct PageRankRunResult {
+  JobMetrics total;              ///< summed over iterations
+  std::vector<KV> final_ranks;   ///< output of the last iteration
+};
+
+Status RunPageRank(const PageRankConfig& config,
+                   const std::vector<KV>& graph, int iterations,
+                   const anticombine::AntiCombineOptions* anti_combine,
+                   int num_map_tasks, PageRankRunResult* result,
+                   const RunOptions& run_options = RunOptions());
+
+}  // namespace workloads
+}  // namespace antimr
+
+#endif  // ANTIMR_WORKLOADS_PAGERANK_H_

@@ -1,0 +1,178 @@
+#include "workloads/query_suggestion.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace antimr {
+namespace workloads {
+
+void EncodeCountedQuery(uint64_t count, const Slice& query,
+                        std::string* out) {
+  out->clear();
+  PutVarint64(out, count);
+  out->append(query.data(), query.size());
+}
+
+bool DecodeCountedQuery(const Slice& value, uint64_t* count, Slice* query) {
+  Slice in = value;
+  if (!GetVarint64(&in, count)) return false;
+  *query = in;
+  return true;
+}
+
+namespace {
+
+// Busy-work for the paper's Figure 11: fold the first n Fibonacci numbers
+// (mod 2^64) into a checksum the optimizer cannot discard.
+uint64_t Fibonacci(uint64_t n) {
+  uint64_t a = 0, b = 1, acc = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t c = a + b;
+    a = b;
+    b = c;
+    acc ^= c;
+  }
+  return acc;
+}
+
+class QuerySuggestionMapper : public Mapper {
+ public:
+  explicit QuerySuggestionMapper(int extra_work) : extra_work_(extra_work) {}
+
+  void Map(const Slice& key, const Slice& value, MapContext* ctx) override {
+    (void)key;  // user id is not needed for suggestion counts
+    if (extra_work_ > 0) {
+      busywork_sink_ ^= Fibonacci(25000ULL * static_cast<uint64_t>(extra_work_));
+    }
+    // The query is the first tab-separated field (features may follow).
+    size_t qlen = value.size();
+    for (size_t i = 0; i < value.size(); ++i) {
+      if (value[i] == '\t') {
+        qlen = i;
+        break;
+      }
+    }
+    const Slice query(value.data(), qlen);
+    EncodeCountedQuery(1, query, &scratch_);
+    for (size_t plen = 1; plen <= query.size(); ++plen) {
+      ctx->Emit(Slice(query.data(), plen), scratch_);
+    }
+  }
+
+ private:
+  int extra_work_;
+  std::string scratch_;
+  uint64_t busywork_sink_ = 0;
+};
+
+// Sums counts per distinct query within one key group. Shared by the
+// Combiner (emitting every aggregate) and the Reducer (emitting top-k).
+void AggregateGroup(ValueIterator* values,
+                    std::map<std::string, uint64_t>* counts) {
+  Slice value;
+  while (values->Next(&value)) {
+    uint64_t count;
+    Slice query;
+    if (!DecodeCountedQuery(value, &count, &query)) continue;
+    (*counts)[std::string(query.view())] += count;
+  }
+}
+
+class QuerySuggestionCombiner : public Reducer {
+ public:
+  void Reduce(const Slice& key, ValueIterator* values,
+              ReduceContext* ctx) override {
+    std::map<std::string, uint64_t> counts;
+    AggregateGroup(values, &counts);
+    std::string encoded;
+    for (const auto& [query, count] : counts) {
+      EncodeCountedQuery(count, query, &encoded);
+      ctx->Emit(key, encoded);
+    }
+  }
+};
+
+class QuerySuggestionReducer : public Reducer {
+ public:
+  explicit QuerySuggestionReducer(int top_k) : top_k_(top_k) {}
+
+  void Reduce(const Slice& key, ValueIterator* values,
+              ReduceContext* ctx) override {
+    std::map<std::string, uint64_t> counts;
+    AggregateGroup(values, &counts);
+    // Rank by descending frequency, ties by query text for determinism.
+    std::vector<std::pair<std::string, uint64_t>> ranked(counts.begin(),
+                                                         counts.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    std::string suggestions;
+    const size_t k = std::min<size_t>(ranked.size(),
+                                      static_cast<size_t>(top_k_));
+    for (size_t i = 0; i < k; ++i) {
+      if (i > 0) suggestions.push_back(',');
+      suggestions += ranked[i].first;
+    }
+    ctx->Emit(key, suggestions);
+  }
+
+ private:
+  int top_k_;
+};
+
+class PrefixPartitioner : public Partitioner {
+ public:
+  explicit PrefixPartitioner(size_t prefix_len) : prefix_len_(prefix_len) {}
+
+  int Partition(const Slice& key, int num_partitions) const override {
+    const size_t len = std::min(prefix_len_, key.size());
+    return static_cast<int>(Hash64(key.data(), len) %
+                            static_cast<uint64_t>(num_partitions));
+  }
+
+ private:
+  size_t prefix_len_;
+};
+
+}  // namespace
+
+JobSpec MakeQuerySuggestionJob(const QuerySuggestionConfig& config) {
+  JobSpec spec;
+  spec.name = "query_suggestion";
+  const int extra_work = config.extra_work;
+  spec.mapper_factory = [extra_work]() {
+    return std::make_unique<QuerySuggestionMapper>(extra_work);
+  };
+  const int top_k = config.top_k;
+  spec.reducer_factory = [top_k]() {
+    return std::make_unique<QuerySuggestionReducer>(top_k);
+  };
+  if (config.with_combiner) {
+    spec.combiner_factory = []() {
+      return std::make_unique<QuerySuggestionCombiner>();
+    };
+  }
+  switch (config.scheme) {
+    case QuerySuggestionConfig::Scheme::kHash:
+      spec.partitioner = DefaultPartitioner();
+      break;
+    case QuerySuggestionConfig::Scheme::kPrefix1:
+      spec.partitioner = std::make_shared<PrefixPartitioner>(1);
+      break;
+    case QuerySuggestionConfig::Scheme::kPrefix5:
+      spec.partitioner = std::make_shared<PrefixPartitioner>(5);
+      break;
+  }
+  spec.num_reduce_tasks = config.num_reduce_tasks;
+  spec.map_output_codec = config.codec;
+  spec.map_buffer_bytes = config.map_buffer_bytes;
+  return spec;
+}
+
+}  // namespace workloads
+}  // namespace antimr

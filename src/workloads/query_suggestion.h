@@ -1,0 +1,48 @@
+// The paper's running example (Section 2): for every prefix P of any logged
+// query, compute the top-k most frequent queries starting with P. Map emits
+// (P, query) for every prefix of the query; Reduce selects the top-k. The
+// optional Combiner replaces m occurrences of (P, q) by (P, (q, m)), which
+// is why map-output values carry a count: (count, query) with count = 1 from
+// the mapper.
+#ifndef ANTIMR_WORKLOADS_QUERY_SUGGESTION_H_
+#define ANTIMR_WORKLOADS_QUERY_SUGGESTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mr/job_spec.h"
+
+namespace antimr {
+namespace workloads {
+
+struct QuerySuggestionConfig {
+  int top_k = 5;
+  /// Extra CPU busy-work per Map call: the first 25000 * extra_work
+  /// Fibonacci numbers, the paper's Figure 11 knob.
+  int extra_work = 0;
+  bool with_combiner = false;
+
+  /// Partitioner choice from the paper's Section 7.2.
+  enum class Scheme {
+    kHash,     ///< standard hash partitioner
+    kPrefix1,  ///< all keys sharing the first character co-partitioned
+    kPrefix5,  ///< first five characters
+  };
+  Scheme scheme = Scheme::kHash;
+
+  int num_reduce_tasks = 8;
+  CodecType codec = CodecType::kNone;
+  size_t map_buffer_bytes = 1 * 1024 * 1024;
+};
+
+/// Build the Query-Suggestion job (the "Original" program of Section 7).
+JobSpec MakeQuerySuggestionJob(const QuerySuggestionConfig& config);
+
+/// Map-output value format: varint(count) followed by the query bytes.
+void EncodeCountedQuery(uint64_t count, const Slice& query, std::string* out);
+bool DecodeCountedQuery(const Slice& value, uint64_t* count, Slice* query);
+
+}  // namespace workloads
+}  // namespace antimr
+
+#endif  // ANTIMR_WORKLOADS_QUERY_SUGGESTION_H_

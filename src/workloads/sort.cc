@@ -1,0 +1,38 @@
+#include "workloads/sort.h"
+
+namespace antimr {
+namespace workloads {
+
+namespace {
+
+class IdentityMapper : public Mapper {
+ public:
+  void Map(const Slice& key, const Slice& value, MapContext* ctx) override {
+    ctx->Emit(key, value);
+  }
+};
+
+class IdentityReducer : public Reducer {
+ public:
+  void Reduce(const Slice& key, ValueIterator* values,
+              ReduceContext* ctx) override {
+    Slice value;
+    while (values->Next(&value)) ctx->Emit(key, value);
+  }
+};
+
+}  // namespace
+
+JobSpec MakeSortJob(const SortConfig& config) {
+  JobSpec spec;
+  spec.name = "sort";
+  spec.mapper_factory = []() { return std::make_unique<IdentityMapper>(); };
+  spec.reducer_factory = []() { return std::make_unique<IdentityReducer>(); };
+  spec.num_reduce_tasks = config.num_reduce_tasks;
+  spec.map_output_codec = config.codec;
+  spec.map_buffer_bytes = config.map_buffer_bytes;
+  return spec;
+}
+
+}  // namespace workloads
+}  // namespace antimr

@@ -1,0 +1,23 @@
+// Hadoop-style Sort: identity Map and Reduce; the framework's shuffle does
+// the sorting. One Map output record per input record means Anti-Combining
+// has nothing to share — the paper's Section 7.1 overhead workload.
+#ifndef ANTIMR_WORKLOADS_SORT_H_
+#define ANTIMR_WORKLOADS_SORT_H_
+
+#include "mr/job_spec.h"
+
+namespace antimr {
+namespace workloads {
+
+struct SortConfig {
+  int num_reduce_tasks = 8;
+  CodecType codec = CodecType::kNone;
+  size_t map_buffer_bytes = 1 * 1024 * 1024;
+};
+
+JobSpec MakeSortJob(const SortConfig& config);
+
+}  // namespace workloads
+}  // namespace antimr
+
+#endif  // ANTIMR_WORKLOADS_SORT_H_

@@ -1,0 +1,76 @@
+#include "workloads/wordcount.h"
+
+#include "common/coding.h"
+
+namespace antimr {
+namespace workloads {
+
+namespace {
+
+class WordCountMapper : public Mapper {
+ public:
+  void Map(const Slice& key, const Slice& value, MapContext* ctx) override {
+    (void)key;
+    std::string one;
+    PutVarint64(&one, 1);
+    size_t start = 0;
+    for (size_t i = 0; i <= value.size(); ++i) {
+      if (i == value.size() || value[i] == ' ') {
+        if (i > start) {
+          ctx->Emit(Slice(value.data() + start, i - start), one);
+        }
+        start = i + 1;
+      }
+    }
+  }
+};
+
+uint64_t SumCounts(ValueIterator* values) {
+  uint64_t total = 0;
+  Slice value;
+  while (values->Next(&value)) {
+    Slice in = value;
+    uint64_t count = 0;
+    if (GetVarint64(&in, &count)) total += count;
+  }
+  return total;
+}
+
+class WordCountCombiner : public Reducer {
+ public:
+  void Reduce(const Slice& key, ValueIterator* values,
+              ReduceContext* ctx) override {
+    std::string encoded;
+    PutVarint64(&encoded, SumCounts(values));
+    ctx->Emit(key, encoded);
+  }
+};
+
+class WordCountReducer : public Reducer {
+ public:
+  void Reduce(const Slice& key, ValueIterator* values,
+              ReduceContext* ctx) override {
+    ctx->Emit(key, std::to_string(SumCounts(values)));
+  }
+};
+
+}  // namespace
+
+JobSpec MakeWordCountJob(const WordCountConfig& config) {
+  JobSpec spec;
+  spec.name = "wordcount";
+  spec.mapper_factory = []() { return std::make_unique<WordCountMapper>(); };
+  spec.reducer_factory = []() { return std::make_unique<WordCountReducer>(); };
+  if (config.with_combiner) {
+    spec.combiner_factory = []() {
+      return std::make_unique<WordCountCombiner>();
+    };
+  }
+  spec.num_reduce_tasks = config.num_reduce_tasks;
+  spec.map_output_codec = config.codec;
+  spec.map_buffer_bytes = config.map_buffer_bytes;
+  return spec;
+}
+
+}  // namespace workloads
+}  // namespace antimr

@@ -1,0 +1,24 @@
+// WordCount (paper Section 7.7.1): Map emits (word, 1) per word, the
+// Combiner sums partial counts inside each map task, Reduce sums the rest.
+// Counts travel as varint-encoded values.
+#ifndef ANTIMR_WORKLOADS_WORDCOUNT_H_
+#define ANTIMR_WORKLOADS_WORDCOUNT_H_
+
+#include "mr/job_spec.h"
+
+namespace antimr {
+namespace workloads {
+
+struct WordCountConfig {
+  bool with_combiner = true;
+  int num_reduce_tasks = 8;
+  CodecType codec = CodecType::kNone;
+  size_t map_buffer_bytes = 1 * 1024 * 1024;
+};
+
+JobSpec MakeWordCountJob(const WordCountConfig& config);
+
+}  // namespace workloads
+}  // namespace antimr
+
+#endif  // ANTIMR_WORKLOADS_WORDCOUNT_H_

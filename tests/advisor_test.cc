@@ -1,0 +1,75 @@
+#include "anticombine/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/qlog.h"
+#include "datagen/random_text.h"
+#include "test_util.h"
+#include "workloads/query_suggestion.h"
+#include "workloads/wordcount.h"
+
+namespace antimr {
+namespace anticombine {
+namespace {
+
+TEST(Advisor, RequiresACombiner) {
+  workloads::WordCountConfig cfg;
+  cfg.with_combiner = false;
+  CombinerAdvice advice;
+  EXPECT_TRUE(AdviseCombinerFlag(workloads::MakeWordCountJob(cfg), {},
+                                 &advice)
+                  .IsInvalidArgument());
+}
+
+TEST(Advisor, RecommendsKeepingAnEffectiveCombiner) {
+  // WordCount over a tiny vocabulary: the Combiner is devastatingly
+  // effective, so C = 1.
+  RandomTextConfig rc;
+  rc.num_lines = 1000;
+  rc.vocabulary_words = 50;
+  workloads::WordCountConfig cfg;
+  cfg.with_combiner = true;
+  CombinerAdvice advice;
+  ASSERT_TRUE(AdviseCombinerFlag(workloads::MakeWordCountJob(cfg),
+                                 RandomTextGenerator(rc).MakeSplits(2),
+                                 &advice)
+                  .ok());
+  EXPECT_TRUE(advice.map_phase_combiner);
+  EXPECT_LT(advice.combiner_reduction, 0.2);
+  EXPECT_LT(advice.sample_bytes_with, advice.sample_bytes_without);
+}
+
+TEST(Advisor, RecommendsDroppingAnIneffectiveCombiner) {
+  // Query-Suggestion over mostly-distinct queries: the paper's ~12% case.
+  QLogConfig qc;
+  qc.num_records = 3000;
+  qc.num_distinct = 2800;
+  qc.popularity_skew = 0.3;
+  workloads::QuerySuggestionConfig cfg;
+  cfg.with_combiner = true;
+  CombinerAdvice advice;
+  ASSERT_TRUE(AdviseCombinerFlag(workloads::MakeQuerySuggestionJob(cfg),
+                                 QLogGenerator(qc).MakeSplits(4), &advice)
+                  .ok());
+  EXPECT_FALSE(advice.map_phase_combiner);
+  EXPECT_GT(advice.combiner_reduction, 0.8);
+}
+
+TEST(Advisor, ThresholdIsConfigurable) {
+  RandomTextConfig rc;
+  rc.num_lines = 500;
+  rc.vocabulary_words = 50;
+  workloads::WordCountConfig cfg;
+  cfg.with_combiner = true;
+  CombinerAdvice advice;
+  // With an impossible threshold even a great combiner is "not worth it".
+  ASSERT_TRUE(AdviseCombinerFlag(workloads::MakeWordCountJob(cfg),
+                                 RandomTextGenerator(rc).MakeSplits(2),
+                                 &advice, /*min_reduction=*/0.0)
+                  .ok());
+  EXPECT_FALSE(advice.map_phase_combiner);
+}
+
+}  // namespace
+}  // namespace anticombine
+}  // namespace antimr

@@ -1,0 +1,261 @@
+// Unit-level tests of AntiMapper's encoding decisions, driving it directly
+// with scripted mappers and inspecting the emitted wire records.
+#include "anticombine/anti_mapper.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "anticombine/encoding.h"
+#include "mr/metrics.h"
+
+namespace antimr {
+namespace anticombine {
+namespace {
+
+// Collects the AntiMapper's emissions for inspection.
+class EmitCollector : public MapContext {
+ public:
+  void Emit(const Slice& key, const Slice& value) override {
+    emitted.push_back({key.ToString(), value.ToString()});
+  }
+  std::vector<KV> emitted;
+};
+
+// Emits a fixed script of records for every input.
+class ScriptedMapper : public Mapper {
+ public:
+  explicit ScriptedMapper(std::vector<KV> script)
+      : script_(std::move(script)) {}
+
+  void Map(const Slice&, const Slice&, MapContext* ctx) override {
+    for (const KV& kv : script_) ctx->Emit(kv.key, kv.value);
+  }
+
+ private:
+  std::vector<KV> script_;
+};
+
+// Partition = first key character digit, mod partitions.
+class DigitPartitioner : public Partitioner {
+ public:
+  int Partition(const Slice& key, int num_partitions) const override {
+    return (key.empty() ? 0 : key[0] - '0') % num_partitions;
+  }
+};
+
+struct Decoded {
+  Encoding encoding;
+  std::vector<std::string> other_keys;
+  std::string value;        // eager
+  std::string input_key;    // lazy
+  std::string input_value;  // lazy
+};
+
+Decoded Decode(const KV& record) {
+  Decoded d;
+  Slice rest;
+  EXPECT_TRUE(GetEncoding(record.value, &d.encoding, &rest).ok());
+  if (d.encoding == Encoding::kEager) {
+    std::vector<Slice> keys;
+    Slice value;
+    EXPECT_TRUE(DecodeEagerPayload(rest, &keys, &value).ok());
+    for (const Slice& k : keys) d.other_keys.push_back(k.ToString());
+    d.value = value.ToString();
+  } else {
+    Slice ik, iv;
+    EXPECT_TRUE(DecodeLazyPayload(rest, &ik, &iv).ok());
+    d.input_key = ik.ToString();
+    d.input_value = iv.ToString();
+  }
+  return d;
+}
+
+class AntiMapperTest : public ::testing::Test {
+ protected:
+  // Run one Map call through an AntiMapper and return the emissions.
+  std::vector<KV> RunOne(std::vector<KV> script,
+                         const AntiCombineOptions& options,
+                         const Slice& input_key, const Slice& input_value,
+                         bool allow_lazy = true, int partitions = 4) {
+    AntiMapper anti(
+        [script]() { return std::make_unique<ScriptedMapper>(script); },
+        options, allow_lazy);
+    TaskInfo info;
+    info.task_id = 0;
+    info.num_reduce_tasks = partitions;
+    info.partitioner = &partitioner_;
+    info.key_cmp = BytewiseCompare;
+    info.grouping_cmp = BytewiseCompare;
+    info.metrics = &metrics_;
+    EmitCollector collector;
+    anti.Setup(info, &collector);
+    anti.Map(input_key, input_value, &collector);
+    anti.Cleanup(&collector);
+    return collector.emitted;
+  }
+
+  DigitPartitioner partitioner_;
+  JobMetrics metrics_;
+};
+
+TEST_F(AntiMapperTest, SharedValueSamePartitionBecomesOneEagerRecord) {
+  // Keys 1a,1b,1c -> partition 1; same value.
+  auto out = RunOne({{"1b", "v"}, {"1c", "v"}, {"1a", "v"}},
+                    AntiCombineOptions::EagerOnly(), "in", "input");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, "1a") << "minimal key is the representative";
+  Decoded d = Decode(out[0]);
+  EXPECT_EQ(d.encoding, Encoding::kEager);
+  EXPECT_EQ(d.other_keys, (std::vector<std::string>{"1b", "1c"}));
+  EXPECT_EQ(d.value, "v");
+}
+
+TEST_F(AntiMapperTest, DifferentPartitionsDoNotShare) {
+  // Same value but keys on different partitions: no sharing possible
+  // (the paper's (k1,v1)/(k2,v1) example in Section 3).
+  auto out = RunOne({{"1a", "v"}, {"2a", "v"}},
+                    AntiCombineOptions::EagerOnly(), "in", "input");
+  ASSERT_EQ(out.size(), 2u);
+  for (const KV& kv : out) {
+    Decoded d = Decode(kv);
+    EXPECT_TRUE(d.other_keys.empty());
+  }
+}
+
+TEST_F(AntiMapperTest, DistinctValuesWithinPartitionMakeSeparateGroups) {
+  auto out = RunOne({{"1a", "x"}, {"1b", "y"}, {"1c", "x"}},
+                    AntiCombineOptions::EagerOnly(), "in", "input");
+  ASSERT_EQ(out.size(), 2u);
+  std::map<std::string, Decoded> by_key;
+  for (const KV& kv : out) by_key[kv.key] = Decode(kv);
+  EXPECT_EQ(by_key["1a"].other_keys, std::vector<std::string>{"1c"});
+  EXPECT_EQ(by_key["1a"].value, "x");
+  EXPECT_TRUE(by_key["1b"].other_keys.empty());
+}
+
+TEST_F(AntiMapperTest, LazyChosenWhenSmallerThanEager) {
+  // Large distinct values, tiny input record: Lazy wins the size test.
+  std::vector<KV> script;
+  for (int i = 0; i < 6; ++i) {
+    script.push_back({"1k" + std::to_string(i),
+                      "distinct-value-" + std::to_string(i) +
+                          std::string(50, 'x')});
+  }
+  auto out = RunOne(script, AntiCombineOptions::Unrestricted(), "ik", "iv");
+  ASSERT_EQ(out.size(), 1u);
+  Decoded d = Decode(out[0]);
+  EXPECT_EQ(d.encoding, Encoding::kLazy);
+  EXPECT_EQ(d.input_key, "ik");
+  EXPECT_EQ(d.input_value, "iv");
+  EXPECT_EQ(out[0].key, "1k0") << "lazy record keyed by partition-min key";
+}
+
+TEST_F(AntiMapperTest, EagerChosenWhenInputIsLarge) {
+  // Tiny outputs, huge input record: resending the input would be absurd.
+  const std::string huge_input(1000, 'z');
+  auto out = RunOne({{"1a", "x"}, {"1b", "y"}},
+                    AntiCombineOptions::Unrestricted(), "ik", huge_input);
+  for (const KV& kv : out) {
+    EXPECT_EQ(Decode(kv).encoding, Encoding::kEager);
+  }
+}
+
+TEST_F(AntiMapperTest, ThresholdZeroForbidsLazy) {
+  std::vector<KV> script;
+  for (int i = 0; i < 6; ++i) {
+    script.push_back({"1k" + std::to_string(i),
+                      "distinct" + std::to_string(i) + std::string(50, 'x')});
+  }
+  auto out = RunOne(script, AntiCombineOptions::EagerOnly(), "ik", "iv");
+  for (const KV& kv : out) {
+    EXPECT_EQ(Decode(kv).encoding, Encoding::kEager);
+  }
+  EXPECT_EQ(metrics_.lazy_records, 0u);
+}
+
+TEST_F(AntiMapperTest, NonDeterministicMapperForbidsLazy) {
+  std::vector<KV> script;
+  for (int i = 0; i < 6; ++i) {
+    script.push_back({"1k" + std::to_string(i),
+                      "distinct" + std::to_string(i) + std::string(50, 'x')});
+  }
+  auto out = RunOne(script, AntiCombineOptions::Unrestricted(), "ik", "iv",
+                    /*allow_lazy=*/false);
+  for (const KV& kv : out) {
+    EXPECT_EQ(Decode(kv).encoding, Encoding::kEager);
+  }
+}
+
+TEST_F(AntiMapperTest, ForceLazyOverridesSizeTest) {
+  const std::string huge_input(1000, 'z');
+  auto out = RunOne({{"1a", "x"}}, AntiCombineOptions::LazyOnly(), "ik",
+                    huge_input);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(Decode(out[0]).encoding, Encoding::kLazy);
+}
+
+TEST_F(AntiMapperTest, PerPartitionChoiceIsIndependent) {
+  // Partition 1: shared value (eager clearly smaller). Partition 2: large
+  // distinct values (lazy clearly smaller).
+  std::vector<KV> script = {{"1a", "s"}, {"1b", "s"}, {"1c", "s"}};
+  for (int i = 0; i < 6; ++i) {
+    script.push_back({"2k" + std::to_string(i),
+                      "distinct" + std::to_string(i) + std::string(60, 'q')});
+  }
+  // Input sized so Lazy loses partition 1's size test but wins partition 2's.
+  auto out = RunOne(script, AntiCombineOptions::Unrestricted(), "ik",
+                    std::string(30, 'i'));
+  int eager = 0, lazy = 0;
+  for (const KV& kv : out) {
+    Decoded d = Decode(kv);
+    if (d.encoding == Encoding::kEager) {
+      ++eager;
+      EXPECT_EQ(kv.key[0], '1');
+    } else {
+      ++lazy;
+      EXPECT_EQ(kv.key[0], '2');
+    }
+  }
+  EXPECT_EQ(eager, 1);
+  EXPECT_EQ(lazy, 1);
+}
+
+TEST_F(AntiMapperTest, SetupEmissionsAreEagerOnly) {
+  // A mapper that emits during Setup has no input record to resend; even
+  // with force_lazy the batch must be Eager-encoded.
+  class SetupEmitter : public Mapper {
+   public:
+    void Setup(const TaskInfo&, MapContext* ctx) override {
+      ctx->Emit("1a", std::string(200, 'v'));
+      ctx->Emit("1b", std::string(200, 'v'));
+    }
+    void Map(const Slice&, const Slice&, MapContext*) override {}
+  };
+  AntiMapper anti([]() { return std::make_unique<SetupEmitter>(); },
+                  AntiCombineOptions::LazyOnly(), /*allow_lazy=*/true);
+  TaskInfo info;
+  info.num_reduce_tasks = 4;
+  info.partitioner = &partitioner_;
+  info.key_cmp = BytewiseCompare;
+  info.grouping_cmp = BytewiseCompare;
+  info.metrics = &metrics_;
+  EmitCollector collector;
+  anti.Setup(info, &collector);
+  anti.Cleanup(&collector);
+  ASSERT_EQ(collector.emitted.size(), 1u);
+  EXPECT_EQ(Decode(collector.emitted[0]).encoding, Encoding::kEager);
+}
+
+TEST_F(AntiMapperTest, MetricsCountLogicalOutput) {
+  RunOne({{"1a", "v"}, {"1b", "v"}, {"2c", "w"}},
+         AntiCombineOptions::EagerOnly(), "in", "input");
+  EXPECT_EQ(metrics_.map_output_records, 3u);
+  EXPECT_EQ(metrics_.eager_records, 1u);  // {1a,1b} collapse
+  EXPECT_EQ(metrics_.plain_records, 1u);  // 2c stands alone
+  EXPECT_EQ(metrics_.lazy_records, 0u);
+}
+
+}  // namespace
+}  // namespace anticombine
+}  // namespace antimr

@@ -1,0 +1,175 @@
+// Codec round-trip and robustness tests, parameterized over all codecs, plus
+// codec-specific ratio/behaviour checks.
+#include "codec/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace antimr {
+namespace {
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecType> {
+ protected:
+  void ExpectRoundTrip(const std::string& input) {
+    const Codec* codec = GetCodec(GetParam());
+    std::string compressed, restored;
+    ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+    ASSERT_TRUE(codec->Decompress(compressed, &restored).ok())
+        << codec->name() << " size=" << input.size();
+    EXPECT_EQ(restored, input) << codec->name();
+  }
+};
+
+TEST_P(CodecRoundTrip, Empty) { ExpectRoundTrip(""); }
+
+TEST_P(CodecRoundTrip, SingleByte) { ExpectRoundTrip("x"); }
+
+TEST_P(CodecRoundTrip, ShortAscii) { ExpectRoundTrip("hello world"); }
+
+TEST_P(CodecRoundTrip, AllSameByte) {
+  ExpectRoundTrip(std::string(100000, 'a'));
+}
+
+TEST_P(CodecRoundTrip, Periodic) {
+  std::string s;
+  while (s.size() < 50000) s += "abcabcabz";
+  ExpectRoundTrip(s);
+}
+
+TEST_P(CodecRoundTrip, RandomBinary) {
+  Random rng(1);
+  std::string s;
+  for (int i = 0; i < 30000; ++i) {
+    s.push_back(static_cast<char>(rng.Next() & 0xff));
+  }
+  ExpectRoundTrip(s);
+}
+
+TEST_P(CodecRoundTrip, TextLike) {
+  Random rng(2);
+  static const char* words[] = {"the", "map", "reduce", "shuffle", "key",
+                                "value", "network", "combiner"};
+  std::string s;
+  while (s.size() < 200000) {
+    s += words[rng.Uniform(8)];
+    s.push_back(' ');
+  }
+  ExpectRoundTrip(s);
+}
+
+TEST_P(CodecRoundTrip, AllByteValues) {
+  std::string s;
+  for (int round = 0; round < 300; ++round) {
+    for (int b = 0; b < 256; ++b) s.push_back(static_cast<char>(b));
+  }
+  ExpectRoundTrip(s);
+}
+
+TEST_P(CodecRoundTrip, SpansMultipleBwtBlocks) {
+  // > 64 KiB forces multiple blocks in the bzip2-like codec.
+  Random rng(3);
+  std::string s;
+  while (s.size() < 200000) {
+    s += "record_" + std::to_string(rng.Uniform(500)) + ";";
+  }
+  ExpectRoundTrip(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecRoundTrip,
+    ::testing::Values(CodecType::kNone, CodecType::kSnappyLike,
+                      CodecType::kDeflateLike, CodecType::kGzip,
+                      CodecType::kBzip2Like),
+    [](const ::testing::TestParamInfo<CodecType>& info) {
+      std::string name = CodecTypeName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Codec, RedundantInputCompresses) {
+  std::string s;
+  while (s.size() < 100000) s += "the same phrase again and again. ";
+  for (CodecType type : {CodecType::kSnappyLike, CodecType::kDeflateLike,
+                         CodecType::kGzip, CodecType::kBzip2Like}) {
+    std::string compressed;
+    ASSERT_TRUE(GetCodec(type)->Compress(s, &compressed).ok());
+    EXPECT_LT(compressed.size(), s.size() / 4) << CodecTypeName(type);
+  }
+}
+
+TEST(Codec, DeflateBeatsSnappyOnRatio) {
+  Random rng(5);
+  static const char* words[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  std::string s;
+  while (s.size() < 150000) {
+    s += words[rng.Uniform(5)];
+    s.push_back(' ');
+  }
+  std::string snappy_out, deflate_out;
+  ASSERT_TRUE(
+      GetCodec(CodecType::kSnappyLike)->Compress(s, &snappy_out).ok());
+  ASSERT_TRUE(
+      GetCodec(CodecType::kDeflateLike)->Compress(s, &deflate_out).ok());
+  EXPECT_LT(deflate_out.size(), snappy_out.size());
+}
+
+TEST(Codec, GzipIsDeflatePlusFraming) {
+  const std::string s(5000, 'q');
+  std::string gzip_out, deflate_out;
+  ASSERT_TRUE(GetCodec(CodecType::kGzip)->Compress(s, &gzip_out).ok());
+  ASSERT_TRUE(
+      GetCodec(CodecType::kDeflateLike)->Compress(s, &deflate_out).ok());
+  EXPECT_EQ(gzip_out.size(), deflate_out.size() + 18);
+}
+
+TEST(Codec, GzipDetectsCorruption) {
+  const Codec* gzip = GetCodec(CodecType::kGzip);
+  std::string compressed;
+  ASSERT_TRUE(gzip->Compress(std::string(1000, 'g'), &compressed).ok());
+  std::string restored;
+  // Flip a payload bit: CRC must catch it (or the LZ decode fails first).
+  std::string corrupted = compressed;
+  corrupted[12] ^= 0x40;
+  EXPECT_FALSE(gzip->Decompress(corrupted, &restored).ok());
+  // Bad magic.
+  corrupted = compressed;
+  corrupted[0] = 'X';
+  EXPECT_TRUE(gzip->Decompress(corrupted, &restored).IsCorruption());
+  // Truncation.
+  EXPECT_TRUE(gzip->Decompress(Slice(compressed.data(), 10), &restored)
+                  .IsCorruption());
+}
+
+TEST(Codec, LzRejectsTruncatedStream) {
+  const Codec* codec = GetCodec(CodecType::kSnappyLike);
+  std::string compressed;
+  ASSERT_TRUE(codec->Compress(std::string(1000, 'a'), &compressed).ok());
+  std::string restored;
+  EXPECT_TRUE(
+      codec->Decompress(Slice(compressed.data(), compressed.size() / 2),
+                        &restored)
+          .IsCorruption());
+}
+
+TEST(Codec, Bzip2RejectsGarbage) {
+  std::string restored;
+  EXPECT_FALSE(GetCodec(CodecType::kBzip2Like)
+                   ->Decompress(Slice("not a valid stream at all"), &restored)
+                   .ok());
+}
+
+TEST(Codec, NameLookup) {
+  EXPECT_TRUE(CodecTypeFromName("gzip").ok());
+  EXPECT_EQ(CodecTypeFromName("gzip").value(), CodecType::kGzip);
+  EXPECT_EQ(CodecTypeFromName("none").value(), CodecType::kNone);
+  EXPECT_EQ(CodecTypeFromName("snappy").value(), CodecType::kSnappyLike);
+  EXPECT_EQ(CodecTypeFromName("deflate").value(), CodecType::kDeflateLike);
+  EXPECT_EQ(CodecTypeFromName("bzip2").value(), CodecType::kBzip2Like);
+  EXPECT_TRUE(CodecTypeFromName("lzma").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace antimr

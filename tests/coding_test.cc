@@ -1,0 +1,129 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+TEST(Coding, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 255u, 65536u, 0xdeadbeefu, UINT32_MAX}) {
+    std::string buf;
+    PutFixed32(&buf, v);
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(buf.data()), v);
+    Slice in(buf);
+    uint32_t decoded;
+    ASSERT_TRUE(GetFixed32(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(Coding, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 40,
+                     UINT64_MAX}) {
+    std::string buf;
+    PutFixed64(&buf, v);
+    ASSERT_EQ(buf.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(buf.data()), v);
+  }
+}
+
+TEST(Coding, Varint32RoundTrip) {
+  std::string buf;
+  std::vector<uint32_t> values;
+  for (uint32_t shift = 0; shift < 32; ++shift) {
+    values.push_back(1u << shift);
+    values.push_back((1u << shift) - 1);
+  }
+  values.push_back(UINT32_MAX);
+  for (uint32_t v : values) PutVarint32(&buf, v);
+  Slice in(buf);
+  for (uint32_t v : values) {
+    uint32_t decoded;
+    ASSERT_TRUE(GetVarint32(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(Coding, Varint64RoundTrip) {
+  std::string buf;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384};
+  for (int shift = 0; shift < 64; ++shift) values.push_back(1ULL << shift);
+  values.push_back(UINT64_MAX);
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t v : values) {
+    uint64_t decoded;
+    ASSERT_TRUE(GetVarint64(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(Coding, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 35, UINT64_MAX}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+  }
+}
+
+TEST(Coding, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_MAX);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&in, &v)) << "cut=" << cut;
+    EXPECT_EQ(in.size(), cut) << "failed parse must not consume";
+  }
+}
+
+TEST(Coding, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{UINT32_MAX} + 1);
+  Slice in(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+TEST(Coding, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  PutLengthPrefixed(&buf, Slice(""));
+  std::string big(1000, 'x');
+  PutLengthPrefixed(&buf, big);
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.ToString(), big);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(Coding, LengthPrefixedTruncatedFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  Slice in(buf.data(), buf.size() - 1);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+TEST(Coding, ZigZag) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-1000000},
+                    INT64_MIN, INT64_MAX}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  // Small magnitudes encode small.
+  EXPECT_LE(ZigZagEncode(-2), 4u);
+  EXPECT_LE(ZigZagEncode(2), 4u);
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,34 @@
+#include "codec/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE CRC-32 test vectors.
+  EXPECT_EQ(Crc32(0, Slice("")), 0x00000000u);
+  EXPECT_EQ(Crc32(0, Slice("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(0, Slice("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data(100, 'a');
+  const uint32_t clean = Crc32(0, data);
+  data[50] ^= 1;
+  EXPECT_NE(Crc32(0, data), clean);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "hello incremental crc world";
+  const uint32_t oneshot = Crc32(0, data);
+  uint32_t running = 0;
+  // Continuation uses the previous CRC as seed.
+  running = Crc32(running, Slice(data.data(), 10));
+  running = Crc32(running, Slice(data.data() + 10, data.size() - 10));
+  EXPECT_EQ(running, oneshot);
+}
+
+}  // namespace
+}  // namespace antimr

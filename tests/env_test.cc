@@ -1,0 +1,159 @@
+// Env contract tests, run against both implementations via TEST_P.
+#include "io/env.h"
+
+#include <unistd.h>
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+struct EnvFactory {
+  const char* name;
+  std::function<std::unique_ptr<Env>()> make;
+};
+
+class EnvTest : public ::testing::TestWithParam<EnvFactory> {
+ protected:
+  void SetUp() override { env_ = GetParam().make(); }
+
+  std::string ReadAll(const std::string& fname) {
+    std::unique_ptr<SequentialFile> file;
+    EXPECT_TRUE(env_->NewSequentialFile(fname, &file).ok());
+    std::string out;
+    char scratch[4096];
+    while (true) {
+      Slice chunk;
+      EXPECT_TRUE(file->Read(sizeof(scratch), &chunk, scratch).ok());
+      if (chunk.empty()) break;
+      out.append(chunk.data(), chunk.size());
+    }
+    return out;
+  }
+
+  void WriteFile(const std::string& fname, const std::string& contents) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile(fname, &file).ok());
+    ASSERT_TRUE(file->Append(contents).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_P(EnvTest, WriteReadRoundTrip) {
+  WriteFile("f1", "hello world");
+  EXPECT_EQ(ReadAll("f1"), "hello world");
+}
+
+TEST_P(EnvTest, EmptyFile) {
+  WriteFile("empty", "");
+  EXPECT_EQ(ReadAll("empty"), "");
+  uint64_t size = 99;
+  ASSERT_TRUE(env_->GetFileSize("empty", &size).ok());
+  EXPECT_EQ(size, 0u);
+}
+
+TEST_P(EnvTest, AppendAccumulates) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("f", &file).ok());
+  ASSERT_TRUE(file->Append("abc").ok());
+  ASSERT_TRUE(file->Append("def").ok());
+  ASSERT_TRUE(file->Close().ok());
+  EXPECT_EQ(ReadAll("f"), "abcdef");
+}
+
+TEST_P(EnvTest, OverwriteTruncates) {
+  WriteFile("f", "long old contents");
+  WriteFile("f", "new");
+  EXPECT_EQ(ReadAll("f"), "new");
+}
+
+TEST_P(EnvTest, MissingFileIsNotFound) {
+  std::unique_ptr<SequentialFile> file;
+  EXPECT_TRUE(env_->NewSequentialFile("nope", &file).IsNotFound());
+  uint64_t size;
+  EXPECT_TRUE(env_->GetFileSize("nope", &size).IsNotFound());
+  EXPECT_TRUE(env_->DeleteFile("nope").IsNotFound());
+  EXPECT_FALSE(env_->FileExists("nope"));
+}
+
+TEST_P(EnvTest, DeleteRemoves) {
+  WriteFile("f", "x");
+  EXPECT_TRUE(env_->FileExists("f"));
+  ASSERT_TRUE(env_->DeleteFile("f").ok());
+  EXPECT_FALSE(env_->FileExists("f"));
+}
+
+TEST_P(EnvTest, GetFileSize) {
+  WriteFile("f", std::string(12345, 'x'));
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize("f", &size).ok());
+  EXPECT_EQ(size, 12345u);
+}
+
+TEST_P(EnvTest, SequentialSkip) {
+  WriteFile("f", "0123456789");
+  std::unique_ptr<SequentialFile> file;
+  ASSERT_TRUE(env_->NewSequentialFile("f", &file).ok());
+  ASSERT_TRUE(file->Skip(4).ok());
+  char scratch[16];
+  Slice chunk;
+  ASSERT_TRUE(file->Read(3, &chunk, scratch).ok());
+  EXPECT_EQ(chunk.ToString(), "456");
+}
+
+TEST_P(EnvTest, RandomAccessRead) {
+  WriteFile("f", "0123456789");
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env_->NewRandomAccessFile("f", &file).ok());
+  char scratch[16];
+  Slice chunk;
+  ASSERT_TRUE(file->Read(3, 4, &chunk, scratch).ok());
+  EXPECT_EQ(chunk.ToString(), "3456");
+  // Reading past EOF yields the available suffix, then nothing.
+  ASSERT_TRUE(file->Read(8, 10, &chunk, scratch).ok());
+  EXPECT_EQ(chunk.ToString(), "89");
+  ASSERT_TRUE(file->Read(100, 10, &chunk, scratch).ok());
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST_P(EnvTest, StatsCountBytes) {
+  env_->ResetStats();
+  WriteFile("f", std::string(1000, 'a'));
+  ReadAll("f");
+  const IoStats stats = env_->stats();
+  EXPECT_EQ(stats.bytes_written, 1000u);
+  EXPECT_EQ(stats.bytes_read, 1000u);
+  EXPECT_EQ(stats.files_created, 1u);
+  env_->ResetStats();
+  EXPECT_EQ(env_->stats().bytes_written, 0u);
+}
+
+TEST_P(EnvTest, ListFiles) {
+  WriteFile("a", "1");
+  WriteFile("b", "2");
+  std::vector<std::string> names;
+  ASSERT_TRUE(env_->ListFiles(&names).ok());
+  EXPECT_EQ(names.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envs, EnvTest,
+    ::testing::Values(
+        EnvFactory{"mem", []() { return NewMemEnv(); }},
+        EnvFactory{"posix",
+                   []() {
+                     static int counter = 0;
+                     return NewPosixEnv("/tmp/antimr_env_test_" +
+                                        std::to_string(getpid()) + "_" +
+                                        std::to_string(counter++));
+                   }}),
+    [](const ::testing::TestParamInfo<EnvFactory>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,148 @@
+// Failure injection: storage faults at controlled points must surface as
+// Status errors from RunJob — never crashes, hangs, or silent data loss.
+#include <atomic>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace antimr {
+namespace {
+
+/// Env wrapper that fails operations once a budget is exhausted.
+class FaultyEnv : public Env {
+ public:
+  FaultyEnv(std::unique_ptr<Env> base, int fail_after_ops)
+      : base_(std::move(base)), remaining_(fail_after_ops) {}
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override {
+    ANTIMR_RETURN_NOT_OK(Tick("NewWritableFile"));
+    return base_->NewWritableFile(fname, file);
+  }
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* file) override {
+    ANTIMR_RETURN_NOT_OK(Tick("NewSequentialFile"));
+    return base_->NewSequentialFile(fname, file);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    ANTIMR_RETURN_NOT_OK(Tick("NewRandomAccessFile"));
+    return base_->NewRandomAccessFile(fname, file);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status DeleteFile(const std::string& fname) override {
+    return base_->DeleteFile(fname);
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status ListFiles(std::vector<std::string>* names) override {
+    return base_->ListFiles(names);
+  }
+  IoStats stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+  int operations_seen() const { return ops_.load(); }
+
+ private:
+  Status Tick(const char* op) {
+    ops_.fetch_add(1);
+    if (remaining_.fetch_sub(1) <= 0) {
+      return Status::IOError(std::string("injected fault in ") + op);
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<Env> base_;
+  std::atomic<int> remaining_;
+  std::atomic<int> ops_{0};
+};
+
+class FanoutMapper : public Mapper {
+ public:
+  void Map(const Slice& key, const Slice& value, MapContext* ctx) override {
+    for (int i = 0; i < 4; ++i) {
+      ctx->Emit(key.ToString() + std::to_string(i), value);
+    }
+  }
+};
+
+class CountReducer : public Reducer {
+ public:
+  void Reduce(const Slice& key, ValueIterator* values,
+              ReduceContext* ctx) override {
+    uint64_t n = 0;
+    Slice v;
+    while (values->Next(&v)) ++n;
+    ctx->Emit(key, std::to_string(n));
+  }
+};
+
+JobSpec TestJob() {
+  JobSpec spec;
+  spec.name = "fault_test";
+  spec.mapper_factory = []() { return std::make_unique<FanoutMapper>(); };
+  spec.reducer_factory = []() { return std::make_unique<CountReducer>(); };
+  spec.num_reduce_tasks = 3;
+  spec.map_buffer_bytes = 2048;  // force spills so merge paths execute
+  return spec;
+}
+
+std::vector<KV> TestInput() {
+  std::vector<KV> input;
+  for (int i = 0; i < 300; ++i) {
+    input.push_back({"key" + std::to_string(i % 40), "v" + std::to_string(i)});
+  }
+  return input;
+}
+
+int CountEnvOps() {
+  FaultyEnv env(NewMemEnv(), /*fail_after_ops=*/1 << 30);
+  RunOptions options;
+  options.env = &env;
+  JobResult result;
+  EXPECT_TRUE(RunJob(TestJob(), MakeSplits(TestInput(), 2), options, &result)
+                  .ok());
+  return env.operations_seen();
+}
+
+TEST(FaultInjection, CleanRunEstablishesBaseline) {
+  // The job exercises enough I/O that fault sweeps below are meaningful.
+  EXPECT_GT(CountEnvOps(), 20);
+}
+
+TEST(FaultInjection, EveryFaultPointSurfacesAsStatus) {
+  const int total_ops = CountEnvOps();
+  // Inject a fault at every I/O operation index in turn; RunJob must fail
+  // cleanly (no crash, no OK-with-missing-data). fail_at = N allows N ops
+  // through, so the last injectable point is total_ops - 1.
+  for (int fail_at = 0; fail_at < total_ops; ++fail_at) {
+    FaultyEnv env(NewMemEnv(), fail_at);
+    RunOptions options;
+    options.env = &env;
+    JobResult result;
+    const Status st =
+        RunJob(TestJob(), MakeSplits(TestInput(), 2), options, &result);
+    EXPECT_FALSE(st.ok()) << "fault at op " << fail_at << " was swallowed";
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  }
+}
+
+TEST(FaultInjection, JobSucceedsWhenFaultBudgetNotReached) {
+  const int total_ops = CountEnvOps();
+  FaultyEnv env(NewMemEnv(), total_ops + 100);
+  RunOptions options;
+  options.env = &env;
+  JobResult result;
+  EXPECT_TRUE(
+      RunJob(TestJob(), MakeSplits(TestInput(), 2), options, &result).ok());
+  EXPECT_EQ(result.metrics.reduce_groups, 40u * 4);
+}
+
+}  // namespace
+}  // namespace antimr

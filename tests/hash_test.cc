@@ -1,0 +1,48 @@
+#include "common/hash.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+TEST(Hash, DeterministicAcrossCalls) {
+  EXPECT_EQ(Hash64(Slice("abc")), Hash64(Slice("abc")));
+  EXPECT_NE(Hash64(Slice("abc")), Hash64(Slice("abd")));
+}
+
+TEST(Hash, SeedChangesResult) {
+  EXPECT_NE(Hash64(Slice("abc"), 1), Hash64(Slice("abc"), 2));
+}
+
+TEST(Hash, EmptyInput) {
+  // Empty input hashes to the seed; two seeds differ.
+  EXPECT_EQ(Hash64(Slice(""), 99u), 99u);
+}
+
+TEST(Hash, ReasonableDistributionOverPartitions) {
+  // Hash partitioning of sequential keys must not collapse onto few buckets.
+  constexpr int kPartitions = 16;
+  int counts[kPartitions] = {};
+  for (int i = 0; i < 16000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    counts[Hash64(key) % kPartitions]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 16000 / kPartitions / 2);
+    EXPECT_LT(c, 16000 / kPartitions * 2);
+  }
+}
+
+TEST(Hash, Mix32AndMix64AreBijectivelySpread) {
+  std::set<uint32_t> seen32;
+  for (uint32_t i = 0; i < 1000; ++i) seen32.insert(HashMix32(i));
+  EXPECT_EQ(seen32.size(), 1000u);
+  std::set<uint64_t> seen64;
+  for (uint64_t i = 0; i < 1000; ++i) seen64.insert(HashMix64(i));
+  EXPECT_EQ(seen64.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,74 @@
+#include "mr/job_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+class NopMapper : public Mapper {
+ public:
+  void Map(const Slice&, const Slice&, MapContext*) override {}
+};
+class NopReducer : public Reducer {
+ public:
+  void Reduce(const Slice&, ValueIterator*, ReduceContext*) override {}
+};
+
+JobSpec ValidSpec() {
+  JobSpec spec;
+  spec.mapper_factory = []() { return std::make_unique<NopMapper>(); };
+  spec.reducer_factory = []() { return std::make_unique<NopReducer>(); };
+  return spec;
+}
+
+TEST(JobSpec, ValidByDefault) { EXPECT_TRUE(ValidSpec().Validate().ok()); }
+
+TEST(JobSpec, RequiresMapper) {
+  JobSpec spec = ValidSpec();
+  spec.mapper_factory = nullptr;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+}
+
+TEST(JobSpec, RequiresReducer) {
+  JobSpec spec = ValidSpec();
+  spec.reducer_factory = nullptr;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+}
+
+TEST(JobSpec, RequiresPartitioner) {
+  JobSpec spec = ValidSpec();
+  spec.partitioner = nullptr;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+}
+
+TEST(JobSpec, RequiresPositiveReduceTasks) {
+  JobSpec spec = ValidSpec();
+  spec.num_reduce_tasks = 0;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+  spec.num_reduce_tasks = -3;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+}
+
+TEST(JobSpec, RejectsTinyMapBuffer) {
+  JobSpec spec = ValidSpec();
+  spec.map_buffer_bytes = 16;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+}
+
+TEST(JobSpec, GroupingDefaultsToKeyComparator) {
+  JobSpec spec = ValidSpec();
+  KeyComparator g = spec.EffectiveGroupingCmp();
+  EXPECT_EQ(g(Slice("a"), Slice("b")) < 0, true);
+  // Custom grouping comparator takes precedence.
+  spec.grouping_cmp = [](const Slice&, const Slice&) { return 0; };
+  EXPECT_EQ(spec.EffectiveGroupingCmp()(Slice("a"), Slice("b")), 0);
+}
+
+TEST(JobSpec, CombinerIsOptional) {
+  JobSpec spec = ValidSpec();
+  EXPECT_EQ(spec.combiner_factory, nullptr);
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,114 @@
+#include "mr/local_cluster.h"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+TEST(TaskPool, RunsEveryTaskExactlyOnce) {
+  TaskPool pool(4);
+  std::vector<std::atomic<int>> ran(100);
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&ran, i]() {
+      ran[i].fetch_add(1);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.RunWave(tasks).ok());
+  for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(TaskPool, EmptyWave) {
+  TaskPool pool(4);
+  EXPECT_TRUE(pool.RunWave({}).ok());
+}
+
+TEST(TaskPool, SingleWorker) {
+  TaskPool pool(1);
+  int counter = 0;
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&counter]() {
+      ++counter;  // single worker: no synchronization needed
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.RunWave(tasks).ok());
+  EXPECT_EQ(counter, 10);
+}
+
+TEST(TaskPool, ReportsFirstFailureByIndex) {
+  TaskPool pool(8);
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 50; ++i) {
+    tasks.push_back([i]() {
+      if (i == 7) return Status::IOError("failure-7");
+      if (i == 30) return Status::Internal("failure-30");
+      return Status::OK();
+    });
+  }
+  Status st = pool.RunWave(tasks);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "failure-7");
+}
+
+TEST(TaskPool, FailureDoesNotPreventOtherTasks) {
+  TaskPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&ran, i]() {
+      ran.fetch_add(1);
+      return i == 0 ? Status::Internal("boom") : Status::OK();
+    });
+  }
+  EXPECT_FALSE(pool.RunWave(tasks).ok());
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(TaskPool, ParallelismActuallyHappens) {
+  TaskPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([&]() {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected &&
+             !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      concurrent.fetch_sub(1);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.RunWave(tasks).ok());
+  EXPECT_GT(peak.load(), 1);
+  EXPECT_LE(peak.load(), 4);
+}
+
+TEST(TaskPool, DefaultsToHardwareConcurrency) {
+  TaskPool pool(0);
+  EXPECT_GT(pool.num_workers(), 0);
+}
+
+TEST(LocalCluster, ProvidesEnvAndPool) {
+  LocalCluster::Options options;
+  options.num_workers = 2;
+  LocalCluster cluster(options);
+  EXPECT_EQ(cluster.pool()->num_workers(), 2);
+  ASSERT_NE(cluster.env(), nullptr);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(cluster.env()->NewWritableFile("x", &f).ok());
+}
+
+}  // namespace
+}  // namespace antimr

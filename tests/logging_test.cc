@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(Logging, MacroBelowThresholdDoesNotEvaluateStream) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  ANTIMR_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  ANTIMR_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,123 @@
+#include "io/merger.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace antimr {
+namespace {
+
+using Records = std::vector<std::pair<std::string, std::string>>;
+
+std::unique_ptr<KVStream> Stream(const Records* records) {
+  return std::make_unique<VectorStream>(records);
+}
+
+Records Drain(MergingStream* stream) {
+  Records out;
+  while (stream->Valid()) {
+    out.emplace_back(stream->key().ToString(), stream->value().ToString());
+    EXPECT_TRUE(stream->Next().ok());
+  }
+  return out;
+}
+
+TEST(Merger, MergesSortedInputs) {
+  Records a = {{"a", "1"}, {"c", "3"}, {"e", "5"}};
+  Records b = {{"b", "2"}, {"d", "4"}};
+  std::vector<std::unique_ptr<KVStream>> inputs;
+  inputs.push_back(Stream(&a));
+  inputs.push_back(Stream(&b));
+  MergingStream merged(std::move(inputs), BytewiseCompare);
+  Records out = Drain(&merged);
+  ASSERT_EQ(out.size(), 5u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+  }
+}
+
+TEST(Merger, NoInputs) {
+  MergingStream merged({}, BytewiseCompare);
+  EXPECT_FALSE(merged.Valid());
+}
+
+TEST(Merger, AllInputsEmpty) {
+  Records a, b;
+  std::vector<std::unique_ptr<KVStream>> inputs;
+  inputs.push_back(Stream(&a));
+  inputs.push_back(Stream(&b));
+  MergingStream merged(std::move(inputs), BytewiseCompare);
+  EXPECT_FALSE(merged.Valid());
+}
+
+TEST(Merger, StableOnEqualKeys) {
+  // Equal keys must come out in input-stream order (determinism).
+  Records a = {{"k", "from_a1"}, {"k", "from_a2"}};
+  Records b = {{"k", "from_b"}};
+  std::vector<std::unique_ptr<KVStream>> inputs;
+  inputs.push_back(Stream(&a));
+  inputs.push_back(Stream(&b));
+  MergingStream merged(std::move(inputs), BytewiseCompare);
+  Records out = Drain(&merged);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].second, "from_a1");
+  EXPECT_EQ(out[1].second, "from_a2");
+  EXPECT_EQ(out[2].second, "from_b");
+}
+
+TEST(Merger, CustomComparator) {
+  // Reverse order merge.
+  auto reverse_cmp = [](const Slice& a, const Slice& b) {
+    return b.compare(a);
+  };
+  Records a = {{"z", "1"}, {"m", "2"}, {"a", "3"}};
+  Records b = {{"y", "4"}, {"b", "5"}};
+  std::vector<std::unique_ptr<KVStream>> inputs;
+  inputs.push_back(Stream(&a));
+  inputs.push_back(Stream(&b));
+  MergingStream merged(std::move(inputs), reverse_cmp);
+  Records out = Drain(&merged);
+  ASSERT_EQ(out.size(), 5u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GT(out[i - 1].first, out[i].first);
+  }
+}
+
+TEST(Merger, ManyStreamsRandomized) {
+  Random rng(99);
+  std::vector<Records> sources(17);
+  Records expected;
+  for (auto& source : sources) {
+    const size_t n = rng.Uniform(30);
+    for (size_t i = 0; i < n; ++i) {
+      source.emplace_back("key" + std::to_string(rng.Uniform(1000)),
+                          std::to_string(rng.Next()));
+    }
+    std::sort(source.begin(), source.end());
+    expected.insert(expected.end(), source.begin(), source.end());
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::unique_ptr<KVStream>> inputs;
+  for (const auto& source : sources) inputs.push_back(Stream(&source));
+  MergingStream merged(std::move(inputs), BytewiseCompare);
+  Records out = Drain(&merged);
+  ASSERT_EQ(out.size(), expected.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, expected[i].first);
+  }
+}
+
+TEST(Merger, SingleStreamPassesThrough) {
+  Records a = {{"a", "1"}, {"b", "2"}};
+  std::vector<std::unique_ptr<KVStream>> inputs;
+  inputs.push_back(Stream(&a));
+  MergingStream merged(std::move(inputs), BytewiseCompare);
+  Records out = Drain(&merged);
+  EXPECT_EQ(out, a);
+}
+
+}  // namespace
+}  // namespace antimr

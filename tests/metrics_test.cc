@@ -1,0 +1,93 @@
+#include "mr/metrics.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+TEST(Metrics, AddAccumulatesEverything) {
+  JobMetrics a, b;
+  a.input_records = 10;
+  a.emitted_bytes = 100;
+  a.shared_spills = 2;
+  a.cpu.map_fn = 1000;
+  a.total_cpu_nanos = 5000;
+  b.input_records = 5;
+  b.emitted_bytes = 50;
+  b.shared_spills = 1;
+  b.cpu.map_fn = 200;
+  b.cpu.reduce_fn = 300;
+  b.total_cpu_nanos = 700;
+  a.Add(b);
+  EXPECT_EQ(a.input_records, 15u);
+  EXPECT_EQ(a.emitted_bytes, 150u);
+  EXPECT_EQ(a.shared_spills, 3u);
+  EXPECT_EQ(a.cpu.map_fn, 1200u);
+  EXPECT_EQ(a.cpu.reduce_fn, 300u);
+  EXPECT_EQ(a.total_cpu_nanos, 5700u);
+}
+
+TEST(Metrics, PhaseTotalSumsAllPhases) {
+  PhaseCpu cpu;
+  cpu.map_fn = 1;
+  cpu.partition_fn = 2;
+  cpu.encode = 3;
+  cpu.sort = 4;
+  cpu.combine = 5;
+  cpu.compress = 6;
+  cpu.decompress = 7;
+  cpu.merge = 8;
+  cpu.decode = 9;
+  cpu.remap = 10;
+  cpu.shared = 11;
+  cpu.reduce_fn = 12;
+  EXPECT_EQ(cpu.Total(), 78u);
+}
+
+TEST(Metrics, FormatBytes) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(FormatBytes(5ULL << 30), "5.00 GB");
+}
+
+TEST(Metrics, FormatNanos) {
+  EXPECT_EQ(FormatNanos(500), "500 ns");
+  EXPECT_EQ(FormatNanos(1500), "1.500 us");
+  EXPECT_EQ(FormatNanos(2500000), "2.500 ms");
+  EXPECT_EQ(FormatNanos(1250000000ULL), "1.250 s");
+}
+
+TEST(Metrics, ToJsonIsWellFormedAndComplete) {
+  JobMetrics m;
+  m.input_records = 11;
+  m.shuffle_bytes = 2048;
+  m.cpu.remap = 77;
+  m.total_cpu_nanos = 12345;
+  const std::string json = m.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"input_records\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"shuffle_bytes\": 2048"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_remap_nanos\": 77"), std::string::npos);
+  EXPECT_NE(json.find("\"total_cpu_nanos\": 12345"), std::string::npos);
+  // Balanced quoting and no trailing comma.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+}
+
+TEST(Metrics, ToStringMentionsKeyCounters) {
+  JobMetrics m;
+  m.input_records = 7;
+  m.eager_records = 3;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("input"), std::string::npos);
+  EXPECT_NE(s.find("eager=3"), std::string::npos);
+  EXPECT_NE(s.find("shuffle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace antimr

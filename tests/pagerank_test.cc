@@ -1,0 +1,110 @@
+#include "workloads/pagerank.h"
+
+#include <cstdlib>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "datagen/graph.h"
+#include "test_util.h"
+
+namespace antimr {
+namespace {
+
+using testing::MustRun;
+using workloads::MakePageRankJob;
+using workloads::PageRankConfig;
+using workloads::RunPageRank;
+
+double RankOf(const std::vector<KV>& records, const std::string& node) {
+  for (const KV& kv : records) {
+    if (kv.key == node) return std::strtod(kv.value.c_str(), nullptr);
+  }
+  ADD_FAILURE() << "node " << node << " missing";
+  return -1;
+}
+
+// A 3-node cycle: ranks must converge to 1/3 each.
+std::vector<KV> Cycle3() {
+  return {{"n0", "0.3333333333 n1"},
+          {"n1", "0.3333333333 n2"},
+          {"n2", "0.3333333333 n0"}};
+}
+
+TEST(PageRank, CycleStaysUniform) {
+  PageRankConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.num_reduce_tasks = 2;
+  workloads::PageRankRunResult result;
+  ASSERT_TRUE(
+      RunPageRank(cfg, Cycle3(), 3, nullptr, 1, &result).ok());
+  for (const char* n : {"n0", "n1", "n2"}) {
+    EXPECT_NEAR(RankOf(result.final_ranks, n), 1.0 / 3, 1e-6);
+  }
+}
+
+TEST(PageRank, SinkAttractorGainsRank) {
+  // Star: n1 and n2 both point at n0; n0 points at n1.
+  std::vector<KV> graph = {{"n0", "0.3333333333 n1"},
+                           {"n1", "0.3333333333 n0"},
+                           {"n2", "0.3333333333 n0"}};
+  PageRankConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.num_reduce_tasks = 2;
+  workloads::PageRankRunResult result;
+  ASSERT_TRUE(RunPageRank(cfg, graph, 5, nullptr, 1, &result).ok());
+  EXPECT_GT(RankOf(result.final_ranks, "n0"),
+            RankOf(result.final_ranks, "n2"));
+}
+
+TEST(PageRank, AdjacencySurvivesIterations) {
+  PageRankConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.num_reduce_tasks = 1;
+  workloads::PageRankRunResult result;
+  ASSERT_TRUE(RunPageRank(cfg, Cycle3(), 4, nullptr, 1, &result).ok());
+  ASSERT_EQ(result.final_ranks.size(), 3u);
+  for (const KV& kv : result.final_ranks) {
+    EXPECT_NE(kv.value.find(" n"), std::string::npos)
+        << "adjacency lost for " << kv.key;
+  }
+}
+
+TEST(PageRank, AntiCombiningMatchesOriginal) {
+  GraphConfig gc;
+  gc.num_nodes = 300;
+  gc.mean_out_degree = 8;
+  auto graph = GraphGenerator(gc).Generate();
+  PageRankConfig cfg;
+  cfg.num_nodes = gc.num_nodes;
+  cfg.num_reduce_tasks = 4;
+
+  workloads::PageRankRunResult original, anti;
+  ASSERT_TRUE(RunPageRank(cfg, graph, 3, nullptr, 2, &original).ok());
+  anticombine::AntiCombineOptions options;
+  ASSERT_TRUE(RunPageRank(cfg, graph, 3, &options, 2, &anti).ok());
+
+  std::map<std::string, std::string> a, b;
+  for (const KV& kv : original.final_ranks) a[kv.key] = kv.value;
+  for (const KV& kv : anti.final_ranks) b[kv.key] = kv.value;
+  EXPECT_EQ(a, b);
+}
+
+TEST(PageRank, AntiCombiningShrinksShuffle) {
+  GraphConfig gc;
+  gc.num_nodes = 500;
+  gc.mean_out_degree = 20;
+  auto graph = GraphGenerator(gc).Generate();
+  PageRankConfig cfg;
+  cfg.num_nodes = gc.num_nodes;
+  cfg.num_reduce_tasks = 4;
+
+  workloads::PageRankRunResult original, anti;
+  ASSERT_TRUE(RunPageRank(cfg, graph, 2, nullptr, 2, &original).ok());
+  anticombine::AntiCombineOptions options;
+  ASSERT_TRUE(RunPageRank(cfg, graph, 2, &options, 2, &anti).ok());
+  EXPECT_LT(anti.total.emitted_bytes, original.total.emitted_bytes);
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,137 @@
+#include "workloads/query_suggestion.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace antimr {
+namespace {
+
+using testing::Canonicalize;
+using testing::MustRun;
+using workloads::MakeQuerySuggestionJob;
+using workloads::QuerySuggestionConfig;
+
+std::vector<KV> QueryInput(const std::vector<std::string>& queries) {
+  std::vector<KV> input;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    input.push_back({"u" + std::to_string(i), queries[i]});
+  }
+  return input;
+}
+
+std::map<std::string, std::string> RunToMap(const QuerySuggestionConfig& cfg,
+                                            const std::vector<KV>& input,
+                                            int splits = 2) {
+  auto out = MustRun(MakeQuerySuggestionJob(cfg), MakeSplits(input, splits));
+  std::map<std::string, std::string> result;
+  for (const KV& kv : out) result[kv.key] = kv.value;
+  return result;
+}
+
+TEST(QuerySuggestion, EmitsAllPrefixes) {
+  QuerySuggestionConfig cfg;
+  cfg.num_reduce_tasks = 2;
+  auto result = RunToMap(cfg, QueryInput({"mango"}));
+  // Every prefix of "mango" becomes a key (the paper's Figure 2).
+  EXPECT_EQ(result.size(), 5u);
+  EXPECT_EQ(result.at("m"), "mango");
+  EXPECT_EQ(result.at("man"), "mango");
+  EXPECT_EQ(result.at("mango"), "mango");
+}
+
+TEST(QuerySuggestion, RanksByFrequency) {
+  QuerySuggestionConfig cfg;
+  cfg.top_k = 2;
+  cfg.num_reduce_tasks = 2;
+  std::vector<std::string> queries;
+  for (int i = 0; i < 5; ++i) queries.push_back("mango");
+  for (int i = 0; i < 3; ++i) queries.push_back("manga");
+  queries.push_back("map");
+  auto result = RunToMap(cfg, QueryInput(queries));
+  EXPECT_EQ(result.at("m"), "mango,manga");
+  EXPECT_EQ(result.at("man"), "mango,manga");
+  EXPECT_EQ(result.at("map"), "map");
+}
+
+TEST(QuerySuggestion, TopKLimitsOutput) {
+  QuerySuggestionConfig cfg;
+  cfg.top_k = 1;
+  cfg.num_reduce_tasks = 1;
+  auto result = RunToMap(cfg, QueryInput({"aa", "aa", "ab"}));
+  EXPECT_EQ(result.at("a"), "aa");
+}
+
+TEST(QuerySuggestion, CombinerPreservesResults) {
+  std::vector<std::string> queries;
+  for (int i = 0; i < 50; ++i) {
+    queries.push_back("query" + std::to_string(i % 7));
+  }
+  QuerySuggestionConfig plain;
+  plain.num_reduce_tasks = 3;
+  QuerySuggestionConfig combined = plain;
+  combined.with_combiner = true;
+  const auto input = QueryInput(queries);
+  EXPECT_EQ(RunToMap(plain, input), RunToMap(combined, input));
+}
+
+TEST(QuerySuggestion, PartitionersPreserveResults) {
+  std::vector<std::string> queries = {"sigmod", "sigmod 2014", "sigir",
+                                      "sigcomm", "vldb", "icde"};
+  QuerySuggestionConfig cfg;
+  cfg.num_reduce_tasks = 4;
+  const auto input = QueryInput(queries);
+  const auto expected = RunToMap(cfg, input);
+  for (auto scheme : {QuerySuggestionConfig::Scheme::kPrefix1,
+                      QuerySuggestionConfig::Scheme::kPrefix5}) {
+    cfg.scheme = scheme;
+    EXPECT_EQ(RunToMap(cfg, input), expected);
+  }
+}
+
+TEST(QuerySuggestion, QuadraticMapOutput) {
+  // A query of length n produces n records totalling ~n^2/2 + n bytes
+  // (Section 2's cost analysis), plus one count byte per record.
+  QuerySuggestionConfig cfg;
+  cfg.num_reduce_tasks = 2;
+  JobMetrics m;
+  MustRun(MakeQuerySuggestionJob(cfg),
+          {MakeSplit(QueryInput({"watch how i met your mother online"}))},
+          &m);
+  const uint64_t n = 34;
+  EXPECT_EQ(m.map_output_records, n);
+  EXPECT_EQ(m.map_output_bytes, n * (n + 1) / 2 + n * n + n);
+}
+
+TEST(QuerySuggestion, CountedQueryCodec) {
+  std::string encoded;
+  workloads::EncodeCountedQuery(123456, Slice("a query"), &encoded);
+  uint64_t count;
+  Slice query;
+  ASSERT_TRUE(workloads::DecodeCountedQuery(encoded, &count, &query));
+  EXPECT_EQ(count, 123456u);
+  EXPECT_EQ(query.ToString(), "a query");
+  EXPECT_FALSE(workloads::DecodeCountedQuery(Slice(), &count, &query));
+}
+
+TEST(QuerySuggestion, FeatureFieldsIgnored) {
+  QuerySuggestionConfig cfg;
+  cfg.num_reduce_tasks = 1;
+  auto with_features = RunToMap(cfg, {{"u0", "abc\t10\t3"}});
+  auto without = RunToMap(cfg, {{"u0", "abc"}});
+  EXPECT_EQ(with_features, without);
+}
+
+TEST(QuerySuggestion, ExtraWorkDoesNotChangeOutput) {
+  QuerySuggestionConfig cfg;
+  cfg.num_reduce_tasks = 2;
+  const auto input = QueryInput({"mango", "manga", "map"});
+  const auto expected = RunToMap(cfg, input);
+  cfg.extra_work = 1;
+  EXPECT_EQ(RunToMap(cfg, input), expected);
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,100 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+TEST(Random, DeterministicForSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+  EXPECT_EQ(Random(1).Uniform(1), 0u);
+}
+
+TEST(Random, UniformCoversRange) {
+  Random rng(7);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.Uniform(10)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.03);
+}
+
+TEST(Random, GaussianMoments) {
+  Random rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian(5.0, 2.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Zipf, RankZeroIsMostPopular) {
+  Random rng(13);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(&rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  Random rng(17);
+  ZipfSampler uniform(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[uniform.Sample(&rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 40);
+  }
+}
+
+TEST(Zipf, SingleItem) {
+  Random rng(19);
+  ZipfSampler one(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(one.Sample(&rng), 0u);
+}
+
+TEST(Random, SkewedStaysInBound) {
+  Random rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Skewed(10), 1024u);
+  }
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,116 @@
+#include "io/run_file.h"
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+class RunFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+
+  void WriteRun(const std::string& fname,
+                const std::vector<std::pair<std::string, std::string>>& kvs) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile(fname, &file).ok());
+    RunWriter writer(std::move(file));
+    for (const auto& [k, v] : kvs) ASSERT_TRUE(writer.Add(k, v).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(RunFileTest, RoundTrip) {
+  WriteRun("r", {{"a", "1"}, {"b", "2"}, {"c", "3"}});
+  std::unique_ptr<KVStream> stream;
+  ASSERT_TRUE(OpenRun(env_.get(), "r", &stream).ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  while (stream->Valid()) {
+    got.emplace_back(stream->key().ToString(), stream->value().ToString());
+    ASSERT_TRUE(stream->Next().ok());
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(got[2], (std::pair<std::string, std::string>{"c", "3"}));
+}
+
+TEST_F(RunFileTest, EmptyRun) {
+  WriteRun("r", {});
+  std::unique_ptr<KVStream> stream;
+  ASSERT_TRUE(OpenRun(env_.get(), "r", &stream).ok());
+  EXPECT_FALSE(stream->Valid());
+}
+
+TEST_F(RunFileTest, EmptyKeysAndValues) {
+  WriteRun("r", {{"", ""}, {"k", ""}, {"", "v"}});
+  std::unique_ptr<KVStream> stream;
+  ASSERT_TRUE(OpenRun(env_.get(), "r", &stream).ok());
+  EXPECT_TRUE(stream->Valid());
+  EXPECT_TRUE(stream->key().empty());
+  EXPECT_TRUE(stream->value().empty());
+  ASSERT_TRUE(stream->Next().ok());
+  EXPECT_EQ(stream->key().ToString(), "k");
+  ASSERT_TRUE(stream->Next().ok());
+  EXPECT_EQ(stream->value().ToString(), "v");
+  ASSERT_TRUE(stream->Next().ok());
+  EXPECT_FALSE(stream->Valid());
+}
+
+TEST_F(RunFileTest, BinaryPayloads) {
+  std::string key("\x00\x01\xff", 3);
+  std::string value(300, '\0');
+  WriteRun("r", {{key, value}});
+  std::unique_ptr<KVStream> stream;
+  ASSERT_TRUE(OpenRun(env_.get(), "r", &stream).ok());
+  EXPECT_EQ(stream->key().ToString(), key);
+  EXPECT_EQ(stream->value().ToString(), value);
+}
+
+TEST_F(RunFileTest, RecordCountTracked) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("r", &file).ok());
+  RunWriter writer(std::move(file));
+  for (int i = 0; i < 17; ++i) {
+    ASSERT_TRUE(writer.Add("k", "v").ok());
+  }
+  EXPECT_EQ(writer.record_count(), 17u);
+  ASSERT_TRUE(writer.Close().ok());
+}
+
+TEST_F(RunFileTest, StringRunStreamParsesOwnedBuffer) {
+  WriteRun("r", {{"x", "1"}, {"y", "2"}});
+  std::string raw;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "r", &raw).ok());
+  StringRunStream stream(std::move(raw));
+  ASSERT_TRUE(stream.Open().ok());
+  EXPECT_EQ(stream.key().ToString(), "x");
+  ASSERT_TRUE(stream.Next().ok());
+  EXPECT_EQ(stream.key().ToString(), "y");
+  ASSERT_TRUE(stream.Next().ok());
+  EXPECT_FALSE(stream.Valid());
+}
+
+TEST_F(RunFileTest, StringRunStreamRejectsTruncation) {
+  WriteRun("r", {{"key", "value"}});
+  std::string raw;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "r", &raw).ok());
+  raw.pop_back();
+  StringRunStream stream(std::move(raw));
+  EXPECT_TRUE(stream.Open().IsCorruption());
+}
+
+TEST_F(RunFileTest, VectorStreamIterates) {
+  std::vector<std::pair<std::string, std::string>> records = {{"a", "1"},
+                                                              {"b", "2"}};
+  VectorStream stream(&records);
+  EXPECT_TRUE(stream.Valid());
+  EXPECT_EQ(stream.key().ToString(), "a");
+  ASSERT_TRUE(stream.Next().ok());
+  EXPECT_EQ(stream.value().ToString(), "2");
+  ASSERT_TRUE(stream.Next().ok());
+  EXPECT_FALSE(stream.Valid());
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,108 @@
+#include "mr/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include "mr/reduce_task.h"
+
+namespace antimr {
+namespace {
+
+class ShuffleTest : public ::testing::TestWithParam<CodecType> {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+  std::unique_ptr<Env> env_;
+};
+
+TEST_P(ShuffleTest, SegmentRoundTrip) {
+  const Codec* codec = GetCodec(GetParam());
+  std::vector<KV> records;
+  for (int i = 0; i < 500; ++i) {
+    records.push_back({"key" + std::to_string(i),
+                       "value value value " + std::to_string(i)});
+  }
+  KVVectorStream in(&records);
+  uint64_t compress_nanos = 0;
+  SegmentWriteResult write_result;
+  ASSERT_TRUE(WriteSegment(env_.get(), "seg", &in, codec, &compress_nanos,
+                           &write_result)
+                  .ok());
+  EXPECT_EQ(write_result.records, 500u);
+  EXPECT_GT(write_result.raw_bytes, 0u);
+
+  uint64_t decompress_nanos = 0;
+  uint64_t fetched = 0;
+  std::unique_ptr<KVStream> out;
+  ASSERT_TRUE(FetchSegment(env_.get(), "seg", codec, &decompress_nanos,
+                           &fetched, &out)
+                  .ok());
+  EXPECT_EQ(fetched, write_result.stored_bytes);
+  size_t i = 0;
+  while (out->Valid()) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(out->key().ToString(), records[i].key);
+    EXPECT_EQ(out->value().ToString(), records[i].value);
+    ASSERT_TRUE(out->Next().ok());
+    ++i;
+  }
+  EXPECT_EQ(i, records.size());
+}
+
+TEST_P(ShuffleTest, EmptySegment) {
+  const Codec* codec = GetCodec(GetParam());
+  std::vector<KV> records;
+  KVVectorStream in(&records);
+  uint64_t nanos = 0;
+  SegmentWriteResult result;
+  ASSERT_TRUE(
+      WriteSegment(env_.get(), "empty", &in, codec, &nanos, &result).ok());
+  EXPECT_EQ(result.records, 0u);
+  std::unique_ptr<KVStream> out;
+  uint64_t fetched = 0;
+  ASSERT_TRUE(
+      FetchSegment(env_.get(), "empty", codec, &nanos, &fetched, &out).ok());
+  EXPECT_FALSE(out->Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, ShuffleTest,
+    ::testing::Values(CodecType::kNone, CodecType::kSnappyLike,
+                      CodecType::kGzip, CodecType::kBzip2Like),
+    [](const ::testing::TestParamInfo<CodecType>& info) {
+      std::string name = CodecTypeName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ShuffleNames, AreUniquePerTaskPartitionAndSpill) {
+  EXPECT_NE(SegmentFileName("j", 1, 2), SegmentFileName("j", 2, 1));
+  EXPECT_NE(SegmentFileName("j1", 1, 2), SegmentFileName("j2", 1, 2));
+  EXPECT_NE(SpillFileName("j", 1, 0, 2), SpillFileName("j", 1, 1, 2));
+  EXPECT_NE(SpillFileName("j", 1, 0, 2), SegmentFileName("j", 1, 2));
+}
+
+TEST(ShuffleCompression, MissingSegmentIsError) {
+  auto env = NewMemEnv();
+  std::unique_ptr<KVStream> out;
+  uint64_t nanos = 0, fetched = 0;
+  EXPECT_FALSE(FetchSegment(env.get(), "nope", GetCodec(CodecType::kNone),
+                            &nanos, &fetched, &out)
+                   .ok());
+}
+
+TEST(ShuffleCompression, CorruptSegmentIsError) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env->NewWritableFile("bad", &f).ok());
+  ASSERT_TRUE(f->Append("this is not gzip").ok());
+  ASSERT_TRUE(f->Close().ok());
+  std::unique_ptr<KVStream> out;
+  uint64_t nanos = 0, fetched = 0;
+  EXPECT_FALSE(FetchSegment(env.get(), "bad", GetCodec(CodecType::kGzip),
+                            &nanos, &fetched, &out)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace antimr

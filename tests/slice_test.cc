@@ -1,0 +1,69 @@
+#include "common/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+TEST(Slice, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Slice, FromString) {
+  std::string str = "hello";
+  Slice s(str);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.ToString(), "hello");
+  EXPECT_EQ(s[1], 'e');
+}
+
+TEST(Slice, FromCString) {
+  Slice s("abc");
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Slice, RemovePrefix) {
+  Slice s("abcdef");
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+  s.RemovePrefix(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Slice, CompareIsBytewise) {
+  EXPECT_LT(Slice("a").compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("ab").compare(Slice("ab")), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  // Unsigned byte comparison: 0xFF > 0x01.
+  const char high[] = {'\xff'};
+  const char low[] = {'\x01'};
+  EXPECT_GT(Slice(high, 1).compare(Slice(low, 1)), 0);
+}
+
+TEST(Slice, EmbeddedNulBytesCompare) {
+  const char a[] = {'x', '\0', 'a'};
+  const char b[] = {'x', '\0', 'b'};
+  EXPECT_LT(Slice(a, 3).compare(Slice(b, 3)), 0);
+  EXPECT_EQ(Slice(a, 3).compare(Slice(a, 3)), 0);
+}
+
+TEST(Slice, StartsWith) {
+  Slice s("antimr");
+  EXPECT_TRUE(s.starts_with(Slice("anti")));
+  EXPECT_TRUE(s.starts_with(Slice("")));
+  EXPECT_FALSE(s.starts_with(Slice("mr")));
+  EXPECT_FALSE(Slice("a").starts_with(Slice("ab")));
+}
+
+TEST(Slice, Operators) {
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+}
+
+}  // namespace
+}  // namespace antimr

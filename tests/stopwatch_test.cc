@@ -1,0 +1,67 @@
+#include "common/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace antimr {
+namespace {
+
+TEST(Stopwatch, NowNanosIsMonotonic) {
+  uint64_t last = NowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = NowNanos();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  sw.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const uint64_t elapsed = sw.Stop();
+  EXPECT_GE(elapsed, 15'000'000u);   // >= 15ms
+  EXPECT_LT(elapsed, 500'000'000u);  // < 500ms (generous for CI noise)
+  EXPECT_EQ(sw.total_nanos(), elapsed);
+}
+
+TEST(Stopwatch, AccumulatesAcrossCycles) {
+  Stopwatch sw;
+  for (int i = 0; i < 3; ++i) {
+    sw.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    sw.Stop();
+  }
+  EXPECT_GE(sw.total_nanos(), 10'000'000u);
+  sw.Reset();
+  EXPECT_EQ(sw.total_nanos(), 0u);
+}
+
+TEST(Stopwatch, ScopedTimerAddsToSink) {
+  uint64_t sink = 0;
+  {
+    ScopedTimer t(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(sink, 5'000'000u);
+  const uint64_t after_first = sink;
+  {
+    ScopedTimer t(&sink);
+  }
+  EXPECT_GE(sink, after_first);
+}
+
+TEST(Stopwatch, ThreadCpuExcludesSleep) {
+  const uint64_t cpu_start = ThreadCpuNanos();
+  const uint64_t wall_start = NowNanos();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const uint64_t cpu = ThreadCpuNanos() - cpu_start;
+  const uint64_t wall = NowNanos() - wall_start;
+  EXPECT_GE(wall, 40'000'000u);
+  // Sleeping burns (almost) no CPU.
+  EXPECT_LT(cpu, wall / 2);
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,78 @@
+#include "io/throttled_env.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+namespace antimr {
+namespace {
+
+TEST(ThrottledEnv, ForwardsDataFaithfully) {
+  auto base = NewMemEnv();
+  auto env = NewThrottledEnv(base.get(), /*disk_mb_per_s=*/1000.0);
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env->NewWritableFile("f", &w).ok());
+  ASSERT_TRUE(w->Append("hello throttle").ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TRUE(env->NewSequentialFile("f", &r).ok());
+  char scratch[64];
+  Slice chunk;
+  ASSERT_TRUE(r->Read(sizeof(scratch), &chunk, scratch).ok());
+  EXPECT_EQ(chunk.ToString(), "hello throttle");
+
+  // Stats flow through to the base env.
+  EXPECT_EQ(env->stats().bytes_written, 14u);
+  EXPECT_EQ(base->stats().bytes_written, 14u);
+  EXPECT_TRUE(env->FileExists("f"));
+  ASSERT_TRUE(env->DeleteFile("f").ok());
+  EXPECT_FALSE(base->FileExists("f"));
+}
+
+TEST(ThrottledEnv, WritesTakeSimulatedTime) {
+  auto base = NewMemEnv();
+  // 1 MB/s: a 256 KiB write should take ~250 ms.
+  auto env = NewThrottledEnv(base.get(), 1.0);
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env->NewWritableFile("f", &w).ok());
+  const std::string data(256 * 1024, 'x');
+  const uint64_t start = NowNanos();
+  ASSERT_TRUE(w->Append(data).ok());
+  const uint64_t elapsed = NowNanos() - start;
+  EXPECT_GE(elapsed, 150'000'000u) << "throttle too weak";
+}
+
+TEST(ThrottledEnv, ReadsTakeSimulatedTime) {
+  auto base = NewMemEnv();
+  {
+    std::unique_ptr<WritableFile> w;
+    ASSERT_TRUE(base->NewWritableFile("f", &w).ok());
+    ASSERT_TRUE(w->Append(std::string(256 * 1024, 'y')).ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+  auto env = NewThrottledEnv(base.get(), 1.0);
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TRUE(env->NewSequentialFile("f", &r).ok());
+  std::vector<char> scratch(1 << 20);
+  Slice chunk;
+  const uint64_t start = NowNanos();
+  uint64_t total = 0;
+  while (true) {
+    ASSERT_TRUE(r->Read(scratch.size(), &chunk, scratch.data()).ok());
+    if (chunk.empty()) break;
+    total += chunk.size();
+  }
+  EXPECT_EQ(total, 256u * 1024);
+  EXPECT_GE(NowNanos() - start, 150'000'000u);
+}
+
+TEST(SleepForBytes, ZeroRateIsNoOp) {
+  const uint64_t start = NowNanos();
+  SleepForBytes(100 * 1024 * 1024, 0.0);
+  SleepForBytes(0, 100.0);
+  EXPECT_LT(NowNanos() - start, 50'000'000u);
+}
+
+}  // namespace
+}  // namespace antimr

@@ -1,0 +1,102 @@
+// Unit tests of the syntactic transformation itself: what EnableAntiCombining
+// rewrites, what it preserves, and how the C flag wires the Combiner.
+#include "anticombine/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "anticombine/anti_mapper.h"
+#include "anticombine/anti_reducer.h"
+
+namespace antimr {
+namespace anticombine {
+namespace {
+
+class NopMapper : public Mapper {
+ public:
+  void Map(const Slice&, const Slice&, MapContext*) override {}
+};
+class NopReducer : public Reducer {
+ public:
+  void Reduce(const Slice&, ValueIterator*, ReduceContext*) override {}
+};
+
+JobSpec BaseSpec(bool with_combiner) {
+  JobSpec spec;
+  spec.name = "base";
+  spec.mapper_factory = []() { return std::make_unique<NopMapper>(); };
+  spec.reducer_factory = []() { return std::make_unique<NopReducer>(); };
+  if (with_combiner) {
+    spec.combiner_factory = []() { return std::make_unique<NopReducer>(); };
+  }
+  spec.num_reduce_tasks = 7;
+  spec.map_output_codec = CodecType::kGzip;
+  spec.map_buffer_bytes = 12345;
+  return spec;
+}
+
+TEST(Transform, WrapsMapperAndReducer) {
+  const JobSpec t = EnableAntiCombining(BaseSpec(false),
+                                        AntiCombineOptions());
+  auto mapper = t.mapper_factory();
+  auto reducer = t.reducer_factory();
+  EXPECT_NE(dynamic_cast<AntiMapper*>(mapper.get()), nullptr);
+  EXPECT_NE(dynamic_cast<AntiReducer*>(reducer.get()), nullptr);
+}
+
+TEST(Transform, PreservesJobKnobs) {
+  const JobSpec original = BaseSpec(false);
+  const JobSpec t = EnableAntiCombining(original, AntiCombineOptions());
+  EXPECT_EQ(t.num_reduce_tasks, original.num_reduce_tasks);
+  EXPECT_EQ(t.map_output_codec, original.map_output_codec);
+  EXPECT_EQ(t.map_buffer_bytes, original.map_buffer_bytes);
+  EXPECT_EQ(t.partitioner, original.partitioner);
+  EXPECT_NE(t.name, original.name) << "transformed jobs are distinguishable";
+  EXPECT_TRUE(t.mapper_reports_logical_output);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(Transform, NoCombinerStaysNoCombiner) {
+  const JobSpec t = EnableAntiCombining(BaseSpec(false),
+                                        AntiCombineOptions());
+  EXPECT_EQ(t.combiner_factory, nullptr);
+}
+
+TEST(Transform, FlagC1WrapsCombiner) {
+  AntiCombineOptions options;
+  options.map_phase_combiner = true;
+  const JobSpec t = EnableAntiCombining(BaseSpec(true), options);
+  ASSERT_NE(t.combiner_factory, nullptr);
+  auto combiner = t.combiner_factory();
+  EXPECT_NE(dynamic_cast<AntiCombiner*>(combiner.get()), nullptr)
+      << "the Combiner gets the same syntactic treatment (Section 6.1)";
+}
+
+TEST(Transform, FlagC0RemovesMapPhaseCombiner) {
+  AntiCombineOptions options;
+  options.map_phase_combiner = false;
+  const JobSpec t = EnableAntiCombining(BaseSpec(true), options);
+  EXPECT_EQ(t.combiner_factory, nullptr)
+      << "C = 0 drops the Combiner from the map phase only";
+}
+
+TEST(Transform, OriginalSpecIsUntouched) {
+  JobSpec original = BaseSpec(true);
+  (void)EnableAntiCombining(original, AntiCombineOptions());
+  EXPECT_EQ(original.name, "base");
+  auto mapper = original.mapper_factory();
+  EXPECT_EQ(dynamic_cast<AntiMapper*>(mapper.get()), nullptr);
+  EXPECT_NE(original.combiner_factory, nullptr);
+}
+
+TEST(Transform, TransformIsRepeatable) {
+  // Each transformed factory builds independent instances.
+  const JobSpec t = EnableAntiCombining(BaseSpec(false),
+                                        AntiCombineOptions());
+  auto a = t.mapper_factory();
+  auto b = t.mapper_factory();
+  EXPECT_NE(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace anticombine
+}  // namespace antimr

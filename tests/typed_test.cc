@@ -1,0 +1,203 @@
+// Tests of the typed API layer: serializer round-trips and order
+// preservation, typed jobs end to end, and typed jobs under Anti-Combining.
+#include "mr/typed.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace antimr {
+namespace {
+
+using testing::Canonicalize;
+using testing::MustRun;
+
+template <typename T>
+std::string Enc(const T& v) {
+  std::string out;
+  Serializer<T>::Encode(v, &out);
+  return out;
+}
+
+template <typename T>
+T Dec(const std::string& raw) {
+  T v{};
+  EXPECT_TRUE(Serializer<T>::Decode(raw, &v));
+  return v;
+}
+
+TEST(Serializer, StringRoundTrip) {
+  for (const std::string& s : std::vector<std::string>{
+           "", "abc", std::string("\0x\xff", 3)}) {
+    EXPECT_EQ(Dec<std::string>(Enc(s)), s);
+  }
+}
+
+TEST(Serializer, U64RoundTripAndOrder) {
+  const uint64_t values[] = {0, 1, 255, 256, uint64_t{1} << 40, UINT64_MAX};
+  for (uint64_t v : values) EXPECT_EQ(Dec<uint64_t>(Enc(v)), v);
+  for (uint64_t a : values) {
+    for (uint64_t b : values) {
+      EXPECT_EQ(a < b, Enc(a) < Enc(b)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Serializer, I64RoundTripAndOrder) {
+  const int64_t values[] = {INT64_MIN, -1000000, -1, 0, 1, 42, INT64_MAX};
+  for (int64_t v : values) EXPECT_EQ(Dec<int64_t>(Enc(v)), v);
+  for (int64_t a : values) {
+    for (int64_t b : values) {
+      EXPECT_EQ(a < b, Enc(a) < Enc(b)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Serializer, DoubleRoundTripAndOrder) {
+  const double values[] = {-std::numeric_limits<double>::infinity(),
+                           -1e300,
+                           -1.5,
+                           -0.0,
+                           0.0,
+                           1e-300,
+                           2.75,
+                           1e300,
+                           std::numeric_limits<double>::infinity()};
+  for (double v : values) {
+    EXPECT_EQ(Dec<double>(Enc(v)), v) << v;
+  }
+  for (double a : values) {
+    for (double b : values) {
+      if (a < b) {
+        EXPECT_LE(Enc(a), Enc(b)) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(Serializer, DecodeRejectsWrongWidth) {
+  uint64_t u;
+  EXPECT_FALSE(Serializer<uint64_t>::Decode(Slice("abc"), &u));
+  double d;
+  EXPECT_FALSE(Serializer<double>::Decode(Slice(""), &d));
+}
+
+// ---------------------------------------------------------------------------
+// A typed job: histogram of value buckets. Input (uint64 id, double x);
+// intermediate (uint64 bucket, uint64 one); output (uint64 bucket, count).
+
+class BucketMapper : public TypedMapper<uint64_t, double, uint64_t, uint64_t> {
+ public:
+  void TypedMap(const uint64_t& key, const double& x,
+                Context* ctx) override {
+    (void)key;
+    ctx->Emit(static_cast<uint64_t>(x * 10), 1);
+  }
+};
+
+class SumReducer
+    : public TypedReducer<uint64_t, uint64_t, uint64_t, uint64_t> {
+ public:
+  void TypedReduce(const uint64_t& key, TypedValueIterator<uint64_t>* values,
+                   Context* ctx) override {
+    uint64_t total = 0;
+    uint64_t v;
+    while (values->Next(&v)) total += v;
+    ctx->Emit(key, total);
+  }
+};
+
+JobSpec BucketJob() {
+  JobSpec spec;
+  spec.name = "bucket_histogram";
+  spec.mapper_factory = []() { return std::make_unique<BucketMapper>(); };
+  spec.reducer_factory = []() { return std::make_unique<SumReducer>(); };
+  spec.combiner_factory = []() { return std::make_unique<SumReducer>(); };
+  spec.num_reduce_tasks = 3;
+  return spec;
+}
+
+std::vector<KV> BucketInput(int n) {
+  std::vector<KV> input;
+  for (int i = 0; i < n; ++i) {
+    input.push_back(MakeTypedKV<uint64_t, double>(
+        static_cast<uint64_t>(i), (i % 10) / 10.0 + 0.05));
+  }
+  return input;
+}
+
+TEST(TypedJob, EndToEnd) {
+  auto out = MustRun(BucketJob(), MakeSplits(BucketInput(1000), 4));
+  ASSERT_EQ(out.size(), 10u);
+  uint64_t total = 0;
+  for (const KV& kv : out) {
+    uint64_t bucket, count;
+    ASSERT_TRUE(Serializer<uint64_t>::Decode(kv.key, &bucket));
+    ASSERT_TRUE(Serializer<uint64_t>::Decode(kv.value, &count));
+    EXPECT_LT(bucket, 10u);
+    EXPECT_EQ(count, 100u);
+    total += count;
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(TypedJob, NumericKeysReduceInNumericOrder) {
+  // Big-endian keys: reduce calls ascend numerically even past 255.
+  class CheckReducer
+      : public TypedReducer<uint64_t, uint64_t, uint64_t, uint64_t> {
+   public:
+    void TypedReduce(const uint64_t& key, TypedValueIterator<uint64_t>* values,
+                     Context* ctx) override {
+      if (!first_) {
+        EXPECT_GT(key, last_) << "keys must ascend numerically";
+      }
+      first_ = false;
+      last_ = key;
+      uint64_t v;
+      while (values->Next(&v)) {
+      }
+      ctx->Emit(key, 1);
+    }
+    uint64_t last_ = 0;
+    bool first_ = true;
+  };
+  class WideMapper
+      : public TypedMapper<uint64_t, double, uint64_t, uint64_t> {
+   public:
+    void TypedMap(const uint64_t& key, const double&, Context* ctx) override {
+      ctx->Emit(key * 1000, 1);
+    }
+  };
+  JobSpec spec = BucketJob();
+  spec.mapper_factory = []() { return std::make_unique<WideMapper>(); };
+  spec.reducer_factory = []() { return std::make_unique<CheckReducer>(); };
+  spec.combiner_factory = nullptr;
+  spec.num_reduce_tasks = 1;
+  auto out = MustRun(spec, MakeSplits(BucketInput(500), 3));
+  EXPECT_EQ(out.size(), 500u);
+}
+
+TEST(TypedJob, AntiCombiningEquivalence) {
+  testing::ExpectEquivalent(BucketJob(), MakeSplits(BucketInput(800), 3),
+                            anticombine::AntiCombineOptions());
+}
+
+TEST(TypedJob, MalformedRecordsSkipped) {
+  JobSpec spec = BucketJob();
+  std::vector<KV> input = BucketInput(10);
+  input.push_back({"garbage-key", "garbage-value"});  // wrong widths
+  auto out = MustRun(spec, {MakeSplit(input)});
+  uint64_t total = 0;
+  for (const KV& kv : out) {
+    uint64_t count;
+    ASSERT_TRUE(Serializer<uint64_t>::Decode(kv.value, &count));
+    total += count;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace antimr

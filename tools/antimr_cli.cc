@@ -1,0 +1,252 @@
+// antimr_cli — command-line driver for the library: run any built-in
+// workload under any strategy and print the full metrics breakdown, or
+// compare the compression codecs.
+//
+// Usage:
+//   antimr_cli run --workload=qsuggest --strategy=adaptive --records=50000
+//       [--strategy=original|eager|lazy|adaptive]
+//       [--threshold-us=N] [--window=N] [--c-flag=0|1]
+//       [--codec=none|snappy|deflate|gzip|bzip2]
+//       [--maps=N] [--reduces=N] [--seed=N]
+//       [--disk-mbps=N --net-mbps=N]   (simulated hardware)
+//       [--partitioner=hash|prefix1|prefix5]   (qsuggest only)
+//   antimr_cli codecs [--size=BYTES]
+//   antimr_cli help
+#include <cstdio>
+#include <cstring>
+
+#include "antimr.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "datagen/cloud.h"
+#include "datagen/graph.h"
+#include "datagen/qlog.h"
+#include "datagen/random_text.h"
+#include "tools/flags.h"
+#include "workloads/pagerank.h"
+#include "workloads/query_suggestion.h"
+#include "workloads/sort.h"
+#include "workloads/theta_join.h"
+#include "workloads/wordcount.h"
+
+namespace antimr {
+namespace tools {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  antimr_cli run --workload=qsuggest|wordcount|pagerank|thetajoin|"
+      "sort [options]\n"
+      "  antimr_cli codecs [--size=BYTES]\n"
+      "options:\n"
+      "  --strategy=original|eager|lazy|adaptive   (default adaptive)\n"
+      "  --threshold-us=N      lazy cost threshold T in microseconds\n"
+      "  --window=N            cross-call sharing window (default 1)\n"
+      "  --c-flag=0|1          map-phase combiner flag C (default 1)\n"
+      "  --codec=none|snappy|deflate|gzip|bzip2    (default none)\n"
+      "  --records=N --maps=N --reduces=N --seed=N\n"
+      "  --disk-mbps=N --net-mbps=N   simulated hardware (default off)\n"
+      "  --json                dump metrics as a JSON object\n"
+      "  --partitioner=hash|prefix1|prefix5        (qsuggest)\n");
+  return 2;
+}
+
+Status BuildJob(const Flags& flags, JobSpec* spec,
+                std::vector<InputSplit>* splits, uint64_t records,
+                int maps) {
+  const std::string workload = flags.GetString("workload", "qsuggest");
+  const uint64_t seed = flags.GetUint("seed", 42);
+  const auto codec = CodecTypeFromName(flags.GetString("codec", "none"));
+  if (!codec.ok()) return codec.status();
+  const int reduces = static_cast<int>(flags.GetUint("reduces", 8));
+
+  if (workload == "qsuggest") {
+    QLogConfig qc;
+    qc.num_records = records;
+    qc.seed = seed;
+    *splits = QLogGenerator(qc).MakeSplits(maps);
+    workloads::QuerySuggestionConfig cfg;
+    const std::string scheme = flags.GetString("partitioner", "hash");
+    using Scheme = workloads::QuerySuggestionConfig::Scheme;
+    cfg.scheme = scheme == "prefix1"   ? Scheme::kPrefix1
+                 : scheme == "prefix5" ? Scheme::kPrefix5
+                                       : Scheme::kHash;
+    cfg.with_combiner = flags.GetBool("combiner", false);
+    cfg.codec = codec.value();
+    cfg.num_reduce_tasks = reduces;
+    *spec = workloads::MakeQuerySuggestionJob(cfg);
+    return Status::OK();
+  }
+  if (workload == "wordcount") {
+    RandomTextConfig rc;
+    rc.num_lines = records;
+    rc.seed = seed;
+    *splits = RandomTextGenerator(rc).MakeSplits(maps);
+    workloads::WordCountConfig cfg;
+    cfg.with_combiner = flags.GetBool("combiner", true);
+    cfg.codec = codec.value();
+    cfg.num_reduce_tasks = reduces;
+    *spec = workloads::MakeWordCountJob(cfg);
+    return Status::OK();
+  }
+  if (workload == "sort") {
+    RandomTextConfig rc;
+    rc.num_lines = records;
+    rc.seed = seed;
+    *splits = RandomTextGenerator(rc).MakeSplits(maps);
+    workloads::SortConfig cfg;
+    cfg.codec = codec.value();
+    cfg.num_reduce_tasks = reduces;
+    *spec = workloads::MakeSortJob(cfg);
+    return Status::OK();
+  }
+  if (workload == "thetajoin") {
+    CloudConfig cc;
+    cc.num_records = records;
+    cc.seed = seed;
+    *splits = CloudGenerator(cc).MakeSplits(maps);
+    workloads::ThetaJoinConfig cfg;
+    workloads::SizeGridForMemory(records,
+                                 flags.GetUint("region-records", 1000),
+                                 &cfg.grid_rows, &cfg.grid_cols);
+    cfg.codec = codec.value();
+    cfg.num_reduce_tasks = reduces;
+    *spec = workloads::MakeThetaJoinJob(cfg);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown workload: " + workload);
+}
+
+int RunCommand(const Flags& flags) {
+  const uint64_t records = flags.GetUint("records", 20000);
+  const int maps = static_cast<int>(flags.GetUint("maps", 8));
+  const std::string workload = flags.GetString("workload", "qsuggest");
+
+  anticombine::AntiCombineOptions options;
+  if (flags.Has("threshold-us")) {
+    options.lazy_threshold_nanos = flags.GetUint("threshold-us", 0) * 1000;
+  }
+  options.cross_call_window =
+      static_cast<int>(flags.GetUint("window", 1));
+  options.map_phase_combiner = flags.GetBool("c-flag", true);
+
+  const std::string strategy = flags.GetString("strategy", "adaptive");
+
+  RunOptions run;
+  run.collect_output = false;
+  run.hardware.disk_mb_per_s = flags.GetDouble("disk-mbps", 0);
+  run.hardware.network_mb_per_s = flags.GetDouble("net-mbps", 0);
+
+  // PageRank is iterative and uses its own driver.
+  if (workload == "pagerank") {
+    GraphConfig gc;
+    gc.num_nodes = records;
+    gc.seed = flags.GetUint("seed", 42);
+    workloads::PageRankConfig cfg;
+    cfg.num_nodes = gc.num_nodes;
+    cfg.num_reduce_tasks = static_cast<int>(flags.GetUint("reduces", 8));
+    run.collect_output = true;  // iterations chain through outputs
+    workloads::PageRankRunResult result;
+    Status st = workloads::RunPageRank(
+        cfg, GraphGenerator(gc).Generate(),
+        static_cast<int>(flags.GetUint("iterations", 5)),
+        strategy == "original" ? nullptr : &options, maps, &result, run);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result.total.ToString().c_str());
+    return 0;
+  }
+
+  JobSpec spec;
+  std::vector<InputSplit> splits;
+  Status st = BuildJob(flags, &spec, &splits, records, maps);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return Usage();
+  }
+
+  if (strategy == "eager") {
+    options.lazy_threshold_nanos = 0;
+    spec = anticombine::EnableAntiCombining(spec, options);
+  } else if (strategy == "lazy") {
+    options.force_lazy = true;
+    spec = anticombine::EnableAntiCombining(spec, options);
+  } else if (strategy == "adaptive") {
+    spec = anticombine::EnableAntiCombining(spec, options);
+  } else if (strategy != "original") {
+    std::fprintf(stderr, "error: unknown strategy %s\n", strategy.c_str());
+    return Usage();
+  }
+
+  JobResult result;
+  st = RunJob(spec, splits, run, &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.GetBool("json", false)) {
+    std::printf("%s\n", result.metrics.ToJson().c_str());
+    return 0;
+  }
+  std::printf("workload=%s strategy=%s records=%llu maps=%d\n\n",
+              workload.c_str(), strategy.c_str(),
+              static_cast<unsigned long long>(records), maps);
+  std::printf("%s", result.metrics.ToString().c_str());
+  return 0;
+}
+
+int CodecsCommand(const Flags& flags) {
+  const size_t size = flags.GetUint("size", 4 * 1024 * 1024);
+  Random rng(7);
+  static const char* words[] = {"data", "record", "shuffle", "network",
+                                "reduce", "value", "cluster", "key"};
+  std::string corpus;
+  corpus.reserve(size);
+  while (corpus.size() < size) {
+    corpus += words[rng.Uniform(8)];
+    corpus.push_back(' ');
+  }
+  std::printf("%-14s %12s %10s %14s %14s\n", "codec", "compressed", "ratio",
+              "compress", "decompress");
+  for (CodecType type :
+       {CodecType::kSnappyLike, CodecType::kDeflateLike, CodecType::kGzip,
+        CodecType::kBzip2Like}) {
+    const Codec* codec = GetCodec(type);
+    std::string compressed, restored;
+    uint64_t t0 = NowNanos();
+    ANTIMR_CHECK_OK(codec->Compress(corpus, &compressed));
+    const uint64_t compress_nanos = NowNanos() - t0;
+    t0 = NowNanos();
+    ANTIMR_CHECK_OK(codec->Decompress(compressed, &restored));
+    const uint64_t decompress_nanos = NowNanos() - t0;
+    ANTIMR_CHECK_OK(restored == corpus
+                        ? Status::OK()
+                        : Status::Corruption("round-trip mismatch"));
+    std::printf("%-14s %12s %9.2fx %14s %14s\n", codec->name(),
+                FormatBytes(compressed.size()).c_str(),
+                static_cast<double>(corpus.size()) /
+                    static_cast<double>(compressed.size()),
+                FormatNanos(compress_nanos).c_str(),
+                FormatNanos(decompress_nanos).c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "run") return RunCommand(flags);
+  if (command == "codecs") return CodecsCommand(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace antimr
+
+int main(int argc, char** argv) { return antimr::tools::Main(argc, argv); }

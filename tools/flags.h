@@ -1,0 +1,71 @@
+// Minimal --key=value flag parsing for the CLI tools.
+#ifndef ANTIMR_TOOLS_FLAGS_H_
+#define ANTIMR_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace antimr {
+namespace tools {
+
+/// Parses "--key=value" and bare "--key" (value "1") arguments; positional
+/// arguments are collected in order.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          values_[arg.substr(2)] = "1";
+        } else {
+          values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tools
+}  // namespace antimr
+
+#endif  // ANTIMR_TOOLS_FLAGS_H_
