@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_fig12_thetajoin"
+  "../bench/bench_e10_fig12_thetajoin.pdb"
+  "CMakeFiles/bench_e10_fig12_thetajoin.dir/bench_e10_fig12_thetajoin.cc.o"
+  "CMakeFiles/bench_e10_fig12_thetajoin.dir/bench_e10_fig12_thetajoin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_fig12_thetajoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e10_fig12_thetajoin.
+# This may be replaced when dependencies are built.

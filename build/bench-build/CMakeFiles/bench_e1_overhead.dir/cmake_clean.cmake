@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_overhead"
+  "../bench/bench_e1_overhead.pdb"
+  "CMakeFiles/bench_e1_overhead.dir/bench_e1_overhead.cc.o"
+  "CMakeFiles/bench_e1_overhead.dir/bench_e1_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_fig9_output_size"
+  "../bench/bench_e2_fig9_output_size.pdb"
+  "CMakeFiles/bench_e2_fig9_output_size.dir/bench_e2_fig9_output_size.cc.o"
+  "CMakeFiles/bench_e2_fig9_output_size.dir/bench_e2_fig9_output_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_fig9_output_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

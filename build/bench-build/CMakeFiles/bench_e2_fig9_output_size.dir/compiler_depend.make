@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e2_fig9_output_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_combiner"
+  "../bench/bench_e3_combiner.pdb"
+  "CMakeFiles/bench_e3_combiner.dir/bench_e3_combiner.cc.o"
+  "CMakeFiles/bench_e3_combiner.dir/bench_e3_combiner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_fig10_compression"
+  "../bench/bench_e4_fig10_compression.pdb"
+  "CMakeFiles/bench_e4_fig10_compression.dir/bench_e4_fig10_compression.cc.o"
+  "CMakeFiles/bench_e4_fig10_compression.dir/bench_e4_fig10_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_fig10_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

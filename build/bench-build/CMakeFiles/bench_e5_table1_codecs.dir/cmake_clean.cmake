@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_table1_codecs"
+  "../bench/bench_e5_table1_codecs.pdb"
+  "CMakeFiles/bench_e5_table1_codecs.dir/bench_e5_table1_codecs.cc.o"
+  "CMakeFiles/bench_e5_table1_codecs.dir/bench_e5_table1_codecs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_table1_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

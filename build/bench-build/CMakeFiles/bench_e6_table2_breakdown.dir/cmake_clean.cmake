@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_table2_breakdown"
+  "../bench/bench_e6_table2_breakdown.pdb"
+  "CMakeFiles/bench_e6_table2_breakdown.dir/bench_e6_table2_breakdown.cc.o"
+  "CMakeFiles/bench_e6_table2_breakdown.dir/bench_e6_table2_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_table2_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_fig11_cpu_threshold"
+  "../bench/bench_e7_fig11_cpu_threshold.pdb"
+  "CMakeFiles/bench_e7_fig11_cpu_threshold.dir/bench_e7_fig11_cpu_threshold.cc.o"
+  "CMakeFiles/bench_e7_fig11_cpu_threshold.dir/bench_e7_fig11_cpu_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_fig11_cpu_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_wordcount"
+  "../bench/bench_e8_wordcount.pdb"
+  "CMakeFiles/bench_e8_wordcount.dir/bench_e8_wordcount.cc.o"
+  "CMakeFiles/bench_e8_wordcount.dir/bench_e8_wordcount.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

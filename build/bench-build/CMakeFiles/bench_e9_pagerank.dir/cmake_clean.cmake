@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_pagerank"
+  "../bench/bench_e9_pagerank.pdb"
+  "CMakeFiles/bench_e9_pagerank.dir/bench_e9_pagerank.cc.o"
+  "CMakeFiles/bench_e9_pagerank.dir/bench_e9_pagerank.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_in_mapper_combining"
+  "../bench/bench_in_mapper_combining.pdb"
+  "CMakeFiles/bench_in_mapper_combining.dir/bench_in_mapper_combining.cc.o"
+  "CMakeFiles/bench_in_mapper_combining.dir/bench_in_mapper_combining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_in_mapper_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_in_mapper_combining.
+# This may be replaced when dependencies are built.

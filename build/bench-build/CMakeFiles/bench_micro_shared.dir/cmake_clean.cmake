@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_shared"
+  "../bench/bench_micro_shared.pdb"
+  "CMakeFiles/bench_micro_shared.dir/bench_micro_shared.cc.o"
+  "CMakeFiles/bench_micro_shared.dir/bench_micro_shared.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

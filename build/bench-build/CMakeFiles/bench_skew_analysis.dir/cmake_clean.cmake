@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_skew_analysis"
+  "../bench/bench_skew_analysis.pdb"
+  "CMakeFiles/bench_skew_analysis.dir/bench_skew_analysis.cc.o"
+  "CMakeFiles/bench_skew_analysis.dir/bench_skew_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skew_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_suggestion_demo.dir/query_suggestion_demo.cpp.o"
+  "CMakeFiles/query_suggestion_demo.dir/query_suggestion_demo.cpp.o.d"
+  "query_suggestion_demo"
+  "query_suggestion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_suggestion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

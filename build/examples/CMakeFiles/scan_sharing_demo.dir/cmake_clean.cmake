@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_sharing_demo.dir/scan_sharing_demo.cpp.o"
+  "CMakeFiles/scan_sharing_demo.dir/scan_sharing_demo.cpp.o.d"
+  "scan_sharing_demo"
+  "scan_sharing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_sharing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

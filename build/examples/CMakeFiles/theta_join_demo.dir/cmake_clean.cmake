@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_join_demo.dir/theta_join_demo.cpp.o"
+  "CMakeFiles/theta_join_demo.dir/theta_join_demo.cpp.o.d"
+  "theta_join_demo"
+  "theta_join_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_join_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

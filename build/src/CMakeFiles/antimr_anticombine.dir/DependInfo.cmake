@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anticombine/advisor.cc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/advisor.cc.o" "gcc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/advisor.cc.o.d"
+  "/root/repo/src/anticombine/anti_mapper.cc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/anti_mapper.cc.o" "gcc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/anti_mapper.cc.o.d"
+  "/root/repo/src/anticombine/anti_reducer.cc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/anti_reducer.cc.o" "gcc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/anti_reducer.cc.o.d"
+  "/root/repo/src/anticombine/encoding.cc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/encoding.cc.o" "gcc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/encoding.cc.o.d"
+  "/root/repo/src/anticombine/shared.cc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/shared.cc.o" "gcc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/shared.cc.o.d"
+  "/root/repo/src/anticombine/transform.cc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/transform.cc.o" "gcc" "src/CMakeFiles/antimr_anticombine.dir/anticombine/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/antimr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/antimr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/antimr_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/antimr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antimr_anticombine.dir/anticombine/advisor.cc.o"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/advisor.cc.o.d"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/anti_mapper.cc.o"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/anti_mapper.cc.o.d"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/anti_reducer.cc.o"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/anti_reducer.cc.o.d"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/encoding.cc.o"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/encoding.cc.o.d"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/shared.cc.o"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/shared.cc.o.d"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/transform.cc.o"
+  "CMakeFiles/antimr_anticombine.dir/anticombine/transform.cc.o.d"
+  "libantimr_anticombine.a"
+  "libantimr_anticombine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antimr_anticombine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for antimr_anticombine.
+# This may be replaced when dependencies are built.

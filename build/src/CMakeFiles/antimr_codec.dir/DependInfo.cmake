@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bzip2_like.cc" "src/CMakeFiles/antimr_codec.dir/codec/bzip2_like.cc.o" "gcc" "src/CMakeFiles/antimr_codec.dir/codec/bzip2_like.cc.o.d"
+  "/root/repo/src/codec/codec.cc" "src/CMakeFiles/antimr_codec.dir/codec/codec.cc.o" "gcc" "src/CMakeFiles/antimr_codec.dir/codec/codec.cc.o.d"
+  "/root/repo/src/codec/crc32.cc" "src/CMakeFiles/antimr_codec.dir/codec/crc32.cc.o" "gcc" "src/CMakeFiles/antimr_codec.dir/codec/crc32.cc.o.d"
+  "/root/repo/src/codec/deflate_like.cc" "src/CMakeFiles/antimr_codec.dir/codec/deflate_like.cc.o" "gcc" "src/CMakeFiles/antimr_codec.dir/codec/deflate_like.cc.o.d"
+  "/root/repo/src/codec/gzip.cc" "src/CMakeFiles/antimr_codec.dir/codec/gzip.cc.o" "gcc" "src/CMakeFiles/antimr_codec.dir/codec/gzip.cc.o.d"
+  "/root/repo/src/codec/snappy_like.cc" "src/CMakeFiles/antimr_codec.dir/codec/snappy_like.cc.o" "gcc" "src/CMakeFiles/antimr_codec.dir/codec/snappy_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/antimr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

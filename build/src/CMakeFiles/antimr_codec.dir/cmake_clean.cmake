@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antimr_codec.dir/codec/bzip2_like.cc.o"
+  "CMakeFiles/antimr_codec.dir/codec/bzip2_like.cc.o.d"
+  "CMakeFiles/antimr_codec.dir/codec/codec.cc.o"
+  "CMakeFiles/antimr_codec.dir/codec/codec.cc.o.d"
+  "CMakeFiles/antimr_codec.dir/codec/crc32.cc.o"
+  "CMakeFiles/antimr_codec.dir/codec/crc32.cc.o.d"
+  "CMakeFiles/antimr_codec.dir/codec/deflate_like.cc.o"
+  "CMakeFiles/antimr_codec.dir/codec/deflate_like.cc.o.d"
+  "CMakeFiles/antimr_codec.dir/codec/gzip.cc.o"
+  "CMakeFiles/antimr_codec.dir/codec/gzip.cc.o.d"
+  "CMakeFiles/antimr_codec.dir/codec/snappy_like.cc.o"
+  "CMakeFiles/antimr_codec.dir/codec/snappy_like.cc.o.d"
+  "libantimr_codec.a"
+  "libantimr_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antimr_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

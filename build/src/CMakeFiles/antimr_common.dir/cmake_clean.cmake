@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antimr_common.dir/common/coding.cc.o"
+  "CMakeFiles/antimr_common.dir/common/coding.cc.o.d"
+  "CMakeFiles/antimr_common.dir/common/hash.cc.o"
+  "CMakeFiles/antimr_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/antimr_common.dir/common/logging.cc.o"
+  "CMakeFiles/antimr_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/antimr_common.dir/common/random.cc.o"
+  "CMakeFiles/antimr_common.dir/common/random.cc.o.d"
+  "CMakeFiles/antimr_common.dir/common/status.cc.o"
+  "CMakeFiles/antimr_common.dir/common/status.cc.o.d"
+  "CMakeFiles/antimr_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/antimr_common.dir/common/stopwatch.cc.o.d"
+  "libantimr_common.a"
+  "libantimr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antimr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antimr_datagen.dir/datagen/cloud.cc.o"
+  "CMakeFiles/antimr_datagen.dir/datagen/cloud.cc.o.d"
+  "CMakeFiles/antimr_datagen.dir/datagen/graph.cc.o"
+  "CMakeFiles/antimr_datagen.dir/datagen/graph.cc.o.d"
+  "CMakeFiles/antimr_datagen.dir/datagen/qlog.cc.o"
+  "CMakeFiles/antimr_datagen.dir/datagen/qlog.cc.o.d"
+  "CMakeFiles/antimr_datagen.dir/datagen/random_text.cc.o"
+  "CMakeFiles/antimr_datagen.dir/datagen/random_text.cc.o.d"
+  "libantimr_datagen.a"
+  "libantimr_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antimr_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

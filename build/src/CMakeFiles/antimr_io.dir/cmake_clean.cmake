@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antimr_io.dir/io/buffered_io.cc.o"
+  "CMakeFiles/antimr_io.dir/io/buffered_io.cc.o.d"
+  "CMakeFiles/antimr_io.dir/io/env.cc.o"
+  "CMakeFiles/antimr_io.dir/io/env.cc.o.d"
+  "CMakeFiles/antimr_io.dir/io/mem_env.cc.o"
+  "CMakeFiles/antimr_io.dir/io/mem_env.cc.o.d"
+  "CMakeFiles/antimr_io.dir/io/merger.cc.o"
+  "CMakeFiles/antimr_io.dir/io/merger.cc.o.d"
+  "CMakeFiles/antimr_io.dir/io/posix_env.cc.o"
+  "CMakeFiles/antimr_io.dir/io/posix_env.cc.o.d"
+  "CMakeFiles/antimr_io.dir/io/run_file.cc.o"
+  "CMakeFiles/antimr_io.dir/io/run_file.cc.o.d"
+  "CMakeFiles/antimr_io.dir/io/throttled_env.cc.o"
+  "CMakeFiles/antimr_io.dir/io/throttled_env.cc.o.d"
+  "libantimr_io.a"
+  "libantimr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antimr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

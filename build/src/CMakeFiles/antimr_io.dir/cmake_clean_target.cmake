@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libantimr_io.a"
+)

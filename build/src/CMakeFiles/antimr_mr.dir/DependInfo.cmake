@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/in_mapper_combining.cc" "src/CMakeFiles/antimr_mr.dir/mr/in_mapper_combining.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/in_mapper_combining.cc.o.d"
+  "/root/repo/src/mr/job_runner.cc" "src/CMakeFiles/antimr_mr.dir/mr/job_runner.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/job_runner.cc.o.d"
+  "/root/repo/src/mr/job_spec.cc" "src/CMakeFiles/antimr_mr.dir/mr/job_spec.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/job_spec.cc.o.d"
+  "/root/repo/src/mr/local_cluster.cc" "src/CMakeFiles/antimr_mr.dir/mr/local_cluster.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/local_cluster.cc.o.d"
+  "/root/repo/src/mr/map_output_buffer.cc" "src/CMakeFiles/antimr_mr.dir/mr/map_output_buffer.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/map_output_buffer.cc.o.d"
+  "/root/repo/src/mr/map_task.cc" "src/CMakeFiles/antimr_mr.dir/mr/map_task.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/map_task.cc.o.d"
+  "/root/repo/src/mr/metrics.cc" "src/CMakeFiles/antimr_mr.dir/mr/metrics.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/metrics.cc.o.d"
+  "/root/repo/src/mr/reduce_task.cc" "src/CMakeFiles/antimr_mr.dir/mr/reduce_task.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/reduce_task.cc.o.d"
+  "/root/repo/src/mr/shuffle.cc" "src/CMakeFiles/antimr_mr.dir/mr/shuffle.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/shuffle.cc.o.d"
+  "/root/repo/src/mr/types.cc" "src/CMakeFiles/antimr_mr.dir/mr/types.cc.o" "gcc" "src/CMakeFiles/antimr_mr.dir/mr/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/antimr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/antimr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/antimr_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antimr_mr.dir/mr/in_mapper_combining.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/in_mapper_combining.cc.o.d"
+  "CMakeFiles/antimr_mr.dir/mr/job_runner.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/job_runner.cc.o.d"
+  "CMakeFiles/antimr_mr.dir/mr/job_spec.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/job_spec.cc.o.d"
+  "CMakeFiles/antimr_mr.dir/mr/local_cluster.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/local_cluster.cc.o.d"
+  "CMakeFiles/antimr_mr.dir/mr/map_output_buffer.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/map_output_buffer.cc.o.d"
+  "CMakeFiles/antimr_mr.dir/mr/map_task.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/map_task.cc.o.d"
+  "CMakeFiles/antimr_mr.dir/mr/metrics.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/metrics.cc.o.d"
+  "CMakeFiles/antimr_mr.dir/mr/reduce_task.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/reduce_task.cc.o.d"
+  "CMakeFiles/antimr_mr.dir/mr/shuffle.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/shuffle.cc.o.d"
+  "CMakeFiles/antimr_mr.dir/mr/types.cc.o"
+  "CMakeFiles/antimr_mr.dir/mr/types.cc.o.d"
+  "libantimr_mr.a"
+  "libantimr_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antimr_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antimr_workloads.dir/workloads/pagerank.cc.o"
+  "CMakeFiles/antimr_workloads.dir/workloads/pagerank.cc.o.d"
+  "CMakeFiles/antimr_workloads.dir/workloads/query_suggestion.cc.o"
+  "CMakeFiles/antimr_workloads.dir/workloads/query_suggestion.cc.o.d"
+  "CMakeFiles/antimr_workloads.dir/workloads/sort.cc.o"
+  "CMakeFiles/antimr_workloads.dir/workloads/sort.cc.o.d"
+  "CMakeFiles/antimr_workloads.dir/workloads/theta_join.cc.o"
+  "CMakeFiles/antimr_workloads.dir/workloads/theta_join.cc.o.d"
+  "CMakeFiles/antimr_workloads.dir/workloads/wordcount.cc.o"
+  "CMakeFiles/antimr_workloads.dir/workloads/wordcount.cc.o.d"
+  "libantimr_workloads.a"
+  "libantimr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antimr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

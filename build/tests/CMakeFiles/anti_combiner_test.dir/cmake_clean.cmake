@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anti_combiner_test.dir/anti_combiner_test.cc.o"
+  "CMakeFiles/anti_combiner_test.dir/anti_combiner_test.cc.o.d"
+  "anti_combiner_test"
+  "anti_combiner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anti_combiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for anti_combiner_test.
+# This may be replaced when dependencies are built.

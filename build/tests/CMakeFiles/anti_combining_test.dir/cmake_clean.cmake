@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anti_combining_test.dir/anti_combining_test.cc.o"
+  "CMakeFiles/anti_combining_test.dir/anti_combining_test.cc.o.d"
+  "anti_combining_test"
+  "anti_combining_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anti_combining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anti_mapper_test.dir/anti_mapper_test.cc.o"
+  "CMakeFiles/anti_mapper_test.dir/anti_mapper_test.cc.o.d"
+  "anti_mapper_test"
+  "anti_mapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anti_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

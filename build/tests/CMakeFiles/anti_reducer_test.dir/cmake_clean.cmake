@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anti_reducer_test.dir/anti_reducer_test.cc.o"
+  "CMakeFiles/anti_reducer_test.dir/anti_reducer_test.cc.o.d"
+  "anti_reducer_test"
+  "anti_reducer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anti_reducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

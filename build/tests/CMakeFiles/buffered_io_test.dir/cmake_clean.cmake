@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffered_io_test.dir/buffered_io_test.cc.o"
+  "CMakeFiles/buffered_io_test.dir/buffered_io_test.cc.o.d"
+  "buffered_io_test"
+  "buffered_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffered_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_sweep_test.dir/codec_sweep_test.cc.o"
+  "CMakeFiles/codec_sweep_test.dir/codec_sweep_test.cc.o.d"
+  "codec_sweep_test"
+  "codec_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

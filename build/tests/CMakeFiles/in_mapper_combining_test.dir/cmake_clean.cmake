@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/in_mapper_combining_test.dir/in_mapper_combining_test.cc.o"
+  "CMakeFiles/in_mapper_combining_test.dir/in_mapper_combining_test.cc.o.d"
+  "in_mapper_combining_test"
+  "in_mapper_combining_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/in_mapper_combining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_spec_test.dir/job_spec_test.cc.o"
+  "CMakeFiles/job_spec_test.dir/job_spec_test.cc.o.d"
+  "job_spec_test"
+  "job_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

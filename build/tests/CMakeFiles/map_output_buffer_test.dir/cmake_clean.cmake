@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_output_buffer_test.dir/map_output_buffer_test.cc.o"
+  "CMakeFiles/map_output_buffer_test.dir/map_output_buffer_test.cc.o.d"
+  "map_output_buffer_test"
+  "map_output_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_output_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

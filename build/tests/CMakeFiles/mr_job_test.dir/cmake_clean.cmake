@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_job_test.dir/mr_job_test.cc.o"
+  "CMakeFiles/mr_job_test.dir/mr_job_test.cc.o.d"
+  "mr_job_test"
+  "mr_job_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_job_test.dir/posix_job_test.cc.o"
+  "CMakeFiles/posix_job_test.dir/posix_job_test.cc.o.d"
+  "posix_job_test"
+  "posix_job_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

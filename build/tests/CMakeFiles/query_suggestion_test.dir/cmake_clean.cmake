@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_suggestion_test.dir/query_suggestion_test.cc.o"
+  "CMakeFiles/query_suggestion_test.dir/query_suggestion_test.cc.o.d"
+  "query_suggestion_test"
+  "query_suggestion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_suggestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

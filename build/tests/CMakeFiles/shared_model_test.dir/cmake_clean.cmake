@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_model_test.dir/shared_model_test.cc.o"
+  "CMakeFiles/shared_model_test.dir/shared_model_test.cc.o.d"
+  "shared_model_test"
+  "shared_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_join_test.dir/theta_join_test.cc.o"
+  "CMakeFiles/theta_join_test.dir/theta_join_test.cc.o.d"
+  "theta_join_test"
+  "theta_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_test.dir/wordcount_test.cc.o"
+  "CMakeFiles/wordcount_test.dir/wordcount_test.cc.o.d"
+  "wordcount_test"
+  "wordcount_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antimr_cli.dir/antimr_cli.cc.o"
+  "CMakeFiles/antimr_cli.dir/antimr_cli.cc.o.d"
+  "antimr_cli"
+  "antimr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antimr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
