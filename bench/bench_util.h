@@ -54,12 +54,20 @@ inline SimulatedHardware PaperHardware() {
   return hw;
 }
 
+/// Execution knobs a bench can vary on top of the strategy choice.
+struct ClusterConfig {
+  ShuffleMode shuffle_mode = ShuffleMode::kPipelined;
+  int num_workers = 0;    ///< 0 = hardware concurrency
+  int fetch_threads = 0;  ///< 0 = num_workers (pipelined mode only)
+};
+
 /// Run `spec` under a strategy (kOriginal = untransformed).
 inline JobMetrics RunStrategy(const JobSpec& spec, Strategy strategy,
                               const std::vector<InputSplit>& splits,
                               anticombine::AntiCombineOptions options =
                                   anticombine::AntiCombineOptions(),
-                              SimulatedHardware hardware = {}) {
+                              SimulatedHardware hardware = {},
+                              ClusterConfig cluster = {}) {
   JobSpec to_run = spec;
   if (strategy != Strategy::kOriginal) {
     anticombine::AntiCombineOptions o = StrategyOptions(strategy);
@@ -78,9 +86,40 @@ inline JobMetrics RunStrategy(const JobSpec& spec, Strategy strategy,
   RunOptions run;
   run.collect_output = false;
   run.hardware = hardware;
+  run.shuffle_mode = cluster.shuffle_mode;
+  run.num_workers = cluster.num_workers;
+  run.fetch_threads = cluster.fetch_threads;
   JobResult result;
   ANTIMR_CHECK_OK(RunJob(to_run, splits, run, &result));
   return result.metrics;
+}
+
+/// One named measurement destined for a bench's machine-readable report.
+struct JsonRow {
+  std::string name;
+  JobMetrics metrics;
+};
+
+/// Write `rows` to `path` as a JSON object {"rows": [{"name":..., ...}]},
+/// flattening each JobMetrics via ToJson. Lets scripts ingest bench output
+/// (wall/cpu/shuffle-phase counters) without scraping the printed tables.
+inline void WriteJsonReport(const std::string& path,
+                            const std::vector<JsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteJsonReport: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    // Splice "name" into the metrics object: {"name": "...", <counters>}.
+    const std::string json = rows[i].metrics.ToJson();
+    std::fprintf(f, "  {\"name\": \"%s\", %s%s\n", rows[i].name.c_str(),
+                 json.substr(1).c_str(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 inline std::string Ratio(uint64_t base, uint64_t other) {

@@ -2,14 +2,27 @@
 // records sorted by key: varint(klen) key varint(vlen) value, repeated. Map
 // spills, merged map output partitions, and Shared spills all use this
 // format, mirroring Hadoop's IFile.
+//
+// Shuffle segments add a block layer on top (BlockRunWriter/BlockRunReader):
+// the run is cut into ~block_bytes chunks at record boundaries, and each
+// chunk is independently compressed and framed as
+//
+//   varint(raw_len) varint(stored_len) fixed32(crc32 of stored bytes) payload
+//
+// after a 4-byte magic. Readers decompress one block at a time with a bounded
+// readahead window, so segment consumption needs O(block) memory instead of
+// O(segment), and corruption is caught per block by the CRC before any bytes
+// are decoded.
 #ifndef ANTIMR_IO_RUN_FILE_H_
 #define ANTIMR_IO_RUN_FILE_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "codec/codec.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "io/buffered_io.h"
@@ -109,6 +122,132 @@ class StringRunStream : public KVStream {
   Slice value_;
   bool valid_ = false;
 };
+
+// ---------------------------------------------------------------------------
+// Block-framed compressed runs (shuffle segment format)
+// ---------------------------------------------------------------------------
+
+/// Default cut point for block-framed runs.
+constexpr size_t kDefaultBlockBytes = 64 * 1024;
+/// Default number of compressed frames a reader keeps buffered ahead.
+constexpr size_t kDefaultReadaheadBlocks = 4;
+
+/// \brief Writes a run as independently compressed, CRC-protected blocks.
+///
+/// Records are appended to an in-memory raw block; once it reaches
+/// block_bytes the block is compressed and framed out. Records never span
+/// blocks, so a reader can decode any prefix of frames independently.
+class BlockRunWriter {
+ public:
+  struct Options {
+    size_t block_bytes = kDefaultBlockBytes;
+  };
+
+  BlockRunWriter(std::unique_ptr<WritableFile> file, const Codec* codec,
+                 Options options);
+
+  Status Add(const Slice& key, const Slice& value);
+  /// Flush the final partial block and close the file. Must be called.
+  Status Finish();
+
+  uint64_t raw_bytes() const { return raw_bytes_; }
+  /// Total file bytes (magic + frame headers + compressed payloads).
+  uint64_t stored_bytes() const { return writer_.bytes_written(); }
+  uint64_t record_count() const { return record_count_; }
+  uint64_t block_count() const { return block_count_; }
+  uint64_t compress_nanos() const { return compress_nanos_; }
+
+ private:
+  Status EnsureMagic();
+  Status FlushBlock();
+
+  BufferedWriter writer_;
+  const Codec* codec_;
+  size_t block_bytes_;
+  std::string block_;       // raw records accumulating toward the cut point
+  std::string compressed_;  // scratch for the framed payload
+  bool wrote_magic_ = false;
+  uint64_t raw_bytes_ = 0;
+  uint64_t record_count_ = 0;
+  uint64_t block_count_ = 0;
+  uint64_t compress_nanos_ = 0;
+};
+
+/// Cost/volume counters for one BlockRunReader, split the way the shuffle
+/// metrics report them.
+struct BlockReadStats {
+  uint64_t read_nanos = 0;    ///< wall time blocked on source reads (incl.
+                              ///< simulated disk/network transfer sleeps)
+  uint64_t decode_nanos = 0;  ///< CRC verification + decompression
+  uint64_t bytes_read = 0;    ///< stored bytes consumed from the source
+  uint64_t blocks = 0;        ///< frames decoded
+  uint64_t records = 0;       ///< records served
+  /// High-water mark of buffered bytes: queued compressed frames plus the
+  /// current decompressed block. Bounded by (readahead + 1) frames + one raw
+  /// block, independent of segment size.
+  uint64_t peak_buffered_bytes = 0;
+};
+
+/// \brief Streaming KVStream over a block-framed run with bounded readahead.
+///
+/// Frames are pulled from the source into a small queue (readahead_blocks
+/// deep) and decompressed one at a time, so memory stays O(block) while the
+/// source — a throttled disk file or an in-memory fetched segment — is
+/// consumed sequentially.
+class BlockRunReader : public KVStream {
+ public:
+  struct Options {
+    size_t readahead_blocks = kDefaultReadaheadBlocks;
+    /// Simulated transfer bandwidth paid per frame read; 0 = unthrottled.
+    double throttle_mb_per_s = 0;
+    /// Name used in error messages ("segment <name> block <n>: ...").
+    std::string name;
+  };
+
+  BlockRunReader(std::unique_ptr<SequentialFile> file, const Codec* codec,
+                 Options options);
+
+  /// Check the magic, fill the readahead window, and position at the first
+  /// record. Must be called once before use.
+  Status Open();
+
+  bool Valid() const override { return valid_; }
+  Slice key() const override { return key_; }
+  Slice value() const override { return value_; }
+  Status Next() override;
+
+  const BlockReadStats& stats() const { return stats_; }
+
+ private:
+  struct Frame {
+    uint32_t raw_len = 0;
+    uint32_t crc = 0;
+    std::string payload;
+  };
+
+  Status FillReadahead();
+  Status DecodeNextBlock();
+  Status CorruptionAt(const std::string& detail) const;
+  void NotePeak();
+
+  BufferedReader reader_;
+  const Codec* codec_;
+  Options opts_;
+  std::deque<Frame> readahead_;
+  uint64_t readahead_bytes_ = 0;
+  std::string block_;  // current decompressed block
+  size_t pos_ = 0;     // parse position within block_
+  Slice key_;
+  Slice value_;
+  bool valid_ = false;
+  bool source_eof_ = false;
+  uint64_t block_index_ = 0;  // index of the current block (1-based once read)
+  BlockReadStats stats_;
+};
+
+/// Borrowing SequentialFile over a byte buffer; `data` must outlive the
+/// returned file. Used to re-read fetched (in-memory) segment frames.
+std::unique_ptr<SequentialFile> NewSliceSource(const Slice& data);
 
 /// Convenience: open a run file on `env` and return a positioned reader.
 Status OpenRun(Env* env, const std::string& fname,

@@ -50,58 +50,141 @@ Status RunJob(const JobSpec& spec, const std::vector<InputSplit>& splits,
 
   const std::string job_id =
       options.job_id.empty() ? UniqueJobId(spec.name) : options.job_id;
+  const size_t num_maps = splits.size();
+  const size_t num_reduce = static_cast<size_t>(spec.num_reduce_tasks);
+  const size_t readahead = options.readahead_blocks > 0
+                               ? options.readahead_blocks
+                               : kShuffleReadaheadBlocks;
 
   TaskPool pool(options.num_workers);
 
-  // ---- Map wave -----------------------------------------------------------
-  std::vector<MapTaskResult> map_results(splits.size());
-  std::vector<uint64_t> map_cpu(splits.size(), 0);
-  {
-    std::vector<std::function<Status()>> tasks;
-    tasks.reserve(splits.size());
-    for (size_t i = 0; i < splits.size(); ++i) {
-      tasks.push_back([&, i]() {
+  std::vector<MapTaskResult> map_results(num_maps);
+  std::vector<uint64_t> map_cpu(num_maps, 0);
+  std::vector<ReduceTaskResult> reduce_results(num_reduce);
+  std::vector<uint64_t> reduce_cpu(num_reduce, 0);
+  uint64_t overlapped_fetches = 0;
+
+  if (options.shuffle_mode == ShuffleMode::kBarrier) {
+    // ---- Barrier model: map wave, then reduce wave ------------------------
+    {
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(num_maps);
+      for (size_t i = 0; i < num_maps; ++i) {
+        tasks.push_back([&, i]() {
+          const uint64_t cpu_start = ThreadCpuNanos();
+          Status st = RunMapTask(spec, job_id, static_cast<int>(i), splits[i],
+                                 task_env, &map_results[i]);
+          map_cpu[i] = ThreadCpuNanos() - cpu_start;
+          return st;
+        });
+      }
+      ANTIMR_RETURN_NOT_OK(pool.RunWave(tasks));
+    }
+    {
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(num_reduce);
+      for (size_t p = 0; p < num_reduce; ++p) {
+        tasks.push_back([&, p]() {
+          ReduceTaskInputs inputs;
+          inputs.network_mb_per_s = options.hardware.network_mb_per_s;
+          inputs.readahead_blocks = readahead;
+          for (const MapTaskResult& mr : map_results) {
+            const std::string& fname = mr.segment_files[p];
+            if (!fname.empty()) inputs.segment_files.push_back(fname);
+          }
+          const uint64_t cpu_start = ThreadCpuNanos();
+          Status st =
+              RunReduceTask(spec, static_cast<int>(p), inputs, task_env,
+                            options.collect_output, &reduce_results[p]);
+          reduce_cpu[p] = ThreadCpuNanos() - cpu_start;
+          return st;
+        });
+      }
+      ANTIMR_RETURN_NOT_OK(pool.RunWave(tasks));
+    }
+  } else {
+    // ---- Pipelined model: dependency graph with overlapped shuffle --------
+    //
+    // Graph shape (per reduce partition p, map task i):
+    //   map i  ->  fetch(p, i)  ->  reduce p
+    // Fetches run on a dedicated pool so copying shuffle data never steals a
+    // map/reduce worker slot, and each fetch is runnable the moment its map
+    // task publishes segments — the shuffle overlaps the rest of the map
+    // wave. Only the merge+reduce waits for all of p's inputs. Map tasks are
+    // added first, so on failure the lowest-id (map) status is reported,
+    // matching the barrier model.
+    TaskPool fetch_pool(options.fetch_threads > 0 ? options.fetch_threads
+                                                  : pool.num_workers());
+    TaskGraph graph(&pool);
+
+    std::atomic<size_t> maps_remaining{num_maps};
+    std::atomic<uint64_t> overlapped{0};
+    // fetched[p][i]: map i's segment for partition p, copied reduce-side.
+    std::vector<std::vector<FetchedSegment>> fetched(num_reduce);
+    for (auto& per_map : fetched) per_map.resize(num_maps);
+    // Fetch CPU is billed to the destination reduce task.
+    std::vector<std::atomic<uint64_t>> fetch_cpu(num_reduce);
+
+    std::vector<int> map_ids(num_maps, -1);
+    for (size_t i = 0; i < num_maps; ++i) {
+      map_ids[i] = graph.AddTask([&, i]() {
         const uint64_t cpu_start = ThreadCpuNanos();
         Status st = RunMapTask(spec, job_id, static_cast<int>(i), splits[i],
                                task_env, &map_results[i]);
         map_cpu[i] = ThreadCpuNanos() - cpu_start;
+        maps_remaining.fetch_sub(1, std::memory_order_relaxed);
         return st;
       });
     }
-    ANTIMR_RETURN_NOT_OK(pool.RunWave(tasks));
-  }
 
-  // ---- Reduce wave ---------------------------------------------------------
-  const size_t num_reduce = static_cast<size_t>(spec.num_reduce_tasks);
-  std::vector<ReduceTaskResult> reduce_results(num_reduce);
-  std::vector<uint64_t> reduce_cpu(num_reduce, 0);
-  {
-    std::vector<std::function<Status()>> tasks;
-    tasks.reserve(num_reduce);
     for (size_t p = 0; p < num_reduce; ++p) {
-      tasks.push_back([&, p]() {
-        ReduceTaskInputs inputs;
-        inputs.network_mb_per_s = options.hardware.network_mb_per_s;
-        for (const MapTaskResult& mr : map_results) {
-          const std::string& fname = mr.segment_files[p];
-          if (!fname.empty()) inputs.segment_files.push_back(fname);
-        }
-        const uint64_t cpu_start = ThreadCpuNanos();
-        Status st =
-            RunReduceTask(spec, static_cast<int>(p), inputs, task_env,
-                          options.collect_output, &reduce_results[p]);
-        reduce_cpu[p] = ThreadCpuNanos() - cpu_start;
-        return st;
-      });
+      std::vector<int> fetch_ids;
+      fetch_ids.reserve(num_maps);
+      for (size_t i = 0; i < num_maps; ++i) {
+        fetch_ids.push_back(graph.AddTask(
+            [&, p, i]() {
+              const std::string& fname = map_results[i].segment_files[p];
+              if (fname.empty()) return Status::OK();
+              if (maps_remaining.load(std::memory_order_relaxed) > 0) {
+                overlapped.fetch_add(1, std::memory_order_relaxed);
+              }
+              const uint64_t cpu_start = ThreadCpuNanos();
+              Status st = FetchSegmentFrames(task_env, fname,
+                                             options.hardware.network_mb_per_s,
+                                             &fetched[p][i]);
+              fetch_cpu[p].fetch_add(ThreadCpuNanos() - cpu_start,
+                                     std::memory_order_relaxed);
+              return st;
+            },
+            {map_ids[i]}, &fetch_pool));
+      }
+      graph.AddTask(
+          [&, p]() {
+            ReduceTaskInputs inputs;
+            inputs.readahead_blocks = readahead;
+            for (FetchedSegment& fs : fetched[p]) {
+              if (!fs.file.empty()) inputs.fetched.push_back(std::move(fs));
+            }
+            const uint64_t cpu_start = ThreadCpuNanos();
+            Status st =
+                RunReduceTask(spec, static_cast<int>(p), inputs, task_env,
+                              options.collect_output, &reduce_results[p]);
+            reduce_cpu[p] = ThreadCpuNanos() - cpu_start +
+                            fetch_cpu[p].load(std::memory_order_relaxed);
+            return st;
+          },
+          fetch_ids);
     }
-    ANTIMR_RETURN_NOT_OK(pool.RunWave(tasks));
+
+    ANTIMR_RETURN_NOT_OK(graph.Wait());
+    overlapped_fetches = overlapped.load(std::memory_order_relaxed);
   }
 
   // ---- Aggregate ------------------------------------------------------------
   result->metrics = JobMetrics();
   result->outputs.clear();
   result->task_metrics.clear();
-  for (size_t i = 0; i < map_results.size(); ++i) {
+  for (size_t i = 0; i < num_maps; ++i) {
     result->metrics.Add(map_results[i].metrics);
     result->metrics.total_cpu_nanos += map_cpu[i];
     if (options.collect_task_metrics) {
@@ -121,6 +204,7 @@ Status RunJob(const JobSpec& spec, const std::vector<InputSplit>& splits,
       result->outputs.push_back(std::move(reduce_results[p].output));
     }
   }
+  result->metrics.shuffle_overlapped_fetches = overlapped_fetches;
 
   if (options.cleanup_intermediates) {
     for (const MapTaskResult& mr : map_results) {

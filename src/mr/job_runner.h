@@ -1,5 +1,13 @@
-// Job orchestration: map wave, then reduce wave, with metric aggregation.
-// This is the entry point user code calls after building a JobSpec.
+// Job orchestration: map tasks, shuffle, and reduce tasks over a persistent
+// worker pool. This is the entry point user code calls after building a
+// JobSpec.
+//
+// Two shuffle models are supported. The default pipelined model schedules a
+// dependency graph: each reduce task's fetch of map task i's segment becomes
+// runnable the moment map i finishes, so the shuffle overlaps the remaining
+// map wave (Hadoop's parallel-copy shuffle phase). The barrier model —
+// classic two-wave execution where no reduce-side work starts until every
+// map task is done — is kept for A/B comparison.
 #ifndef ANTIMR_MR_JOB_RUNNER_H_
 #define ANTIMR_MR_JOB_RUNNER_H_
 
@@ -45,9 +53,26 @@ struct SimulatedHardware {
   double network_mb_per_s = 0;  ///< mapper->reducer transfer bandwidth
 };
 
+/// How reduce-side shuffle work is scheduled relative to the map wave.
+enum class ShuffleMode {
+  /// Concurrent fetchers copy each map output as soon as it is published;
+  /// only the merge+reduce waits for all of a partition's inputs.
+  kPipelined,
+  /// Classic two-wave model: all maps finish, then reducers stream their
+  /// segments inline. Kept for A/B benchmarking of the pipeline.
+  kBarrier,
+};
+
 struct RunOptions {
-  /// Worker threads for the task waves; 0 = hardware concurrency.
+  /// Worker threads for map/reduce tasks; 0 = hardware concurrency.
   int num_workers = 0;
+  /// Dedicated threads for pipelined shuffle fetches; 0 = num_workers.
+  /// Ignored under ShuffleMode::kBarrier.
+  int fetch_threads = 0;
+  /// Per-segment streaming readahead window in blocks; 0 = default.
+  size_t readahead_blocks = 0;
+  /// Shuffle scheduling model.
+  ShuffleMode shuffle_mode = ShuffleMode::kPipelined;
   /// Storage for intermediate data. When null the runner creates a private
   /// in-memory Env whose I/O counters become the job's disk metrics.
   Env* env = nullptr;

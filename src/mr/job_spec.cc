@@ -21,6 +21,9 @@ Status JobSpec::Validate() const {
   if (map_buffer_bytes < 1024) {
     return Status::InvalidArgument("JobSpec: map_buffer_bytes too small");
   }
+  if (shuffle_block_bytes < 512) {
+    return Status::InvalidArgument("JobSpec: shuffle_block_bytes too small");
+  }
   if (min_spills_for_combine < 1) {
     return Status::InvalidArgument(
         "JobSpec: min_spills_for_combine must be >= 1");

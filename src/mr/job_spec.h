@@ -40,6 +40,11 @@ struct JobSpec {
   /// partition/sort/spill cycle (scaled-down analog of Hadoop's io.sort.mb).
   size_t map_buffer_bytes = 4 * 1024 * 1024;
 
+  /// Block size for shuffle segments: each segment is cut at record
+  /// boundaries into ~this many raw bytes per independently compressed,
+  /// CRC-framed block, so reducers can stream with O(block) memory.
+  size_t shuffle_block_bytes = 64 * 1024;
+
   /// Apply the Combiner during the final spill merge when at least this many
   /// spill files exist (Hadoop's min.num.spills.for.combine).
   int min_spills_for_combine = 3;

@@ -1,8 +1,7 @@
 #include "mr/local_cluster.h"
 
-#include <atomic>
-#include <mutex>
-#include <thread>
+#include <algorithm>
+#include <utility>
 
 namespace antimr {
 
@@ -12,42 +11,162 @@ TaskPool::TaskPool(int num_workers) {
     if (num_workers <= 0) num_workers = 4;
   }
   num_workers_ = num_workers;
+  threads_.reserve(static_cast<size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void TaskPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: submitted work always runs.
+      if (queue_.empty()) return;
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
 }
 
 Status TaskPool::RunWave(const std::vector<std::function<Status()>>& tasks) {
   if (tasks.empty()) return Status::OK();
-  std::atomic<size_t> next{0};
-  std::mutex mu;
-  Status first_failure;
-  size_t first_failure_index = tasks.size();
+  struct WaveState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+    Status first_failure;
+    size_t first_failure_index;
+  };
+  WaveState wave;
+  wave.remaining = tasks.size();
+  wave.first_failure_index = tasks.size();
 
-  auto worker = [&]() {
-    while (true) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) return;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    Submit([&wave, &tasks, i]() {
       Status st = tasks[i]();
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (i < first_failure_index) {
-          first_failure = std::move(st);
-          first_failure_index = i;
+      std::lock_guard<std::mutex> lock(wave.mu);
+      if (!st.ok() && i < wave.first_failure_index) {
+        wave.first_failure = std::move(st);
+        wave.first_failure_index = i;
+      }
+      if (--wave.remaining == 0) wave.cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(wave.mu);
+  wave.cv.wait(lock, [&wave]() { return wave.remaining == 0; });
+  return wave.first_failure;
+}
+
+TaskGraph::TaskGraph(TaskPool* pool) : default_pool_(pool) {}
+
+int TaskGraph::AddTask(std::function<Status()> fn,
+                       const std::vector<int>& deps,
+                       TaskPool* pool_override) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.fn = std::move(fn);
+  node.pool = pool_override != nullptr ? pool_override : default_pool_;
+  for (int dep_id : deps) {
+    Node& dep = nodes_[static_cast<size_t>(dep_id)];
+    if (dep.done) {
+      if (!dep.ok) node.dep_failed = true;
+    } else {
+      ++node.pending;
+      dep.dependents.push_back(id);
+    }
+  }
+  if (node.pending == 0) {
+    if (node.dep_failed) {
+      FinishLocked(id, /*ran_ok=*/false);
+      cv_.notify_all();
+    } else {
+      ScheduleLocked(id);
+    }
+  }
+  return id;
+}
+
+void TaskGraph::ScheduleLocked(int id) {
+  // Capture the node pointer under the lock: deque element addresses are
+  // stable, while operator[] during a concurrent AddTask would race.
+  Node* node = &nodes_[static_cast<size_t>(id)];
+  node->pool->Submit([this, id, node]() {
+    Status st = node->fn();
+    OnDone(id, std::move(st));
+  });
+}
+
+void TaskGraph::OnDone(int id, Status st) {
+  // Notify under the lock: Wait may return and the graph be destroyed the
+  // moment done_ reaches nodes_.size(), so the cv must not be touched after
+  // mu_ is released.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!st.ok() &&
+      (!have_failure_ || static_cast<size_t>(id) < first_failure_id_)) {
+    first_failure_ = std::move(st);
+    first_failure_id_ = static_cast<size_t>(id);
+    have_failure_ = true;
+  }
+  FinishLocked(id, st.ok());
+  cv_.notify_all();
+}
+
+void TaskGraph::FinishLocked(int id, bool ran_ok) {
+  // Iterative cascade: finishing a node may skip a chain of dependents.
+  std::vector<int> worklist = {id};
+  std::vector<bool> outcomes = {ran_ok};
+  while (!worklist.empty()) {
+    const int cur = worklist.back();
+    const bool cur_ok = outcomes.back();
+    worklist.pop_back();
+    outcomes.pop_back();
+    Node& node = nodes_[static_cast<size_t>(cur)];
+    node.done = true;
+    node.ok = cur_ok;
+    ++done_;
+    for (int dep_id : node.dependents) {
+      Node& dependent = nodes_[static_cast<size_t>(dep_id)];
+      if (!cur_ok) dependent.dep_failed = true;
+      if (--dependent.pending == 0) {
+        if (dependent.dep_failed) {
+          // Skipped: never runs, counts as not-ok for its own dependents.
+          worklist.push_back(dep_id);
+          outcomes.push_back(false);
+        } else {
+          ScheduleLocked(dep_id);
         }
       }
     }
-  };
-
-  const int threads =
-      static_cast<int>(std::min<size_t>(tasks.size(),
-                                        static_cast<size_t>(num_workers_)));
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
   }
-  return first_failure;
+}
+
+Status TaskGraph::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this]() { return done_ == nodes_.size(); });
+  return first_failure_;
 }
 
 LocalCluster::LocalCluster(const Options& options)

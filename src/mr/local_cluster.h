@@ -2,11 +2,22 @@
 // for the paper's 44 worker cores, plus the storage Env standing in for the
 // workers' local disks. Thread CPU time is sampled per task so the harness
 // can report "total CPU time" summed over all tasks, like the paper does.
+//
+// TaskPool keeps its worker threads alive for the pool's whole lifetime;
+// RunWave and TaskGraph both feed the same threads, so running several waves
+// (or a full dependency graph) never re-spawns threads. TaskGraph adds
+// dependency-aware scheduling on top: a task becomes runnable the moment its
+// dependencies complete, which is what lets shuffle fetches start while the
+// map wave is still in flight.
 #ifndef ANTIMR_MR_LOCAL_CLUSTER_H_
 #define ANTIMR_MR_LOCAL_CLUSTER_H_
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -14,20 +25,97 @@
 
 namespace antimr {
 
-/// \brief Fixed-size worker pool that runs task batches ("waves").
+/// \brief Persistent fixed-size worker pool.
+///
+/// Threads are spawned once in the constructor and joined in the destructor;
+/// work arrives through Submit (fire-and-forget) or RunWave (batch with
+/// first-failure semantics). Waves reuse the same threads — there is no
+/// per-wave spawn/join cost.
 class TaskPool {
  public:
   /// \param num_workers worker threads; 0 means hardware concurrency.
   explicit TaskPool(int num_workers);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueue one task for execution on a pool thread.
+  void Submit(std::function<void()> fn);
 
   /// Run all tasks to completion. Each task returns a Status; the first
   /// failure (by task index) is returned. Tasks are claimed in index order.
+  /// Must be called from outside the pool (a pool thread calling RunWave
+  /// would block a worker slot).
   Status RunWave(const std::vector<std::function<Status()>>& tasks);
 
   int num_workers() const { return num_workers_; }
 
  private:
+  void WorkerLoop();
+
   int num_workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// \brief Dependency-aware task scheduler over one or more TaskPools.
+///
+/// Tasks form a DAG: AddTask registers a task with edges to already-added
+/// tasks, and a task is submitted to its pool the instant its last
+/// dependency succeeds — there is no wave barrier. A failed task marks all
+/// transitive dependents as skipped (they never run). Wait blocks until
+/// every task has finished or been skipped and returns the first failure by
+/// task id, so add order decides which failure a job reports.
+class TaskGraph {
+ public:
+  /// \param pool default pool for tasks added without a pool override.
+  explicit TaskGraph(TaskPool* pool);
+
+  /// Register `fn` depending on the tasks in `deps` (ids returned by earlier
+  /// AddTask calls). Returns the new task's id. If every dependency already
+  /// succeeded (or `deps` is empty) the task is submitted immediately, so
+  /// the graph can be grown while it runs. `pool_override` routes this task
+  /// to a different pool (e.g. dedicated fetch threads).
+  int AddTask(std::function<Status()> fn, const std::vector<int>& deps = {},
+              TaskPool* pool_override = nullptr);
+
+  /// Block until all tasks have completed or been skipped. Returns the
+  /// lowest-id failure, or OK.
+  Status Wait();
+
+ private:
+  struct Node {
+    std::function<Status()> fn;
+    TaskPool* pool = nullptr;
+    int pending = 0;           ///< unfinished dependencies
+    bool dep_failed = false;   ///< a dependency failed or was skipped
+    bool done = false;
+    bool ok = false;
+    std::vector<int> dependents;
+  };
+
+  /// Submit node `id` to its pool. Caller holds mu_.
+  void ScheduleLocked(int id);
+  /// Record completion of `id` and release/skip dependents.
+  void OnDone(int id, Status st);
+  /// Mark `id` done (run or skipped) and cascade to dependents. Caller
+  /// holds mu_; skipped dependents are finished iteratively, runnable ones
+  /// are submitted.
+  void FinishLocked(int id, bool ran_ok);
+
+  TaskPool* default_pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// deque: element references stay valid as the graph grows.
+  std::deque<Node> nodes_;
+  size_t done_ = 0;
+  Status first_failure_;
+  size_t first_failure_id_ = 0;
+  bool have_failure_ = false;
 };
 
 /// \brief Cluster facade: worker pool + local-disk Env factory.

@@ -106,15 +106,22 @@ class MapTaskContext : public MapContext {
     for (int p = 0; p < spec_.num_reduce_tasks; ++p) {
       const auto& spills = spill_files_per_partition_[static_cast<size_t>(p)];
       if (spills.empty()) continue;
+      // Stream each spill through a block reader: the merge holds O(block)
+      // memory per spill instead of inflating every spill up front.
       std::vector<std::unique_ptr<KVStream>> inputs;
+      std::vector<std::unique_ptr<BlockRunReader>> empty_spills;
+      std::vector<const BlockReadStats*> spill_stats;
       inputs.reserve(spills.size());
       for (const std::string& fname : spills) {
-        std::unique_ptr<KVStream> stream;
-        uint64_t ignored_bytes = 0;
-        ANTIMR_RETURN_NOT_OK(FetchSegment(env_, fname, codec,
-                                          &metrics_->cpu.decompress,
-                                          &ignored_bytes, &stream));
-        if (stream->Valid()) inputs.push_back(std::move(stream));
+        std::unique_ptr<BlockRunReader> reader;
+        ANTIMR_RETURN_NOT_OK(
+            OpenSegmentReader(env_, fname, codec, {}, &reader));
+        spill_stats.push_back(&reader->stats());
+        if (reader->Valid()) {
+          inputs.push_back(std::move(reader));
+        } else {
+          empty_spills.push_back(std::move(reader));
+        }
       }
       uint64_t merge_start = NowNanos();
       MergingStream merged(std::move(inputs), spec_.key_cmp);
@@ -127,7 +134,11 @@ class MapTaskContext : public MapContext {
       } else {
         ScopedTimer t(&metrics_->cpu.merge);
         ANTIMR_RETURN_NOT_OK(WriteSegment(env_, fname, &merged, codec,
-                                          &metrics_->cpu.compress, &res));
+                                          &metrics_->cpu.compress, &res,
+                                          spec_.shuffle_block_bytes));
+      }
+      for (const BlockReadStats* s : spill_stats) {
+        metrics_->cpu.decompress += s->decode_nanos;
       }
       result->segment_files[static_cast<size_t>(p)] = fname;
       for (const std::string& sf : spills) {
@@ -145,7 +156,7 @@ class MapTaskContext : public MapContext {
       return WriteCombined(stream, partition, fname, codec, res);
     }
     return WriteSegment(env_, fname, stream, codec, &metrics_->cpu.compress,
-                        res);
+                        res, spec_.shuffle_block_bytes);
   }
 
   Status WriteCombined(KVStream* stream, int partition,
@@ -162,7 +173,7 @@ class MapTaskContext : public MapContext {
     metrics_->combine_output_records += combined.size();
     KVVectorStream out(&combined);
     return WriteSegment(env_, fname, &out, codec, &metrics_->cpu.compress,
-                        res);
+                        res, spec_.shuffle_block_bytes);
   }
 
   const JobSpec& spec_;

@@ -36,6 +36,14 @@ void JobMetrics::Add(const JobMetrics& other) {
   combine_output_records += other.combine_output_records;
   map_spills += other.map_spills;
   shuffle_bytes += other.shuffle_bytes;
+  shuffle_fetch_wait_nanos += other.shuffle_fetch_wait_nanos;
+  shuffle_decode_nanos += other.shuffle_decode_nanos;
+  shuffle_merge_nanos += other.shuffle_merge_nanos;
+  shuffle_blocks += other.shuffle_blocks;
+  if (other.shuffle_peak_buffered_bytes > shuffle_peak_buffered_bytes) {
+    shuffle_peak_buffered_bytes = other.shuffle_peak_buffered_bytes;
+  }
+  shuffle_overlapped_fetches += other.shuffle_overlapped_fetches;
   reduce_input_records += other.reduce_input_records;
   reduce_groups += other.reduce_groups;
   output_records += other.output_records;
@@ -74,6 +82,12 @@ std::string JobMetrics::ToJson() const {
   field("combine_output_records", combine_output_records);
   field("map_spills", map_spills);
   field("shuffle_bytes", shuffle_bytes);
+  field("shuffle_fetch_wait_nanos", shuffle_fetch_wait_nanos);
+  field("shuffle_decode_nanos", shuffle_decode_nanos);
+  field("shuffle_merge_nanos", shuffle_merge_nanos);
+  field("shuffle_blocks", shuffle_blocks);
+  field("shuffle_peak_buffered_bytes", shuffle_peak_buffered_bytes);
+  field("shuffle_overlapped_fetches", shuffle_overlapped_fetches);
   field("reduce_input_records", reduce_input_records);
   field("reduce_groups", reduce_groups);
   field("output_records", output_records);
@@ -137,7 +151,7 @@ std::string FormatNanos(uint64_t nanos) {
 }
 
 std::string JobMetrics::ToString() const {
-  char buf[2048];
+  char buf[3072];
   std::snprintf(
       buf, sizeof(buf),
       "input:           %" PRIu64 " records, %s\n"
@@ -146,7 +160,9 @@ std::string JobMetrics::ToString() const {
       " (eager=%" PRIu64 " lazy=%" PRIu64 " plain=%" PRIu64 ")\n"
       "combine:         %" PRIu64 " -> %" PRIu64 " records\n"
       "map spills:      %" PRIu64 "\n"
-      "shuffle:         %s\n"
+      "shuffle:         %s (%" PRIu64
+      " blocks, peak buffered %s, %" PRIu64 " overlapped fetches)\n"
+      "shuffle phases:  fetch wait %s, decode %s, merge %s\n"
       "reduce input:    %" PRIu64 " records in %" PRIu64 " groups\n"
       "shared:          %" PRIu64 " inserts, %" PRIu64 " spills (%s), %" PRIu64
       " remap calls\n"
@@ -157,7 +173,13 @@ std::string JobMetrics::ToString() const {
       FormatBytes(map_output_bytes).c_str(), emitted_records,
       FormatBytes(emitted_bytes).c_str(), eager_records, lazy_records,
       plain_records, combine_input_records, combine_output_records, map_spills,
-      FormatBytes(shuffle_bytes).c_str(), reduce_input_records, reduce_groups,
+      FormatBytes(shuffle_bytes).c_str(), shuffle_blocks,
+      FormatBytes(shuffle_peak_buffered_bytes).c_str(),
+      shuffle_overlapped_fetches,
+      FormatNanos(shuffle_fetch_wait_nanos).c_str(),
+      FormatNanos(shuffle_decode_nanos).c_str(),
+      FormatNanos(shuffle_merge_nanos).c_str(), reduce_input_records,
+      reduce_groups,
       shared_insertions, shared_spills, FormatBytes(shared_spill_bytes).c_str(),
       remap_calls, output_records, FormatBytes(output_bytes).c_str(),
       FormatBytes(disk_bytes_read).c_str(),

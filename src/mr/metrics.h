@@ -52,6 +52,26 @@ class JobMetrics {
   /// Bytes fetched by reducers from map output files (post-compression):
   /// the paper's mapper->reducer "data transfer".
   uint64_t shuffle_bytes = 0;
+
+  // --- shuffle pipeline phases ---------------------------------------------
+  /// Reduce-side wall time blocked on segment transfer: concurrent-fetch
+  /// copies plus block reads during the merge (includes simulated disk and
+  /// network transfer time).
+  uint64_t shuffle_fetch_wait_nanos = 0;
+  /// Reduce-side CRC verification + block decompression wall time.
+  uint64_t shuffle_decode_nanos = 0;
+  /// Reduce-side merge/consume wall time (RunGroups minus the user Reduce
+  /// function; includes the decode and read stalls interleaved with it).
+  uint64_t shuffle_merge_nanos = 0;
+  /// Segment blocks decoded by reduce tasks.
+  uint64_t shuffle_blocks = 0;
+  /// Peak bytes buffered by any single task's segment readers (queued
+  /// compressed frames + current decompressed block, summed over the task's
+  /// merge inputs). Aggregated by MAX across tasks, not summed.
+  uint64_t shuffle_peak_buffered_bytes = 0;
+  /// Fetch tasks that started while the map wave was still running — the
+  /// pipelined scheduler's map/shuffle overlap, 0 under the barrier model.
+  uint64_t shuffle_overlapped_fetches = 0;
   uint64_t reduce_input_records = 0;
   uint64_t reduce_groups = 0;
   uint64_t output_records = 0;

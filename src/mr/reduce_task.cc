@@ -1,7 +1,6 @@
 #include "mr/reduce_task.h"
 
 #include "common/stopwatch.h"
-#include "io/throttled_env.h"
 
 namespace antimr {
 
@@ -22,8 +21,11 @@ class GroupValueIterator : public ValueIterator {
       ++consumed_;
       return true;
     }
-    ANTIMR_CHECK_OK(stream_->Next());
-    if (!stream_->Valid() ||
+    // Stream errors (e.g. a corrupt segment block) end the iteration; the
+    // status is surfaced to RunGroups so the task fails cleanly instead of
+    // decoding garbage.
+    status_ = stream_->Next();
+    if (!status_.ok() || !stream_->Valid() ||
         (*grouping_cmp_)(stream_->key(), Slice(*group_key_)) != 0) {
       exhausted_ = true;
       return false;
@@ -44,6 +46,9 @@ class GroupValueIterator : public ValueIterator {
 
   uint64_t consumed() const { return consumed_; }
 
+  /// Error from the underlying stream, if iteration hit one.
+  const Status& status() const { return status_; }
+
  private:
   KVStream* stream_;
   const std::string* group_key_;
@@ -51,6 +56,7 @@ class GroupValueIterator : public ValueIterator {
   bool started_ = false;
   bool exhausted_ = false;
   uint64_t consumed_ = 0;
+  Status status_;
 };
 
 }  // namespace
@@ -68,6 +74,7 @@ Status RunGroups(KVStream* stream, const KeyComparator& grouping_cmp,
     values.Drain();
     stats->groups += 1;
     stats->records += values.consumed();
+    ANTIMR_RETURN_NOT_OK(values.status());
   }
   return Status::OK();
 }
@@ -95,16 +102,39 @@ Status RunReduceTask(const JobSpec& spec, int partition,
   JobMetrics& m = result->metrics;
   const Codec* codec = GetCodec(spec.map_output_codec);
 
-  // Fetch every map task's segment for this partition ("network transfer").
+  // Open every map task's segment for this partition as a streaming block
+  // reader: pre-fetched segments decode out of reducer memory, the rest
+  // stream from storage and pay simulated network transfer per block.
   std::vector<std::unique_ptr<KVStream>> segments;
-  segments.reserve(inputs.segment_files.size());
+  std::vector<std::unique_ptr<BlockRunReader>> empty_readers;
+  // Raw stats pointers stay valid while `merged` / `empty_readers` own the
+  // readers; stats are harvested after the merge completes. The flag marks
+  // readers over in-memory fetched frames, whose transfer bytes were already
+  // counted by the fetcher.
+  std::vector<std::pair<const BlockReadStats*, bool>> reader_stats;
+  auto adopt = [&](std::unique_ptr<BlockRunReader> reader, bool from_memory) {
+    reader_stats.emplace_back(&reader->stats(), from_memory);
+    if (reader->Valid()) {
+      segments.push_back(std::move(reader));
+    } else {
+      empty_readers.push_back(std::move(reader));
+    }
+  };
+  for (const FetchedSegment& fs : inputs.fetched) {
+    m.shuffle_bytes += fs.fetched_bytes;
+    m.shuffle_fetch_wait_nanos += fs.fetch_nanos;
+    std::unique_ptr<BlockRunReader> reader;
+    ANTIMR_RETURN_NOT_OK(
+        OpenFetchedSegment(fs, codec, inputs.readahead_blocks, &reader));
+    adopt(std::move(reader), /*from_memory=*/true);
+  }
   for (const std::string& fname : inputs.segment_files) {
-    std::unique_ptr<KVStream> stream;
-    const uint64_t fetched_before = m.shuffle_bytes;
-    ANTIMR_RETURN_NOT_OK(FetchSegment(env, fname, codec, &m.cpu.decompress,
-                                      &m.shuffle_bytes, &stream));
-    SleepForBytes(m.shuffle_bytes - fetched_before, inputs.network_mb_per_s);
-    if (stream->Valid()) segments.push_back(std::move(stream));
+    SegmentReadOptions ropts;
+    ropts.readahead_blocks = inputs.readahead_blocks;
+    ropts.network_mb_per_s = inputs.network_mb_per_s;
+    std::unique_ptr<BlockRunReader> reader;
+    ANTIMR_RETURN_NOT_OK(OpenSegmentReader(env, fname, codec, ropts, &reader));
+    adopt(std::move(reader), /*from_memory=*/false);
   }
 
   MergingStream merged(std::move(segments), spec.key_cmp);
@@ -124,11 +154,28 @@ Status RunReduceTask(const JobSpec& spec, int partition,
   CollectingContext ctx(collect_output ? &result->output : &sink);
   reducer->Setup(info, &ctx);
   GroupRunStats stats;
+  const uint64_t merge_start = NowNanos();
   ANTIMR_RETURN_NOT_OK(
       RunGroups(&merged, info.grouping_cmp, reducer.get(), &ctx, &stats));
+  const uint64_t merge_wall = NowNanos() - merge_start;
+  const uint64_t fn_in_merge = stats.fn_nanos;
   {
     ScopedTimer t(&stats.fn_nanos);
     reducer->Cleanup(&ctx);
+  }
+  m.shuffle_merge_nanos +=
+      merge_wall > fn_in_merge ? merge_wall - fn_in_merge : 0;
+  uint64_t task_peak_buffered = 0;
+  for (const auto& [rstats, from_memory] : reader_stats) {
+    m.shuffle_decode_nanos += rstats->decode_nanos;
+    m.cpu.decompress += rstats->decode_nanos;
+    m.shuffle_blocks += rstats->blocks;
+    m.shuffle_fetch_wait_nanos += rstats->read_nanos;
+    task_peak_buffered += rstats->peak_buffered_bytes;
+    if (!from_memory) m.shuffle_bytes += rstats->bytes_read;
+  }
+  if (task_peak_buffered > m.shuffle_peak_buffered_bytes) {
+    m.shuffle_peak_buffered_bytes = task_peak_buffered;
   }
   m.cpu.reduce_fn += stats.fn_nanos;
   m.reduce_groups += stats.groups;

@@ -68,12 +68,21 @@ Status ApplyCombiner(const JobSpec& spec, const TaskInfo& info,
                      KVStream* stream, std::vector<KV>* out,
                      GroupRunStats* stats);
 
-/// Inputs to one reduce task: the segment files produced for its partition
-/// by every map task.
+/// Inputs to one reduce task: the segments produced for its partition by
+/// every map task, either as file names to stream from the map side
+/// (barrier model) or as segments already copied to the reduce side by the
+/// pipelined scheduler's concurrent fetchers.
 struct ReduceTaskInputs {
+  /// Segments to fetch inline, streamed from storage during the merge.
   std::vector<std::string> segment_files;
-  /// Simulated shuffle bandwidth; 0 = unthrottled.
+  /// Segments pre-fetched by the concurrent shuffle phase. Decompression is
+  /// still block-at-a-time during the merge.
+  std::vector<FetchedSegment> fetched;
+  /// Simulated shuffle bandwidth; 0 = unthrottled. Applies to inline
+  /// fetches only (pre-fetched segments paid it at fetch time).
   double network_mb_per_s = 0;
+  /// Per-segment streaming readahead window, in blocks.
+  size_t readahead_blocks = kShuffleReadaheadBlocks;
 };
 
 struct ReduceTaskResult {

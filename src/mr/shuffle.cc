@@ -3,6 +3,7 @@
 #include "common/coding.h"
 #include "common/stopwatch.h"
 #include "io/buffered_io.h"
+#include "io/throttled_env.h"
 
 namespace antimr {
 
@@ -20,46 +21,72 @@ std::string SpillFileName(const std::string& job_id, int map_task, int spill,
 
 Status WriteSegment(Env* env, const std::string& fname, KVStream* stream,
                     const Codec* codec, uint64_t* compress_nanos,
-                    SegmentWriteResult* out) {
-  std::string raw;
-  uint64_t records = 0;
-  while (stream->Valid()) {
-    PutLengthPrefixed(&raw, stream->key());
-    PutLengthPrefixed(&raw, stream->value());
-    ++records;
-    ANTIMR_RETURN_NOT_OK(stream->Next());
-  }
-  std::string stored;
-  {
-    ScopedTimer t(compress_nanos);
-    ANTIMR_RETURN_NOT_OK(codec->Compress(raw, &stored));
-  }
+                    SegmentWriteResult* out, size_t block_bytes) {
   std::unique_ptr<WritableFile> file;
   ANTIMR_RETURN_NOT_OK(env->NewWritableFile(fname, &file));
-  ANTIMR_RETURN_NOT_OK(file->Append(stored));
-  ANTIMR_RETURN_NOT_OK(file->Close());
+  BlockRunWriter writer(std::move(file), codec, {block_bytes});
+  while (stream->Valid()) {
+    ANTIMR_RETURN_NOT_OK(writer.Add(stream->key(), stream->value()));
+    ANTIMR_RETURN_NOT_OK(stream->Next());
+  }
+  ANTIMR_RETURN_NOT_OK(writer.Finish());
+  if (compress_nanos != nullptr) *compress_nanos += writer.compress_nanos();
   if (out != nullptr) {
-    out->raw_bytes = raw.size();
-    out->stored_bytes = stored.size();
-    out->records = records;
+    out->raw_bytes = writer.raw_bytes();
+    out->stored_bytes = writer.stored_bytes();
+    out->records = writer.record_count();
+    out->blocks = writer.block_count();
   }
   return Status::OK();
 }
 
-Status FetchSegment(Env* env, const std::string& fname, const Codec* codec,
-                    uint64_t* decompress_nanos, uint64_t* fetched_bytes,
-                    std::unique_ptr<KVStream>* stream) {
-  std::string stored;
-  ANTIMR_RETURN_NOT_OK(ReadFileToString(env, fname, &stored));
-  if (fetched_bytes != nullptr) *fetched_bytes += stored.size();
-  std::string raw;
-  {
-    ScopedTimer t(decompress_nanos);
-    ANTIMR_RETURN_NOT_OK(codec->Decompress(stored, &raw));
+Status OpenSegmentReader(Env* env, const std::string& fname,
+                         const Codec* codec, const SegmentReadOptions& options,
+                         std::unique_ptr<BlockRunReader>* reader) {
+  std::unique_ptr<SequentialFile> file;
+  ANTIMR_RETURN_NOT_OK(env->NewSequentialFile(fname, &file));
+  BlockRunReader::Options ropts;
+  ropts.readahead_blocks = options.readahead_blocks;
+  ropts.throttle_mb_per_s = options.network_mb_per_s;
+  ropts.name = fname;
+  auto r = std::make_unique<BlockRunReader>(std::move(file), codec,
+                                            std::move(ropts));
+  ANTIMR_RETURN_NOT_OK(r->Open());
+  *reader = std::move(r);
+  return Status::OK();
+}
+
+Status FetchSegmentFrames(Env* env, const std::string& fname,
+                          double network_mb_per_s, FetchedSegment* out) {
+  ScopedTimer t(&out->fetch_nanos);
+  out->file = fname;
+  std::unique_ptr<SequentialFile> file;
+  ANTIMR_RETURN_NOT_OK(env->NewSequentialFile(fname, &file));
+  out->frames.clear();
+  uint64_t size = 0;
+  if (env->GetFileSize(fname, &size).ok()) out->frames.reserve(size);
+  char scratch[64 * 1024];
+  while (true) {
+    Slice chunk;
+    ANTIMR_RETURN_NOT_OK(file->Read(sizeof(scratch), &chunk, scratch));
+    if (chunk.empty()) break;
+    out->frames.append(chunk.data(), chunk.size());
+    SleepForBytes(chunk.size(), network_mb_per_s);
   }
-  auto run = std::make_unique<StringRunStream>(std::move(raw));
-  ANTIMR_RETURN_NOT_OK(run->Open());
-  *stream = std::move(run);
+  out->fetched_bytes = out->frames.size();
+  return Status::OK();
+}
+
+Status OpenFetchedSegment(const FetchedSegment& segment, const Codec* codec,
+                          size_t readahead_blocks,
+                          std::unique_ptr<BlockRunReader>* reader) {
+  BlockRunReader::Options ropts;
+  ropts.readahead_blocks = readahead_blocks;
+  ropts.name = segment.file;
+  auto r = std::make_unique<BlockRunReader>(NewSliceSource(segment.frames),
+                                            codec, std::move(ropts));
+  ANTIMR_RETURN_NOT_OK(r->Open());
+  *reader = std::move(r);
   return Status::OK();
 }
 

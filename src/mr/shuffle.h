@@ -1,8 +1,14 @@
 // Map-output segment format and the mapper->reducer transfer path. A segment
-// is one partition's sorted records, serialized in run format and compressed
-// with the job's map-output codec. Spill files and final map outputs share
-// the format; reducers "fetch" final segments, which is where the paper's
-// network-transfer bytes are counted.
+// is one partition's sorted records, serialized in run format, cut into
+// ~64 KiB blocks, and independently compressed + CRC-framed per block (see
+// io/run_file.h). Spill files and final map outputs share the format.
+//
+// Reducers consume segments through streaming readers: either directly from
+// the map side's storage (barrier model), or from an in-memory FetchedSegment
+// that a concurrent fetcher copied while the map wave was still running
+// (pipelined model, mirroring Hadoop's parallel-copy shuffle phase). Either
+// way decompression is block-at-a-time with bounded readahead, so a reduce
+// task's buffered bytes are O(blocks x readahead), not O(segment).
 #ifndef ANTIMR_MR_SHUFFLE_H_
 #define ANTIMR_MR_SHUFFLE_H_
 
@@ -14,6 +20,11 @@
 #include "io/run_file.h"
 
 namespace antimr {
+
+/// Default block size for shuffle segments.
+constexpr size_t kShuffleBlockBytes = kDefaultBlockBytes;
+/// Default per-segment readahead window (in blocks).
+constexpr size_t kShuffleReadaheadBlocks = kDefaultReadaheadBlocks;
 
 /// File name for map task `map_task`'s final output segment for `partition`.
 std::string SegmentFileName(const std::string& job_id, int map_task,
@@ -27,20 +38,55 @@ struct SegmentWriteResult {
   uint64_t raw_bytes = 0;     ///< serialized run bytes before compression
   uint64_t stored_bytes = 0;  ///< bytes written to the file
   uint64_t records = 0;
+  uint64_t blocks = 0;
 };
 
-/// Serialize `stream` (already key-sorted) into run format, compress with
-/// `codec`, and write to `fname`. Compression CPU is added to *compress_nanos.
+/// Serialize `stream` (already key-sorted) into block-framed run format,
+/// compressing each block with `codec`, and write to `fname`. Streaming:
+/// memory use is O(block), not O(segment). Compression CPU is added to
+/// *compress_nanos.
 Status WriteSegment(Env* env, const std::string& fname, KVStream* stream,
                     const Codec* codec, uint64_t* compress_nanos,
-                    SegmentWriteResult* out);
+                    SegmentWriteResult* out,
+                    size_t block_bytes = kShuffleBlockBytes);
 
-/// Read, decompress, and open a segment as a KVStream. *fetched_bytes gets
-/// the on-disk (transferred) size; decompression CPU goes to
-/// *decompress_nanos.
-Status FetchSegment(Env* env, const std::string& fname, const Codec* codec,
-                    uint64_t* decompress_nanos, uint64_t* fetched_bytes,
-                    std::unique_ptr<KVStream>* stream);
+struct SegmentReadOptions {
+  size_t readahead_blocks = kShuffleReadaheadBlocks;
+  /// Simulated mapper->reducer bandwidth paid per block read; 0 = none.
+  /// Used when the reducer streams straight from the map side's storage.
+  double network_mb_per_s = 0;
+};
+
+/// Open `fname` as a streaming block reader positioned at its first record.
+/// Per-block CRC failures surface as Status::Corruption with file and block
+/// context from the reader's Open/Next calls.
+Status OpenSegmentReader(Env* env, const std::string& fname,
+                         const Codec* codec, const SegmentReadOptions& options,
+                         std::unique_ptr<BlockRunReader>* reader);
+
+/// \brief One segment copied to the reduce side by a concurrent fetcher.
+///
+/// Holds the segment's stored (compressed) frames; decompression still
+/// happens block-at-a-time when the segment is merged. This is the analog of
+/// Hadoop's in-memory shuffle buffer.
+struct FetchedSegment {
+  std::string file;      ///< origin file name (error context)
+  std::string frames;    ///< raw stored bytes (magic + block frames)
+  uint64_t fetched_bytes = 0;  ///< == frames.size(); shuffle transfer volume
+  uint64_t fetch_nanos = 0;    ///< wall time of the copy, incl. simulated
+                               ///< disk and network transfer time
+};
+
+/// Copy segment `fname` into memory, paying simulated network transfer time
+/// chunk by chunk. The Env read pays simulated disk time as usual.
+Status FetchSegmentFrames(Env* env, const std::string& fname,
+                          double network_mb_per_s, FetchedSegment* out);
+
+/// Open a previously fetched segment as a streaming block reader. `segment`
+/// must outlive the reader (its frames are borrowed, not copied).
+Status OpenFetchedSegment(const FetchedSegment& segment, const Codec* codec,
+                          size_t readahead_blocks,
+                          std::unique_ptr<BlockRunReader>* reader);
 
 }  // namespace antimr
 

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -98,6 +100,182 @@ TEST(TaskPool, ParallelismActuallyHappens) {
 TEST(TaskPool, DefaultsToHardwareConcurrency) {
   TaskPool pool(0);
   EXPECT_GT(pool.num_workers(), 0);
+}
+
+TEST(TaskPool, ReusesWorkerThreadsAcrossWaves) {
+  TaskPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  auto record = [&]() {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(std::this_thread::get_id());
+    return Status::OK();
+  };
+  for (int wave = 0; wave < 3; ++wave) {
+    std::vector<std::function<Status()>> tasks(16, record);
+    ASSERT_TRUE(pool.RunWave(tasks).ok());
+  }
+  // A persistent pool never runs work on more threads than it owns, no
+  // matter how many waves pass through it.
+  EXPECT_LE(seen.size(), 4u);
+  EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(TaskPool, SubmitRunsDetachedWork) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  {
+    TaskPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&]() {
+        std::lock_guard<std::mutex> lock(mu);
+        if (++done == 10) cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&]() { return done == 10; });
+  }
+  EXPECT_EQ(done, 10);
+}
+
+TEST(TaskPool, DrainsQueueOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    TaskPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&ran]() { ran.fetch_add(1); });
+    }
+  }  // destructor must run everything already submitted
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(TaskGraph, RunsDependenciesBeforeDependents) {
+  TaskPool pool(4);
+  TaskGraph graph(&pool);
+  std::atomic<bool> a_done{false};
+  std::atomic<bool> b_saw_a{false};
+  const int a = graph.AddTask([&]() {
+    a_done.store(true);
+    return Status::OK();
+  });
+  graph.AddTask([&]() {
+    b_saw_a.store(a_done.load());
+    return Status::OK();
+  },
+                {a});
+  ASSERT_TRUE(graph.Wait().ok());
+  EXPECT_TRUE(b_saw_a.load());
+}
+
+TEST(TaskGraph, DependentsRunWithoutAWaveBarrier) {
+  // `slow` (no deps) blocks until `fetch` — which depends on `map` — has
+  // run. A barrier scheduler would deadlock here: fetch would wait for the
+  // whole first wave (including slow) to finish.
+  TaskPool pool(4);
+  TaskGraph graph(&pool);
+  std::atomic<bool> fetch_ran{false};
+  graph.AddTask([&]() {
+    while (!fetch_ran.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Status::OK();
+  });
+  const int map_task = graph.AddTask([]() { return Status::OK(); });
+  graph.AddTask([&]() {
+    fetch_ran.store(true);
+    return Status::OK();
+  },
+                {map_task});
+  ASSERT_TRUE(graph.Wait().ok());
+  EXPECT_TRUE(fetch_ran.load());
+}
+
+TEST(TaskGraph, SkipsTransitiveDependentsOfFailure) {
+  TaskPool pool(4);
+  TaskGraph graph(&pool);
+  std::atomic<int> ran{0};
+  const int bad = graph.AddTask([]() { return Status::IOError("map died"); });
+  const int skipped = graph.AddTask([&]() {
+    ran.fetch_add(1);
+    return Status::OK();
+  },
+                                    {bad});
+  graph.AddTask([&]() {
+    ran.fetch_add(1);
+    return Status::OK();
+  },
+                {skipped});
+  std::atomic<bool> independent{false};
+  graph.AddTask([&]() {
+    independent.store(true);
+    return Status::OK();
+  });
+  Status st = graph.Wait();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "map died");
+  EXPECT_EQ(ran.load(), 0) << "dependents of a failed task must not run";
+  EXPECT_TRUE(independent.load()) << "unrelated tasks still run";
+}
+
+TEST(TaskGraph, ReportsFirstFailureById) {
+  TaskPool pool(4);
+  TaskGraph graph(&pool);
+  graph.AddTask([]() { return Status::IOError("first"); });
+  for (int i = 0; i < 10; ++i) {
+    graph.AddTask([]() { return Status::OK(); });
+  }
+  graph.AddTask([]() { return Status::Internal("later"); });
+  Status st = graph.Wait();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "first");
+}
+
+TEST(TaskGraph, RoutesTasksToOverridePool) {
+  TaskPool pool(1);
+  TaskPool fetch_pool(2);
+  TaskGraph graph(&pool);
+  std::mutex mu;
+  std::set<std::thread::id> default_threads;
+  std::set<std::thread::id> fetch_threads;
+  for (int i = 0; i < 4; ++i) {
+    graph.AddTask([&]() {
+      std::lock_guard<std::mutex> lock(mu);
+      default_threads.insert(std::this_thread::get_id());
+      return Status::OK();
+    });
+    graph.AddTask(
+        [&]() {
+          std::lock_guard<std::mutex> lock(mu);
+          fetch_threads.insert(std::this_thread::get_id());
+          return Status::OK();
+        },
+        {}, &fetch_pool);
+  }
+  ASSERT_TRUE(graph.Wait().ok());
+  EXPECT_EQ(default_threads.size(), 1u);
+  EXPECT_LE(fetch_threads.size(), 2u);
+  for (const auto& id : fetch_threads) {
+    EXPECT_EQ(default_threads.count(id), 0u)
+        << "override-pool tasks must not run on the default pool";
+  }
+}
+
+TEST(TaskGraph, DependencyOnAlreadyFinishedTask) {
+  TaskPool pool(2);
+  TaskGraph graph(&pool);
+  const int a = graph.AddTask([]() { return Status::OK(); });
+  ASSERT_TRUE(graph.Wait().ok());
+  // Growing the graph after Wait: the dependency is already satisfied.
+  std::atomic<bool> ran{false};
+  graph.AddTask([&]() {
+    ran.store(true);
+    return Status::OK();
+  },
+                {a});
+  ASSERT_TRUE(graph.Wait().ok());
+  EXPECT_TRUE(ran.load());
 }
 
 TEST(LocalCluster, ProvidesEnvAndPool) {

@@ -28,14 +28,45 @@ TEST_P(ShuffleTest, SegmentRoundTrip) {
                   .ok());
   EXPECT_EQ(write_result.records, 500u);
   EXPECT_GT(write_result.raw_bytes, 0u);
+  EXPECT_GT(write_result.blocks, 0u);
 
-  uint64_t decompress_nanos = 0;
-  uint64_t fetched = 0;
-  std::unique_ptr<KVStream> out;
-  ASSERT_TRUE(FetchSegment(env_.get(), "seg", codec, &decompress_nanos,
-                           &fetched, &out)
-                  .ok());
-  EXPECT_EQ(fetched, write_result.stored_bytes);
+  std::unique_ptr<BlockRunReader> out;
+  ASSERT_TRUE(OpenSegmentReader(env_.get(), "seg", codec, {}, &out).ok());
+  size_t i = 0;
+  while (out->Valid()) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(out->key().ToString(), records[i].key);
+    EXPECT_EQ(out->value().ToString(), records[i].value);
+    ASSERT_TRUE(out->Next().ok());
+    ++i;
+  }
+  EXPECT_EQ(i, records.size());
+  // Fully consumed: the reader has seen every stored byte and block.
+  EXPECT_EQ(out->stats().bytes_read, write_result.stored_bytes);
+  EXPECT_EQ(out->stats().blocks, write_result.blocks);
+  EXPECT_EQ(out->stats().records, write_result.records);
+}
+
+TEST_P(ShuffleTest, FetchedSegmentRoundTrip) {
+  const Codec* codec = GetCodec(GetParam());
+  std::vector<KV> records;
+  for (int i = 0; i < 200; ++i) {
+    records.push_back({"k" + std::to_string(i), "v" + std::to_string(i)});
+  }
+  KVVectorStream in(&records);
+  uint64_t nanos = 0;
+  SegmentWriteResult write_result;
+  ASSERT_TRUE(
+      WriteSegment(env_.get(), "seg", &in, codec, &nanos, &write_result).ok());
+
+  FetchedSegment fetched;
+  ASSERT_TRUE(FetchSegmentFrames(env_.get(), "seg", 0, &fetched).ok());
+  EXPECT_EQ(fetched.fetched_bytes, write_result.stored_bytes);
+  EXPECT_EQ(fetched.file, "seg");
+
+  std::unique_ptr<BlockRunReader> out;
+  ASSERT_TRUE(
+      OpenFetchedSegment(fetched, codec, kShuffleReadaheadBlocks, &out).ok());
   size_t i = 0;
   while (out->Valid()) {
     ASSERT_LT(i, records.size());
@@ -56,10 +87,8 @@ TEST_P(ShuffleTest, EmptySegment) {
   ASSERT_TRUE(
       WriteSegment(env_.get(), "empty", &in, codec, &nanos, &result).ok());
   EXPECT_EQ(result.records, 0u);
-  std::unique_ptr<KVStream> out;
-  uint64_t fetched = 0;
-  ASSERT_TRUE(
-      FetchSegment(env_.get(), "empty", codec, &nanos, &fetched, &out).ok());
+  std::unique_ptr<BlockRunReader> out;
+  ASSERT_TRUE(OpenSegmentReader(env_.get(), "empty", codec, {}, &out).ok());
   EXPECT_FALSE(out->Valid());
 }
 
@@ -84,11 +113,10 @@ TEST(ShuffleNames, AreUniquePerTaskPartitionAndSpill) {
 
 TEST(ShuffleCompression, MissingSegmentIsError) {
   auto env = NewMemEnv();
-  std::unique_ptr<KVStream> out;
-  uint64_t nanos = 0, fetched = 0;
-  EXPECT_FALSE(FetchSegment(env.get(), "nope", GetCodec(CodecType::kNone),
-                            &nanos, &fetched, &out)
-                   .ok());
+  std::unique_ptr<BlockRunReader> out;
+  EXPECT_FALSE(
+      OpenSegmentReader(env.get(), "nope", GetCodec(CodecType::kNone), {}, &out)
+          .ok());
 }
 
 TEST(ShuffleCompression, CorruptSegmentIsError) {
@@ -97,11 +125,11 @@ TEST(ShuffleCompression, CorruptSegmentIsError) {
   ASSERT_TRUE(env->NewWritableFile("bad", &f).ok());
   ASSERT_TRUE(f->Append("this is not gzip").ok());
   ASSERT_TRUE(f->Close().ok());
-  std::unique_ptr<KVStream> out;
-  uint64_t nanos = 0, fetched = 0;
-  EXPECT_FALSE(FetchSegment(env.get(), "bad", GetCodec(CodecType::kGzip),
-                            &nanos, &fetched, &out)
-                   .ok());
+  std::unique_ptr<BlockRunReader> out;
+  Status st =
+      OpenSegmentReader(env.get(), "bad", GetCodec(CodecType::kGzip), {}, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
 }
 
 }  // namespace
