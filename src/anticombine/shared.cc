@@ -219,6 +219,36 @@ bool Shared::PopMinKeyValues(std::string* group_key,
 
   if (!FindMinKey(group_key)) return false;
 
+  // Fast path: no spill stream is positioned on this group, so it lives
+  // entirely in the table — heap pops already ascend in key order, and each
+  // key's values move straight into *values without an intermediate copy.
+  bool spilled_group = false;
+  for (SpillRun& run : spills_) {
+    if (run.stream->Valid() &&
+        options_.grouping_cmp(run.stream->key(), Slice(*group_key)) == 0) {
+      spilled_group = true;
+      break;
+    }
+  }
+  if (!spilled_group) {
+    while (!heap_.empty() &&
+           options_.grouping_cmp(Slice(heap_.top()), Slice(*group_key)) == 0) {
+      const std::string key = heap_.top();
+      heap_.pop();
+      auto it = table_.find(key);
+      if (it == table_.end()) continue;  // stale
+      std::vector<std::string>& group = it->second.values;
+      values->reserve(values->size() + group.size());
+      for (std::string& value : group) {
+        memory_bytes_ -= value.size();
+        values->push_back(std::move(value));
+      }
+      memory_bytes_ -= key.size();
+      table_.erase(it);
+    }
+    return true;
+  }
+
   // Collect the group's in-memory records in key order (heap pops ascend).
   std::vector<KV> mem_records;
   while (!heap_.empty() &&
@@ -227,6 +257,7 @@ bool Shared::PopMinKeyValues(std::string* group_key,
     heap_.pop();
     auto it = table_.find(key);
     if (it == table_.end()) continue;  // stale
+    mem_records.reserve(mem_records.size() + it->second.values.size());
     for (std::string& value : it->second.values) {
       memory_bytes_ -= value.size();
       mem_records.emplace_back(key, std::move(value));
@@ -236,6 +267,7 @@ bool Shared::PopMinKeyValues(std::string* group_key,
   }
 
   // Merge memory records with the group prefix of each spill stream.
+  values->reserve(values->size() + mem_records.size());
   std::vector<std::unique_ptr<KVStream>> inputs;
   inputs.push_back(std::make_unique<KVVectorStream>(&mem_records));
   for (SpillRun& run : spills_) {

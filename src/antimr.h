@@ -2,8 +2,10 @@
 //
 // A downstream user typically needs three things:
 //   1. write a MapReduce program:     mr/api.h, mr/job_spec.h
-//   2. run it:                        mr/job_runner.h
-//   3. enable Anti-Combining:         anticombine/transform.h
+//   2. run it:                        mr/job_runner.h for one job, or
+//      engine/job_plan.h + engine/executor.h for a multi-stage pipeline
+//   3. enable Anti-Combining:         anticombine/transform.h (per job) or
+//      StageOptions::anti_combine (per stage of a plan)
 //
 // Everything else (codecs, data generators, reference workloads) is optional.
 #ifndef ANTIMR_ANTIMR_H_
@@ -13,6 +15,8 @@
 #include "anticombine/transform.h"
 #include "codec/codec.h"
 #include "common/status.h"
+#include "engine/executor.h"
+#include "engine/job_plan.h"
 #include "mr/api.h"
 #include "mr/job_runner.h"
 #include "mr/job_spec.h"

@@ -1,0 +1,176 @@
+#include "engine/executor.h"
+
+#include <atomic>
+#include <set>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "engine/planner.h"
+#include "io/throttled_env.h"
+#include "mr/reduce_task.h"
+
+namespace antimr {
+namespace engine {
+
+const std::vector<std::vector<KV>>* PlanResult::Output(
+    const std::string& name) const {
+  auto it = outputs.find(name);
+  return it == outputs.end() ? nullptr : &it->second;
+}
+
+std::vector<KV> PlanResult::FlatOutput(const std::string& name) const {
+  std::vector<KV> flat;
+  const auto* partitions = Output(name);
+  if (partitions == nullptr) return flat;
+  for (const auto& part : *partitions) {
+    flat.insert(flat.end(), part.begin(), part.end());
+  }
+  return flat;
+}
+
+namespace {
+std::string UniquePlanId(const std::string& name) {
+  static std::atomic<uint64_t> counter{0};
+  return "plan_" + name + "_" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+}  // namespace
+
+Executor::Executor(const ExecutorOptions& options)
+    : options_(options), pool_(options.num_workers) {}
+
+Status Executor::Run(const JobPlan& plan, PlanResult* result) {
+  *result = PlanResult();
+  ANTIMR_RETURN_NOT_OK(plan.Validate());
+  const uint64_t wall_start = NowNanos();
+
+  std::unique_ptr<Env> owned_env;
+  Env* env = options_.env;
+  IoStats io_before;
+  if (env == nullptr) {
+    owned_env = NewMemEnv();
+    env = owned_env.get();
+  } else {
+    io_before = env->stats();
+  }
+  // Simulated local-disk bandwidth: tasks see the throttled wrapper; the
+  // underlying env still owns the bytes and the counters. Cleanup bypasses
+  // the throttle (deletions are metadata ops).
+  std::unique_ptr<Env> throttled_env;
+  Env* task_env = env;
+  if (options_.hardware.disk_mb_per_s > 0) {
+    throttled_env = NewThrottledEnv(env, options_.hardware.disk_mb_per_s);
+    task_env = throttled_env.get();
+  }
+
+  bool any_pipelined = false;
+  for (const Stage& stage : plan.stages()) {
+    if (stage.options.shuffle_mode == ShuffleMode::kPipelined) {
+      any_pipelined = true;
+      break;
+    }
+  }
+  if (any_pipelined && fetch_pool_ == nullptr) {
+    fetch_pool_ = std::make_unique<TaskPool>(options_.fetch_threads > 0
+                                                 ? options_.fetch_threads
+                                                 : pool_.num_workers());
+  }
+
+  DatasetCatalog catalog;
+  std::deque<StageExec> stages;
+  TaskGraph graph(&pool_);
+
+  PlannerContext ctx;
+  ctx.plan = &plan;
+  ctx.catalog = &catalog;
+  ctx.task_env = task_env;
+  ctx.cleanup_env = env;
+  ctx.fetch_pool = fetch_pool_.get();
+  ctx.readahead_blocks = options_.readahead_blocks > 0
+                             ? options_.readahead_blocks
+                             : kShuffleReadaheadBlocks;
+  ctx.network_mb_per_s = options_.hardware.network_mb_per_s;
+  ctx.collect_outputs = options_.collect_outputs;
+  ctx.cleanup_intermediates = options_.cleanup_intermediates;
+  ctx.run_id = options_.run_id.empty() ? UniquePlanId(plan.name)
+                                       : options_.run_id;
+
+  const Status lowered = LowerPlan(ctx, &graph, &stages);
+  // Tasks added before a lowering error may already be running; always
+  // drain the graph before touching (or destroying) the state they use.
+  const Status run_status = graph.Wait();
+  if (!lowered.ok()) return lowered;
+
+  // ---- Aggregate: per-stage roll-ups, then the plan total ------------------
+  result->stages.resize(plan.stages().size());
+  for (size_t i = 0; i < plan.stages().size(); ++i) {
+    const Stage& stage = plan.stages()[i];
+    const StageExec& st = stages[i];
+    StageResult& sr = result->stages[i];
+    sr.name = stage.name.empty() ? stage.spec.name : stage.name;
+    sr.output = stage.output;
+    for (size_t m = 0; m < st.num_maps; ++m) {
+      sr.metrics.Add(st.map_results[m].metrics);
+      sr.metrics.total_cpu_nanos += st.map_cpu[m];
+      if (options_.collect_task_metrics) {
+        sr.tasks.push_back({/*is_map=*/true, static_cast<int>(m),
+                            st.map_cpu[m], st.map_results[m].metrics});
+      }
+    }
+    for (size_t p = 0; p < st.reduce_results.size(); ++p) {
+      sr.metrics.Add(st.reduce_results[p].metrics);
+      sr.metrics.total_cpu_nanos += st.reduce_cpu[p];
+      if (options_.collect_task_metrics) {
+        sr.tasks.push_back({/*is_map=*/false, static_cast<int>(p),
+                            st.reduce_cpu[p], st.reduce_results[p].metrics});
+      }
+    }
+    sr.metrics.shuffle_overlapped_fetches =
+        st.overlapped_fetches.load(std::memory_order_relaxed);
+    const uint64_t first = st.first_start.load(std::memory_order_relaxed);
+    const uint64_t last = st.last_end.load(std::memory_order_relaxed);
+    if (last > 0 && first != ~uint64_t{0}) {
+      sr.first_start_nanos = first;
+      sr.last_end_nanos = last;
+      sr.metrics.wall_nanos = last - first;
+    }
+    result->metrics.Add(sr.metrics);
+  }
+
+  // Cross-stage pipelining metric: overlap of producer/consumer activity
+  // spans, summed over distinct dataset edges.
+  std::set<std::pair<int, int>> edges;
+  for (size_t i = 0; i < plan.stages().size(); ++i) {
+    for (const std::string& input : plan.stages()[i].inputs) {
+      const int producer = plan.ProducerOf(input);
+      if (producer >= 0) edges.insert({producer, static_cast<int>(i)});
+    }
+  }
+  for (const auto& [producer, consumer] : edges) {
+    const StageResult& a = result->stages[static_cast<size_t>(producer)];
+    const StageResult& b = result->stages[static_cast<size_t>(consumer)];
+    if (a.last_end_nanos == 0 || b.last_end_nanos == 0) continue;
+    const uint64_t lo = std::max(a.first_start_nanos, b.first_start_nanos);
+    const uint64_t hi = std::min(a.last_end_nanos, b.last_end_nanos);
+    if (hi > lo) result->stage_overlap_nanos += hi - lo;
+  }
+
+  if (options_.collect_outputs) {
+    for (size_t i = 0; i < plan.stages().size(); ++i) {
+      if (!plan.IsSink(static_cast<int>(i))) continue;
+      const std::string& name = plan.stages()[i].output;
+      result->outputs[name] = catalog.TakePartitions(name);
+    }
+  }
+  result->datasets = catalog.Describe();
+
+  const IoStats io_after = env->stats();
+  result->metrics.disk_bytes_read = io_after.bytes_read - io_before.bytes_read;
+  result->metrics.disk_bytes_written =
+      io_after.bytes_written - io_before.bytes_written;
+  result->metrics.wall_nanos = NowNanos() - wall_start;
+  return run_status;
+}
+
+}  // namespace engine
+}  // namespace antimr

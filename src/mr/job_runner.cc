@@ -1,11 +1,9 @@
 #include "mr/job_runner.h"
 
-#include <atomic>
+#include <utility>
 
-#include "common/stopwatch.h"
-#include "io/throttled_env.h"
-#include "mr/map_task.h"
-#include "mr/reduce_task.h"
+#include "engine/executor.h"
+#include "engine/job_plan.h"
 
 namespace antimr {
 
@@ -17,209 +15,47 @@ std::vector<KV> JobResult::FlatOutput() const {
   return flat;
 }
 
-namespace {
-std::string UniqueJobId(const std::string& name) {
-  static std::atomic<uint64_t> counter{0};
-  return "job_" + name + "_" +
-         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
-}
-}  // namespace
-
 Status RunJob(const JobSpec& spec, const std::vector<InputSplit>& splits,
               const RunOptions& options, JobResult* result) {
-  ANTIMR_RETURN_NOT_OK(spec.Validate());
-  const uint64_t wall_start = NowNanos();
+  // One-stage plan: "in" -> spec -> "out". The spec is taken as-is (callers
+  // apply EnableAntiCombining themselves in this legacy API).
+  engine::JobPlan plan;
+  plan.name = spec.name;
+  ANTIMR_RETURN_NOT_OK(plan.AddInput("in", splits));
+  engine::Stage stage;
+  stage.name = spec.name;
+  stage.spec = spec;
+  stage.inputs = {"in"};
+  stage.output = "out";
+  stage.options.shuffle_mode = options.shuffle_mode;
+  plan.AddStage(std::move(stage));
 
-  std::unique_ptr<Env> owned_env;
-  Env* env = options.env;
-  IoStats io_before;
-  if (env == nullptr) {
-    owned_env = NewMemEnv();
-    env = owned_env.get();
-  } else {
-    io_before = env->stats();
-  }
-  // Simulated local-disk bandwidth: tasks see the throttled wrapper; the
-  // underlying env still owns the bytes and the counters.
-  std::unique_ptr<Env> throttled_env;
-  Env* task_env = env;
-  if (options.hardware.disk_mb_per_s > 0) {
-    throttled_env = NewThrottledEnv(env, options.hardware.disk_mb_per_s);
-    task_env = throttled_env.get();
-  }
+  engine::ExecutorOptions exec_options;
+  exec_options.num_workers = options.num_workers;
+  exec_options.fetch_threads = options.fetch_threads;
+  exec_options.readahead_blocks = options.readahead_blocks;
+  exec_options.env = options.env;
+  exec_options.collect_outputs = options.collect_output;
+  exec_options.cleanup_intermediates = options.cleanup_intermediates;
+  exec_options.hardware = options.hardware;
+  exec_options.collect_task_metrics = options.collect_task_metrics;
+  exec_options.run_id = options.job_id;
 
-  const std::string job_id =
-      options.job_id.empty() ? UniqueJobId(spec.name) : options.job_id;
-  const size_t num_maps = splits.size();
-  const size_t num_reduce = static_cast<size_t>(spec.num_reduce_tasks);
-  const size_t readahead = options.readahead_blocks > 0
-                               ? options.readahead_blocks
-                               : kShuffleReadaheadBlocks;
+  engine::Executor executor(exec_options);
+  engine::PlanResult plan_result;
+  const Status status = executor.Run(plan, &plan_result);
 
-  TaskPool pool(options.num_workers);
-
-  std::vector<MapTaskResult> map_results(num_maps);
-  std::vector<uint64_t> map_cpu(num_maps, 0);
-  std::vector<ReduceTaskResult> reduce_results(num_reduce);
-  std::vector<uint64_t> reduce_cpu(num_reduce, 0);
-  uint64_t overlapped_fetches = 0;
-
-  if (options.shuffle_mode == ShuffleMode::kBarrier) {
-    // ---- Barrier model: map wave, then reduce wave ------------------------
-    {
-      std::vector<std::function<Status()>> tasks;
-      tasks.reserve(num_maps);
-      for (size_t i = 0; i < num_maps; ++i) {
-        tasks.push_back([&, i]() {
-          const uint64_t cpu_start = ThreadCpuNanos();
-          Status st = RunMapTask(spec, job_id, static_cast<int>(i), splits[i],
-                                 task_env, &map_results[i]);
-          map_cpu[i] = ThreadCpuNanos() - cpu_start;
-          return st;
-        });
-      }
-      ANTIMR_RETURN_NOT_OK(pool.RunWave(tasks));
-    }
-    {
-      std::vector<std::function<Status()>> tasks;
-      tasks.reserve(num_reduce);
-      for (size_t p = 0; p < num_reduce; ++p) {
-        tasks.push_back([&, p]() {
-          ReduceTaskInputs inputs;
-          inputs.network_mb_per_s = options.hardware.network_mb_per_s;
-          inputs.readahead_blocks = readahead;
-          for (const MapTaskResult& mr : map_results) {
-            const std::string& fname = mr.segment_files[p];
-            if (!fname.empty()) inputs.segment_files.push_back(fname);
-          }
-          const uint64_t cpu_start = ThreadCpuNanos();
-          Status st =
-              RunReduceTask(spec, static_cast<int>(p), inputs, task_env,
-                            options.collect_output, &reduce_results[p]);
-          reduce_cpu[p] = ThreadCpuNanos() - cpu_start;
-          return st;
-        });
-      }
-      ANTIMR_RETURN_NOT_OK(pool.RunWave(tasks));
-    }
-  } else {
-    // ---- Pipelined model: dependency graph with overlapped shuffle --------
-    //
-    // Graph shape (per reduce partition p, map task i):
-    //   map i  ->  fetch(p, i)  ->  reduce p
-    // Fetches run on a dedicated pool so copying shuffle data never steals a
-    // map/reduce worker slot, and each fetch is runnable the moment its map
-    // task publishes segments — the shuffle overlaps the rest of the map
-    // wave. Only the merge+reduce waits for all of p's inputs. Map tasks are
-    // added first, so on failure the lowest-id (map) status is reported,
-    // matching the barrier model.
-    TaskPool fetch_pool(options.fetch_threads > 0 ? options.fetch_threads
-                                                  : pool.num_workers());
-    TaskGraph graph(&pool);
-
-    std::atomic<size_t> maps_remaining{num_maps};
-    std::atomic<uint64_t> overlapped{0};
-    // fetched[p][i]: map i's segment for partition p, copied reduce-side.
-    std::vector<std::vector<FetchedSegment>> fetched(num_reduce);
-    for (auto& per_map : fetched) per_map.resize(num_maps);
-    // Fetch CPU is billed to the destination reduce task.
-    std::vector<std::atomic<uint64_t>> fetch_cpu(num_reduce);
-
-    std::vector<int> map_ids(num_maps, -1);
-    for (size_t i = 0; i < num_maps; ++i) {
-      map_ids[i] = graph.AddTask([&, i]() {
-        const uint64_t cpu_start = ThreadCpuNanos();
-        Status st = RunMapTask(spec, job_id, static_cast<int>(i), splits[i],
-                               task_env, &map_results[i]);
-        map_cpu[i] = ThreadCpuNanos() - cpu_start;
-        maps_remaining.fetch_sub(1, std::memory_order_relaxed);
-        return st;
-      });
-    }
-
-    for (size_t p = 0; p < num_reduce; ++p) {
-      std::vector<int> fetch_ids;
-      fetch_ids.reserve(num_maps);
-      for (size_t i = 0; i < num_maps; ++i) {
-        fetch_ids.push_back(graph.AddTask(
-            [&, p, i]() {
-              const std::string& fname = map_results[i].segment_files[p];
-              if (fname.empty()) return Status::OK();
-              if (maps_remaining.load(std::memory_order_relaxed) > 0) {
-                overlapped.fetch_add(1, std::memory_order_relaxed);
-              }
-              const uint64_t cpu_start = ThreadCpuNanos();
-              Status st = FetchSegmentFrames(task_env, fname,
-                                             options.hardware.network_mb_per_s,
-                                             &fetched[p][i]);
-              fetch_cpu[p].fetch_add(ThreadCpuNanos() - cpu_start,
-                                     std::memory_order_relaxed);
-              return st;
-            },
-            {map_ids[i]}, &fetch_pool));
-      }
-      graph.AddTask(
-          [&, p]() {
-            ReduceTaskInputs inputs;
-            inputs.readahead_blocks = readahead;
-            for (FetchedSegment& fs : fetched[p]) {
-              if (!fs.file.empty()) inputs.fetched.push_back(std::move(fs));
-            }
-            const uint64_t cpu_start = ThreadCpuNanos();
-            Status st =
-                RunReduceTask(spec, static_cast<int>(p), inputs, task_env,
-                              options.collect_output, &reduce_results[p]);
-            reduce_cpu[p] = ThreadCpuNanos() - cpu_start +
-                            fetch_cpu[p].load(std::memory_order_relaxed);
-            return st;
-          },
-          fetch_ids);
-    }
-
-    ANTIMR_RETURN_NOT_OK(graph.Wait());
-    overlapped_fetches = overlapped.load(std::memory_order_relaxed);
-  }
-
-  // ---- Aggregate ------------------------------------------------------------
-  result->metrics = JobMetrics();
+  result->metrics = plan_result.metrics;
   result->outputs.clear();
   result->task_metrics.clear();
-  for (size_t i = 0; i < num_maps; ++i) {
-    result->metrics.Add(map_results[i].metrics);
-    result->metrics.total_cpu_nanos += map_cpu[i];
-    if (options.collect_task_metrics) {
-      result->task_metrics.push_back({/*is_map=*/true, static_cast<int>(i),
-                                      map_cpu[i], map_results[i].metrics});
-    }
+  if (!plan_result.stages.empty()) {
+    result->task_metrics = std::move(plan_result.stages[0].tasks);
   }
-  for (size_t p = 0; p < num_reduce; ++p) {
-    result->metrics.Add(reduce_results[p].metrics);
-    result->metrics.total_cpu_nanos += reduce_cpu[p];
-    if (options.collect_task_metrics) {
-      result->task_metrics.push_back({/*is_map=*/false, static_cast<int>(p),
-                                      reduce_cpu[p],
-                                      reduce_results[p].metrics});
-    }
-    if (options.collect_output) {
-      result->outputs.push_back(std::move(reduce_results[p].output));
-    }
+  auto it = plan_result.outputs.find("out");
+  if (it != plan_result.outputs.end()) {
+    result->outputs = std::move(it->second);
   }
-  result->metrics.shuffle_overlapped_fetches = overlapped_fetches;
-
-  if (options.cleanup_intermediates) {
-    for (const MapTaskResult& mr : map_results) {
-      for (const std::string& fname : mr.segment_files) {
-        if (!fname.empty()) env->DeleteFile(fname);
-      }
-    }
-  }
-
-  const IoStats io_after = env->stats();
-  result->metrics.disk_bytes_read = io_after.bytes_read - io_before.bytes_read;
-  result->metrics.disk_bytes_written =
-      io_after.bytes_written - io_before.bytes_written;
-  result->metrics.wall_nanos = NowNanos() - wall_start;
-  return Status::OK();
+  return status;
 }
 
 Status RunJob(const JobSpec& spec, const std::vector<InputSplit>& splits,

@@ -1,6 +1,8 @@
-// Job orchestration: map tasks, shuffle, and reduce tasks over a persistent
-// worker pool. This is the entry point user code calls after building a
-// JobSpec.
+// Single-job orchestration: the classic RunJob(spec, splits) entry point,
+// now a thin shim over the engine — it wraps the spec in a one-stage
+// engine::JobPlan and runs it on a private engine::Executor. Multi-stage
+// work (job chains, DAGs, cross-stage pipelining) should build a JobPlan
+// directly; see engine/job_plan.h and engine/executor.h.
 //
 // Two shuffle models are supported. The default pipelined model schedules a
 // dependency graph: each reduce task's fetch of map task i's segment becomes
@@ -16,17 +18,9 @@
 #include "mr/job_spec.h"
 #include "mr/local_cluster.h"
 #include "mr/metrics.h"
+#include "mr/shuffle.h"
 
 namespace antimr {
-
-/// \brief Per-task cost record, for load-balance / skew analysis (the
-/// paper's Section 6.2 discusses the reduce-side skew LazySH can induce).
-struct TaskMetrics {
-  bool is_map = false;
-  int task_id = 0;
-  uint64_t cpu_nanos = 0;  ///< thread CPU time of the task
-  JobMetrics metrics;
-};
 
 /// \brief Completed-job artifacts.
 struct JobResult {
@@ -39,28 +33,6 @@ struct JobResult {
 
   /// Flatten outputs across reduce tasks (task order, then emission order).
   std::vector<KV> FlatOutput() const;
-};
-
-/// \brief Simulated cluster hardware (paper Section 7's testbed analog).
-///
-/// Zero disables a component. When set, every byte through a node's local
-/// disk and every shuffled byte pays simulated transfer time, so wall-clock
-/// "runtime" reflects data volume the way it did on the paper's 7.2K SATA
-/// disks and shared gigabit switch. CPU-time metrics are unaffected (the
-/// throttle sleeps; it does not burn cycles).
-struct SimulatedHardware {
-  double disk_mb_per_s = 0;     ///< local-disk bandwidth per task
-  double network_mb_per_s = 0;  ///< mapper->reducer transfer bandwidth
-};
-
-/// How reduce-side shuffle work is scheduled relative to the map wave.
-enum class ShuffleMode {
-  /// Concurrent fetchers copy each map output as soon as it is published;
-  /// only the merge+reduce waits for all of a partition's inputs.
-  kPipelined,
-  /// Classic two-wave model: all maps finish, then reducers stream their
-  /// segments inline. Kept for A/B benchmarking of the pipeline.
-  kBarrier,
 };
 
 struct RunOptions {

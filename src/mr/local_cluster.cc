@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/executor.h"
+
 namespace antimr {
 
 TaskPool::TaskPool(int num_workers) {
@@ -170,8 +172,21 @@ Status TaskGraph::Wait() {
 }
 
 LocalCluster::LocalCluster(const Options& options)
-    : pool_(options.num_workers),
+    : num_workers_(options.num_workers),
+      pool_(options.num_workers),
       env_(options.posix_root.empty() ? NewMemEnv()
                                       : NewPosixEnv(options.posix_root)) {}
+
+LocalCluster::~LocalCluster() = default;
+
+engine::Executor* LocalCluster::executor() {
+  if (executor_ == nullptr) {
+    engine::ExecutorOptions options;
+    options.num_workers = num_workers_;
+    options.env = env_.get();
+    executor_ = std::make_unique<engine::Executor>(options);
+  }
+  return executor_.get();
+}
 
 }  // namespace antimr

@@ -25,6 +25,22 @@
 
 namespace antimr {
 
+namespace engine {
+class Executor;
+}  // namespace engine
+
+/// \brief Simulated cluster hardware (paper Section 7's testbed analog).
+///
+/// Zero disables a component. When set, every byte through a node's local
+/// disk and every shuffled byte pays simulated transfer time, so wall-clock
+/// "runtime" reflects data volume the way it did on the paper's 7.2K SATA
+/// disks and shared gigabit switch. CPU-time metrics are unaffected (the
+/// throttle sleeps; it does not burn cycles).
+struct SimulatedHardware {
+  double disk_mb_per_s = 0;     ///< local-disk bandwidth per task
+  double network_mb_per_s = 0;  ///< mapper->reducer transfer bandwidth
+};
+
 /// \brief Persistent fixed-size worker pool.
 ///
 /// Threads are spawned once in the constructor and joined in the destructor;
@@ -128,13 +144,20 @@ class LocalCluster {
   };
 
   explicit LocalCluster(const Options& options);
+  ~LocalCluster();
 
   TaskPool* pool() { return &pool_; }
   Env* env() { return env_.get(); }
 
+  /// A plan executor bound to this cluster's storage and worker count,
+  /// created on first use. Lives as long as the cluster.
+  engine::Executor* executor();
+
  private:
+  int num_workers_;
   TaskPool pool_;
   std::unique_ptr<Env> env_;
+  std::unique_ptr<engine::Executor> executor_;
 };
 
 }  // namespace antimr

@@ -107,6 +107,15 @@ class JobMetrics {
   std::string ToJson() const;
 };
 
+/// \brief Per-task cost record, for load-balance / skew analysis (the
+/// paper's Section 6.2 discusses the reduce-side skew LazySH can induce).
+struct TaskMetrics {
+  bool is_map = false;
+  int task_id = 0;
+  uint64_t cpu_nanos = 0;  ///< thread CPU time of the task
+  JobMetrics metrics;
+};
+
 /// "12.3 MB"-style formatting used by the bench tables.
 std::string FormatBytes(uint64_t bytes);
 /// "1.23 s"-style formatting.

@@ -26,6 +26,16 @@ constexpr size_t kShuffleBlockBytes = kDefaultBlockBytes;
 /// Default per-segment readahead window (in blocks).
 constexpr size_t kShuffleReadaheadBlocks = kDefaultReadaheadBlocks;
 
+/// How reduce-side shuffle work is scheduled relative to the map wave.
+enum class ShuffleMode {
+  /// Concurrent fetchers copy each map output as soon as it is published;
+  /// only the merge+reduce waits for all of a partition's inputs.
+  kPipelined,
+  /// Classic two-wave model: all maps finish, then reducers stream their
+  /// segments inline. Kept for A/B benchmarking of the pipeline.
+  kBarrier,
+};
+
 /// File name for map task `map_task`'s final output segment for `partition`.
 std::string SegmentFileName(const std::string& job_id, int map_task,
                             int partition);

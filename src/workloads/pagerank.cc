@@ -160,5 +160,55 @@ Status RunPageRank(const PageRankConfig& config,
   return Status::OK();
 }
 
+engine::JobPlan MakePageRankPlan(
+    const PageRankConfig& config, std::vector<InputSplit> initial_splits,
+    int iterations, const anticombine::AntiCombineOptions* anti_combine,
+    ShuffleMode shuffle_mode) {
+  engine::JobPlan plan;
+  plan.name = "pagerank";
+  // Cannot fail: the dataset name is non-empty and added exactly once.
+  const Status added = plan.AddInput("ranks_0", std::move(initial_splits));
+  (void)added;
+  const JobSpec spec = MakePageRankJob(config);
+  for (int it = 0; it < iterations; ++it) {
+    engine::Stage stage;
+    stage.name = "iter_" + std::to_string(it);
+    stage.spec = spec;
+    stage.inputs = {"ranks_" + std::to_string(it)};
+    stage.output = "ranks_" + std::to_string(it + 1);
+    stage.options.shuffle_mode = shuffle_mode;
+    if (anti_combine != nullptr) {
+      stage.options.anti_combine = true;
+      stage.options.anti_combine_options = *anti_combine;
+    }
+    plan.AddStage(std::move(stage));
+  }
+  return plan;
+}
+
+Status RunPageRankDag(const PageRankConfig& config,
+                      const std::vector<KV>& graph, int iterations,
+                      const anticombine::AntiCombineOptions* anti_combine,
+                      int num_map_tasks, engine::Executor* executor,
+                      PageRankRunResult* result,
+                      engine::PlanResult* plan_result,
+                      ShuffleMode shuffle_mode) {
+  engine::JobPlan plan =
+      MakePageRankPlan(config, MakeSplits(graph, num_map_tasks), iterations,
+                       anti_combine, shuffle_mode);
+  std::unique_ptr<engine::Executor> owned;
+  if (executor == nullptr) {
+    owned = std::make_unique<engine::Executor>();
+    executor = owned.get();
+  }
+  engine::PlanResult local_result;
+  engine::PlanResult* pr = plan_result != nullptr ? plan_result : &local_result;
+  ANTIMR_RETURN_NOT_OK(executor->Run(plan, pr));
+  result->total = pr->metrics;
+  result->final_ranks =
+      pr->FlatOutput("ranks_" + std::to_string(iterations));
+  return Status::OK();
+}
+
 }  // namespace workloads
 }  // namespace antimr

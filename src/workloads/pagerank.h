@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "anticombine/options.h"
+#include "engine/executor.h"
+#include "engine/job_plan.h"
 #include "mr/job_runner.h"
 #include "mr/job_spec.h"
 
@@ -40,6 +42,31 @@ Status RunPageRank(const PageRankConfig& config,
                    const anticombine::AntiCombineOptions* anti_combine,
                    int num_map_tasks, PageRankRunResult* result,
                    const RunOptions& run_options = RunOptions());
+
+/// The same N-iteration computation as ONE JobPlan: stage i maps dataset
+/// "ranks_<i>" to "ranks_<i+1>", with "ranks_0" the external graph input and
+/// "ranks_<iterations>" the plan's sink. Each stage's map tasks consume the
+/// previous stage's reduce partitions directly, so iteration i+1 starts on
+/// partition p the moment iteration i's reduce task p publishes — no
+/// per-iteration driver barrier (cross-stage pipelining).
+engine::JobPlan MakePageRankPlan(
+    const PageRankConfig& config, std::vector<InputSplit> initial_splits,
+    int iterations, const anticombine::AntiCombineOptions* anti_combine,
+    ShuffleMode shuffle_mode = ShuffleMode::kPipelined);
+
+/// Run the DAG form on `executor` (a default local Executor when null).
+/// Produces byte-identical final_ranks to RunPageRank: both paths feed each
+/// reduce the same per-key value order (contiguous chunks of the same
+/// flattened sequence through stable sorts and merges), so the float
+/// summation order — and thus the formatted ranks — match exactly.
+/// `plan_result`, when non-null, receives the full per-stage breakdown.
+Status RunPageRankDag(const PageRankConfig& config,
+                      const std::vector<KV>& graph, int iterations,
+                      const anticombine::AntiCombineOptions* anti_combine,
+                      int num_map_tasks, engine::Executor* executor,
+                      PageRankRunResult* result,
+                      engine::PlanResult* plan_result = nullptr,
+                      ShuffleMode shuffle_mode = ShuffleMode::kPipelined);
 
 }  // namespace workloads
 }  // namespace antimr

@@ -1,10 +1,14 @@
 // Failure injection: storage faults at controlled points must surface as
 // Status errors from RunJob — never crashes, hangs, or silent data loss.
+// Every scenario runs under both shuffle models: the pipelined scheduler's
+// concurrent fetch graph and the classic two-wave barrier.
 #include <atomic>
 #include <memory>
 
 #include <gtest/gtest.h>
 
+#include "engine/executor.h"
+#include "engine/job_plan.h"
 #include "test_util.h"
 
 namespace antimr {
@@ -101,48 +105,113 @@ std::vector<KV> TestInput() {
   return input;
 }
 
-int CountEnvOps() {
-  FaultyEnv env(NewMemEnv(), /*fail_after_ops=*/1 << 30);
-  RunOptions options;
-  options.env = &env;
-  JobResult result;
-  EXPECT_TRUE(RunJob(TestJob(), MakeSplits(TestInput(), 2), options, &result)
-                  .ok());
-  return env.operations_seen();
-}
+class FaultInjection : public ::testing::TestWithParam<ShuffleMode> {
+ protected:
+  RunOptions MakeOptions(Env* env) const {
+    RunOptions options;
+    options.env = env;
+    options.shuffle_mode = GetParam();
+    return options;
+  }
 
-TEST(FaultInjection, CleanRunEstablishesBaseline) {
+  int CountEnvOps() const {
+    FaultyEnv env(NewMemEnv(), /*fail_after_ops=*/1 << 30);
+    JobResult result;
+    EXPECT_TRUE(RunJob(TestJob(), MakeSplits(TestInput(), 2),
+                       MakeOptions(&env), &result)
+                    .ok());
+    return env.operations_seen();
+  }
+};
+
+TEST_P(FaultInjection, CleanRunEstablishesBaseline) {
   // The job exercises enough I/O that fault sweeps below are meaningful.
   EXPECT_GT(CountEnvOps(), 20);
 }
 
-TEST(FaultInjection, EveryFaultPointSurfacesAsStatus) {
+TEST_P(FaultInjection, EveryFaultPointSurfacesAsStatus) {
   const int total_ops = CountEnvOps();
   // Inject a fault at every I/O operation index in turn; RunJob must fail
-  // cleanly (no crash, no OK-with-missing-data). fail_at = N allows N ops
-  // through, so the last injectable point is total_ops - 1.
+  // cleanly (no crash, no hang, no OK-with-missing-data). fail_at = N allows
+  // N ops through, so the last injectable point is total_ops - 1.
   for (int fail_at = 0; fail_at < total_ops; ++fail_at) {
     FaultyEnv env(NewMemEnv(), fail_at);
-    RunOptions options;
-    options.env = &env;
     JobResult result;
-    const Status st =
-        RunJob(TestJob(), MakeSplits(TestInput(), 2), options, &result);
+    const Status st = RunJob(TestJob(), MakeSplits(TestInput(), 2),
+                             MakeOptions(&env), &result);
     EXPECT_FALSE(st.ok()) << "fault at op " << fail_at << " was swallowed";
     EXPECT_TRUE(st.IsIOError()) << st.ToString();
   }
 }
 
-TEST(FaultInjection, JobSucceedsWhenFaultBudgetNotReached) {
+TEST_P(FaultInjection, JobSucceedsWhenFaultBudgetNotReached) {
   const int total_ops = CountEnvOps();
   FaultyEnv env(NewMemEnv(), total_ops + 100);
-  RunOptions options;
-  options.env = &env;
   JobResult result;
-  EXPECT_TRUE(
-      RunJob(TestJob(), MakeSplits(TestInput(), 2), options, &result).ok());
+  EXPECT_TRUE(RunJob(TestJob(), MakeSplits(TestInput(), 2), MakeOptions(&env),
+                     &result)
+                  .ok());
   EXPECT_EQ(result.metrics.reduce_groups, 40u * 4);
 }
+
+// A fault anywhere in a two-stage plan must fail the whole plan cleanly:
+// the TaskGraph skips transitive dependents (including the downstream
+// stage's tasks reading the dead partition) instead of hanging on them.
+TEST_P(FaultInjection, MultiStagePlanFailsCleanly) {
+  auto make_plan = [this]() {
+    engine::JobPlan plan;
+    plan.name = "fault_chain";
+    EXPECT_TRUE(plan.AddInput("in", MakeSplits(TestInput(), 2)).ok());
+    engine::Stage first;
+    first.name = "first";
+    first.spec = TestJob();
+    first.inputs = {"in"};
+    first.output = "mid";
+    first.options.shuffle_mode = GetParam();
+    plan.AddStage(std::move(first));
+    engine::Stage second;
+    second.name = "second";
+    second.spec = TestJob();
+    second.inputs = {"mid"};
+    second.output = "out";
+    second.options.shuffle_mode = GetParam();
+    plan.AddStage(std::move(second));
+    return plan;
+  };
+
+  int total_ops = 0;
+  {
+    FaultyEnv env(NewMemEnv(), 1 << 30);
+    engine::ExecutorOptions exec_options;
+    exec_options.env = &env;
+    engine::Executor executor(exec_options);
+    engine::PlanResult result;
+    ASSERT_TRUE(executor.Run(make_plan(), &result).ok());
+    total_ops = env.operations_seen();
+  }
+  ASSERT_GT(total_ops, 20);
+  // Sample fault points across the whole plan (every op would be slow here:
+  // the plan doubles the single-job op count and runs under two modes).
+  for (int fail_at = 0; fail_at < total_ops; fail_at += 7) {
+    FaultyEnv env(NewMemEnv(), fail_at);
+    engine::ExecutorOptions exec_options;
+    exec_options.env = &env;
+    engine::Executor executor(exec_options);
+    engine::PlanResult result;
+    const Status st = executor.Run(make_plan(), &result);
+    EXPECT_FALSE(st.ok()) << "fault at op " << fail_at << " was swallowed";
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShuffleModes, FaultInjection,
+                         ::testing::Values(ShuffleMode::kPipelined,
+                                           ShuffleMode::kBarrier),
+                         [](const ::testing::TestParamInfo<ShuffleMode>& info) {
+                           return info.param == ShuffleMode::kPipelined
+                                      ? "Pipelined"
+                                      : "Barrier";
+                         });
 
 }  // namespace
 }  // namespace antimr

@@ -10,6 +10,9 @@
 //       [--maps=N] [--reduces=N] [--seed=N]
 //       [--disk-mbps=N --net-mbps=N]   (simulated hardware)
 //       [--partitioner=hash|prefix1|prefix5]   (qsuggest only)
+//   antimr_cli pipeline --records=50000 [--stage1-strategy=eager]
+//       [--stage2-strategy=lazy] [--stage1-shuffle=pipelined|barrier]
+//       [--stage2-shuffle=pipelined|barrier]   (wordcount -> sort DAG)
 //   antimr_cli codecs [--size=BYTES]
 //   antimr_cli help
 #include <cstdio>
@@ -39,9 +42,17 @@ int Usage() {
       "usage:\n"
       "  antimr_cli run --workload=qsuggest|wordcount|pagerank|thetajoin|"
       "sort [options]\n"
+      "  antimr_cli pipeline [options]      wordcount -> sort two-stage DAG\n"
       "  antimr_cli codecs [--size=BYTES]\n"
       "options:\n"
       "  --strategy=original|eager|lazy|adaptive   (default adaptive)\n"
+      "  --engine=dag|loop     pagerank driver: one multi-stage plan (dag)\n"
+      "                        or one job per iteration (loop, default dag)\n"
+      "pipeline options:\n"
+      "  --stage1-strategy=original|eager|lazy|adaptive  (default eager)\n"
+      "  --stage2-strategy=original|eager|lazy|adaptive  (default lazy)\n"
+      "  --stage1-shuffle=pipelined|barrier              (default pipelined)\n"
+      "  --stage2-shuffle=pipelined|barrier              (default pipelined)\n"
       "  --threshold-us=N      lazy cost threshold T in microseconds\n"
       "  --window=N            cross-call sharing window (default 1)\n"
       "  --c-flag=0|1          map-phase combiner flag C (default 1)\n"
@@ -139,7 +150,8 @@ int RunCommand(const Flags& flags) {
   run.hardware.disk_mb_per_s = flags.GetDouble("disk-mbps", 0);
   run.hardware.network_mb_per_s = flags.GetDouble("net-mbps", 0);
 
-  // PageRank is iterative and uses its own driver.
+  // PageRank is iterative: either one multi-stage plan (dag, the default)
+  // or the legacy one-job-per-iteration driver loop.
   if (workload == "pagerank") {
     GraphConfig gc;
     gc.num_nodes = records;
@@ -147,12 +159,34 @@ int RunCommand(const Flags& flags) {
     workloads::PageRankConfig cfg;
     cfg.num_nodes = gc.num_nodes;
     cfg.num_reduce_tasks = static_cast<int>(flags.GetUint("reduces", 8));
-    run.collect_output = true;  // iterations chain through outputs
+    const int iterations = static_cast<int>(flags.GetUint("iterations", 5));
+    const anticombine::AntiCombineOptions* anti =
+        strategy == "original" ? nullptr : &options;
+    const std::string engine_kind = flags.GetString("engine", "dag");
     workloads::PageRankRunResult result;
-    Status st = workloads::RunPageRank(
-        cfg, GraphGenerator(gc).Generate(),
-        static_cast<int>(flags.GetUint("iterations", 5)),
-        strategy == "original" ? nullptr : &options, maps, &result, run);
+    Status st;
+    if (engine_kind == "loop") {
+      run.collect_output = true;  // iterations chain through outputs
+      st = workloads::RunPageRank(cfg, GraphGenerator(gc).Generate(),
+                                  iterations, anti, maps, &result, run);
+    } else if (engine_kind == "dag") {
+      engine::ExecutorOptions exec_options;
+      exec_options.num_workers = run.num_workers;
+      exec_options.hardware = run.hardware;
+      engine::Executor executor(exec_options);
+      engine::PlanResult plan_result;
+      st = workloads::RunPageRankDag(cfg, GraphGenerator(gc).Generate(),
+                                     iterations, anti, maps, &executor,
+                                     &result, &plan_result);
+      if (st.ok()) {
+        std::printf("engine=dag stages=%zu stage_overlap=%s\n",
+                    plan_result.stages.size(),
+                    FormatNanos(plan_result.stage_overlap_nanos).c_str());
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown engine %s\n", engine_kind.c_str());
+      return Usage();
+    }
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
@@ -199,6 +233,127 @@ int RunCommand(const Flags& flags) {
   return 0;
 }
 
+/// Per-stage knobs for the pipeline command: "--stageN-strategy" picks the
+/// Anti-Combining mode, "--stageN-shuffle" the shuffle scheduling model.
+Status ParseStageOptions(const Flags& flags, const std::string& prefix,
+                         const std::string& default_strategy,
+                         engine::StageOptions* out) {
+  const std::string strategy =
+      flags.GetString(prefix + "-strategy", default_strategy);
+  if (strategy == "eager") {
+    out->anti_combine = true;
+    out->anti_combine_options.lazy_threshold_nanos = 0;
+  } else if (strategy == "lazy") {
+    out->anti_combine = true;
+    out->anti_combine_options.force_lazy = true;
+  } else if (strategy == "adaptive") {
+    out->anti_combine = true;
+  } else if (strategy != "original") {
+    return Status::InvalidArgument("unknown strategy " + strategy);
+  }
+  const std::string shuffle =
+      flags.GetString(prefix + "-shuffle", "pipelined");
+  if (shuffle == "barrier") {
+    out->shuffle_mode = ShuffleMode::kBarrier;
+  } else if (shuffle == "pipelined") {
+    out->shuffle_mode = ShuffleMode::kPipelined;
+  } else {
+    return Status::InvalidArgument("unknown shuffle mode " + shuffle);
+  }
+  return Status::OK();
+}
+
+/// wordcount -> sort as one two-stage plan: stage 1 counts words, stage 2
+/// re-sorts the counts through the framework shuffle. The default knobs are
+/// the paper-flavored mix: EagerSH on the aggregation stage, LazySH on the
+/// re-sort stage.
+int PipelineCommand(const Flags& flags) {
+  const uint64_t records = flags.GetUint("records", 20000);
+  const int maps = static_cast<int>(flags.GetUint("maps", 8));
+  const int reduces = static_cast<int>(flags.GetUint("reduces", 8));
+  const auto codec = CodecTypeFromName(flags.GetString("codec", "none"));
+  if (!codec.ok()) {
+    std::fprintf(stderr, "error: %s\n", codec.status().ToString().c_str());
+    return Usage();
+  }
+
+  RandomTextConfig rc;
+  rc.num_lines = records;
+  rc.seed = flags.GetUint("seed", 42);
+
+  engine::JobPlan plan;
+  plan.name = "wordcount_sort";
+  Status st = plan.AddInput("lines", RandomTextGenerator(rc).MakeSplits(maps));
+
+  workloads::WordCountConfig wc_cfg;
+  wc_cfg.with_combiner = flags.GetBool("combiner", true);
+  wc_cfg.codec = codec.value();
+  wc_cfg.num_reduce_tasks = reduces;
+  engine::Stage count_stage;
+  count_stage.name = "wordcount";
+  count_stage.spec = workloads::MakeWordCountJob(wc_cfg);
+  count_stage.inputs = {"lines"};
+  count_stage.output = "counts";
+  if (st.ok()) st = ParseStageOptions(flags, "stage1", "eager",
+                                      &count_stage.options);
+  plan.AddStage(std::move(count_stage));
+
+  workloads::SortConfig sort_cfg;
+  sort_cfg.codec = codec.value();
+  sort_cfg.num_reduce_tasks = reduces;
+  engine::Stage sort_stage;
+  sort_stage.name = "sort";
+  sort_stage.spec = workloads::MakeSortJob(sort_cfg);
+  sort_stage.inputs = {"counts"};
+  sort_stage.output = "sorted";
+  if (st.ok()) st = ParseStageOptions(flags, "stage2", "lazy",
+                                      &sort_stage.options);
+  plan.AddStage(std::move(sort_stage));
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return Usage();
+  }
+
+  engine::ExecutorOptions exec_options;
+  exec_options.num_workers = static_cast<int>(flags.GetUint("workers", 0));
+  exec_options.hardware.disk_mb_per_s = flags.GetDouble("disk-mbps", 0);
+  exec_options.hardware.network_mb_per_s = flags.GetDouble("net-mbps", 0);
+  engine::Executor executor(exec_options);
+  engine::PlanResult result;
+  st = executor.Run(plan, &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (flags.GetBool("json", false)) {
+    std::printf("{\"stage_overlap_nanos\": %llu, \"stages\": [",
+                static_cast<unsigned long long>(result.stage_overlap_nanos));
+    for (size_t i = 0; i < result.stages.size(); ++i) {
+      std::printf("%s{\"name\": \"%s\", \"metrics\": %s}", i > 0 ? ", " : "",
+                  result.stages[i].name.c_str(),
+                  result.stages[i].metrics.ToJson().c_str());
+    }
+    std::printf("], \"total\": %s}\n", result.metrics.ToJson().c_str());
+    return 0;
+  }
+
+  std::printf("pipeline=wordcount->sort records=%llu maps=%d reduces=%d\n",
+              static_cast<unsigned long long>(records), maps, reduces);
+  for (const engine::StageResult& stage : result.stages) {
+    std::printf(
+        "stage %-10s wall=%-10s cpu=%-10s shuffle=%-10s out_records=%llu\n",
+        stage.name.c_str(), FormatNanos(stage.metrics.wall_nanos).c_str(),
+        FormatNanos(stage.metrics.total_cpu_nanos).c_str(),
+        FormatBytes(stage.metrics.shuffle_bytes).c_str(),
+        static_cast<unsigned long long>(stage.metrics.output_records));
+  }
+  std::printf("stage_overlap=%s\n\n",
+              FormatNanos(result.stage_overlap_nanos).c_str());
+  std::printf("%s", result.metrics.ToString().c_str());
+  return 0;
+}
+
 int CodecsCommand(const Flags& flags) {
   const size_t size = flags.GetUint("size", 4 * 1024 * 1024);
   Random rng(7);
@@ -241,6 +396,7 @@ int Main(int argc, char** argv) {
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
   if (command == "run") return RunCommand(flags);
+  if (command == "pipeline") return PipelineCommand(flags);
   if (command == "codecs") return CodecsCommand(flags);
   return Usage();
 }
