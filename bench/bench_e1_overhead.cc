@@ -104,7 +104,7 @@ int main() {
   std::printf("pipelined runtime improvement over barrier: %.1f%%\n",
               improvement);
 
-  WriteJsonReport("BENCH_e1.json",
+  WriteJsonReport("BENCH_e1.json", "bench_e1_overhead",
                   {{"original", orig},
                    {"adaptive_sh", anti},
                    {"barrier", barrier},

@@ -175,7 +175,10 @@ void WriteReport(const PipelineMeasurement& wc_seq,
                       {"wordcount_sort_dag", &wc_dag},
                       {"pagerank_loop", &pr_loop},
                       {"pagerank_dag", &pr_dag}};
-  std::fprintf(f, "{\"rows\": [\n");
+  std::fprintf(f,
+               "{\"schema_version\": %d, \"bench\": \"bench_e2_engine_dag\", "
+               "\"rows\": [\n",
+               kReportSchemaVersion);
   for (size_t i = 0; i < 4; ++i) {
     const std::string json = rows[i].m->total.ToJson();
     std::fprintf(f,

@@ -100,17 +100,24 @@ struct JsonRow {
   JobMetrics metrics;
 };
 
-/// Write `rows` to `path` as a JSON object {"rows": [{"name":..., ...}]},
+/// Report format version stamped into every BENCH_*.json. Bump when the
+/// envelope shape changes (v1 was the bare {"rows": [...]} object; v2 added
+/// schema_version and the bench name).
+constexpr int kReportSchemaVersion = 2;
+
+/// Write `rows` to `path` as a JSON object
+/// {"schema_version": N, "bench": "<binary>", "rows": [{"name":..., ...}]},
 /// flattening each JobMetrics via ToJson. Lets scripts ingest bench output
 /// (wall/cpu/shuffle-phase counters) without scraping the printed tables.
-inline void WriteJsonReport(const std::string& path,
+inline void WriteJsonReport(const std::string& path, const std::string& bench,
                             const std::vector<JsonRow>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "WriteJsonReport: cannot open %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\"rows\": [\n");
+  std::fprintf(f, "{\"schema_version\": %d, \"bench\": \"%s\", \"rows\": [\n",
+               kReportSchemaVersion, bench.c_str());
   for (size_t i = 0; i < rows.size(); ++i) {
     // Splice "name" into the metrics object: {"name": "...", <counters>}.
     const std::string json = rows[i].metrics.ToJson();

@@ -1,5 +1,7 @@
 #include "anticombine/advisor.h"
 
+#include "obs/trace.h"
+
 namespace antimr {
 namespace anticombine {
 
@@ -32,6 +34,14 @@ Status AdviseCombinerFlag(const JobSpec& original,
           : static_cast<double>(with_result.metrics.shuffle_bytes) /
                 static_cast<double>(without_result.metrics.shuffle_bytes);
   advice->map_phase_combiner = advice->combiner_reduction <= min_reduction;
+  ANTIMR_TRACE_INSTANT(
+      "anticombine", "advisor_decision",
+      obs::TraceArgs()
+          .Add("keep_combiner",
+               advice->map_phase_combiner ? std::string("yes")
+                                          : std::string("no"))
+          .Add("sample_bytes_with", advice->sample_bytes_with)
+          .Add("sample_bytes_without", advice->sample_bytes_without));
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include "anticombine/encoding.h"
 #include "common/stopwatch.h"
 #include "mr/metrics.h"
+#include "obs/trace.h"
 
 namespace antimr {
 namespace anticombine {
@@ -15,6 +16,22 @@ AntiMapper::AntiMapper(MapperFactory o_mapper_factory,
     : o_mapper_factory_(std::move(o_mapper_factory)),
       options_(options),
       allow_lazy_(allow_lazy) {}
+
+void AntiMapper::TraceDecision(bool lazy, int partition, size_t lazy_bytes,
+                               size_t eager_bytes) {
+  if (!obs::kTraceCompiled || trace_decisions_left_ <= 0 ||
+      !obs::TraceEnabled()) {
+    return;
+  }
+  --trace_decisions_left_;
+  obs::Tracer::Global().Instant(
+      "anticombine", "adaptive_decision",
+      obs::TraceArgs()
+          .Add("choice", lazy ? std::string("lazy") : std::string("eager"))
+          .Add("partition", partition)
+          .Add("lazy_bytes", static_cast<uint64_t>(lazy_bytes))
+          .Add("eager_bytes", static_cast<uint64_t>(eager_bytes)));
+}
 
 void AntiMapper::Setup(const TaskInfo& info, MapContext* ctx) {
   info_ = info;
@@ -176,8 +193,10 @@ void AntiMapper::FlushWindow(MapContext* ctx) {
       ++lazy_count;
     }
 
-    if (lazy_allowed && lazy_count > 0 &&
-        (options_.force_lazy || lazy_bytes < eager_bytes)) {
+    const bool use_lazy = lazy_allowed && lazy_count > 0 &&
+                          (options_.force_lazy || lazy_bytes < eager_bytes);
+    TraceDecision(use_lazy, partition, lazy_bytes, eager_bytes);
+    if (use_lazy) {
       for (size_t c = 0; c < window_inputs_.size(); ++c) {
         auto it = call_min_key.find({partition, c});
         if (it == call_min_key.end()) continue;
@@ -241,7 +260,10 @@ void AntiMapper::EncodeAndEmit(const Slice& input_key,
                          map_cost_nanos <= options_.lazy_threshold_nanos;
     const size_t lazy_bytes =
         only_key.size() + LazyPayloadSize(input_key, input_value);
-    if (lazy_ok && (options_.force_lazy || lazy_bytes < eager_bytes)) {
+    const bool use_lazy =
+        lazy_ok && (options_.force_lazy || lazy_bytes < eager_bytes);
+    TraceDecision(use_lazy, /*partition=*/-1, lazy_bytes, eager_bytes);
+    if (use_lazy) {
       EncodeLazyPayload(input_key, input_value, &payload_);
       ctx->Emit(only_key, payload_);
       if (m != nullptr) m->lazy_records += 1;
@@ -285,6 +307,7 @@ void AntiMapper::EncodeAndEmit(const Slice& input_key,
     Slice value;
   };
   struct PartitionPlan {
+    int partition = 0;
     std::vector<EagerGroup> groups;
     size_t eager_bytes = 0;
     Slice min_key;
@@ -297,6 +320,7 @@ void AntiMapper::EncodeAndEmit(const Slice& input_key,
   while (pos < order_.size()) {
     const int partition = partitions_[order_[pos]];
     PartitionPlan plan;
+    plan.partition = partition;
     while (pos < order_.size() && partitions_[order_[pos]] == partition) {
       // One value group: a run of equal values, keys ascending.
       EagerGroup g;
@@ -351,6 +375,7 @@ void AntiMapper::EncodeAndEmit(const Slice& input_key,
                         plan.lazy_bytes < plan.eager_bytes)
                      : global_lazy;
     }
+    TraceDecision(use_lazy, plan.partition, plan.lazy_bytes, plan.eager_bytes);
     if (use_lazy) {
       EncodeLazyPayload(input_key, input_value, &payload_);
       ctx->Emit(plan.min_key, payload_);

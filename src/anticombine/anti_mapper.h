@@ -90,9 +90,18 @@ class AntiMapper : public Mapper {
   /// calls; LazySH records still resend individual inputs.
   void FlushWindow(MapContext* ctx);
 
+  /// Record one AdaptiveSH Eager/Lazy choice as a trace instant. Decisions
+  /// happen per partition per Map call — far too many to record all — so
+  /// only the first few per mapper instance are emitted, enough to see in a
+  /// trace which way each stage's mappers lean. `partition` is -1 when the
+  /// fan-out-1 fast path decides without partitioning.
+  void TraceDecision(bool lazy, int partition, size_t lazy_bytes,
+                     size_t eager_bytes);
+
   MapperFactory o_mapper_factory_;
   AntiCombineOptions options_;
   bool allow_lazy_;
+  int trace_decisions_left_ = 32;  ///< sampling budget for TraceDecision
 
   std::unique_ptr<Mapper> o_mapper_;
   CaptureContext capture_;

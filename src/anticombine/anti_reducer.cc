@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "mr/metrics.h"
 #include "mr/reduce_task.h"
+#include "obs/metrics_registry.h"
 
 namespace antimr {
 namespace anticombine {
@@ -112,6 +113,12 @@ void AntiReducer::DecodeValue(const Slice& rep_key, const Slice& payload) {
     m->cpu.remap += NowNanos() - t0;
     m->remap_calls += 1;
   }
+  // One Inc per Lazy record is dwarfed by the Map re-execution it tallies.
+  static obs::Counter* const remap_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "antimr_remap_calls_total",
+          "LazySH decodes that re-executed the original Map");
+  remap_counter->Inc();
   for (size_t i = 0; i < remap_capture_.size(); ++i) {
     if (mine_[i]) shared_->Add(remap_capture_.key(i), remap_capture_.value(i));
   }

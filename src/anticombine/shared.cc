@@ -6,6 +6,8 @@
 #include "common/stopwatch.h"
 #include "io/run_file.h"
 #include "mr/reduce_task.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace antimr {
 namespace anticombine {
@@ -34,6 +36,15 @@ class GroupBoundedStream : public KVStream {
   const KeyComparator* grouping_cmp_;
 };
 
+// Fetched here (not only at the spill site) so the histogram shows up in a
+// metrics scrape even for runs that never spilled.
+obs::Histogram* SpillBytesHistogram() {
+  static obs::Histogram* const hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "antimr_shared_spill_bytes", "Bytes written per Shared spill");
+  return hist;
+}
+
 }  // namespace
 
 Shared::Shared(Options options)
@@ -42,6 +53,7 @@ Shared::Shared(Options options)
   assert(options_.key_cmp);
   assert(options_.grouping_cmp);
   assert(options_.env != nullptr);
+  SpillBytesHistogram();
 }
 
 Shared::~Shared() {
@@ -148,6 +160,13 @@ void Shared::SpillToDisk() {
     options_.metrics->shared_spills += 1;
     options_.metrics->shared_spill_bytes += writer.bytes_written();
   }
+  // Spills are rare (one per memory_limit_bytes of Shared growth), so the
+  // instant + histogram stay unconditional.
+  SpillBytesHistogram()->Observe(writer.bytes_written());
+  ANTIMR_TRACE_INSTANT("anticombine", "shared_spill",
+                       obs::TraceArgs()
+                           .Add("bytes", writer.bytes_written())
+                           .Add("spill", spill_counter_ - 1));
 }
 
 void Shared::MaybeMergeSpills() {
@@ -181,6 +200,7 @@ void Shared::MaybeMergeSpills() {
   run.stream = std::move(stream);
   spills_.push_back(std::move(run));
   if (options_.metrics) options_.metrics->shared_spill_merges += 1;
+  ANTIMR_TRACE_INSTANT("anticombine", "shared_spill_merge");
 }
 
 bool Shared::FindMinKey(std::string* out) {

@@ -2,12 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+
+#include "common/stopwatch.h"
 
 namespace antimr {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+int InitialLevelFromEnv() {
+  LogLevel level = LogLevel::kWarn;
+  ParseLogLevel(std::getenv("ANTIMR_LOG"), &level);
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_level{InitialLevelFromEnv()};
 std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -23,7 +34,49 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+uint64_t ProcessStartNanos() {
+  static const uint64_t start = NowNanos();
+  return start;
+}
+
+// Touch the start timestamp during static init so the first log line does not
+// report 0.000000 regardless of when it happens.
+[[maybe_unused]] const uint64_t g_start_nanos_init = ProcessStartNanos();
+
 }  // namespace
+
+bool ParseLogLevel(const char* name, LogLevel* level) {
+  if (name == nullptr) return false;
+  // Tiny fixed table; tolower by hand to avoid locale surprises.
+  char buf[8];
+  size_t n = std::strlen(name);
+  if (n == 0 || n >= sizeof(buf)) return false;
+  for (size_t i = 0; i < n; ++i) {
+    char c = name[i];
+    buf[i] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  buf[n] = '\0';
+  if (std::strcmp(buf, "debug") == 0) {
+    *level = LogLevel::kDebug;
+  } else if (std::strcmp(buf, "info") == 0) {
+    *level = LogLevel::kInfo;
+  } else if (std::strcmp(buf, "warn") == 0 ||
+             std::strcmp(buf, "warning") == 0) {
+    *level = LogLevel::kWarn;
+  } else if (std::strcmp(buf, "error") == 0) {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int LogThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void SetLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -40,9 +93,11 @@ void LogLine(LogLevel level, const char* file, int line,
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
+  const double secs =
+      static_cast<double>(NowNanos() - ProcessStartNanos()) * 1e-9;
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
-               msg.c_str());
+  std::fprintf(stderr, "[%.6f T%02d %s %s:%d] %s\n", secs, LogThreadId(),
+               LevelName(level), base, line, msg.c_str());
 }
 }  // namespace internal
 

@@ -1,5 +1,12 @@
 // Minimal leveled logging to stderr. Quiet by default so test and bench
 // output stays readable; benches raise the level for progress lines.
+//
+// Lines carry a monotonic seconds-since-process-start timestamp and a small
+// per-process thread id — the same id the tracer uses for its lanes — so a
+// log line can be matched against the span active in a trace file:
+//   [0.013942 T03 INFO shuffle.cc:212] fetched segment 4/8
+// The initial threshold comes from the ANTIMR_LOG environment variable
+// (debug|info|warn|error); unset or unrecognized keeps the kWarn default.
 #ifndef ANTIMR_COMMON_LOGGING_H_
 #define ANTIMR_COMMON_LOGGING_H_
 
@@ -13,6 +20,16 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global threshold; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parse an ANTIMR_LOG-style name ("debug", "info", "warn", "error",
+/// case-insensitive). Returns false and leaves *level untouched on anything
+/// else, including nullptr.
+bool ParseLogLevel(const char* name, LogLevel* level);
+
+/// Small dense id for the calling thread (0 for the first thread that ever
+/// logs or traces, then 1, 2, ...). Shared with obs::Tracer so log lines and
+/// trace lanes agree on which thread is which.
+int LogThreadId();
 
 namespace internal {
 void LogLine(LogLevel level, const char* file, int line,

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace antimr {
 namespace engine {
 
@@ -76,6 +78,10 @@ void DatasetCatalog::ConsumerDone(const std::string& name) {
     // Last consumer finished: reclaim the materialized partitions now.
     for (auto& part : ds->partitions) part.reset();
     ds->info.released = true;
+    ANTIMR_TRACE_INSTANT("engine", "dataset_gc",
+                         obs::TraceArgs()
+                             .Add("dataset", name)
+                             .Add("bytes", ds->info.bytes));
   }
 }
 

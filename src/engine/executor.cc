@@ -4,10 +4,12 @@
 #include <set>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "engine/planner.h"
 #include "io/throttled_env.h"
 #include "mr/reduce_task.h"
+#include "obs/trace.h"
 
 namespace antimr {
 namespace engine {
@@ -42,6 +44,9 @@ Executor::Executor(const ExecutorOptions& options)
 Status Executor::Run(const JobPlan& plan, PlanResult* result) {
   *result = PlanResult();
   ANTIMR_RETURN_NOT_OK(plan.Validate());
+  ANTIMR_TRACE_SPAN_DYN("engine", "plan:" + plan.name);
+  ANTIMR_LOG(kInfo) << "plan " << plan.name << ": " << plan.stages().size()
+                    << " stage(s), " << pool_.num_workers() << " workers";
   const uint64_t wall_start = NowNanos();
 
   std::unique_ptr<Env> owned_env;
@@ -73,7 +78,8 @@ Status Executor::Run(const JobPlan& plan, PlanResult* result) {
   if (any_pipelined && fetch_pool_ == nullptr) {
     fetch_pool_ = std::make_unique<TaskPool>(options_.fetch_threads > 0
                                                  ? options_.fetch_threads
-                                                 : pool_.num_workers());
+                                                 : pool_.num_workers(),
+                                             "fetch");
   }
 
   DatasetCatalog catalog;
@@ -133,6 +139,18 @@ Status Executor::Run(const JobPlan& plan, PlanResult* result) {
       sr.first_start_nanos = first;
       sr.last_end_nanos = last;
       sr.metrics.wall_nanos = last - first;
+      // One async track per stage: the stage's activity span, emitted
+      // post-run with the timestamps the tasks stamped. Renders as a lane
+      // above the worker threads showing how stages overlap.
+      if (obs::kTraceCompiled && obs::TraceEnabled()) {
+        static std::atomic<uint64_t> track_counter{0};
+        const uint64_t track_id =
+            track_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+        const std::string track_name =
+            "stage:" + std::to_string(st.stage_index) + ":" + sr.name;
+        obs::Tracer::Global().AsyncBegin("stage", track_name, track_id, first);
+        obs::Tracer::Global().AsyncEnd("stage", track_name, track_id, last);
+      }
     }
     result->metrics.Add(sr.metrics);
   }
@@ -169,6 +187,9 @@ Status Executor::Run(const JobPlan& plan, PlanResult* result) {
   result->metrics.disk_bytes_written =
       io_after.bytes_written - io_before.bytes_written;
   result->metrics.wall_nanos = NowNanos() - wall_start;
+  ANTIMR_LOG(kInfo) << "plan " << plan.name << ": "
+                    << (run_status.ok() ? "ok" : run_status.ToString())
+                    << " in " << FormatNanos(result->metrics.wall_nanos);
   return run_status;
 }
 

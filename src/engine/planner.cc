@@ -4,6 +4,7 @@
 
 #include "anticombine/transform.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace antimr {
 namespace engine {
@@ -118,6 +119,7 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
                        : stage.spec;
     st->job_id = ctx.run_id + "_s" + std::to_string(stage_index) + "_" +
                  stage.spec.name;
+    st->trace_label = stage.name.empty() ? stage.spec.name : stage.name;
     st->output_dataset = stage.output;
     const bool is_sink = plan.IsSink(stage_index);
     st->publish_output = !is_sink || ctx.collect_outputs;
@@ -216,6 +218,9 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
                 const std::string& fname =
                     st->map_results[m].segment_files[p];
                 if (fname.empty()) return Status::OK();
+                ANTIMR_TRACE_SPAN_DYN(
+                    "task", "fetch:" + st->trace_label + " p" +
+                                std::to_string(p) + " m" + std::to_string(m));
                 if (st->maps_remaining.load(std::memory_order_relaxed) > 0) {
                   st->overlapped_fetches.fetch_add(
                       1, std::memory_order_relaxed);
@@ -250,6 +255,7 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
       // the end of the plan — bounding intermediate storage per stage.
       graph->AddTask(
           [&ctx, st]() {
+            ANTIMR_TRACE_SPAN_DYN("task", "cleanup:" + st->trace_label);
             for (const MapTaskResult& mr : st->map_results) {
               for (const std::string& fname : mr.segment_files) {
                 if (!fname.empty()) ctx.cleanup_env->DeleteFile(fname);

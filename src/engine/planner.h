@@ -47,6 +47,7 @@ struct StageExec {
   int stage_index = 0;
   JobSpec run_spec;  ///< stage spec after the Anti-Combining transform
   std::string job_id;
+  std::string trace_label;  ///< stage name used in span names
   std::string output_dataset;
   bool publish_output = false;  ///< reduce tasks publish to the catalog
   bool collect_output = false;  ///< reduce tasks materialize their output

@@ -3,19 +3,30 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/logging.h"
 #include "engine/executor.h"
+#include "obs/trace.h"
 
 namespace antimr {
 
-TaskPool::TaskPool(int num_workers) {
+TaskPool::TaskPool(int num_workers, std::string name) : name_(std::move(name)) {
   if (num_workers <= 0) {
     num_workers = static_cast<int>(std::thread::hardware_concurrency());
     if (num_workers <= 0) num_workers = 4;
   }
   num_workers_ = num_workers;
+  auto& registry = obs::MetricsRegistry::Global();
+  queue_depth_gauge_ = registry.GetGauge(
+      "antimr_pool_queue_depth", "Tasks queued and not yet claimed, all pools");
+  active_workers_gauge_ = registry.GetGauge(
+      "antimr_pool_active_workers", "Workers currently running a task");
+  workers_total_gauge_ = registry.GetGauge(
+      "antimr_pool_workers_total",
+      "Worker threads across live pools (utilization denominator)");
+  workers_total_gauge_->Add(num_workers_);
   threads_.reserve(static_cast<size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
-    threads_.emplace_back([this]() { WorkerLoop(); });
+    threads_.emplace_back([this, i]() { WorkerLoop(i); });
   }
 }
 
@@ -26,6 +37,7 @@ TaskPool::~TaskPool() {
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+  workers_total_gauge_->Sub(num_workers_);
 }
 
 void TaskPool::Submit(std::function<void()> fn) {
@@ -33,10 +45,13 @@ void TaskPool::Submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
   }
+  queue_depth_gauge_->Add(1);
   cv_.notify_one();
 }
 
-void TaskPool::WorkerLoop() {
+void TaskPool::WorkerLoop(int worker_index) {
+  obs::Tracer::Global().SetCurrentThreadName(
+      name_ + "-" + std::to_string(worker_index));
   while (true) {
     std::function<void()> fn;
     {
@@ -47,7 +62,15 @@ void TaskPool::WorkerLoop() {
       fn = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Sample queue depth + utilization on task boundaries; the counter
+    // tracks render next to the task lanes in a trace.
+    queue_depth_gauge_->Sub(1);
+    active_workers_gauge_->Add(1);
+    ANTIMR_TRACE_COUNTER("queue_depth", queue_depth_gauge_->value());
+    ANTIMR_TRACE_COUNTER("busy_workers", active_workers_gauge_->value());
     fn();
+    active_workers_gauge_->Sub(1);
+    ANTIMR_TRACE_COUNTER("busy_workers", active_workers_gauge_->value());
   }
 }
 
@@ -122,6 +145,17 @@ void TaskGraph::ScheduleLocked(int id) {
 }
 
 void TaskGraph::OnDone(int id, Status st) {
+  if (!st.ok()) {
+    static obs::Counter* const failures =
+        obs::MetricsRegistry::Global().GetCounter(
+            "antimr_task_failures_total", "Graph tasks that returned an error");
+    failures->Inc();
+    ANTIMR_LOG(kWarn) << "task " << id << " failed: " << st.ToString();
+    ANTIMR_TRACE_INSTANT("engine", "task_failed",
+                         obs::TraceArgs()
+                             .Add("task", id)
+                             .Add("status", st.ToString()));
+  }
   // Notify under the lock: Wait may return and the graph be destroyed the
   // moment done_ reaches nodes_.size(), so the cv must not be touched after
   // mu_ is released.

@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "io/env.h"
+#include "obs/metrics_registry.h"
 
 namespace antimr {
 
@@ -50,7 +51,12 @@ struct SimulatedHardware {
 class TaskPool {
  public:
   /// \param num_workers worker threads; 0 means hardware concurrency.
-  explicit TaskPool(int num_workers);
+  /// \param name labels the workers' trace lanes ("<name>-<i>") and is why
+  ///        separate pools (workers vs fetch threads) stay tellable apart
+  ///        in a trace. Pools also feed the shared queue-depth / worker
+  ///        gauges in the global MetricsRegistry, sampled on task
+  ///        boundaries (Add/Sub-based, so several pools aggregate).
+  explicit TaskPool(int num_workers, std::string name = "worker");
   ~TaskPool();
 
   TaskPool(const TaskPool&) = delete;
@@ -68,9 +74,13 @@ class TaskPool {
   int num_workers() const { return num_workers_; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   int num_workers_;
+  std::string name_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Gauge* active_workers_gauge_;
+  obs::Gauge* workers_total_gauge_;
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable cv_;

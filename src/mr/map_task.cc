@@ -5,6 +5,7 @@
 #include "common/stopwatch.h"
 #include "mr/map_output_buffer.h"
 #include "mr/reduce_task.h"
+#include "mr/task_trace.h"
 
 namespace antimr {
 
@@ -67,6 +68,10 @@ class MapTaskContext : public MapContext {
     }
     ++spill_count_;
     metrics_->map_spills += 1;
+    ANTIMR_TRACE_INSTANT("task", "map_spill",
+                         obs::TraceArgs()
+                             .Add("task", task_id_)
+                             .Add("spill", spill_count_ - 1));
     buffer_.Clear();
     return Status::OK();
   }
@@ -192,6 +197,9 @@ class MapTaskContext : public MapContext {
 Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
                   const InputSplit& split, Env* env, MapTaskResult* result) {
   JobMetrics& m = result->metrics;
+  ANTIMR_TRACE_SPAN_DYN("task",
+                        "map:" + spec.name + " #" + std::to_string(task_id));
+  const uint64_t trace_start = NowNanos();
 
   TaskInfo info;
   info.task_id = task_id;
@@ -236,6 +244,7 @@ Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
     m.map_output_records = m.emitted_records;
     m.map_output_bytes = m.emitted_bytes;
   }
+  EmitTaskPhaseSpans(trace_start, m.cpu);
   return Status::OK();
 }
 

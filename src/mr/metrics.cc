@@ -1,63 +1,32 @@
 #include "mr/metrics.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
 namespace antimr {
 
 uint64_t PhaseCpu::Total() const {
-  return map_fn + partition_fn + encode + sort + combine + compress +
-         decompress + merge + decode + remap + shared + reduce_fn;
+  uint64_t total = 0;
+#define ANTIMR_SUM_FIELD(name) total += name;
+  ANTIMR_PHASE_CPU_FIELDS(ANTIMR_SUM_FIELD)
+#undef ANTIMR_SUM_FIELD
+  return total;
 }
 
 void PhaseCpu::Add(const PhaseCpu& other) {
-  map_fn += other.map_fn;
-  partition_fn += other.partition_fn;
-  encode += other.encode;
-  sort += other.sort;
-  combine += other.combine;
-  compress += other.compress;
-  decompress += other.decompress;
-  merge += other.merge;
-  decode += other.decode;
-  remap += other.remap;
-  shared += other.shared;
-  reduce_fn += other.reduce_fn;
+#define ANTIMR_ADD_FIELD(name) name += other.name;
+  ANTIMR_PHASE_CPU_FIELDS(ANTIMR_ADD_FIELD)
+#undef ANTIMR_ADD_FIELD
 }
 
 void JobMetrics::Add(const JobMetrics& other) {
-  input_records += other.input_records;
-  input_bytes += other.input_bytes;
-  map_output_records += other.map_output_records;
-  map_output_bytes += other.map_output_bytes;
-  emitted_records += other.emitted_records;
-  emitted_bytes += other.emitted_bytes;
-  combine_input_records += other.combine_input_records;
-  combine_output_records += other.combine_output_records;
-  map_spills += other.map_spills;
-  shuffle_bytes += other.shuffle_bytes;
-  shuffle_fetch_wait_nanos += other.shuffle_fetch_wait_nanos;
-  shuffle_decode_nanos += other.shuffle_decode_nanos;
-  shuffle_merge_nanos += other.shuffle_merge_nanos;
-  shuffle_blocks += other.shuffle_blocks;
-  if (other.shuffle_peak_buffered_bytes > shuffle_peak_buffered_bytes) {
-    shuffle_peak_buffered_bytes = other.shuffle_peak_buffered_bytes;
-  }
-  shuffle_overlapped_fetches += other.shuffle_overlapped_fetches;
-  reduce_input_records += other.reduce_input_records;
-  reduce_groups += other.reduce_groups;
-  output_records += other.output_records;
-  output_bytes += other.output_bytes;
-  eager_records += other.eager_records;
-  lazy_records += other.lazy_records;
-  plain_records += other.plain_records;
-  shared_insertions += other.shared_insertions;
-  shared_spills += other.shared_spills;
-  shared_spill_bytes += other.shared_spill_bytes;
-  shared_spill_merges += other.shared_spill_merges;
-  remap_calls += other.remap_calls;
-  disk_bytes_read += other.disk_bytes_read;
-  disk_bytes_written += other.disk_bytes_written;
+#define ANTIMR_ADD_FIELD(name) name += other.name;
+  ANTIMR_JOB_SUM_FIELDS(ANTIMR_ADD_FIELD)
+#undef ANTIMR_ADD_FIELD
+#define ANTIMR_MAX_FIELD(name) name = std::max(name, other.name);
+  ANTIMR_JOB_MAX_FIELDS(ANTIMR_MAX_FIELD)
+#undef ANTIMR_MAX_FIELD
   cpu.Add(other.cpu);
   total_cpu_nanos += other.total_cpu_nanos;
 }
@@ -72,48 +41,13 @@ std::string JobMetrics::ToJson() const {
     out += buf;
     first = false;
   };
-  field("input_records", input_records);
-  field("input_bytes", input_bytes);
-  field("map_output_records", map_output_records);
-  field("map_output_bytes", map_output_bytes);
-  field("emitted_records", emitted_records);
-  field("emitted_bytes", emitted_bytes);
-  field("combine_input_records", combine_input_records);
-  field("combine_output_records", combine_output_records);
-  field("map_spills", map_spills);
-  field("shuffle_bytes", shuffle_bytes);
-  field("shuffle_fetch_wait_nanos", shuffle_fetch_wait_nanos);
-  field("shuffle_decode_nanos", shuffle_decode_nanos);
-  field("shuffle_merge_nanos", shuffle_merge_nanos);
-  field("shuffle_blocks", shuffle_blocks);
-  field("shuffle_peak_buffered_bytes", shuffle_peak_buffered_bytes);
-  field("shuffle_overlapped_fetches", shuffle_overlapped_fetches);
-  field("reduce_input_records", reduce_input_records);
-  field("reduce_groups", reduce_groups);
-  field("output_records", output_records);
-  field("output_bytes", output_bytes);
-  field("eager_records", eager_records);
-  field("lazy_records", lazy_records);
-  field("plain_records", plain_records);
-  field("shared_insertions", shared_insertions);
-  field("shared_spills", shared_spills);
-  field("shared_spill_bytes", shared_spill_bytes);
-  field("shared_spill_merges", shared_spill_merges);
-  field("remap_calls", remap_calls);
-  field("disk_bytes_read", disk_bytes_read);
-  field("disk_bytes_written", disk_bytes_written);
-  field("cpu_map_fn_nanos", cpu.map_fn);
-  field("cpu_partition_fn_nanos", cpu.partition_fn);
-  field("cpu_encode_nanos", cpu.encode);
-  field("cpu_sort_nanos", cpu.sort);
-  field("cpu_combine_nanos", cpu.combine);
-  field("cpu_compress_nanos", cpu.compress);
-  field("cpu_decompress_nanos", cpu.decompress);
-  field("cpu_merge_nanos", cpu.merge);
-  field("cpu_decode_nanos", cpu.decode);
-  field("cpu_remap_nanos", cpu.remap);
-  field("cpu_shared_nanos", cpu.shared);
-  field("cpu_reduce_fn_nanos", cpu.reduce_fn);
+#define ANTIMR_JSON_FIELD(name) field(#name, name);
+  ANTIMR_JOB_SUM_FIELDS(ANTIMR_JSON_FIELD)
+  ANTIMR_JOB_MAX_FIELDS(ANTIMR_JSON_FIELD)
+#undef ANTIMR_JSON_FIELD
+#define ANTIMR_JSON_FIELD(name) field("cpu_" #name "_nanos", cpu.name);
+  ANTIMR_PHASE_CPU_FIELDS(ANTIMR_JSON_FIELD)
+#undef ANTIMR_JSON_FIELD
   field("total_cpu_nanos", total_cpu_nanos);
   field("wall_nanos", wall_nanos);
   out += "}";
@@ -186,6 +120,59 @@ std::string JobMetrics::ToString() const {
       FormatBytes(disk_bytes_written).c_str(),
       FormatNanos(cpu.Total()).c_str(), FormatNanos(wall_nanos).c_str());
   return buf;
+}
+
+namespace {
+
+// Name + value of the phase with the largest CPU share in `cpu`.
+void DominantPhase(const PhaseCpu& cpu, const char** name, uint64_t* nanos) {
+  *name = "-";
+  *nanos = 0;
+#define ANTIMR_PICK_FIELD(field)  \
+  if (cpu.field > *nanos) {       \
+    *nanos = cpu.field;           \
+    *name = #field;               \
+  }
+  ANTIMR_PHASE_CPU_FIELDS(ANTIMR_PICK_FIELD)
+#undef ANTIMR_PICK_FIELD
+}
+
+}  // namespace
+
+std::string TopTasksReport(const std::vector<TaskMetrics>& tasks,
+                           size_t top_n) {
+  if (tasks.empty() || top_n == 0) return "";
+  std::vector<const TaskMetrics*> sorted;
+  sorted.reserve(tasks.size());
+  for (const TaskMetrics& t : tasks) sorted.push_back(&t);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TaskMetrics* a, const TaskMetrics* b) {
+              return a->cpu_nanos > b->cpu_nanos;
+            });
+  if (sorted.size() > top_n) sorted.resize(top_n);
+
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "top %zu tasks by cpu (of %zu):\n",
+                sorted.size(), tasks.size());
+  out.append(buf);
+  for (const TaskMetrics* t : sorted) {
+    const char* phase_name = nullptr;
+    uint64_t phase_nanos = 0;
+    DominantPhase(t->metrics.cpu, &phase_name, &phase_nanos);
+    const uint64_t phase_total = t->metrics.cpu.Total();
+    const double share =
+        phase_total == 0 ? 0.0
+                         : 100.0 * static_cast<double>(phase_nanos) /
+                               static_cast<double>(phase_total);
+    std::snprintf(buf, sizeof(buf),
+                  "  %-6s %4d  cpu %-12s dominant %-12s %-12s (%4.1f%%)\n",
+                  t->is_map ? "map" : "reduce", t->task_id,
+                  FormatNanos(t->cpu_nanos).c_str(), phase_name,
+                  FormatNanos(phase_nanos).c_str(), share);
+    out.append(buf);
+  }
+  return out;
 }
 
 }  // namespace antimr

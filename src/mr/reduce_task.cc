@@ -1,6 +1,8 @@
 #include "mr/reduce_task.h"
 
 #include "common/stopwatch.h"
+#include "mr/task_trace.h"
+#include "obs/metrics_registry.h"
 
 namespace antimr {
 
@@ -100,6 +102,9 @@ Status RunReduceTask(const JobSpec& spec, int partition,
                      const ReduceTaskInputs& inputs, Env* env,
                      bool collect_output, ReduceTaskResult* result) {
   JobMetrics& m = result->metrics;
+  ANTIMR_TRACE_SPAN_DYN("task", "reduce:" + spec.name + " #" +
+                                    std::to_string(partition));
+  const uint64_t trace_start = NowNanos();
   const Codec* codec = GetCodec(spec.map_output_codec);
 
   // Open every map task's segment for this partition as a streaming block
@@ -184,6 +189,21 @@ Status RunReduceTask(const JobSpec& spec, int partition,
       collect_output ? result->output.size() : sink.size();
   m.output_bytes += ctx.bytes();
   if (!collect_output) sink.clear();
+
+  // Skew / latency distributions the per-job sums flatten away. One observe
+  // per reduce task — cheap enough to stay unconditional.
+  static obs::Histogram* const input_records_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "antimr_reduce_partition_input_records",
+          "Input records per reduce partition (skew)");
+  static obs::Histogram* const fetch_wait_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "antimr_fetch_wait_nanos",
+          "Per reduce task wall time blocked on segment transfer");
+  input_records_hist->Observe(stats.records);
+  fetch_wait_hist->Observe(m.shuffle_fetch_wait_nanos);
+
+  EmitTaskPhaseSpans(trace_start, m.cpu);
   return Status::OK();
 }
 

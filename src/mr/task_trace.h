@@ -1,0 +1,31 @@
+// Synthesized per-task phase spans. The per-record phases (map_fn, encode,
+// decode, shared, ...) are far too hot to bracket with real trace events, so
+// tasks time them into PhaseCpu as before and, at task end, the aggregate
+// per-phase totals are laid out sequentially from the task's start as
+// complete ("X") events. The result nests under the task's span in the
+// viewer and reads like the paper's Table 2 breakdown for that one task;
+// only the ordering within the task is synthetic.
+#ifndef ANTIMR_MR_TASK_TRACE_H_
+#define ANTIMR_MR_TASK_TRACE_H_
+
+#include "mr/metrics.h"
+#include "obs/trace.h"
+
+namespace antimr {
+
+inline void EmitTaskPhaseSpans(uint64_t task_start_nanos,
+                               const PhaseCpu& cpu) {
+  if (!obs::kTraceCompiled || !obs::TraceEnabled()) return;
+  uint64_t t = task_start_nanos;
+#define ANTIMR_EMIT_PHASE(name)                                \
+  if (cpu.name > 0) {                                          \
+    obs::Tracer::Global().Complete("phase", #name, t, cpu.name); \
+    t += cpu.name;                                             \
+  }
+  ANTIMR_PHASE_CPU_FIELDS(ANTIMR_EMIT_PHASE)
+#undef ANTIMR_EMIT_PHASE
+}
+
+}  // namespace antimr
+
+#endif  // ANTIMR_MR_TASK_TRACE_H_

@@ -1,0 +1,131 @@
+// Thread-safe process-wide metrics: monotonic counters, up/down gauges, and
+// log2-bucketed histograms, exportable as Prometheus exposition text or
+// JSON. Complements JobMetrics: JobMetrics is a per-job value aggregated
+// through task results, while the registry holds process-level distributions
+// that JobMetrics' sums flatten away — fetch-wait latency per reduce task,
+// Shared spill sizes, per-reduce-partition input records (skew).
+//
+// Instruments are created once (GetCounter/GetGauge/GetHistogram return a
+// stable pointer for the process lifetime) and updated lock-free with
+// relaxed atomics; update sites cache the pointer, so steady-state cost is
+// one fetch_add. Log2 buckets cover the full uint64 range in 65 buckets —
+// coarse, but latencies and byte sizes spread over 6+ decades and only
+// order-of-magnitude resolution is needed.
+#ifndef ANTIMR_OBS_METRICS_REGISTRY_H_
+#define ANTIMR_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace antimr {
+namespace obs {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Gauge that can move both ways. Add/Sub-based so several sources (e.g. two
+/// TaskPools updating queue depth) aggregate correctly; Set is for
+/// single-writer gauges only.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Histogram over uint64 samples with power-of-two bucket bounds:
+/// le 2^0, 2^1, ..., 2^63, +Inf.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;  ///< 64 finite bounds + overflow
+
+  void Observe(uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Index of the smallest bucket whose upper bound holds v: 0 for v<=1,
+  /// ceil(log2(v)) up to 63, else the +Inf bucket.
+  static int BucketIndex(uint64_t v) {
+    if (v <= 1) return 0;
+    const int ceil_log2 = std::bit_width(v - 1);
+    return ceil_log2 <= 63 ? ceil_log2 : kNumBuckets - 1;
+  }
+  /// Upper bound of finite bucket i (i in [0, 63]).
+  static uint64_t BucketBound(int i) { return uint64_t{1} << i; }
+
+  uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// \brief Name → instrument directory. A name is bound to one instrument
+/// kind forever; re-requesting it with the same kind returns the same
+/// pointer, with a different kind aborts (programming error, caught by the
+/// registry tests). Create standalone registries in tests; production code
+/// uses Global().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help);
+
+  /// Prometheus exposition text: # HELP / # TYPE headers, cumulative
+  /// le-labelled histogram buckets with _sum and _count.
+  std::string ToPrometheusText() const;
+  /// JSON object keyed by metric name; histograms carry count, sum, and the
+  /// non-empty buckets with their upper bounds.
+  std::string ToJson() const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetEntry(const std::string& name, const std::string& help,
+                  Kind kind);
+
+  mutable std::mutex mu_;                ///< guards the map shape only
+  std::map<std::string, Entry> metrics_;  ///< sorted → stable export order
+};
+
+}  // namespace obs
+}  // namespace antimr
+
+#endif  // ANTIMR_OBS_METRICS_REGISTRY_H_

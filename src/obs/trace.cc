@@ -1,0 +1,296 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace antimr {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// Minimal JSON string escaping; span/instant names are ASCII identifiers but
+// CLI-provided strings (paths in args) can carry anything.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+TraceArgs& TraceArgs::Add(const char* key, uint64_t value) {
+  if (!body_.empty()) body_.append(", ");
+  body_.push_back('"');
+  body_.append(key);
+  body_.append("\": ");
+  body_.append(std::to_string(value));
+  return *this;
+}
+
+TraceArgs& TraceArgs::Add(const char* key, int64_t value) {
+  if (!body_.empty()) body_.append(", ");
+  body_.push_back('"');
+  body_.append(key);
+  body_.append("\": ");
+  body_.append(std::to_string(value));
+  return *this;
+}
+
+TraceArgs& TraceArgs::Add(const char* key, const std::string& value) {
+  if (!body_.empty()) body_.append(", ");
+  body_.push_back('"');
+  body_.append(key);
+  body_.append("\": ");
+  AppendJsonString(&body_, value);
+  return *this;
+}
+
+struct TraceEvent {
+  char ph;            // B E X i C b e
+  const char* cat;    // static string; may be "" for C events
+  std::string name;
+  uint64_t ts_nanos;
+  uint64_t dur_nanos;  // X only
+  uint64_t id;         // b/e only
+  int64_t value;       // C only
+  std::string args;    // pre-rendered args body, no braces
+};
+
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  int tid;
+  std::string name;
+  std::vector<TraceEvent> events;
+};
+
+Tracer& Tracer::Global() {
+  static Tracer* t = new Tracer();  // leaked: worker threads may outlive main
+  return *t;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  thread_local ThreadBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    auto* b = new ThreadBuffer();
+    b->tid = LogThreadId();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(b);
+    buf = b;
+  }
+  return buf;
+}
+
+void Tracer::Start() {
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ThreadBuffer* b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->events.clear();
+  }
+}
+
+void Tracer::Begin(const char* cat, std::string name) {
+  ThreadBuffer* b = BufferForThisThread();
+  const uint64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back({'B', cat, std::move(name), now, 0, 0, 0, {}});
+}
+
+void Tracer::End() {
+  ThreadBuffer* b = BufferForThisThread();
+  const uint64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back({'E', "", {}, now, 0, 0, 0, {}});
+}
+
+void Tracer::Complete(const char* cat, std::string name, uint64_t ts_nanos,
+                      uint64_t dur_nanos, TraceArgs args) {
+  ThreadBuffer* b = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back({'X', cat, std::move(name), ts_nanos, dur_nanos, 0, 0,
+                       args.json_body()});
+}
+
+void Tracer::Instant(const char* cat, std::string name, TraceArgs args) {
+  ThreadBuffer* b = BufferForThisThread();
+  const uint64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back(
+      {'i', cat, std::move(name), now, 0, 0, 0, args.json_body()});
+}
+
+void Tracer::CounterValue(std::string name, int64_t value) {
+  ThreadBuffer* b = BufferForThisThread();
+  const uint64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back({'C', "", std::move(name), now, 0, 0, value, {}});
+}
+
+void Tracer::AsyncBegin(const char* cat, std::string name, uint64_t id,
+                        uint64_t ts_nanos) {
+  ThreadBuffer* b = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back({'b', cat, std::move(name), ts_nanos, 0, id, 0, {}});
+}
+
+void Tracer::AsyncEnd(const char* cat, std::string name, uint64_t id,
+                      uint64_t ts_nanos) {
+  ThreadBuffer* b = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back({'e', cat, std::move(name), ts_nanos, 0, id, 0, {}});
+}
+
+void Tracer::SetCurrentThreadName(std::string name) {
+  ThreadBuffer* b = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->name = std::move(name);
+}
+
+size_t Tracer::event_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (ThreadBuffer* b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+std::string Tracer::ToJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(1 << 16);
+  out.append("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  bool first = true;
+  auto emit = [&out, &first](const std::string& line) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append(line);
+  };
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+                "\"process_name\", \"args\": {\"name\": \"antimr\"}}");
+  emit(buf);
+  for (ThreadBuffer* b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    if (!b->name.empty()) {
+      std::string line;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": "
+                    "\"thread_name\", \"args\": {\"name\": ",
+                    b->tid);
+      line.append(buf);
+      AppendJsonString(&line, b->name);
+      line.append("}}");
+      emit(line);
+    }
+    // Synthesized X events (per-task phase breakdowns) and async stage
+    // events carry explicit, earlier timestamps; restore per-lane timestamp
+    // order so validators and viewers see monotonic ts per tid. Stable:
+    // B-before-E ordering at equal ts is preserved.
+    std::vector<TraceEvent> sorted = b->events;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent& a, const TraceEvent& e) {
+                       return a.ts_nanos < e.ts_nanos;
+                     });
+    for (const TraceEvent& ev : sorted) {
+      std::string line;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\": \"%c\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f",
+                    ev.ph, b->tid, static_cast<double>(ev.ts_nanos) / 1000.0);
+      line.append(buf);
+      if (ev.ph == 'X') {
+        std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
+                      static_cast<double>(ev.dur_nanos) / 1000.0);
+        line.append(buf);
+      }
+      if (ev.ph != 'E') {
+        line.append(", \"name\": ");
+        AppendJsonString(&line, ev.name);
+      }
+      if (ev.cat != nullptr && ev.cat[0] != '\0') {
+        line.append(", \"cat\": ");
+        AppendJsonString(&line, std::string(ev.cat));
+      }
+      if (ev.ph == 'i') {
+        line.append(", \"s\": \"t\"");  // thread-scoped instant
+      }
+      if (ev.ph == 'b' || ev.ph == 'e') {
+        std::snprintf(buf, sizeof(buf), ", \"id\": \"0x%" PRIx64 "\"", ev.id);
+        line.append(buf);
+      }
+      if (ev.ph == 'C') {
+        std::snprintf(buf, sizeof(buf), ", \"args\": {\"value\": %" PRId64 "}",
+                      ev.value);
+        line.append(buf);
+      } else if (!ev.args.empty()) {
+        line.append(", \"args\": {");
+        line.append(ev.args);
+        line.append("}");
+      }
+      line.append("}");
+      emit(line);
+    }
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+Status Tracer::WriteJson(const std::string& path) {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace antimr

@@ -1,0 +1,200 @@
+// Low-overhead tracing to Chrome trace-event / Perfetto JSON. Each worker
+// thread records into its own buffer (one trace lane per thread), so a
+// multi-stage DAG run renders as a gantt in chrome://tracing or
+// ui.perfetto.dev: task spans nest per thread, per-task phase breakdowns
+// appear as synthesized sub-spans, stages get one async track each, and
+// rare events (Shared spills, AdaptiveSH decisions, dataset GC, task
+// failures) show up as instants.
+//
+// Cost model: with no sink attached (Tracer not started) every macro is one
+// relaxed atomic load; with -DANTIMR_TRACE=OFF the macros compile away and
+// `kTraceCompiled` lets instrumentation blocks fold to nothing. Recording
+// is lock-per-event on an uncontended per-thread mutex, paid only while a
+// trace is being captured.
+//
+// Event vocabulary (Chrome trace-event "ph" values):
+//   B/E  span begin/end on the calling thread (task boundaries)
+//   X    complete event with explicit ts+dur (synthesized phase breakdowns)
+//   i    instant (spills, decisions, GC, failures)
+//   C    counter sample (queue depth, busy workers)
+//   b/e  async span on an id-keyed track (one per plan stage)
+//   M    metadata (thread/process names), emitted by the exporter
+#ifndef ANTIMR_OBS_TRACE_H_
+#define ANTIMR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+// -DANTIMR_TRACE=OFF (CMake) defines ANTIMR_TRACE_ENABLED=0: the macros
+// below become no-ops and guarded instrumentation blocks dead-code away.
+#ifndef ANTIMR_TRACE_ENABLED
+#define ANTIMR_TRACE_ENABLED 1
+#endif
+
+namespace antimr {
+namespace obs {
+
+/// True when the build compiles tracing in at all. Use together with
+/// TraceEnabled() to guard instrumentation that builds argument strings:
+///   if (obs::kTraceCompiled && obs::TraceEnabled()) { ... }
+constexpr bool kTraceCompiled = ANTIMR_TRACE_ENABLED != 0;
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// True while a trace is being captured (Tracer::Start .. Stop). One
+/// relaxed load; safe and meaningful on any thread at any time.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Small key/value bag rendered into the event's "args" JSON object.
+/// Numeric and string values only — that covers every instrumentation site.
+class TraceArgs {
+ public:
+  TraceArgs() = default;
+  TraceArgs& Add(const char* key, uint64_t value);
+  TraceArgs& Add(const char* key, int64_t value);
+  TraceArgs& Add(const char* key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  TraceArgs& Add(const char* key, const std::string& value);
+
+  const std::string& json_body() const { return body_; }
+  bool empty() const { return body_.empty(); }
+
+ private:
+  std::string body_;  ///< comma-joined `"key": value` pairs, no braces
+};
+
+/// \brief Process-wide trace recorder. Threads register lazily on first
+/// event; buffers live for the tracer's lifetime, so exporting after a job
+/// sees every lane even if a recording thread has since exited.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Begin capturing. Clears nothing: Start/Stop can bracket several jobs
+  /// and export once.
+  void Start();
+  void Stop();
+  /// Drop all recorded events (thread registrations are kept).
+  void Clear();
+
+  // --- recording (call-sites gate on TraceEnabled() for speed; End/Begin
+  // themselves do not check, so a span that began keeps its pair even if
+  // capture stops mid-span) -----------------------------------------------
+  void Begin(const char* cat, std::string name);
+  void End();
+  void Complete(const char* cat, std::string name, uint64_t ts_nanos,
+                uint64_t dur_nanos, TraceArgs args = TraceArgs());
+  void Instant(const char* cat, std::string name,
+               TraceArgs args = TraceArgs());
+  void CounterValue(std::string name, int64_t value);
+  void AsyncBegin(const char* cat, std::string name, uint64_t id,
+                  uint64_t ts_nanos);
+  void AsyncEnd(const char* cat, std::string name, uint64_t id,
+                uint64_t ts_nanos);
+
+  /// Label the calling thread's lane ("workers-3", "fetch-0", ...).
+  void SetCurrentThreadName(std::string name);
+
+  /// Chrome trace-event JSON: {"displayTimeUnit":..., "traceEvents":[...]}.
+  /// Per-lane events are sorted by timestamp, so ts is monotonic per tid.
+  std::string ToJson();
+  /// ToJson straight to a file.
+  Status WriteJson(const std::string& path);
+
+  /// Events currently buffered across all lanes (tests, sizing).
+  size_t event_count();
+
+ private:
+  Tracer() = default;
+  struct ThreadBuffer;
+  ThreadBuffer* BufferForThisThread();
+
+  std::mutex mu_;  ///< guards buffers_ registration and export
+  std::vector<ThreadBuffer*> buffers_;
+};
+
+/// \brief RAII span on the calling thread. Default-constructed spans are
+/// inactive; BeginDyn arms one with a runtime-built name.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(const char* cat, const char* name) {
+    if (TraceEnabled()) BeginDyn(cat, name);
+  }
+  ~ScopedSpan() {
+    if (active_) Tracer::Global().End();
+  }
+
+  /// Arm the span (used by call sites that build the name only when
+  /// tracing). No-op if already active.
+  void BeginDyn(const char* cat, std::string name) {
+    if (active_) return;
+    active_ = true;
+    Tracer::Global().Begin(cat, std::move(name));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace antimr
+
+#define ANTIMR_TRACE_CONCAT_INNER_(a, b) a##b
+#define ANTIMR_TRACE_CONCAT_(a, b) ANTIMR_TRACE_CONCAT_INNER_(a, b)
+
+#if ANTIMR_TRACE_ENABLED
+/// Span over the enclosing scope with a static name.
+#define ANTIMR_TRACE_SPAN(cat, name) \
+  ::antimr::obs::ScopedSpan ANTIMR_TRACE_CONCAT_(antimr_span_, \
+                                                 __LINE__)(cat, name)
+/// Span whose name expression is evaluated only while capturing.
+#define ANTIMR_TRACE_SPAN_DYN(cat, name_expr)                            \
+  ::antimr::obs::ScopedSpan ANTIMR_TRACE_CONCAT_(antimr_span_, __LINE__); \
+  if (::antimr::obs::TraceEnabled())                                     \
+  ANTIMR_TRACE_CONCAT_(antimr_span_, __LINE__).BeginDyn(cat, name_expr)
+/// Instant event; the args expression is evaluated only while capturing.
+#define ANTIMR_TRACE_INSTANT(cat, name, ...)                             \
+  do {                                                                   \
+    if (::antimr::obs::TraceEnabled()) {                                 \
+      ::antimr::obs::Tracer::Global().Instant(cat, name __VA_OPT__(, )   \
+                                                  __VA_ARGS__);          \
+    }                                                                    \
+  } while (0)
+/// Counter sample (renders as a counter track).
+#define ANTIMR_TRACE_COUNTER(name, value)                           \
+  do {                                                              \
+    if (::antimr::obs::TraceEnabled()) {                            \
+      ::antimr::obs::Tracer::Global().CounterValue(name, value);    \
+    }                                                               \
+  } while (0)
+#else
+#define ANTIMR_TRACE_SPAN(cat, name) \
+  do {                               \
+  } while (0)
+#define ANTIMR_TRACE_SPAN_DYN(cat, name_expr) \
+  do {                                        \
+  } while (0)
+#define ANTIMR_TRACE_INSTANT(...) \
+  do {                            \
+  } while (0)
+#define ANTIMR_TRACE_COUNTER(name, value) \
+  do {                                    \
+  } while (0)
+#endif  // ANTIMR_TRACE_ENABLED
+
+#endif  // ANTIMR_OBS_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace antimr {
 namespace {
 
@@ -27,6 +29,43 @@ TEST(Logging, MacroBelowThresholdDoesNotEvaluateStream) {
   ANTIMR_LOG(kError) << expensive();
   EXPECT_EQ(evaluations, 1);
   SetLogLevel(before);
+}
+
+TEST(Logging, ParseLogLevelAcceptsTheEnvVarVocabulary) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  // Case-insensitive, as env vars tend to be typed.
+  EXPECT_TRUE(ParseLogLevel("DEBUG", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("Info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST(Logging, ParseLogLevelRejectsJunkAndLeavesOutputAlone) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("warnings-please", &level));
+  EXPECT_FALSE(ParseLogLevel(nullptr, &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(Logging, ThreadIdsAreStablePerThreadAndDistinctAcrossThreads) {
+  const int mine = LogThreadId();
+  EXPECT_EQ(mine, LogThreadId());
+  int theirs = mine;
+  std::thread t([&] { theirs = LogThreadId(); });
+  t.join();
+  EXPECT_NE(mine, theirs);
 }
 
 }  // namespace

@@ -79,6 +79,61 @@ TEST(Metrics, ToJsonIsWellFormedAndComplete) {
   EXPECT_EQ(json.find(",}"), std::string::npos);
 }
 
+TEST(Metrics, ToJsonEmitsEveryCounterField) {
+  // Walk the authoritative X-macro field lists: a counter added to the
+  // struct but missing from ToJson (or vice versa) fails here.
+  const std::string json = JobMetrics().ToJson();
+#define ANTIMR_EXPECT_FIELD(name)                                    \
+  EXPECT_NE(json.find("\"" #name "\": 0"), std::string::npos)        \
+      << "ToJson is missing counter " #name;
+  ANTIMR_JOB_SUM_FIELDS(ANTIMR_EXPECT_FIELD)
+  ANTIMR_JOB_MAX_FIELDS(ANTIMR_EXPECT_FIELD)
+#undef ANTIMR_EXPECT_FIELD
+#define ANTIMR_EXPECT_PHASE(name)                                        \
+  EXPECT_NE(json.find("\"cpu_" #name "_nanos\": 0"), std::string::npos) \
+      << "ToJson is missing phase " #name;
+  ANTIMR_PHASE_CPU_FIELDS(ANTIMR_EXPECT_PHASE)
+#undef ANTIMR_EXPECT_PHASE
+  EXPECT_NE(json.find("\"total_cpu_nanos\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_nanos\": 0"), std::string::npos);
+}
+
+TEST(Metrics, AddMaxesPeakFields) {
+  JobMetrics a, b;
+  a.shuffle_peak_buffered_bytes = 100;
+  b.shuffle_peak_buffered_bytes = 250;
+  a.Add(b);
+  EXPECT_EQ(a.shuffle_peak_buffered_bytes, 250u);
+  b.shuffle_peak_buffered_bytes = 50;
+  a.Add(b);
+  EXPECT_EQ(a.shuffle_peak_buffered_bytes, 250u);
+}
+
+TEST(Metrics, TopTasksReportRanksByCpuAndNamesTheDominantPhase) {
+  std::vector<TaskMetrics> tasks(3);
+  tasks[0].is_map = true;
+  tasks[0].task_id = 0;
+  tasks[0].cpu_nanos = 1000;
+  tasks[0].metrics.cpu.map_fn = 900;
+  tasks[1].is_map = false;
+  tasks[1].task_id = 4;
+  tasks[1].cpu_nanos = 9000;
+  tasks[1].metrics.cpu.reduce_fn = 6000;
+  tasks[2].is_map = true;
+  tasks[2].task_id = 2;
+  tasks[2].cpu_nanos = 500;
+  tasks[2].metrics.cpu.sort = 400;
+
+  const std::string report = TopTasksReport(tasks, 2);
+  // Only the two most expensive tasks appear, costliest first.
+  EXPECT_NE(report.find("reduce"), std::string::npos);
+  EXPECT_NE(report.find("reduce_fn"), std::string::npos);
+  EXPECT_NE(report.find("map_fn"), std::string::npos);
+  EXPECT_EQ(report.find("sort"), std::string::npos);
+  EXPECT_LT(report.find("reduce_fn"), report.find("map_fn"));
+  EXPECT_EQ(TopTasksReport({}), "");
+}
+
 TEST(Metrics, ToStringMentionsKeyCounters) {
   JobMetrics m;
   m.input_records = 7;

@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace antimr {
+namespace obs {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// The tracer is a process-wide singleton shared by every test in this
+// binary: bracket each test with Stop+Clear so tests stay independent.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Stop();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Stop();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, MacrosAreNoOpsWithoutASink) {
+  ASSERT_FALSE(TraceEnabled());
+  const size_t before = Tracer::Global().event_count();
+  {
+    ANTIMR_TRACE_SPAN("test", "noop");
+    ANTIMR_TRACE_SPAN_DYN("test", std::string("never") + "built");
+    ANTIMR_TRACE_INSTANT("test", "noop");
+    ANTIMR_TRACE_COUNTER("noop", 7);
+  }
+  EXPECT_EQ(Tracer::Global().event_count(), before);
+}
+
+TEST_F(TraceTest, SpansNestAndThreadsGetTheirOwnLanes) {
+  if (!kTraceCompiled) GTEST_SKIP() << "built with ANTIMR_TRACE=OFF";
+  Tracer::Global().Start();
+  {
+    ANTIMR_TRACE_SPAN("test", "outer");
+    ANTIMR_TRACE_SPAN_DYN("test", std::string("inner"));
+  }
+  std::thread t([] {
+    Tracer::Global().SetCurrentThreadName("trace-test-worker");
+    ANTIMR_TRACE_SPAN("test", "worker_span");
+  });
+  t.join();
+  Tracer::Global().Stop();
+
+  const std::string json = Tracer::Global().ToJson();
+  // Three spans, each a balanced B/E pair.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"B\""), 3u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"E\""), 3u);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker_span\""), std::string::npos);
+  // The worker's lane is labeled through a thread_name metadata event.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace-test-worker\""), std::string::npos);
+}
+
+TEST_F(TraceTest, InstantCounterAndAsyncEventsCarryTheirFields) {
+  if (!kTraceCompiled) GTEST_SKIP() << "built with ANTIMR_TRACE=OFF";
+  Tracer::Global().Start();
+  ANTIMR_TRACE_INSTANT("test", "spill",
+                       TraceArgs().Add("bytes", uint64_t{4096}).Add(
+                           "file", std::string("run_0")));
+  ANTIMR_TRACE_COUNTER("queue_depth", 11);
+  const uint64_t now = NowNanos();
+  Tracer::Global().AsyncBegin("stage", "stage:0:count", 42, now - 1000);
+  Tracer::Global().AsyncEnd("stage", "stage:0:count", 42, now);
+  Tracer::Global().Complete("phase", "sort_ph", now - 500, 250);
+  Tracer::Global().Stop();
+
+  const std::string json = Tracer::Global().ToJson();
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\": 4096"), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"run_0\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 11}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"id\": \"0x2a\""), 2u);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 0.250"), std::string::npos);
+}
+
+TEST_F(TraceTest, ExportIsStructurallyValidJson) {
+  if (!kTraceCompiled) GTEST_SKIP() << "built with ANTIMR_TRACE=OFF";
+  Tracer::Global().Start();
+  // A name that needs escaping must not unbalance the document.
+  ANTIMR_TRACE_INSTANT("test", std::string("quote\"back\\slash\nnewline"));
+  { ANTIMR_TRACE_SPAN("test", "span"); }
+  Tracer::Global().Stop();
+
+  const std::string json = Tracer::Global().ToJson();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  // Braces and brackets balance once escaped quotes are accounted for; no
+  // raw control characters survive escaping.
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      EXPECT_FALSE(c == '\n' || c == '\t' || c == '\r');
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(TraceTest, StopKeepsEventsUntilClear) {
+  if (!kTraceCompiled) GTEST_SKIP() << "built with ANTIMR_TRACE=OFF";
+  Tracer::Global().Start();
+  ANTIMR_TRACE_INSTANT("test", "kept");
+  Tracer::Global().Stop();
+  EXPECT_GE(Tracer::Global().event_count(), 1u);
+  EXPECT_NE(Tracer::Global().ToJson().find("\"kept\""), std::string::npos);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().event_count(), 0u);
+  EXPECT_EQ(Tracer::Global().ToJson().find("\"kept\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace antimr

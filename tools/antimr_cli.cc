@@ -21,6 +21,8 @@
 #include "antimr.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "datagen/cloud.h"
 #include "datagen/graph.h"
 #include "datagen/qlog.h"
@@ -60,7 +62,15 @@ int Usage() {
       "  --records=N --maps=N --reduces=N --seed=N\n"
       "  --disk-mbps=N --net-mbps=N   simulated hardware (default off)\n"
       "  --json                dump metrics as a JSON object\n"
-      "  --partitioner=hash|prefix1|prefix5        (qsuggest)\n");
+      "  --partitioner=hash|prefix1|prefix5        (qsuggest)\n"
+      "observability (any command):\n"
+      "  --trace=FILE          write a Chrome/Perfetto trace (chrome://tracing"
+      ",\n"
+      "                        ui.perfetto.dev) of the run to FILE\n"
+      "  --metrics=FILE        dump the process metrics registry; *.json gets"
+      "\n"
+      "                        JSON, anything else Prometheus text format\n"
+      "  --top-tasks=N         print the N most expensive tasks (default 5)\n");
   return 2;
 }
 
@@ -149,6 +159,7 @@ int RunCommand(const Flags& flags) {
   run.collect_output = false;
   run.hardware.disk_mb_per_s = flags.GetDouble("disk-mbps", 0);
   run.hardware.network_mb_per_s = flags.GetDouble("net-mbps", 0);
+  run.collect_task_metrics = flags.Has("top-tasks");
 
   // PageRank is iterative: either one multi-stage plan (dag, the default)
   // or the legacy one-job-per-iteration driver loop.
@@ -230,6 +241,12 @@ int RunCommand(const Flags& flags) {
               workload.c_str(), strategy.c_str(),
               static_cast<unsigned long long>(records), maps);
   std::printf("%s", result.metrics.ToString().c_str());
+  if (flags.Has("top-tasks")) {
+    std::printf("\n%s",
+                TopTasksReport(result.task_metrics,
+                               flags.GetUint("top-tasks", 5))
+                    .c_str());
+  }
   return 0;
 }
 
@@ -318,6 +335,7 @@ int PipelineCommand(const Flags& flags) {
   exec_options.num_workers = static_cast<int>(flags.GetUint("workers", 0));
   exec_options.hardware.disk_mb_per_s = flags.GetDouble("disk-mbps", 0);
   exec_options.hardware.network_mb_per_s = flags.GetDouble("net-mbps", 0);
+  exec_options.collect_task_metrics = flags.Has("top-tasks");
   engine::Executor executor(exec_options);
   engine::PlanResult result;
   st = executor.Run(plan, &result);
@@ -351,6 +369,13 @@ int PipelineCommand(const Flags& flags) {
   std::printf("stage_overlap=%s\n\n",
               FormatNanos(result.stage_overlap_nanos).c_str());
   std::printf("%s", result.metrics.ToString().c_str());
+  if (flags.Has("top-tasks")) {
+    const size_t top_n = flags.GetUint("top-tasks", 5);
+    for (const engine::StageResult& stage : result.stages) {
+      std::printf("\nstage %s:\n%s", stage.name.c_str(),
+                  TopTasksReport(stage.tasks, top_n).c_str());
+    }
+  }
   return 0;
 }
 
@@ -391,14 +416,66 @@ int CodecsCommand(const Flags& flags) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  if (flags.positional().empty()) return Usage();
-  const std::string& command = flags.positional()[0];
+/// Write `body` to `path`, mirroring Tracer::WriteJson's error convention.
+Status WriteTextFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+int Dispatch(const Flags& flags, const std::string& command) {
   if (command == "run") return RunCommand(flags);
   if (command == "pipeline") return PipelineCommand(flags);
   if (command == "codecs") return CodecsCommand(flags);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+
+  const std::string trace_file = flags.GetString("trace", "");
+  if (!trace_file.empty()) {
+    if (!obs::kTraceCompiled) {
+      std::fprintf(stderr,
+                   "warning: built with ANTIMR_TRACE=OFF; "
+                   "the trace will contain no events\n");
+    }
+    obs::Tracer::Global().Start();
+  }
+
+  int rc = Dispatch(flags, flags.positional()[0]);
+
+  // Sinks are written even after a failed command: a partial trace is
+  // exactly what you want when diagnosing the failure.
+  if (!trace_file.empty()) {
+    obs::Tracer::Global().Stop();
+    const Status st = obs::Tracer::Global().WriteJson(trace_file);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing trace: %s\n", st.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  const std::string metrics_file = flags.GetString("metrics", "");
+  if (!metrics_file.empty()) {
+    const bool json = metrics_file.size() >= 5 &&
+                      metrics_file.compare(metrics_file.size() - 5, 5,
+                                           ".json") == 0;
+    const Status st = WriteTextFile(
+        metrics_file, json ? obs::MetricsRegistry::Global().ToJson()
+                           : obs::MetricsRegistry::Global().ToPrometheusText());
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing metrics: %s\n",
+                   st.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace.
+
+Structural checks (always on):
+  * the file parses as JSON with a "traceEvents" list
+  * every event carries the required keys for its phase type
+  * within each (pid, tid) lane, timestamps are non-decreasing
+  * every lane's B/E spans are balanced and properly nested
+
+Acceptance checks (opt-in flags, used by the tier-1 ctest):
+  * --expect-stages N        at least N distinct async "stage:*" tracks
+  * --expect-anticombine     at least one shared_spill or adaptive_decision
+                             instant event
+
+Exits 0 when every requested check passes, 1 otherwise. Stdlib only.
+"""
+import argparse
+import json
+import sys
+
+# Keys every event must carry, plus per-phase extras.
+BASE_KEYS = {"ph", "pid", "tid"}
+PHASE_KEYS = {
+    "B": {"name", "cat", "ts"},
+    "E": {"ts"},
+    "X": {"name", "cat", "ts", "dur"},
+    "i": {"name", "cat", "ts", "s"},
+    "C": {"name", "ts", "args"},
+    "b": {"name", "cat", "ts", "id"},
+    "e": {"name", "cat", "ts", "id"},
+    "M": {"name", "args"},
+}
+
+
+def fail(msg):
+    print("validate_trace: FAIL: %s" % msg, file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace JSON file to validate")
+    parser.add_argument("--expect-stages", type=int, default=0, metavar="N",
+                        help="require at least N async stage tracks")
+    parser.add_argument("--expect-anticombine", action="store_true",
+                        help="require a shared_spill or adaptive_decision "
+                             "instant")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail("cannot parse %s: %s" % (args.trace, e))
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("missing or non-list traceEvents")
+
+    last_ts = {}      # (pid, tid) -> last seen ts
+    open_spans = {}   # (pid, tid) -> stack of open B names
+    stage_tracks = set()
+    anticombine_instants = 0
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail("event %d is not an object" % i)
+        ph = ev.get("ph")
+        if ph not in PHASE_KEYS:
+            return fail("event %d has unknown ph %r" % (i, ph))
+        missing = (BASE_KEYS | PHASE_KEYS[ph]) - ev.keys()
+        if missing:
+            return fail("event %d (ph=%s) missing keys %s"
+                        % (i, ph, sorted(missing)))
+        if ph == "M":
+            continue
+        lane = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if ts < last_ts.get(lane, 0):
+            return fail("event %d: ts %s goes backwards in lane %s"
+                        % (i, ts, lane))
+        last_ts[lane] = ts
+        if ph == "B":
+            open_spans.setdefault(lane, []).append(ev["name"])
+        elif ph == "E":
+            if not open_spans.get(lane):
+                return fail("event %d: E with no open span in lane %s"
+                            % (i, lane))
+            open_spans[lane].pop()
+        elif ph == "b" and ev["name"].startswith("stage:"):
+            stage_tracks.add(ev["name"])
+        elif ph == "i" and ev["name"] in ("shared_spill", "adaptive_decision"):
+            anticombine_instants += 1
+
+    unbalanced = {lane: stack for lane, stack in open_spans.items() if stack}
+    if unbalanced:
+        return fail("unclosed spans at end of trace: %s" % unbalanced)
+
+    if args.expect_stages and len(stage_tracks) < args.expect_stages:
+        return fail("expected >= %d stage tracks, found %d: %s"
+                    % (args.expect_stages, len(stage_tracks),
+                       sorted(stage_tracks)))
+    if args.expect_anticombine and anticombine_instants == 0:
+        return fail("expected a shared_spill or adaptive_decision instant, "
+                    "found none")
+
+    print("validate_trace: OK: %d events, %d lanes, %d stage tracks, "
+          "%d anti-combining instants"
+          % (len(events), len(last_ts), len(stage_tracks),
+             anticombine_instants))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
