@@ -64,6 +64,15 @@ class Status {
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
 
+  /// Transient-vs-permanent classification for retry decisions: true when
+  /// re-executing the failed operation may succeed (I/O flakes, resource
+  /// pressure). Corruption, InvalidArgument, NotFound, NotSupported, and
+  /// Internal are permanent — retrying them would just repeat the failure,
+  /// or worse, mask a real bug behind attempt noise.
+  bool IsTransient() const {
+    return code_ == Code::kIOError || code_ == Code::kResourceExhausted;
+  }
+
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 

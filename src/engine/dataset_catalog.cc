@@ -1,8 +1,9 @@
 #include "engine/dataset_catalog.h"
 
-#include <cassert>
+#include <cstdlib>
 #include <utility>
 
+#include "common/logging.h"
 #include "obs/trace.h"
 
 namespace antimr {
@@ -10,7 +11,13 @@ namespace engine {
 
 DatasetCatalog::Dataset* DatasetCatalog::Find(const std::string& name) {
   auto it = datasets_.find(name);
-  assert(it != datasets_.end() && "dataset not registered");
+  if (it == datasets_.end()) {
+    // Always-on check (not assert): a planner bug reaching here in an
+    // NDEBUG build would otherwise dereference end() — silent UB.
+    ANTIMR_LOG(kError) << "dataset '" << name
+                       << "' is not registered in the catalog";
+    std::abort();
+  }
   return &it->second;
 }
 
@@ -45,12 +52,20 @@ void DatasetCatalog::Publish(const std::string& name, int partition,
                              std::vector<KV> records) {
   std::lock_guard<std::mutex> lock(mu_);
   Dataset* ds = Find(name);
+  // Re-publish from a retried reduce replaces the slot; back out the old
+  // slot's contribution first so bytes/records never double-count.
+  auto& slot = ds->partitions[static_cast<size_t>(partition)];
+  if (slot != nullptr) {
+    for (const KV& kv : *slot) {
+      ds->info.bytes -= kv.key.size() + kv.value.size();
+    }
+    ds->info.records -= slot->size();
+  }
   for (const KV& kv : records) {
     ds->info.bytes += kv.key.size() + kv.value.size();
   }
   ds->info.records += records.size();
-  ds->partitions[static_cast<size_t>(partition)] =
-      std::make_shared<std::vector<KV>>(std::move(records));
+  slot = std::make_shared<std::vector<KV>>(std::move(records));
 }
 
 InputSplit DatasetCatalog::PartitionSplit(const std::string& name,
@@ -82,6 +97,21 @@ void DatasetCatalog::ConsumerDone(const std::string& name) {
                          obs::TraceArgs()
                              .Add("dataset", name)
                              .Add("bytes", ds->info.bytes));
+  }
+}
+
+void DatasetCatalog::ReleaseAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, ds] : datasets_) {
+    if (ds.info.external || ds.info.retained || ds.info.released) continue;
+    for (auto& part : ds.partitions) part.reset();
+    ds.pending_consumers = 0;
+    ds.info.released = true;
+    ANTIMR_TRACE_INSTANT("engine", "dataset_gc",
+                         obs::TraceArgs()
+                             .Add("dataset", name)
+                             .Add("bytes", ds.info.bytes)
+                             .Add("forced", 1));
   }
 }
 

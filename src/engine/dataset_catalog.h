@@ -67,6 +67,13 @@ class DatasetCatalog {
   /// a non-retained dataset's partitions are released.
   void ConsumerDone(const std::string& name);
 
+  /// Force-release every non-external, non-retained dataset still held.
+  /// Run-epilogue safety net: on a failure path, skipped consumer tasks
+  /// never call ConsumerDone, so without this the data would stay resident
+  /// for the catalog's remaining lifetime. Only call once all tasks that
+  /// could read the catalog are terminal.
+  void ReleaseAll();
+
   /// Move a retained dataset's partitions out (post-run).
   std::vector<std::vector<KV>> TakePartitions(const std::string& name);
 

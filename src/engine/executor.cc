@@ -84,7 +84,10 @@ Status Executor::Run(const JobPlan& plan, PlanResult* result) {
 
   DatasetCatalog catalog;
   std::deque<StageExec> stages;
-  TaskGraph graph(&pool_);
+  RetryPolicy retry;
+  retry.max_attempts = std::max(1, options_.max_task_attempts);
+  retry.backoff_nanos = options_.retry_backoff_nanos;
+  TaskGraph graph(&pool_, retry);
 
   PlannerContext ctx;
   ctx.plan = &plan;
@@ -105,6 +108,11 @@ Status Executor::Run(const JobPlan& plan, PlanResult* result) {
   // Tasks added before a lowering error may already be running; always
   // drain the graph before touching (or destroying) the state they use.
   const Status run_status = graph.Wait();
+  // On a failure path, consumer tasks that were skipped never reached their
+  // ConsumerDone calls, so intermediates would sit unreleased. Every task is
+  // terminal once Wait returns; reclaim whatever is still held so a failed
+  // plan cannot leak dataset memory (sinks stay retained for TakePartitions).
+  catalog.ReleaseAll();
   if (!lowered.ok()) return lowered;
 
   // ---- Aggregate: per-stage roll-ups, then the plan total ------------------

@@ -40,6 +40,13 @@ struct ExecutorOptions {
   bool collect_task_metrics = false;
   /// Name prefix for intermediate files (unique per run when empty).
   std::string run_id;
+  /// Total executions allowed per task (map/fetch/reduce). 1 = fail the
+  /// plan on the first task error, as before retries existed; >1 retries
+  /// transient failures (Status::IsTransient) with capped exponential
+  /// backoff and re-publish-safe, attempt-scoped task outputs.
+  int max_task_attempts = 1;
+  /// Backoff before a task's first retry; doubles per attempt (capped).
+  uint64_t retry_backoff_nanos = 1000 * 1000;
 };
 
 /// \brief Metrics roll-up for one stage of a plan.

@@ -169,20 +169,33 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
       const std::vector<int> deps =
           in.dep >= 0 ? std::vector<int>{in.dep} : std::vector<int>{};
       map_ids[m] = graph->AddTask(
-          [&ctx, st, inputs, m]() {
+          [&ctx, st, inputs, m](int attempt) {
             StampMin(&st->first_start, NowNanos());
+            // Idempotent retry: discard the prior attempt's partial result
+            // and write under an attempt-scoped job id so a half-written
+            // file from the failed attempt can never be read as output.
+            if (attempt > 0) st->map_results[m] = MapTaskResult();
+            const std::string job_id =
+                attempt == 0 ? st->job_id
+                             : st->job_id + "_r" + std::to_string(attempt);
             const uint64_t cpu_start = ThreadCpuNanos();
-            Status status = RunMapTask(st->run_spec, st->job_id,
+            Status status = RunMapTask(st->run_spec, job_id,
                                        static_cast<int>(m),
                                        (*inputs)[m].split, ctx.task_env,
                                        &st->map_results[m]);
             st->map_cpu[m] = ThreadCpuNanos() - cpu_start;
-            st->maps_remaining.fetch_sub(1, std::memory_order_relaxed);
-            ctx.catalog->ConsumerDone(*(*inputs)[m].dataset);
+            if (status.ok()) {
+              // Only a terminal outcome may drop the consumer refcount or
+              // the in-flight map count; a retried attempt is still "the
+              // same task" to the shuffle and the catalog. Failed tasks are
+              // covered by the executor's ReleaseAll epilogue.
+              st->maps_remaining.fetch_sub(1, std::memory_order_relaxed);
+              ctx.catalog->ConsumerDone(*(*inputs)[m].dataset);
+            }
             StampMax(&st->last_end, NowNanos());
             return status;
           },
-          deps);
+          deps, TaskGraph::TaskOptions{});
     }
 
     st->reduce_task_ids.assign(num_reduce, -1);
@@ -191,7 +204,8 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
       // the whole map wave and streams its segments inline.
       for (size_t p = 0; p < num_reduce; ++p) {
         st->reduce_task_ids[p] = graph->AddTask(
-            [&ctx, st, p]() {
+            [&ctx, st, p](int attempt) {
+              if (attempt > 0) st->reduce_results[p] = ReduceTaskResult();
               ReduceTaskInputs inputs;
               inputs.network_mb_per_s = ctx.network_mb_per_s;
               inputs.readahead_blocks = ctx.readahead_blocks;
@@ -201,7 +215,7 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
               }
               return RunStageReduce(ctx, st, static_cast<int>(p), inputs);
             },
-            map_ids);
+            map_ids, TaskGraph::TaskOptions{});
       }
     } else {
       // Pipelined model: concurrent fetches overlap the map wave.
@@ -213,14 +227,20 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
         std::vector<int> fetch_ids;
         fetch_ids.reserve(num_maps);
         for (size_t m = 0; m < num_maps; ++m) {
+          TaskGraph::TaskOptions fetch_options;
+          fetch_options.pool = ctx.fetch_pool;
           fetch_ids.push_back(graph->AddTask(
-              [&ctx, st, p, m]() {
+              [&ctx, st, p, m](int attempt) {
                 const std::string& fname =
                     st->map_results[m].segment_files[p];
                 if (fname.empty()) return Status::OK();
                 ANTIMR_TRACE_SPAN_DYN(
                     "task", "fetch:" + st->trace_label + " p" +
                                 std::to_string(p) + " m" + std::to_string(m));
+                // A retried fetch starts over from an empty segment so a
+                // partially-filled buffer from the failed attempt cannot
+                // leak into the merge.
+                if (attempt > 0) st->fetched[p][m] = FetchedSegment();
                 if (st->maps_remaining.load(std::memory_order_relaxed) > 0) {
                   st->overlapped_fetches.fetch_add(
                       1, std::memory_order_relaxed);
@@ -233,28 +253,45 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
                                            std::memory_order_relaxed);
                 return status;
               },
-              {map_ids[m]}, ctx.fetch_pool));
+              {map_ids[m]}, fetch_options));
         }
         st->reduce_task_ids[p] = graph->AddTask(
-            [&ctx, st, p]() {
+            [&ctx, st, p](int attempt) {
+              if (attempt > 0) st->reduce_results[p] = ReduceTaskResult();
               ReduceTaskInputs inputs;
               inputs.readahead_blocks = ctx.readahead_blocks;
-              for (FetchedSegment& fs : st->fetched[p]) {
-                if (!fs.file.empty()) {
-                  inputs.fetched.push_back(std::move(fs));
+              // Borrow the fetched segments — the StageExec keeps owning
+              // them so a transiently-failed reduce retries against the
+              // same bytes instead of finding moved-out empties.
+              for (const FetchedSegment& fs : st->fetched[p]) {
+                if (!fs.file.empty()) inputs.fetched.push_back(&fs);
+              }
+              Status status =
+                  RunStageReduce(ctx, st, static_cast<int>(p), inputs);
+              if (status.ok()) {
+                // Success is terminal: drop the fetched frames now (not at
+                // stage teardown) to keep shuffle memory bounded per live
+                // reduce, as before retries existed.
+                for (FetchedSegment& fs : st->fetched[p]) {
+                  std::string().swap(fs.frames);
                 }
               }
-              return RunStageReduce(ctx, st, static_cast<int>(p), inputs);
+              return status;
             },
-            fetch_ids);
+            fetch_ids, TaskGraph::TaskOptions{});
       }
     }
 
     if (ctx.cleanup_intermediates) {
       // Segment files die as soon as the stage's reduces are done — not at
       // the end of the plan — bounding intermediate storage per stage.
+      // always_run: a failed reduce must not strand the stage's segment
+      // files on disk; by the time this runs every map/reduce is terminal,
+      // so reading map_results is safe even on the failure path.
+      TaskGraph::TaskOptions cleanup_options;
+      cleanup_options.always_run = true;
       graph->AddTask(
-          [&ctx, st]() {
+          [&ctx, st](int) {
             ANTIMR_TRACE_SPAN_DYN("task", "cleanup:" + st->trace_label);
             for (const MapTaskResult& mr : st->map_results) {
               for (const std::string& fname : mr.segment_files) {
@@ -263,7 +300,7 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
             }
             return Status::OK();
           },
-          st->reduce_task_ids);
+          st->reduce_task_ids, cleanup_options);
     }
   }
   return Status::OK();

@@ -18,6 +18,17 @@ Status PosixError(const std::string& context, int err) {
   return Status::IOError(context + ": " + std::strerror(err));
 }
 
+/// Map a failed path-taking syscall to the right Status code: only a
+/// genuinely missing file is NotFound; everything else (EIO, EACCES, ...)
+/// is an IOError. Collapsing all errno values to NotFound would misreport
+/// real I/O faults and starve the retry layer, which treats NotFound as
+/// permanent but IOError as transient.
+Status PosixPathError(const std::string& context, const std::string& fname,
+                      int err) {
+  if (err == ENOENT) return Status::NotFound(fname);
+  return PosixError(context + " " + fname, err);
+}
+
 // File names may contain '/'; they are flattened to a single path component
 // under the root so the Env does not need recursive directory management.
 std::string Mangle(const std::string& fname) {
@@ -123,7 +134,7 @@ class PosixEnv : public Env {
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* file) override {
     FILE* f = std::fopen(Path(fname).c_str(), "rb");
-    if (f == nullptr) return Status::NotFound(fname);
+    if (f == nullptr) return PosixPathError("fopen", fname, errno);
     *file = std::make_unique<PosixSequentialFile>(f, &bytes_read_);
     return Status::OK();
   }
@@ -132,20 +143,24 @@ class PosixEnv : public Env {
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* file) override {
     int fd = ::open(Path(fname).c_str(), O_RDONLY);
-    if (fd < 0) return Status::NotFound(fname);
+    if (fd < 0) return PosixPathError("open", fname, errno);
     *file = std::make_unique<PosixRandomAccessFile>(fd, &bytes_read_);
     return Status::OK();
   }
 
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
     struct stat st;
-    if (::stat(Path(fname).c_str(), &st) != 0) return Status::NotFound(fname);
+    if (::stat(Path(fname).c_str(), &st) != 0) {
+      return PosixPathError("stat", fname, errno);
+    }
     *size = static_cast<uint64_t>(st.st_size);
     return Status::OK();
   }
 
   Status DeleteFile(const std::string& fname) override {
-    if (::unlink(Path(fname).c_str()) != 0) return Status::NotFound(fname);
+    if (::unlink(Path(fname).c_str()) != 0) {
+      return PosixPathError("unlink", fname, errno);
+    }
     files_deleted_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }

@@ -104,6 +104,8 @@ class ThrottledEnv : public Env {
     return base_->GetFileSize(fname, size);
   }
   Status DeleteFile(const std::string& fname) override {
+    // Untouched passthrough: the base Env's errno-derived Status code
+    // (NotFound vs transient IOError) must reach the retry classifier.
     return base_->DeleteFile(fname);
   }
   bool FileExists(const std::string& fname) override {

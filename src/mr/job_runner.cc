@@ -40,6 +40,8 @@ Status RunJob(const JobSpec& spec, const std::vector<InputSplit>& splits,
   exec_options.hardware = options.hardware;
   exec_options.collect_task_metrics = options.collect_task_metrics;
   exec_options.run_id = options.job_id;
+  exec_options.max_task_attempts = options.max_task_attempts;
+  exec_options.retry_backoff_nanos = options.retry_backoff_nanos;
 
   engine::Executor executor(exec_options);
   engine::PlanResult plan_result;

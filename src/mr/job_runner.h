@@ -58,6 +58,10 @@ struct RunOptions {
   SimulatedHardware hardware;
   /// Fill JobResult::task_metrics with the per-task breakdown.
   bool collect_task_metrics = false;
+  /// Total executions allowed per task; >1 retries transient failures.
+  int max_task_attempts = 1;
+  /// Backoff before a task's first retry; doubles per attempt (capped).
+  uint64_t retry_backoff_nanos = 1000 * 1000;
 };
 
 /// Run `spec` over `splits` (one map task per split).

@@ -1,9 +1,11 @@
 #include "mr/local_cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/random.h"
 #include "engine/executor.h"
 #include "obs/trace.h"
 
@@ -103,17 +105,54 @@ Status TaskPool::RunWave(const std::vector<std::function<Status()>>& tasks) {
   return wave.first_failure;
 }
 
-TaskGraph::TaskGraph(TaskPool* pool) : default_pool_(pool) {}
+namespace {
+
+/// Backoff before retry `next_attempt` (1-based) of task `id`: exponential
+/// doubling capped at max_backoff_nanos, with deterministic jitter drawn
+/// from {policy.seed, id, next_attempt} into [base/2, base]. Determinism
+/// keeps fault-injection sweeps and the paper's repeated-measurement runs
+/// exactly reproducible.
+uint64_t RetryBackoffNanos(const RetryPolicy& policy, int id,
+                           int next_attempt) {
+  if (policy.backoff_nanos == 0) return 0;
+  const int shift = std::min(next_attempt - 1, 20);
+  uint64_t base = policy.backoff_nanos << shift;
+  // Detect shift overflow as well as a plain over-cap value.
+  if ((base >> shift) != policy.backoff_nanos ||
+      base > policy.max_backoff_nanos) {
+    base = policy.max_backoff_nanos;
+  }
+  Random rng(policy.seed ^ (static_cast<uint64_t>(id) << 32) ^
+             static_cast<uint64_t>(next_attempt));
+  return base / 2 + rng.Uniform(base / 2 + 1);
+}
+
+}  // namespace
+
+TaskGraph::TaskGraph(TaskPool* pool, RetryPolicy retry)
+    : default_pool_(pool), default_retry_(retry) {
+  if (default_retry_.max_attempts < 1) default_retry_.max_attempts = 1;
+}
 
 int TaskGraph::AddTask(std::function<Status()> fn,
                        const std::vector<int>& deps,
                        TaskPool* pool_override) {
+  TaskOptions options;
+  options.pool = pool_override;
+  return AddTask([fn = std::move(fn)](int) { return fn(); }, deps, options);
+}
+
+int TaskGraph::AddTask(TaskFn fn, const std::vector<int>& deps,
+                       const TaskOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
   const int id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   Node& node = nodes_.back();
   node.fn = std::move(fn);
-  node.pool = pool_override != nullptr ? pool_override : default_pool_;
+  node.pool = options.pool != nullptr ? options.pool : default_pool_;
+  node.retry = options.retry != nullptr ? *options.retry : default_retry_;
+  if (node.retry.max_attempts < 1) node.retry.max_attempts = 1;
+  node.always_run = options.always_run;
   for (int dep_id : deps) {
     Node& dep = nodes_[static_cast<size_t>(dep_id)];
     if (dep.done) {
@@ -124,7 +163,7 @@ int TaskGraph::AddTask(std::function<Status()> fn,
     }
   }
   if (node.pending == 0) {
-    if (node.dep_failed) {
+    if (node.dep_failed && !node.always_run) {
       FinishLocked(id, /*ran_ok=*/false);
       cv_.notify_all();
     } else {
@@ -135,17 +174,62 @@ int TaskGraph::AddTask(std::function<Status()> fn,
 }
 
 void TaskGraph::ScheduleLocked(int id) {
-  // Capture the node pointer under the lock: deque element addresses are
-  // stable, while operator[] during a concurrent AddTask would race.
+  // Capture the node pointer (and current attempt) under the lock: deque
+  // element addresses are stable, while operator[] during a concurrent
+  // AddTask would race.
   Node* node = &nodes_[static_cast<size_t>(id)];
-  node->pool->Submit([this, id, node]() {
-    Status st = node->fn();
+  const int attempt = node->attempt;
+  node->pool->Submit([this, id, node, attempt]() {
+    Status st = node->fn(attempt);
     OnDone(id, std::move(st));
   });
 }
 
 void TaskGraph::OnDone(int id, Status st) {
   if (!st.ok()) {
+    // Transient failure with attempts left: re-submit after a backoff
+    // instead of finishing the node. Dependents stay pending, so from the
+    // graph's point of view a retried task is just a slow task.
+    bool retrying = false;
+    int next_attempt = 0;
+    uint64_t backoff = 0;
+    TaskPool* pool = nullptr;
+    Node* node_ptr = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Node& node = nodes_[static_cast<size_t>(id)];
+      if (st.IsTransient() && node.attempt + 1 < node.retry.max_attempts) {
+        next_attempt = ++node.attempt;
+        backoff = RetryBackoffNanos(node.retry, id, next_attempt);
+        pool = node.pool;
+        node_ptr = &node;
+        retrying = true;
+      }
+    }
+    if (retrying) {
+      static obs::Counter* const retries =
+          obs::MetricsRegistry::Global().GetCounter(
+              "antimr_task_retries_total",
+              "Transient task failures answered with a re-execution");
+      retries->Inc();
+      ANTIMR_LOG(kWarn) << "task " << id << " attempt " << next_attempt - 1
+                        << " failed transiently (" << st.ToString()
+                        << "); retrying as attempt " << next_attempt
+                        << " after " << backoff << "ns";
+      ANTIMR_TRACE_INSTANT("engine", "task_retry",
+                           obs::TraceArgs()
+                               .Add("task", id)
+                               .Add("attempt", next_attempt)
+                               .Add("backoff_nanos", backoff)
+                               .Add("status", st.ToString()));
+      pool->Submit([this, id, node_ptr, next_attempt, backoff]() {
+        if (backoff > 0) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+        }
+        OnDone(id, node_ptr->fn(next_attempt));
+      });
+      return;
+    }
     static obs::Counter* const failures =
         obs::MetricsRegistry::Global().GetCounter(
             "antimr_task_failures_total", "Graph tasks that returned an error");
@@ -156,10 +240,15 @@ void TaskGraph::OnDone(int id, Status st) {
                              .Add("task", id)
                              .Add("status", st.ToString()));
   }
+  static obs::Histogram* const attempts_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "antimr_task_attempts", "Executions needed per finished graph task");
   // Notify under the lock: Wait may return and the graph be destroyed the
   // moment done_ reaches nodes_.size(), so the cv must not be touched after
   // mu_ is released.
   std::lock_guard<std::mutex> lock(mu_);
+  attempts_hist->Observe(
+      static_cast<uint64_t>(nodes_[static_cast<size_t>(id)].attempt + 1));
   if (!st.ok() &&
       (!have_failure_ || static_cast<size_t>(id) < first_failure_id_)) {
     first_failure_ = std::move(st);
@@ -187,11 +276,13 @@ void TaskGraph::FinishLocked(int id, bool ran_ok) {
       Node& dependent = nodes_[static_cast<size_t>(dep_id)];
       if (!cur_ok) dependent.dep_failed = true;
       if (--dependent.pending == 0) {
-        if (dependent.dep_failed) {
+        if (dependent.dep_failed && !dependent.always_run) {
           // Skipped: never runs, counts as not-ok for its own dependents.
           worklist.push_back(dep_id);
           outcomes.push_back(false);
         } else {
+          // always_run tasks (cleanup) execute even after a dependency
+          // failure; by this point every dependency is terminal.
           ScheduleLocked(dep_id);
         }
       }

@@ -88,18 +88,56 @@ class TaskPool {
   bool stopping_ = false;
 };
 
+/// \brief Transient-failure retry policy for graph tasks.
+///
+/// A task whose Status::IsTransient() failure leaves attempts unspent is
+/// re-executed after a capped exponential backoff with deterministic jitter
+/// (common/random seeded from {seed, task id, attempt}), so a given run
+/// retries on an exactly reproducible schedule. Permanent failures
+/// (Corruption, InvalidArgument, ...) are never retried. Retried tasks MUST
+/// be idempotent: re-execution has to converge to the same output as a
+/// clean first run (attempt-scoped file names, re-publish-safe sinks).
+struct RetryPolicy {
+  /// Total executions allowed per task; 1 = fail on the first error.
+  int max_attempts = 1;
+  /// Backoff before the first retry; doubles per attempt.
+  uint64_t backoff_nanos = 1000 * 1000;  ///< 1 ms
+  /// Upper bound on the doubled backoff.
+  uint64_t max_backoff_nanos = 256 * 1000 * 1000;  ///< 256 ms
+  /// Jitter seed; the same seed replays the same backoff schedule.
+  uint64_t seed = 0;
+};
+
 /// \brief Dependency-aware task scheduler over one or more TaskPools.
 ///
 /// Tasks form a DAG: AddTask registers a task with edges to already-added
 /// tasks, and a task is submitted to its pool the instant its last
-/// dependency succeeds — there is no wave barrier. A failed task marks all
-/// transitive dependents as skipped (they never run). Wait blocks until
-/// every task has finished or been skipped and returns the first failure by
-/// task id, so add order decides which failure a job reports.
+/// dependency succeeds — there is no wave barrier. A transiently-failing
+/// task is retried per the graph's (or its own) RetryPolicy; a terminally
+/// failed task marks all transitive dependents as skipped (they never run)
+/// except always-run tasks, which execute regardless so cleanup work still
+/// happens on failure paths. Wait blocks until every task has finished or
+/// been skipped and returns the first terminal failure by task id, so add
+/// order decides which failure a job reports.
 class TaskGraph {
  public:
+  /// Per-task knobs for the attempt-aware AddTask overload.
+  struct TaskOptions {
+    TaskPool* pool = nullptr;          ///< null = the graph's default pool
+    const RetryPolicy* retry = nullptr;  ///< null = the graph's default
+    /// Run even when a dependency failed or was skipped (cleanup tasks).
+    /// The task still waits for every dependency to finish or be skipped.
+    bool always_run = false;
+  };
+
+  /// Attempt-aware task body: receives the 0-based attempt number, so a
+  /// retried task can discard prior-attempt partials and scope its output
+  /// names per attempt.
+  using TaskFn = std::function<Status(int attempt)>;
+
   /// \param pool default pool for tasks added without a pool override.
-  explicit TaskGraph(TaskPool* pool);
+  /// \param retry default retry policy (the default default: no retries).
+  explicit TaskGraph(TaskPool* pool, RetryPolicy retry = RetryPolicy());
 
   /// Register `fn` depending on the tasks in `deps` (ids returned by earlier
   /// AddTask calls). Returns the new task's id. If every dependency already
@@ -109,16 +147,23 @@ class TaskGraph {
   int AddTask(std::function<Status()> fn, const std::vector<int>& deps = {},
               TaskPool* pool_override = nullptr);
 
+  /// Attempt-aware overload with per-task options.
+  int AddTask(TaskFn fn, const std::vector<int>& deps,
+              const TaskOptions& options);
+
   /// Block until all tasks have completed or been skipped. Returns the
   /// lowest-id failure, or OK.
   Status Wait();
 
  private:
   struct Node {
-    std::function<Status()> fn;
+    TaskFn fn;
     TaskPool* pool = nullptr;
+    RetryPolicy retry;
+    int attempt = 0;           ///< executions started so far - 1
     int pending = 0;           ///< unfinished dependencies
     bool dep_failed = false;   ///< a dependency failed or was skipped
+    bool always_run = false;   ///< run even when dep_failed
     bool done = false;
     bool ok = false;
     std::vector<int> dependents;
@@ -126,7 +171,9 @@ class TaskGraph {
 
   /// Submit node `id` to its pool. Caller holds mu_.
   void ScheduleLocked(int id);
-  /// Record completion of `id` and release/skip dependents.
+  /// Record completion of attempt `attempt` of `id`: retry a transient
+  /// failure with remaining attempts, otherwise finish and release/skip
+  /// dependents.
   void OnDone(int id, Status st);
   /// Mark `id` done (run or skipped) and cascade to dependents. Caller
   /// holds mu_; skipped dependents are finished iteratively, runnable ones
@@ -134,6 +181,7 @@ class TaskGraph {
   void FinishLocked(int id, bool ran_ok);
 
   TaskPool* default_pool_;
+  RetryPolicy default_retry_;
   std::mutex mu_;
   std::condition_variable cv_;
   /// deque: element references stay valid as the graph grows.

@@ -61,6 +61,7 @@ class MapTaskContext : public MapContext {
       std::unique_ptr<KVStream> stream = buffer_.PartitionStream(p);
       const std::string fname =
           SpillFileName(job_id_, task_id_, spill_count_, p);
+      created_files_.push_back(fname);
       SegmentWriteResult res;
       ANTIMR_RETURN_NOT_OK(
           WritePossiblyCombined(stream.get(), p, fname, codec, &res));
@@ -94,6 +95,7 @@ class MapTaskContext : public MapContext {
         if (buffer_.PartitionRecords(p) == 0) continue;
         std::unique_ptr<KVStream> stream = buffer_.PartitionStream(p);
         const std::string fname = SegmentFileName(job_id_, task_id_, p);
+        created_files_.push_back(fname);
         SegmentWriteResult res;
         ANTIMR_RETURN_NOT_OK(
             WritePossiblyCombined(stream.get(), p, fname, codec, &res));
@@ -132,6 +134,7 @@ class MapTaskContext : public MapContext {
       MergingStream merged(std::move(inputs), spec_.key_cmp);
       metrics_->cpu.merge += NowNanos() - merge_start;
       const std::string fname = SegmentFileName(job_id_, task_id_, p);
+      created_files_.push_back(fname);
       SegmentWriteResult res;
       if (combine_on_merge) {
         ANTIMR_RETURN_NOT_OK(
@@ -151,6 +154,18 @@ class MapTaskContext : public MapContext {
       }
     }
     return Status::OK();
+  }
+
+  /// Best-effort removal of everything this task may have written: spill
+  /// files and (possibly half-written) final segments. Run on the failure
+  /// path so a retried attempt starts from clean storage and a failed task
+  /// leaves nothing behind. Delete errors are swallowed — the task is
+  /// already failing and its Status should name the original error.
+  void RemovePartialOutput() {
+    for (const std::string& fname : created_files_) {
+      env_->DeleteFile(fname);
+    }
+    created_files_.clear();
   }
 
  private:
@@ -189,6 +204,8 @@ class MapTaskContext : public MapContext {
   JobMetrics* metrics_;
   MapOutputBuffer buffer_;
   std::vector<std::vector<std::string>> spill_files_per_partition_;
+  /// Every file name this task has started writing, for failure cleanup.
+  std::vector<std::string> created_files_;
   int spill_count_ = 0;
 };
 
@@ -219,26 +236,35 @@ Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
   // phases; timing them again here would double-count inside PhaseCpu.
   const bool outer_times_map = !spec.mapper_reports_logical_output;
 
-  std::unique_ptr<RecordSource> source = split.open();
-  KV record;
-  while (source->Next(&record)) {
-    m.input_records += 1;
-    m.input_bytes += record.key.size() + record.value.size();
+  const Status status = [&]() -> Status {
+    std::unique_ptr<RecordSource> source = split.open();
+    KV record;
+    while (source->Next(&record)) {
+      m.input_records += 1;
+      m.input_bytes += record.key.size() + record.value.size();
+      if (outer_times_map) {
+        ScopedTimer t(&m.cpu.map_fn);
+        mapper->Map(record.key, record.value, &ctx);
+      } else {
+        mapper->Map(record.key, record.value, &ctx);
+      }
+      ANTIMR_RETURN_NOT_OK(ctx.MaybeSpill());
+    }
     if (outer_times_map) {
       ScopedTimer t(&m.cpu.map_fn);
-      mapper->Map(record.key, record.value, &ctx);
+      mapper->Cleanup(&ctx);
     } else {
-      mapper->Map(record.key, record.value, &ctx);
+      mapper->Cleanup(&ctx);
     }
-    ANTIMR_RETURN_NOT_OK(ctx.MaybeSpill());
+    return ctx.Finish(result);
+  }();
+  if (!status.ok()) {
+    // Leave no partials behind: a retry (or the plan epilogue) must find
+    // clean storage and an empty result, never a half-written segment.
+    ctx.RemovePartialOutput();
+    result->segment_files.clear();
+    return status;
   }
-  if (outer_times_map) {
-    ScopedTimer t(&m.cpu.map_fn);
-    mapper->Cleanup(&ctx);
-  } else {
-    mapper->Cleanup(&ctx);
-  }
-  ANTIMR_RETURN_NOT_OK(ctx.Finish(result));
 
   if (!spec.mapper_reports_logical_output) {
     m.map_output_records = m.emitted_records;

@@ -125,12 +125,12 @@ Status RunReduceTask(const JobSpec& spec, int partition,
       empty_readers.push_back(std::move(reader));
     }
   };
-  for (const FetchedSegment& fs : inputs.fetched) {
-    m.shuffle_bytes += fs.fetched_bytes;
-    m.shuffle_fetch_wait_nanos += fs.fetch_nanos;
+  for (const FetchedSegment* fs : inputs.fetched) {
+    m.shuffle_bytes += fs->fetched_bytes;
+    m.shuffle_fetch_wait_nanos += fs->fetch_nanos;
     std::unique_ptr<BlockRunReader> reader;
     ANTIMR_RETURN_NOT_OK(
-        OpenFetchedSegment(fs, codec, inputs.readahead_blocks, &reader));
+        OpenFetchedSegment(*fs, codec, inputs.readahead_blocks, &reader));
     adopt(std::move(reader), /*from_memory=*/true);
   }
   for (const std::string& fname : inputs.segment_files) {

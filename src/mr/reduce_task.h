@@ -75,9 +75,11 @@ Status ApplyCombiner(const JobSpec& spec, const TaskInfo& info,
 struct ReduceTaskInputs {
   /// Segments to fetch inline, streamed from storage during the merge.
   std::vector<std::string> segment_files;
-  /// Segments pre-fetched by the concurrent shuffle phase. Decompression is
+  /// Segments pre-fetched by the concurrent shuffle phase, borrowed from
+  /// the scheduler (which keeps ownership so a transiently-failed reduce
+  /// can be retried against the same fetched bytes). Decompression is
   /// still block-at-a-time during the merge.
-  std::vector<FetchedSegment> fetched;
+  std::vector<const FetchedSegment*> fetched;
   /// Simulated shuffle bandwidth; 0 = unthrottled. Applies to inline
   /// fetches only (pre-fetched segments paid it at fetch time).
   double network_mb_per_s = 0;

@@ -438,6 +438,82 @@ TEST(Engine, ExecutorIsReusable) {
   }
 }
 
+/// Env wrapper whose writes always fail — the simplest way to push a plan
+/// onto its failure path without touching the fault-injection harness.
+class WriteFailEnv : public Env {
+ public:
+  explicit WriteFailEnv(std::unique_ptr<Env> base) : base_(std::move(base)) {}
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override {
+    (void)fname;
+    (void)file;
+    return Status::IOError("writes disabled");
+  }
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* file) override {
+    return base_->NewSequentialFile(fname, file);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    return base_->NewRandomAccessFile(fname, file);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status DeleteFile(const std::string& fname) override {
+    return base_->DeleteFile(fname);
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status ListFiles(std::vector<std::string>* names) override {
+    return base_->ListFiles(names);
+  }
+  IoStats stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  std::unique_ptr<Env> base_;
+};
+
+// A failed plan must not strand intermediate datasets: consumers skipped by
+// the failure cascade never call ConsumerDone, so the run epilogue has to
+// force-release whatever is still held.
+TEST(Engine, FailedPlanReleasesAllDatasets) {
+  WriteFailEnv env(NewMemEnv());
+  ExecutorOptions options;
+  options.env = &env;
+  Executor executor(options);
+
+  JobPlan plan;
+  ASSERT_TRUE(plan.AddInput("in", MakeSplits(SmallInput("k", 30), 2)).ok());
+  Stage first;
+  first.name = "identity";
+  first.spec = IdentitySpec("identity", 2);
+  first.inputs = {"in"};
+  first.output = "mid";
+  plan.AddStage(std::move(first));
+  Stage second;
+  second.name = "count";
+  second.spec = CountSpec("count", 2);
+  second.inputs = {"mid"};
+  second.output = "out";
+  plan.AddStage(std::move(second));
+
+  PlanResult result;
+  const Status st = executor.Run(plan, &result);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  ASSERT_FALSE(result.datasets.empty());
+  for (const engine::DatasetInfo& ds : result.datasets) {
+    if (ds.external || ds.retained) continue;
+    EXPECT_TRUE(ds.released) << "dataset " << ds.name
+                             << " leaked on the failure path";
+  }
+}
+
 // LocalCluster facade exposes a lazily-created engine executor bound to the
 // cluster's storage.
 TEST(Engine, LocalClusterExecutor) {

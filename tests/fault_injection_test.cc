@@ -4,21 +4,35 @@
 // concurrent fetch graph and the classic two-wave barrier.
 #include <atomic>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "engine/executor.h"
 #include "engine/job_plan.h"
+#include "obs/metrics_registry.h"
 #include "test_util.h"
 
 namespace antimr {
 namespace {
 
-/// Env wrapper that fails operations once a budget is exhausted.
+/// Env wrapper that fails the sampled operations with index in
+/// [fail_at, fail_at + fail_times). The default window is unbounded, i.e.
+/// "allow fail_at ops through, then fail forever" — a hard outage. A finite
+/// window (fail_times=1 is the interesting case) models a transient flake
+/// that a retried task will get past. `fault_code` picks the injected
+/// Status: IOError (transient, default) or Corruption (permanent).
 class FaultyEnv : public Env {
  public:
-  FaultyEnv(std::unique_ptr<Env> base, int fail_after_ops)
-      : base_(std::move(base)), remaining_(fail_after_ops) {}
+  static constexpr int kForever = 1 << 30;
+
+  FaultyEnv(std::unique_ptr<Env> base, int fail_at, int fail_times = kForever,
+            Status::Code fault_code = Status::Code::kIOError)
+      : base_(std::move(base)),
+        fail_at_(fail_at),
+        fail_times_(fail_times),
+        fault_code_(fault_code) {}
 
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* file) override {
@@ -52,19 +66,28 @@ class FaultyEnv : public Env {
   void ResetStats() override { base_->ResetStats(); }
 
   int operations_seen() const { return ops_.load(); }
+  int faults_injected() const { return injected_.load(); }
 
  private:
   Status Tick(const char* op) {
-    ops_.fetch_add(1);
-    if (remaining_.fetch_sub(1) <= 0) {
-      return Status::IOError(std::string("injected fault in ") + op);
+    const int index = ops_.fetch_add(1);
+    if (index >= fail_at_ && index - fail_at_ < fail_times_) {
+      injected_.fetch_add(1);
+      const std::string msg = std::string("injected fault in ") + op;
+      if (fault_code_ == Status::Code::kCorruption) {
+        return Status::Corruption(msg);
+      }
+      return Status::IOError(msg);
     }
     return Status::OK();
   }
 
   std::unique_ptr<Env> base_;
-  std::atomic<int> remaining_;
+  const int fail_at_;
+  const int fail_times_;
+  const Status::Code fault_code_;
   std::atomic<int> ops_{0};
+  std::atomic<int> injected_{0};
 };
 
 class FanoutMapper : public Mapper {
@@ -115,12 +138,35 @@ class FaultInjection : public ::testing::TestWithParam<ShuffleMode> {
   }
 
   int CountEnvOps() const {
-    FaultyEnv env(NewMemEnv(), /*fail_after_ops=*/1 << 30);
+    FaultyEnv env(NewMemEnv(), /*fail_at=*/FaultyEnv::kForever);
     JobResult result;
     EXPECT_TRUE(RunJob(TestJob(), MakeSplits(TestInput(), 2),
                        MakeOptions(&env), &result)
                     .ok());
     return env.operations_seen();
+  }
+
+  /// Two-stage chain in -> first -> mid -> second -> out, both stages under
+  /// the parameterized shuffle mode.
+  engine::JobPlan MakeTwoStagePlan() const {
+    engine::JobPlan plan;
+    plan.name = "fault_chain";
+    EXPECT_TRUE(plan.AddInput("in", MakeSplits(TestInput(), 2)).ok());
+    engine::Stage first;
+    first.name = "first";
+    first.spec = TestJob();
+    first.inputs = {"in"};
+    first.output = "mid";
+    first.options.shuffle_mode = GetParam();
+    plan.AddStage(std::move(first));
+    engine::Stage second;
+    second.name = "second";
+    second.spec = TestJob();
+    second.inputs = {"mid"};
+    second.output = "out";
+    second.options.shuffle_mode = GetParam();
+    plan.AddStage(std::move(second));
+    return plan;
   }
 };
 
@@ -158,35 +204,14 @@ TEST_P(FaultInjection, JobSucceedsWhenFaultBudgetNotReached) {
 // the TaskGraph skips transitive dependents (including the downstream
 // stage's tasks reading the dead partition) instead of hanging on them.
 TEST_P(FaultInjection, MultiStagePlanFailsCleanly) {
-  auto make_plan = [this]() {
-    engine::JobPlan plan;
-    plan.name = "fault_chain";
-    EXPECT_TRUE(plan.AddInput("in", MakeSplits(TestInput(), 2)).ok());
-    engine::Stage first;
-    first.name = "first";
-    first.spec = TestJob();
-    first.inputs = {"in"};
-    first.output = "mid";
-    first.options.shuffle_mode = GetParam();
-    plan.AddStage(std::move(first));
-    engine::Stage second;
-    second.name = "second";
-    second.spec = TestJob();
-    second.inputs = {"mid"};
-    second.output = "out";
-    second.options.shuffle_mode = GetParam();
-    plan.AddStage(std::move(second));
-    return plan;
-  };
-
   int total_ops = 0;
   {
-    FaultyEnv env(NewMemEnv(), 1 << 30);
+    FaultyEnv env(NewMemEnv(), FaultyEnv::kForever);
     engine::ExecutorOptions exec_options;
     exec_options.env = &env;
     engine::Executor executor(exec_options);
     engine::PlanResult result;
-    ASSERT_TRUE(executor.Run(make_plan(), &result).ok());
+    ASSERT_TRUE(executor.Run(MakeTwoStagePlan(), &result).ok());
     total_ops = env.operations_seen();
   }
   ASSERT_GT(total_ops, 20);
@@ -198,10 +223,101 @@ TEST_P(FaultInjection, MultiStagePlanFailsCleanly) {
     exec_options.env = &env;
     engine::Executor executor(exec_options);
     engine::PlanResult result;
-    const Status st = executor.Run(make_plan(), &result);
+    const Status st = executor.Run(MakeTwoStagePlan(), &result);
     EXPECT_FALSE(st.ok()) << "fault at op " << fail_at << " was swallowed";
     EXPECT_TRUE(st.IsIOError()) << st.ToString();
+    // Default max_task_attempts=1: a failed plan must still release every
+    // intermediate dataset (skipped consumers never ran ConsumerDone; the
+    // run epilogue has to cover them).
+    for (const engine::DatasetInfo& ds : result.datasets) {
+      if (ds.external || ds.retained) continue;
+      EXPECT_TRUE(ds.released)
+          << "dataset " << ds.name << " leaked, fault at op " << fail_at;
+    }
   }
+}
+
+// The tentpole acceptance test: with retries enabled, a fail-once transient
+// fault at ANY sampled I/O op of the two-stage plan must be survived — the
+// plan completes and its output is byte-identical to a clean run (the
+// LazySH determinism argument: re-executed tasks reproduce their output
+// exactly, so retries change file names and timing, never data).
+TEST_P(FaultInjection, TransientFaultsRecoverWithRetries) {
+  int total_ops = 0;
+  std::vector<KV> clean_output;
+  {
+    FaultyEnv env(NewMemEnv(), FaultyEnv::kForever);
+    engine::ExecutorOptions exec_options;
+    exec_options.env = &env;
+    engine::Executor executor(exec_options);
+    engine::PlanResult result;
+    ASSERT_TRUE(executor.Run(MakeTwoStagePlan(), &result).ok());
+    total_ops = env.operations_seen();
+    clean_output = result.FlatOutput("out");
+  }
+  ASSERT_GT(total_ops, 20);
+  ASSERT_FALSE(clean_output.empty());
+
+  obs::Counter* const retries = obs::MetricsRegistry::Global().GetCounter(
+      "antimr_task_retries_total",
+      "Transient task failures answered with a re-execution");
+  for (int fail_at = 0; fail_at < total_ops; fail_at += 7) {
+    FaultyEnv env(NewMemEnv(), fail_at, /*fail_times=*/1);
+    engine::ExecutorOptions exec_options;
+    exec_options.env = &env;
+    exec_options.max_task_attempts = 3;
+    exec_options.retry_backoff_nanos = 1000;  // keep the sweep fast
+    engine::Executor executor(exec_options);
+    engine::PlanResult result;
+    const uint64_t retries_before = retries->value();
+    const Status st = executor.Run(MakeTwoStagePlan(), &result);
+    ASSERT_TRUE(st.ok()) << "fault at op " << fail_at
+                         << " not survived: " << st.ToString();
+    EXPECT_EQ(env.faults_injected(), 1) << "fault at op " << fail_at;
+    EXPECT_GE(retries->value() - retries_before, 1u)
+        << "fault at op " << fail_at << " recovered without a retry?";
+    EXPECT_TRUE(result.FlatOutput("out") == clean_output)
+        << "output diverged after retry, fault at op " << fail_at;
+  }
+}
+
+// Permanent faults must NOT be retried: a Corruption error fails the plan
+// on the first attempt even with a retry budget left. Retrying corruption
+// would just re-read the same bad bytes and mask the bug.
+TEST_P(FaultInjection, PermanentFaultsAreNotRetried) {
+  obs::Counter* const retries = obs::MetricsRegistry::Global().GetCounter(
+      "antimr_task_retries_total",
+      "Transient task failures answered with a re-execution");
+  FaultyEnv env(NewMemEnv(), /*fail_at=*/5, /*fail_times=*/1,
+                Status::Code::kCorruption);
+  engine::ExecutorOptions exec_options;
+  exec_options.env = &env;
+  exec_options.max_task_attempts = 3;
+  engine::Executor executor(exec_options);
+  engine::PlanResult result;
+  const uint64_t retries_before = retries->value();
+  const Status st = executor.Run(MakeTwoStagePlan(), &result);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_EQ(retries->value(), retries_before);
+}
+
+// A hard outage (faults from fail_at onward, forever) exhausts the retry
+// budget and surfaces the transient error instead of looping.
+TEST_P(FaultInjection, HardOutageExhaustsRetryBudget) {
+  FaultyEnv env(NewMemEnv(), /*fail_at=*/5);
+  engine::ExecutorOptions exec_options;
+  exec_options.env = &env;
+  exec_options.max_task_attempts = 3;
+  exec_options.retry_backoff_nanos = 1000;
+  engine::Executor executor(exec_options);
+  engine::PlanResult result;
+  const Status st = executor.Run(MakeTwoStagePlan(), &result);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  // The failed task burned its full budget: 3 attempts = 3 injected faults
+  // at minimum (dependent tasks may add their own).
+  EXPECT_GE(env.faults_injected(), 3);
 }
 
 INSTANTIATE_TEST_SUITE_P(ShuffleModes, FaultInjection,

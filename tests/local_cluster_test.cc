@@ -278,6 +278,160 @@ TEST(TaskGraph, DependencyOnAlreadyFinishedTask) {
   EXPECT_TRUE(ran.load());
 }
 
+// ---- Retry policy ----------------------------------------------------------
+
+TEST(TaskGraph, RetriesTransientFailureUntilSuccess) {
+  TaskPool pool(2);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_nanos = 1000;  // keep the test fast
+  TaskGraph graph(&pool, retry);
+  std::atomic<int> calls{0};
+  std::atomic<int> dependent_ran{0};
+  const int flaky = graph.AddTask(
+      [&](int attempt) {
+        EXPECT_EQ(attempt, calls.load()) << "attempt number out of step";
+        if (calls.fetch_add(1) < 2) return Status::IOError("flake");
+        return Status::OK();
+      },
+      {}, TaskGraph::TaskOptions{});
+  graph.AddTask([&]() {
+    dependent_ran.fetch_add(1);
+    return Status::OK();
+  },
+                {flaky});
+  ASSERT_TRUE(graph.Wait().ok());
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(dependent_ran.load(), 1)
+      << "dependent must run exactly once, after the successful attempt";
+}
+
+TEST(TaskGraph, DoesNotRetryPermanentFailures) {
+  TaskPool pool(2);
+  RetryPolicy retry;
+  retry.max_attempts = 5;
+  retry.backoff_nanos = 1000;
+  TaskGraph graph(&pool, retry);
+  std::atomic<int> calls{0};
+  graph.AddTask(
+      [&](int) {
+        calls.fetch_add(1);
+        return Status::Corruption("bad block");
+      },
+      {}, TaskGraph::TaskOptions{});
+  Status st = graph.Wait();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_EQ(calls.load(), 1) << "permanent failures must not be retried";
+}
+
+TEST(TaskGraph, ExhaustedRetryBudgetSurfacesLastError) {
+  TaskPool pool(2);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_nanos = 1000;
+  TaskGraph graph(&pool, retry);
+  std::atomic<int> calls{0};
+  std::atomic<int> dependent_ran{0};
+  const int doomed = graph.AddTask(
+      [&](int) {
+        calls.fetch_add(1);
+        return Status::IOError("still down");
+      },
+      {}, TaskGraph::TaskOptions{});
+  graph.AddTask([&]() {
+    dependent_ran.fetch_add(1);
+    return Status::OK();
+  },
+                {doomed});
+  Status st = graph.Wait();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(calls.load(), 3) << "budget is total attempts, not retries";
+  EXPECT_EQ(dependent_ran.load(), 0);
+}
+
+TEST(TaskGraph, PerTaskPolicyOverridesGraphDefault) {
+  TaskPool pool(2);
+  TaskGraph graph(&pool);  // graph default: no retries
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.backoff_nanos = 1000;
+  std::atomic<int> calls{0};
+  TaskGraph::TaskOptions options;
+  options.retry = &retry;
+  graph.AddTask(
+      [&](int) {
+        if (calls.fetch_add(1) == 0) return Status::IOError("flake");
+        return Status::OK();
+      },
+      {}, options);
+  ASSERT_TRUE(graph.Wait().ok());
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(TaskGraph, AlwaysRunTaskExecutesAfterDependencyFailure) {
+  TaskPool pool(2);
+  TaskGraph graph(&pool);
+  std::atomic<bool> cleanup_ran{false};
+  const int bad = graph.AddTask([]() { return Status::IOError("map died"); });
+  TaskGraph::TaskOptions cleanup_options;
+  cleanup_options.always_run = true;
+  graph.AddTask(
+      [&](int) {
+        cleanup_ran.store(true);
+        return Status::OK();
+      },
+      {bad}, cleanup_options);
+  Status st = graph.Wait();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(cleanup_ran.load())
+      << "always_run tasks must survive the skip cascade";
+}
+
+TEST(TaskGraph, AlwaysRunTaskOnAlreadyFailedDependency) {
+  TaskPool pool(2);
+  TaskGraph graph(&pool);
+  const int bad = graph.AddTask([]() { return Status::IOError("dead"); });
+  EXPECT_FALSE(graph.Wait().ok());
+  // The dependency is already terminal-failed when the task is added.
+  std::atomic<bool> cleanup_ran{false};
+  TaskGraph::TaskOptions cleanup_options;
+  cleanup_options.always_run = true;
+  graph.AddTask(
+      [&](int) {
+        cleanup_ran.store(true);
+        return Status::OK();
+      },
+      {bad}, cleanup_options);
+  EXPECT_FALSE(graph.Wait().ok()) << "first failure is still reported";
+  EXPECT_TRUE(cleanup_ran.load());
+}
+
+TEST(TaskGraph, DeterministicBackoffScheduleIsReproducible) {
+  // Two graphs with the same policy retry the same task id on the same
+  // schedule: assert indirectly by timing nothing — just that both runs
+  // take the same number of attempts and succeed. (The jitter itself is a
+  // pure function of {seed, id, attempt}; see RetryBackoffNanos.)
+  for (int round = 0; round < 2; ++round) {
+    TaskPool pool(2);
+    RetryPolicy retry;
+    retry.max_attempts = 4;
+    retry.backoff_nanos = 1000;
+    retry.seed = 42;
+    TaskGraph graph(&pool, retry);
+    std::atomic<int> calls{0};
+    graph.AddTask(
+        [&](int) {
+          if (calls.fetch_add(1) < 3) return Status::IOError("flake");
+          return Status::OK();
+        },
+        {}, TaskGraph::TaskOptions{});
+    ASSERT_TRUE(graph.Wait().ok());
+    EXPECT_EQ(calls.load(), 4);
+  }
+}
+
 TEST(LocalCluster, ProvidesEnvAndPool) {
   LocalCluster::Options options;
   options.num_workers = 2;

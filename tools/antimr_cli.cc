@@ -61,6 +61,9 @@ int Usage() {
       "  --codec=none|snappy|deflate|gzip|bzip2    (default none)\n"
       "  --records=N --maps=N --reduces=N --seed=N\n"
       "  --disk-mbps=N --net-mbps=N   simulated hardware (default off)\n"
+      "  --max-task-attempts=N total executions allowed per task; N>1\n"
+      "                        retries transient (I/O) task failures with\n"
+      "                        capped exponential backoff (default 1)\n"
       "  --json                dump metrics as a JSON object\n"
       "  --partitioner=hash|prefix1|prefix5        (qsuggest)\n"
       "observability (any command):\n"
@@ -160,6 +163,8 @@ int RunCommand(const Flags& flags) {
   run.hardware.disk_mb_per_s = flags.GetDouble("disk-mbps", 0);
   run.hardware.network_mb_per_s = flags.GetDouble("net-mbps", 0);
   run.collect_task_metrics = flags.Has("top-tasks");
+  run.max_task_attempts =
+      static_cast<int>(flags.GetUint("max-task-attempts", 1));
 
   // PageRank is iterative: either one multi-stage plan (dag, the default)
   // or the legacy one-job-per-iteration driver loop.
@@ -184,6 +189,7 @@ int RunCommand(const Flags& flags) {
       engine::ExecutorOptions exec_options;
       exec_options.num_workers = run.num_workers;
       exec_options.hardware = run.hardware;
+      exec_options.max_task_attempts = run.max_task_attempts;
       engine::Executor executor(exec_options);
       engine::PlanResult plan_result;
       st = workloads::RunPageRankDag(cfg, GraphGenerator(gc).Generate(),
@@ -336,6 +342,8 @@ int PipelineCommand(const Flags& flags) {
   exec_options.hardware.disk_mb_per_s = flags.GetDouble("disk-mbps", 0);
   exec_options.hardware.network_mb_per_s = flags.GetDouble("net-mbps", 0);
   exec_options.collect_task_metrics = flags.Has("top-tasks");
+  exec_options.max_task_attempts =
+      static_cast<int>(flags.GetUint("max-task-attempts", 1));
   engine::Executor executor(exec_options);
   engine::PlanResult result;
   st = executor.Run(plan, &result);
