@@ -83,7 +83,8 @@ void AntiMapper::BufferCall(const Slice& input_key, const Slice& input_value,
       m->map_output_bytes += capture_.key(i).size() + capture_.value(i).size();
     }
   }
-  window_inputs_.emplace_back(input_key.ToString(), input_value.ToString());
+  window_inputs_.push_back(
+      window_input_arena_.InternRecord(input_key, input_value));
   window_cost_nanos_ += map_cost_nanos;
   if (window_inputs_.size() >=
       static_cast<size_t>(options_.cross_call_window)) {
@@ -96,6 +97,7 @@ void AntiMapper::FlushWindow(MapContext* ctx) {
   const size_t n = window_capture_.size();
   if (n == 0) {
     window_inputs_.clear();
+    window_input_arena_.Clear();
     window_cost_nanos_ = 0;
     return;
   }
@@ -228,6 +230,7 @@ void AntiMapper::FlushWindow(MapContext* ctx) {
   window_capture_.Clear();
   window_call_of_.clear();
   window_inputs_.clear();
+  window_input_arena_.Clear();
   window_cost_nanos_ = 0;
 }
 

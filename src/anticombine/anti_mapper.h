@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "anticombine/options.h"
+#include "common/arena.h"
 #include "mr/api.h"
 
 namespace antimr {
@@ -23,40 +24,26 @@ namespace anticombine {
 class CaptureContext : public MapContext {
  public:
   void Emit(const Slice& key, const Slice& value) override {
-    Entry e;
-    e.key_off = arena_.size();
-    e.key_len = key.size();
-    arena_.append(key.data(), key.size());
-    e.val_len = value.size();
-    arena_.append(value.data(), value.size());
-    entries_.push_back(e);
+    entries_.push_back(arena_.InternRecord(key, value));
   }
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  Slice key(size_t i) const {
-    const Entry& e = entries_[i];
-    return Slice(arena_.data() + e.key_off, e.key_len);
-  }
-  Slice value(size_t i) const {
-    const Entry& e = entries_[i];
-    return Slice(arena_.data() + e.key_off + e.key_len, e.val_len);
-  }
+  /// Views are stable until Clear(): the chunked arena never relocates
+  /// interned bytes, so captured slices can be held across further Emits
+  /// (the cross-call window relies on this).
+  Slice key(size_t i) const { return entries_[i].key; }
+  Slice value(size_t i) const { return entries_[i].value; }
 
   void Clear() {
-    arena_.clear();
+    arena_.Clear();
     entries_.clear();
   }
 
  private:
-  struct Entry {
-    size_t key_off;
-    size_t key_len;
-    size_t val_len;
-  };
-  std::string arena_;
-  std::vector<Entry> entries_;
+  Arena arena_;
+  std::vector<RecordRef> entries_;
 };
 
 /// \brief Adaptive encoding mapper.
@@ -113,7 +100,8 @@ class AntiMapper : public Mapper {
   // Cross-call window state (only used when cross_call_window > 1).
   CaptureContext window_capture_;     // records of all buffered calls
   std::vector<size_t> window_call_of_;  // record index -> buffered call
-  std::vector<KV> window_inputs_;     // buffered calls' input records
+  Arena window_input_arena_;            // backs window_inputs_'s views
+  std::vector<RecordRef> window_inputs_;  // buffered calls' input records
   uint64_t window_cost_nanos_ = 0;    // summed Map cost of buffered calls
 };
 

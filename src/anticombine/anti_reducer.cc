@@ -63,10 +63,10 @@ void AntiReducer::Setup(const TaskInfo& info, ReduceContext* ctx) {
 
 void AntiReducer::DrainShared(const Slice& key, bool to_end,
                               ReduceContext* ctx) {
-  std::string alt_key;
+  Slice alt_key;  // zero-copy peek; only inspected before the pop
   std::vector<std::string> values;
   while (shared_->PeekMinKey(&alt_key)) {
-    if (!to_end && info_.grouping_cmp(Slice(alt_key), key) >= 0) break;
+    if (!to_end && info_.grouping_cmp(alt_key, key) >= 0) break;
     values.clear();
     std::string group_key;
     if (!shared_->PopMinKeyValues(&group_key, &values)) break;
@@ -140,12 +140,14 @@ void AntiReducer::Reduce(const Slice& key, ValueIterator* values,
   // encoded record (or pre-existing Shared content for this group)
   // switches to the general Shared path.
   local_group_.clear();
+  local_arena_.Clear();
   bool use_shared = false;
   auto flush_locals = [&]() {
-    for (KV& kv : local_group_) {
-      shared_->Add(kv.key, kv.value);
+    for (const RecordRef& rec : local_group_) {
+      shared_->Add(rec.key, rec.value);
     }
     local_group_.clear();
+    local_arena_.Clear();
   };
 
   Slice payload;
@@ -160,7 +162,7 @@ void AntiReducer::Reduce(const Slice& key, ValueIterator* values,
         Slice value;
         ANTIMR_CHECK_OK(DecodeEagerPayload(rest, &decode_keys_, &value));
         if (decode_keys_.empty()) {
-          local_group_.emplace_back(record_key.ToString(), value.ToString());
+          local_group_.push_back(local_arena_.InternRecord(record_key, value));
           continue;
         }
       }
@@ -173,9 +175,9 @@ void AntiReducer::Reduce(const Slice& key, ValueIterator* values,
   if (!use_shared) {
     // Earlier Reduce calls may have parked grouping-equal records in
     // Shared; those force the merged path.
-    std::string min_key;
+    Slice min_key;
     if (shared_->PeekMinKey(&min_key) &&
-        info_.grouping_cmp(Slice(min_key), key) == 0) {
+        info_.grouping_cmp(min_key, key) == 0) {
       use_shared = true;
       flush_locals();
     }
@@ -194,10 +196,14 @@ void AntiReducer::Reduce(const Slice& key, ValueIterator* values,
     return;
   }
   if (!local_group_.empty()) {
-    group_values_.clear();
-    group_values_.reserve(local_group_.size());
-    for (KV& kv : local_group_) group_values_.push_back(std::move(kv.value));
-    VectorValueIterator it(&group_values_);
+    // Hand the original Reduce arena-backed views: the group's records are
+    // already pinned in local_arena_, so no per-value string is built.
+    local_values_.clear();
+    local_values_.reserve(local_group_.size());
+    for (const RecordRef& rec : local_group_) {
+      local_values_.push_back(rec.value);
+    }
+    SliceVectorIterator it(&local_values_);
     o_reducer_->Reduce(local_group_.front().key, &it, ctx);
   }
 }
@@ -239,6 +245,17 @@ void AntiCombiner::Setup(const TaskInfo& info, ReduceContext* ctx) {
   remap_capture_.Clear();
 
   acc_.clear();
+  acc_arena_.Clear();
+}
+
+void AntiCombiner::AddAcc(const Slice& key, const Slice& value) {
+  auto it = acc_.find(key);
+  if (it == acc_.end()) {
+    // First sighting: intern the key once; every later record with this key
+    // costs only the value intern.
+    it = acc_.emplace(acc_arena_.Intern(key), std::vector<Slice>()).first;
+  }
+  it->second.push_back(acc_arena_.Intern(value));
 }
 
 void AntiCombiner::DecodeValue(const Slice& rep_key, const Slice& payload) {
@@ -249,9 +266,9 @@ void AntiCombiner::DecodeValue(const Slice& rep_key, const Slice& payload) {
     std::vector<Slice> other_keys;
     Slice value;
     ANTIMR_CHECK_OK(DecodeEagerPayload(rest, &other_keys, &value));
-    acc_[rep_key.ToString()].emplace_back(value.view());
+    AddAcc(rep_key, value);
     for (const Slice& key : other_keys) {
-      acc_[key.ToString()].emplace_back(value.view());
+      AddAcc(key, value);
     }
     return;
   }
@@ -264,8 +281,7 @@ void AntiCombiner::DecodeValue(const Slice& rep_key, const Slice& payload) {
     const Slice k = remap_capture_.key(i);
     if (info_.partitioner->Partition(k, info_.num_reduce_tasks) ==
         info_.shuffle_partition) {
-      acc_[std::string(k.view())].emplace_back(
-          remap_capture_.value(i).view());
+      AddAcc(k, remap_capture_.value(i));
     }
   }
 }
@@ -286,21 +302,21 @@ void AntiCombiner::Cleanup(ReduceContext* ctx) {
   // Combine each decoded key's values with the original Combiner, visiting
   // keys in comparator order (the accumulator is unordered for insert
   // speed; one sort here is cheaper than a tree per insert).
-  std::vector<const std::string*> keys;
+  std::vector<Slice> keys;
   keys.reserve(acc_.size());
-  for (const auto& [key, values] : acc_) keys.push_back(&key);
-  std::sort(keys.begin(), keys.end(),
-            [this](const std::string* a, const std::string* b) {
-              return info_.key_cmp(*a, *b) < 0;
-            });
+  for (const auto& [key, values] : acc_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [this](const Slice& a, const Slice& b) {
+    return info_.key_cmp(a, b) < 0;
+  });
   std::vector<KV> combined;
   CollectingContext collect(&combined);
-  for (const std::string* key : keys) {
-    VectorValueIterator it(&acc_[*key]);
-    o_combiner_->Reduce(*key, &it, &collect);
+  for (const Slice& key : keys) {
+    SliceVectorIterator it(&acc_[key]);
+    o_combiner_->Reduce(key, &it, &collect);
   }
   o_combiner_->Cleanup(&collect);
   acc_.clear();
+  acc_arena_.Clear();
 
   // Re-encode with EagerSH: group the combined records by value so keys
   // sharing a combined value collapse into one record.

@@ -15,6 +15,8 @@
 #include "anticombine/anti_mapper.h"
 #include "anticombine/options.h"
 #include "anticombine/shared.h"
+#include "common/arena.h"
+#include "common/hash.h"
 #include "mr/api.h"
 
 namespace antimr {
@@ -57,8 +59,13 @@ class AntiReducer : public Reducer {
   CaptureContext remap_capture_;
   std::vector<KV> discard_;  // sink for Setup-time emissions of sub-objects
 
-  // Scratch reused across Reduce calls to avoid per-group allocations.
-  std::vector<KV> local_group_;
+  // Scratch reused across Reduce calls to avoid per-group allocations. The
+  // local-group fast path interns each plain record once into local_arena_
+  // (cleared per Reduce call) instead of materializing two strings per
+  // record.
+  Arena local_arena_;
+  std::vector<RecordRef> local_group_;
+  std::vector<Slice> local_values_;
   std::vector<Slice> decode_keys_;
   std::vector<std::string> group_values_;
   std::vector<bool> mine_;
@@ -82,6 +89,8 @@ class AntiCombiner : public Reducer {
 
  private:
   void DecodeValue(const Slice& rep_key, const Slice& payload);
+  /// Intern (key, value) into the accumulator; the arena owns all bytes.
+  void AddAcc(const Slice& key, const Slice& value);
 
   ReducerFactory o_combiner_factory_;
   MapperFactory o_mapper_factory_;
@@ -93,8 +102,11 @@ class AntiCombiner : public Reducer {
 
   /// Decoded records accumulated across the whole combine pass; sorted by
   /// the key comparator once, in Cleanup (cheaper than an ordered map for
-  /// the hot insert path).
-  std::unordered_map<std::string, std::vector<std::string>> acc_;
+  /// the hot insert path). Keys and values are views into acc_arena_ — each
+  /// distinct key is interned once, each value once, instead of a
+  /// std::string pair per decoded record.
+  Arena acc_arena_;
+  std::unordered_map<Slice, std::vector<Slice>, SliceHash> acc_;
 };
 
 }  // namespace anticombine

@@ -79,14 +79,14 @@ void Shared::Add(const Slice& key, const Slice& value) {
 
 void Shared::AddInternal(const Slice& key, const Slice& value,
                          bool allow_combine) {
-  auto it = table_.find(std::string(key.view()));
+  auto it = table_.find(key);
   if (it == table_.end()) {
-    // First sighting of this key in memory: register it in the min-heap
-    // (the paper's "inserting the key into the min-heap requires
-    // logarithmic time").
-    std::string key_str = key.ToString();
-    heap_.push(key_str);
-    it = table_.emplace(std::move(key_str), ValueList()).first;
+    // First sighting of this key in memory: intern its bytes once, then
+    // register that single copy in the min-heap (the paper's "inserting the
+    // key into the min-heap requires logarithmic time") and the table.
+    const Slice interned = key_arena_.Intern(key);
+    heap_.push(interned);
+    it = table_.emplace(interned, ValueList()).first;
     memory_bytes_ += key.size();
   }
   it->second.values.emplace_back(value.view());
@@ -99,8 +99,7 @@ void Shared::AddInternal(const Slice& key, const Slice& value,
   }
 }
 
-void Shared::CombineKey(const std::string& key,
-                        std::vector<std::string>* values) {
+void Shared::CombineKey(const Slice& key, std::vector<std::string>* values) {
   uint64_t combine_nanos = 0;
   std::vector<KV> combined;
   {
@@ -117,7 +116,7 @@ void Shared::CombineKey(const std::string& key,
   for (const std::string& v : *values) memory_bytes_ -= v.size();
   values->clear();
   for (KV& kv : combined) {
-    if (Slice(kv.key) == Slice(key)) {
+    if (Slice(kv.key) == key) {
       memory_bytes_ += kv.value.size();
       values->push_back(std::move(kv.value));
     } else {
@@ -136,9 +135,11 @@ void Shared::SpillToDisk() {
   ANTIMR_CHECK_OK(options_.env->NewWritableFile(fname, &file));
   RunWriter writer(std::move(file));
   // Drain the heap to emit keys in sorted order, mirroring the map phase's
-  // sorted spills (paper Section 5).
+  // sorted spills (paper Section 5). heap_.top() is a view of the interned
+  // key, which outlives both the pop and the table erase (the arena is only
+  // reclaimed below, once the drain finishes).
   while (!heap_.empty()) {
-    const std::string key = heap_.top();
+    const Slice key = heap_.top();
     heap_.pop();
     auto it = table_.find(key);
     if (it == table_.end()) continue;  // stale heap entry
@@ -149,6 +150,7 @@ void Shared::SpillToDisk() {
   }
   ANTIMR_CHECK_OK(writer.Close());
   memory_bytes_ = 0;
+  MaybeReclaimKeys();
 
   SpillRun run;
   run.fname = fname;
@@ -203,7 +205,7 @@ void Shared::MaybeMergeSpills() {
   ANTIMR_TRACE_INSTANT("anticombine", "shared_spill_merge");
 }
 
-bool Shared::FindMinKey(std::string* out) {
+bool Shared::FindMinKey(Slice* out) {
   bool found = false;
   // Drop stale heap entries (keys whose table entry was spilled away).
   while (!heap_.empty() && table_.find(heap_.top()) == table_.end()) {
@@ -215,20 +217,31 @@ bool Shared::FindMinKey(std::string* out) {
   }
   for (const SpillRun& run : spills_) {
     if (!run.stream->Valid()) continue;
-    if (!found || options_.key_cmp(run.stream->key(), Slice(*out)) < 0) {
-      *out = run.stream->key().ToString();
+    if (!found || options_.key_cmp(run.stream->key(), *out) < 0) {
+      *out = run.stream->key();
       found = true;
     }
   }
   return found;
 }
 
+void Shared::MaybeReclaimKeys() {
+  if (table_.empty() && heap_.empty()) key_arena_.Clear();
+}
+
 bool Shared::Empty() {
-  std::string ignored;
+  Slice ignored;
   return !FindMinKey(&ignored);
 }
 
-bool Shared::PeekMinKey(std::string* key) { return FindMinKey(key); }
+bool Shared::PeekMinKey(Slice* key) { return FindMinKey(key); }
+
+bool Shared::PeekMinKey(std::string* key) {
+  Slice min;
+  if (!FindMinKey(&min)) return false;
+  key->assign(min.data(), min.size());
+  return true;
+}
 
 bool Shared::PopMinKeyValues(std::string* group_key,
                              std::vector<std::string>* values) {
@@ -237,7 +250,11 @@ bool Shared::PopMinKeyValues(std::string* group_key,
   uint64_t local = 0;
   ScopedTimer t(shared_nanos ? shared_nanos : &local);
 
-  if (!FindMinKey(group_key)) return false;
+  Slice min_key;
+  if (!FindMinKey(&min_key)) return false;
+  // Materialize the group key once: the merge below advances spill streams,
+  // which would invalidate a stream-head view mid-drain.
+  group_key->assign(min_key.data(), min_key.size());
 
   // Fast path: no spill stream is positioned on this group, so it lives
   // entirely in the table — heap pops already ascend in key order, and each
@@ -252,8 +269,8 @@ bool Shared::PopMinKeyValues(std::string* group_key,
   }
   if (!spilled_group) {
     while (!heap_.empty() &&
-           options_.grouping_cmp(Slice(heap_.top()), Slice(*group_key)) == 0) {
-      const std::string key = heap_.top();
+           options_.grouping_cmp(heap_.top(), Slice(*group_key)) == 0) {
+      const Slice key = heap_.top();  // interned view; survives the pop
       heap_.pop();
       auto it = table_.find(key);
       if (it == table_.end()) continue;  // stale
@@ -266,25 +283,27 @@ bool Shared::PopMinKeyValues(std::string* group_key,
       memory_bytes_ -= key.size();
       table_.erase(it);
     }
+    MaybeReclaimKeys();
     return true;
   }
 
   // Collect the group's in-memory records in key order (heap pops ascend).
   std::vector<KV> mem_records;
   while (!heap_.empty() &&
-         options_.grouping_cmp(Slice(heap_.top()), Slice(*group_key)) == 0) {
-    const std::string key = heap_.top();
+         options_.grouping_cmp(heap_.top(), Slice(*group_key)) == 0) {
+    const Slice key = heap_.top();  // interned view; survives the pop
     heap_.pop();
     auto it = table_.find(key);
     if (it == table_.end()) continue;  // stale
     mem_records.reserve(mem_records.size() + it->second.values.size());
     for (std::string& value : it->second.values) {
       memory_bytes_ -= value.size();
-      mem_records.emplace_back(key, std::move(value));
+      mem_records.emplace_back(key.ToString(), std::move(value));
     }
     memory_bytes_ -= key.size();
     table_.erase(it);
   }
+  MaybeReclaimKeys();
 
   // Merge memory records with the group prefix of each spill stream.
   values->reserve(values->size() + mem_records.size());

@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/hash.h"
 #include "io/merger.h"
 #include "mr/api.h"
 #include "mr/metrics.h"
@@ -55,6 +57,10 @@ class Shared {
   /// Copy the minimal key into *key. Returns false when empty.
   bool PeekMinKey(std::string* key);
 
+  /// Zero-copy peek: *key views either an interned in-memory key or a spill
+  /// stream head. Valid until the next Add/PopMinKeyValues call.
+  bool PeekMinKey(Slice* key);
+
   /// Remove the minimal group (all keys grouping-equal to the minimal key,
   /// from memory and spills) and append its values, in key order, to
   /// *values. *group_key gets the minimal key. Returns false when empty.
@@ -66,18 +72,21 @@ class Shared {
  private:
   struct HeapCmp {
     const KeyComparator* cmp;
-    bool operator()(const std::string& a, const std::string& b) const {
+    bool operator()(const Slice& a, const Slice& b) const {
       return (*cmp)(a, b) > 0;  // min-heap
     }
   };
 
   void AddInternal(const Slice& key, const Slice& value, bool allow_combine);
-  void CombineKey(const std::string& key, std::vector<std::string>* values);
+  void CombineKey(const Slice& key, std::vector<std::string>* values);
   void SpillToDisk();
   void MaybeMergeSpills();
   /// Minimal key across the in-memory heap and spill stream heads; false
-  /// when everything is empty.
-  bool FindMinKey(std::string* out);
+  /// when everything is empty. *out is a view (interned key or spill stream
+  /// head) valid until the next mutation.
+  bool FindMinKey(Slice* out);
+  /// Clear the key arena once nothing references it (table and heap empty).
+  void MaybeReclaimKeys();
 
   /// A key's pending values plus the size at which the next combine fires.
   /// The doubling threshold keeps combining amortized-linear even when the
@@ -89,8 +98,14 @@ class Shared {
   };
 
   Options options_;
-  std::unordered_map<std::string, ValueList> table_;
-  std::priority_queue<std::string, std::vector<std::string>, HeapCmp> heap_;
+  /// Each distinct key's bytes are interned once into key_arena_; the table
+  /// key and the heap entry are both views of that single copy. The arena is
+  /// reclaimed when table and heap drain (spill, or the last group popped) —
+  /// the old std::string design copied every key on insert and re-copied it
+  /// at each heap_.top() touch during spills and pops.
+  Arena key_arena_;
+  std::unordered_map<Slice, ValueList, SliceHash> table_;
+  std::priority_queue<Slice, std::vector<Slice>, HeapCmp> heap_;
   struct SpillRun {
     std::string fname;
     std::unique_ptr<KVStream> stream;

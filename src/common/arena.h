@@ -1,0 +1,141 @@
+// Chunked bump allocator backing the zero-copy record path. Records flow
+// through the system as RecordRef slices pinned to an arena (map-attempt
+// output buffers, capture contexts, Shared's interned keys) instead of being
+// re-materialized as owning std::strings at every layer hop.
+//
+// Lifetime rules: bytes returned by Allocate/Intern stay valid — at stable
+// addresses, chunks never move or reallocate — until Clear() or destruction.
+// Clear() retains chunk capacity, so steady-state use (one arena per map
+// attempt / capture window / Shared generation) allocates only during
+// warm-up.
+#ifndef ANTIMR_COMMON_ARENA_H_
+#define ANTIMR_COMMON_ARENA_H_
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace antimr {
+
+/// \brief A key/value record as non-owning views, typically arena-pinned.
+///
+/// The view-typed analog of KV: layers exchange RecordRefs and the arena (or
+/// block frame) that backs them defines validity. When produced by
+/// Arena::InternRecord, key and value are contiguous (value follows key).
+struct RecordRef {
+  Slice key;
+  Slice value;
+
+  RecordRef() = default;
+  RecordRef(Slice k, Slice v) : key(k), value(v) {}
+
+  size_t bytes() const { return key.size() + value.size(); }
+};
+
+/// \brief Chunked bump allocator with byte interning.
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw bytes at a stable address; valid until Clear()/destruction.
+  /// n == 0 returns a non-null pointer to zero usable bytes.
+  char* Allocate(size_t n) {
+    if (cur_ == nullptr || pos_ + n > cur_->size) NextChunk(n);
+    char* out = cur_->data.get() + pos_;
+    pos_ += n;
+    bytes_used_ += n;
+    return out;
+  }
+
+  /// Copy `s` into the arena; the returned view aliases arena storage.
+  Slice Intern(const Slice& s) {
+    if (s.empty()) return Slice();
+    char* dst = Allocate(s.size());
+    std::memcpy(dst, s.data(), s.size());
+    return Slice(dst, s.size());
+  }
+
+  /// Intern key and value contiguously (value directly after key), so a
+  /// record costs one bump and index structures can store base + lengths.
+  RecordRef InternRecord(const Slice& key, const Slice& value) {
+    const size_t total = key.size() + value.size();
+    if (total == 0) return RecordRef();
+    char* dst = Allocate(total);
+    std::memcpy(dst, key.data(), key.size());
+    std::memcpy(dst + key.size(), value.data(), value.size());
+    return RecordRef(Slice(dst, key.size()),
+                     Slice(dst + key.size(), value.size()));
+  }
+
+  /// Bytes handed out since the last Clear().
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Total chunk capacity held (survives Clear — the retained footprint).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Invalidate everything handed out, retaining chunk capacity for reuse.
+  void Clear() {
+    cur_ = nullptr;
+    next_ = 0;
+    pos_ = 0;
+    bytes_used_ = 0;
+  }
+
+  /// Release all chunks (unlike Clear, frees the retained footprint).
+  void Reset() {
+    Clear();
+    chunks_.clear();
+    chunks_.shrink_to_fit();
+    bytes_allocated_ = 0;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  /// Switch to the next retained chunk that fits n bytes, or grow a new
+  /// one. Oversized requests get a dedicated chunk, so a huge record cannot
+  /// poison the steady-state chunk size.
+  void NextChunk(size_t n) {
+    while (next_ < chunks_.size()) {
+      Chunk* candidate = &chunks_[next_++];
+      if (candidate->size >= n) {
+        cur_ = candidate;
+        pos_ = 0;
+        return;
+      }
+      // Retained chunk too small for this request: skipped this generation
+      // (its capacity comes back after the next Clear).
+    }
+    Chunk c;
+    c.size = n > chunk_bytes_ ? n : chunk_bytes_;
+    c.data = std::make_unique<char[]>(c.size);
+    bytes_allocated_ += c.size;
+    chunks_.push_back(std::move(c));
+    cur_ = &chunks_.back();
+    next_ = chunks_.size();
+    pos_ = 0;
+  }
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  Chunk* cur_ = nullptr;  // invalidated by chunks_ growth; NextChunk re-aims
+  size_t next_ = 0;       // scan cursor: first retained chunk not yet used
+  size_t pos_ = 0;
+  size_t bytes_used_ = 0;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_COMMON_ARENA_H_

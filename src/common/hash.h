@@ -20,6 +20,15 @@ inline uint64_t Hash64(const Slice& s, uint64_t seed = 0xcbf29ce484222325ULL) {
 uint32_t HashMix32(uint32_t v);
 uint64_t HashMix64(uint64_t v);
 
+/// Hash functor so unordered containers can key on Slice directly (e.g.
+/// Shared's interned-key table) instead of materializing std::string keys.
+/// Pair with the default std::equal_to<Slice>, which uses Slice::operator==.
+struct SliceHash {
+  size_t operator()(const Slice& s) const {
+    return static_cast<size_t>(Hash64(s));
+  }
+};
+
 }  // namespace antimr
 
 #endif  // ANTIMR_COMMON_HASH_H_

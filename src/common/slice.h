@@ -18,7 +18,17 @@ class Slice {
   Slice(const char* data, size_t size) : data_(data), size_(size) {}
   Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
   Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
-  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}  // NOLINT
+
+  /// String literals (and other char arrays) convert implicitly: they have
+  /// static or caller-scoped storage, so a Slice over them is safe to keep.
+  template <size_t N>
+  Slice(const char (&lit)[N]) : data_(lit), size_(std::strlen(lit)) {}  // NOLINT
+
+  /// Raw char pointers must convert EXPLICITLY. The old implicit conversion
+  /// invited dangling-temporary bugs once slices started living in
+  /// containers (arena indexes, interned-key tables): a `const char*`
+  /// obtained from a transient buffer would silently become a stored view.
+  explicit Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}
 
   const char* data() const { return data_; }
   size_t size() const { return size_; }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/random.h"
+#include "datagen/format.h"
 
 namespace antimr {
 
@@ -11,19 +12,29 @@ std::vector<KV> CloudGenerator::Generate() const {
   Random rng(config_.seed);
   std::vector<KV> records;
   records.reserve(config_.num_records);
+  // Reused field buffers: formatting 28 columns with operator+ made several
+  // temporaries per record.
+  std::string key;
+  std::string value;
   for (uint64_t i = 0; i < config_.num_records; ++i) {
     const int date = static_cast<int>(rng.Uniform(config_.num_days));
     const int longitude =
         static_cast<int>(rng.Uniform(config_.num_longitudes)) * 10 - 180;
     const int latitude = static_cast<int>(rng.Uniform(181)) - 90;
-    std::string value = std::to_string(date) + "," +
-                        std::to_string(longitude) + "," +
-                        std::to_string(latitude);
+    value.clear();
+    AppendDecimal(&value, int64_t{date});
+    value.push_back(',');
+    AppendDecimal(&value, int64_t{longitude});
+    value.push_back(',');
+    AppendDecimal(&value, int64_t{latitude});
     // 25 filler attributes to match the data set's 28-column width.
     for (int a = 0; a < 25; ++a) {
-      value += "," + std::to_string(rng.Uniform(1000));
+      value.push_back(',');
+      AppendDecimal(&value, uint64_t{rng.Uniform(1000)});
     }
-    records.emplace_back("r" + std::to_string(i), std::move(value));
+    key.assign("r");
+    AppendDecimal(&key, i);
+    records.emplace_back(key, value);
   }
   return records;
 }

@@ -1,0 +1,37 @@
+// Allocation-free number formatting for the record generators. The
+// generators build millions of records; formatting fields with
+// std::to_string / operator+ created several string temporaries per record,
+// which dominated generation time in heap profiles. These helpers append
+// digits straight into a caller-reused buffer instead.
+#ifndef ANTIMR_DATAGEN_FORMAT_H_
+#define ANTIMR_DATAGEN_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace antimr {
+
+/// Append the decimal form of `v` to *out (same digits as std::to_string).
+inline void AppendDecimal(std::string* out, uint64_t v) {
+  char buf[20];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out->append(p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+/// Signed variant (for longitudes/latitudes).
+inline void AppendDecimal(std::string* out, int64_t v) {
+  if (v < 0) {
+    out->push_back('-');
+    AppendDecimal(out, static_cast<uint64_t>(-(v + 1)) + 1);
+    return;
+  }
+  AppendDecimal(out, static_cast<uint64_t>(v));
+}
+
+}  // namespace antimr
+
+#endif  // ANTIMR_DATAGEN_FORMAT_H_

@@ -7,11 +7,17 @@
 
 namespace antimr {
 
-std::string GraphGenerator::NodeId(uint64_t node) {
+void GraphGenerator::AppendNodeId(std::string* out, uint64_t node) {
   char buf[24];
-  std::snprintf(buf, sizeof(buf), "n%010llu",
-                static_cast<unsigned long long>(node));
-  return buf;
+  const int n = std::snprintf(buf, sizeof(buf), "n%010llu",
+                              static_cast<unsigned long long>(node));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+std::string GraphGenerator::NodeId(uint64_t node) {
+  std::string id;
+  AppendNodeId(&id, node);
+  return id;
 }
 
 std::vector<KV> GraphGenerator::Generate() const {
@@ -36,17 +42,21 @@ std::vector<KV> GraphGenerator::Generate() const {
   const double init_rank = 1.0 / static_cast<double>(config_.num_nodes);
   char rank_buf[40];
   std::snprintf(rank_buf, sizeof(rank_buf), "%.10e", init_rank);
+  std::string key;
+  std::string value;
   for (uint64_t node = 0; node < config_.num_nodes; ++node) {
     uint64_t degree = static_cast<uint64_t>(
         static_cast<double>(degree_sampler.Sample(&rng) + 1) * scale);
     degree = std::min<uint64_t>(std::max<uint64_t>(degree, 1),
                                 config_.max_out_degree);
-    std::string value = rank_buf;
+    value.assign(rank_buf);
     for (uint64_t e = 0; e < degree; ++e) {
       value.push_back(' ');
-      value += NodeId(rng.Uniform(config_.num_nodes));
+      AppendNodeId(&value, rng.Uniform(config_.num_nodes));
     }
-    records.emplace_back(NodeId(node), std::move(value));
+    key.clear();
+    AppendNodeId(&key, node);
+    records.emplace_back(key, value);
   }
   return records;
 }

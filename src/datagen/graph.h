@@ -34,6 +34,10 @@ class GraphGenerator {
   /// Zero-padded node id, the graph's key format.
   static std::string NodeId(uint64_t node);
 
+  /// Append NodeId(node) to *out without building a temporary string; the
+  /// adjacency-list loop calls this once per edge.
+  static void AppendNodeId(std::string* out, uint64_t node);
+
  private:
   GraphConfig config_;
 };

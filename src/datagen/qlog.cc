@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/random.h"
+#include "datagen/format.h"
 
 namespace antimr {
 
@@ -64,15 +65,22 @@ std::vector<KV> QLogGenerator::Generate() const {
   records.reserve(config_.num_records);
   Random rng(config_.seed + 1);
   ZipfSampler query_sampler(queries_.size(), config_.popularity_skew);
+  // Reused field buffers: the only strings built per record are the two the
+  // KV must own.
+  std::string key;
+  std::string value;
   for (uint64_t i = 0; i < config_.num_records; ++i) {
     const std::string& query = queries_[query_sampler.Sample(&rng)];
-    std::string value = query;
+    value.assign(query);
     if (config_.include_features) {
-      value += "\t" + std::to_string(1 + rng.Uniform(1000));
-      value += "\t" + std::to_string(rng.Uniform(50));
+      value.push_back('\t');
+      AppendDecimal(&value, uint64_t{1} + rng.Uniform(1000));
+      value.push_back('\t');
+      AppendDecimal(&value, uint64_t{rng.Uniform(50)});
     }
-    records.emplace_back("u" + std::to_string(rng.Uniform(100000)),
-                         std::move(value));
+    key.assign("u");
+    AppendDecimal(&key, uint64_t{rng.Uniform(100000)});
+    records.emplace_back(key, value);
   }
   return records;
 }

@@ -60,6 +60,14 @@ class BufferedReader {
   /// Read varint(length)+bytes into *out.
   Status ReadLengthPrefixed(std::string* out);
 
+  /// Read one record — varint(klen) key varint(vlen) value — as views,
+  /// without materializing either field. *key and *value stay valid until
+  /// the next read call on this reader. Both fields are parsed from a single
+  /// buffer generation: a record straddling the buffer boundary is compacted
+  /// to the buffer front (growing the buffer when one record exceeds it), so
+  /// reading the value can never invalidate the key's view.
+  Status ReadRecordViews(Slice* key, Slice* value);
+
   uint64_t bytes_consumed() const { return bytes_consumed_; }
 
  private:

@@ -80,8 +80,7 @@ Status RunReader::Next() {
     valid_ = false;
     return Status::OK();
   }
-  ANTIMR_RETURN_NOT_OK(reader_.ReadLengthPrefixed(&key_));
-  ANTIMR_RETURN_NOT_OK(reader_.ReadLengthPrefixed(&value_));
+  ANTIMR_RETURN_NOT_OK(reader_.ReadRecordViews(&key_, &value_));
   valid_ = true;
   return Status::OK();
 }

@@ -61,6 +61,10 @@ class RunWriter {
 };
 
 /// \brief KVStream over a run file.
+///
+/// Zero-copy: key()/value() view the reader's buffer (per the KVStream
+/// contract, valid until the next Next()); records are never materialized
+/// into owning strings on the read path.
 class RunReader : public KVStream {
  public:
   explicit RunReader(std::unique_ptr<SequentialFile> file);
@@ -75,8 +79,8 @@ class RunReader : public KVStream {
 
  private:
   BufferedReader reader_;
-  std::string key_;
-  std::string value_;
+  Slice key_;
+  Slice value_;
   bool valid_ = false;
 };
 

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "io/env.h"
@@ -18,13 +19,22 @@
 
 namespace antimr {
 
-/// A materialized key/value record.
+/// A materialized key/value record. The owning-string counterpart of
+/// RecordRef (common/arena.h); the hot record path moves RecordRef views,
+/// KV remains the user-facing type for inputs and collected outputs.
 struct KV {
   std::string key;
   std::string value;
 
   KV() = default;
   KV(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  /// Materialize a view-typed record (copies both byte ranges).
+  explicit KV(const RecordRef& ref)
+      : key(ref.key.data(), ref.key.size()),
+        value(ref.value.data(), ref.value.size()) {}
+
+  /// Borrow this record as views (valid while *this is alive, unmoved).
+  RecordRef ref() const { return RecordRef(Slice(key), Slice(value)); }
 
   bool operator==(const KV& other) const = default;
 };
@@ -121,6 +131,25 @@ class StringVectorIterator : public ValueIterator {
   size_t pos_ = 0;
 };
 
+/// \brief ValueIterator over a vector of slices (one key's values, borrowed
+/// from an arena or block frame — the zero-copy analog of
+/// StringVectorIterator).
+class SliceVectorIterator : public ValueIterator {
+ public:
+  explicit SliceVectorIterator(const std::vector<Slice>* values)
+      : values_(values) {}
+
+  bool Next(Slice* value) override {
+    if (pos_ >= values_->size()) return false;
+    *value = (*values_)[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<Slice>* values_;
+  size_t pos_ = 0;
+};
+
 /// \brief Sink for Reduce output records.
 class ReduceContext {
  public:
@@ -152,6 +181,19 @@ class RecordSource {
   virtual ~RecordSource() = default;
   /// Produce the next record; returns false at end of split.
   virtual bool Next(KV* record) = 0;
+
+  /// View-based variant the map loop drives: *ref stays valid until the
+  /// next NextRef/Next call. The default adapter materializes through
+  /// Next(); sources that already own stable storage (VectorSource,
+  /// dataset partitions) override it to hand out views copy-free.
+  virtual bool NextRef(RecordRef* ref) {
+    if (!Next(&scratch_)) return false;
+    *ref = scratch_.ref();
+    return true;
+  }
+
+ private:
+  KV scratch_;  ///< backing for the default NextRef adapter only
 };
 
 /// \brief An input split: a factory so each map task opens its own reader.
@@ -169,6 +211,13 @@ class VectorSource : public RecordSource {
   bool Next(KV* record) override {
     if (pos_ >= records_->size()) return false;
     *record = (*records_)[pos_++];
+    return true;
+  }
+
+  /// Zero-copy: views into the shared vector, which outlives the source.
+  bool NextRef(RecordRef* ref) override {
+    if (pos_ >= records_->size()) return false;
+    *ref = (*records_)[pos_++].ref();
     return true;
   }
 

@@ -34,20 +34,18 @@ MapOutputBuffer::MapOutputBuffer(int num_partitions, KeyComparator key_cmp)
 void MapOutputBuffer::Add(int partition, const Slice& key,
                           const Slice& value) {
   assert(partition >= 0 && partition < num_partitions_);
+  const RecordRef rec = arena_.InternRecord(key, value);
   Entry e;
-  e.partition = partition;
-  e.key_off = static_cast<uint32_t>(arena_.size());
+  e.base = rec.key.data();
   e.key_len = static_cast<uint32_t>(key.size());
-  arena_.append(key.data(), key.size());
-  e.val_off = static_cast<uint32_t>(arena_.size());
   e.val_len = static_cast<uint32_t>(value.size());
-  arena_.append(value.data(), value.size());
+  e.partition = partition;
   entries_.push_back(e);
   sorted_ = false;
 }
 
 size_t MapOutputBuffer::memory_usage() const {
-  return arena_.size() + entries_.size() * sizeof(Entry);
+  return arena_.bytes_used() + entries_.size() * sizeof(Entry);
 }
 
 void MapOutputBuffer::Sort() {
@@ -84,7 +82,7 @@ uint64_t MapOutputBuffer::PartitionRecords(int partition) const {
 }
 
 void MapOutputBuffer::Clear() {
-  arena_.clear();
+  arena_.Clear();
   entries_.clear();
   partition_begin_.clear();
   sorted_ = false;

@@ -1,6 +1,9 @@
-// In-memory map output collection: an arena plus a record index, sorted by
-// (partition, key) before each spill — the scaled-down analog of Hadoop's
-// io.sort.mb circular buffer.
+// In-memory map output collection: a chunked arena plus a record index,
+// sorted by (partition, key) before each spill — the scaled-down analog of
+// Hadoop's io.sort.mb circular buffer. Records are interned once at Emit
+// time and flow out as RecordRef views; chunked storage means growth never
+// re-copies already-buffered bytes (unlike the old std::string arena, whose
+// doubling realloc moved every record).
 #ifndef ANTIMR_MR_MAP_OUTPUT_BUFFER_H_
 #define ANTIMR_MR_MAP_OUTPUT_BUFFER_H_
 
@@ -9,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "io/merger.h"
 #include "io/run_file.h"
 
@@ -38,30 +42,33 @@ class MapOutputBuffer {
   /// Number of records currently buffered for `partition` (post-Sort).
   uint64_t PartitionRecords(int partition) const;
 
-  /// Drop all buffered data, retaining arena capacity.
+  /// Drop all buffered data, retaining arena capacity. Also the map-attempt
+  /// scrub point: a retried attempt starts from a cleared (but warm) arena.
   void Clear();
 
+  /// Arena bytes interned since the last Clear (tests/metrics).
+  size_t arena_bytes_used() const { return arena_.bytes_used(); }
+
  private:
+  /// InternRecord lays the value directly after the key, so one base
+  /// pointer plus two lengths indexes the whole record.
   struct Entry {
-    int32_t partition;
-    uint32_t key_off;
+    const char* base;
     uint32_t key_len;
-    uint32_t val_off;
     uint32_t val_len;
+    int32_t partition;
   };
 
   class BufferStream;
 
-  Slice KeyOf(const Entry& e) const {
-    return Slice(arena_.data() + e.key_off, e.key_len);
-  }
+  Slice KeyOf(const Entry& e) const { return Slice(e.base, e.key_len); }
   Slice ValueOf(const Entry& e) const {
-    return Slice(arena_.data() + e.val_off, e.val_len);
+    return Slice(e.base + e.key_len, e.val_len);
   }
 
   int num_partitions_;
   KeyComparator key_cmp_;
-  std::string arena_;
+  Arena arena_;
   std::vector<Entry> entries_;
   std::vector<size_t> partition_begin_;  // boundaries after Sort
   bool sorted_ = false;

@@ -166,6 +166,9 @@ class MapTaskContext : public MapContext {
       env_->DeleteFile(fname);
     }
     created_files_.clear();
+    // Scrub the attempt's arena-backed buffer too: a retried attempt must
+    // not see (or alias) records interned by the failed one.
+    buffer_.Clear();
   }
 
  private:
@@ -238,10 +241,13 @@ Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
 
   const Status status = [&]() -> Status {
     std::unique_ptr<RecordSource> source = split.open();
-    KV record;
-    while (source->Next(&record)) {
+    RecordRef record;
+    // NextRef instead of Next: sources with stable storage (dataset
+    // partitions, vectors) hand out views, so the input hop costs no
+    // allocation; file-backed sources fall back to a reused scratch record.
+    while (source->NextRef(&record)) {
       m.input_records += 1;
-      m.input_bytes += record.key.size() + record.value.size();
+      m.input_bytes += record.bytes();
       if (outer_times_map) {
         ScopedTimer t(&m.cpu.map_fn);
         mapper->Map(record.key, record.value, &ctx);

@@ -30,6 +30,20 @@ struct Serializer<std::string> {
   }
 };
 
+/// View pass-through for zero-copy typed programs: Decode hands back the raw
+/// view (valid as long as the underlying record view), so reducers can
+/// inspect values without materializing each one.
+template <>
+struct Serializer<Slice> {
+  static void Encode(const Slice& v, std::string* out) {
+    out->assign(v.data(), v.size());
+  }
+  static bool Decode(const Slice& in, Slice* v) {
+    *v = in;
+    return true;
+  }
+};
+
 /// Big-endian fixed width: bytewise order == numeric order.
 template <>
 struct Serializer<uint64_t> {

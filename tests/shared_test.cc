@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "alloc_counter.h"
 #include "mr/metrics.h"
 
 namespace antimr {
@@ -275,6 +276,48 @@ TEST_F(SharedTest, BinarySafeKeysAndValues) {
   ASSERT_TRUE(shared.PopMinKeyValues(&popped, &values));
   EXPECT_EQ(popped, key);
   EXPECT_EQ(values, std::vector<std::string>{value});
+}
+
+TEST_F(SharedTest, PeekMinKeySliceOverloadViewsInternedKey) {
+  Shared shared(BaseOptions());
+  shared.Add(Slice("banana"), Slice("v1"));
+  shared.Add(Slice("apple"), Slice("v2"));
+  Slice min;
+  ASSERT_TRUE(shared.PeekMinKey(&min));
+  EXPECT_EQ(min.ToString(), "apple");
+  // Peek again: same interned bytes, not a fresh copy.
+  Slice again;
+  ASSERT_TRUE(shared.PeekMinKey(&again));
+  EXPECT_EQ(again.data(), min.data());
+  // The string overload agrees.
+  std::string min_str;
+  ASSERT_TRUE(shared.PeekMinKey(&min_str));
+  EXPECT_EQ(min_str, "apple");
+}
+
+// Allocation-count regression guard for the interned-key redesign. The old
+// implementation allocated a std::string per Add just to probe the table
+// (table_.find(std::string(key.view()))) and re-copied heap_.top() at every
+// spill/pop touch. With keys interned once, adding values to an existing key
+// must cost ~one allocation (the owned value) — not two-plus. Keys/values
+// are 32 chars, comfortably beyond small-string optimization, so any key
+// copy would show up in the counter.
+TEST_F(SharedTest, AddToExistingKeyDoesNotCopyKey) {
+  Shared shared(BaseOptions());
+  const std::string key(32, 'k');
+  const std::string value(32, 'v');
+  // Warm up: intern the key, size the containers.
+  for (int i = 0; i < 8; ++i) shared.Add(key, value);
+
+  const uint64_t before = test_alloc::AllocationCount();
+  constexpr int kAdds = 1000;
+  for (int i = 0; i < kAdds; ++i) shared.Add(key, value);
+  const uint64_t allocs = test_alloc::AllocationCount() - before;
+
+  // One allocation per owned value plus amortized vector growth. The old
+  // per-Add key-probe copy alone would push this past 2 * kAdds.
+  EXPECT_LE(allocs, kAdds + kAdds / 2)
+      << "per-Add key copies have crept back into Shared::AddInternal";
 }
 
 }  // namespace

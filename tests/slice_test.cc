@@ -1,5 +1,7 @@
 #include "common/slice.h"
 
+#include <type_traits>
+
 #include <gtest/gtest.h>
 
 namespace antimr {
@@ -63,6 +65,31 @@ TEST(Slice, Operators) {
   EXPECT_TRUE(Slice("x") == Slice("x"));
   EXPECT_TRUE(Slice("x") != Slice("y"));
   EXPECT_TRUE(Slice("a") < Slice("b"));
+}
+
+TEST(Slice, LiteralConvertsImplicitly) {
+  // Char arrays (string literals) have stable storage, so they keep the
+  // implicit conversion; this must stay compiling.
+  Slice s = "literal";
+  EXPECT_EQ(s.ToString(), "literal");
+  EXPECT_TRUE((std::is_convertible<const char (&)[4], Slice>::value));
+}
+
+TEST(Slice, RawPointerRequiresExplicitConstruction) {
+  // A const char* of unknown provenance must not silently become a stored
+  // view — the constructor is explicit.
+  EXPECT_FALSE((std::is_convertible<const char*, Slice>::value));
+  const std::string backing = "from-a-pointer";
+  const char* p = backing.c_str();
+  Slice s(p);  // explicit construction still works
+  EXPECT_EQ(s.ToString(), "from-a-pointer");
+}
+
+TEST(Slice, LiteralStopsAtEmbeddedNul) {
+  // The array constructor measures with strlen, matching the old const
+  // char* behavior for literals.
+  Slice s = "ab\0cd";
+  EXPECT_EQ(s.size(), 2u);
 }
 
 }  // namespace
