@@ -1,0 +1,453 @@
+// E4 (infrastructure) — columnar chunk storage vs row runs, not a paper
+// figure. Two questions:
+//
+//   1. Scan throughput: draining a stored segment through the new batched
+//      columnar path (ChunkReader::NextBatch) vs the row baseline
+//      (BlockRunReader record-at-a-time Next, the pre-columnar hot loop),
+//      on bench_e3's two workload shapes (WordCount's tiny records, the
+//      theta-join's wide cloud reports). Acceptance: >=2x records/s on the
+//      record-path dataset; the wide-record dataset is byte-bound (memcpy
+//      plus CRC over the same bytes in either format) and carries a
+//      no-regression floor instead.
+//
+//   2. End-to-end shuffle volume and CPU: the e2 (query suggestion) and
+//      e8 (wordcount) workloads under EagerSH anti-combining, run once per
+//      storage format. The columnar writer folds the {other keys} that
+//      EagerSH payloads carry into the block dictionary (kEagerDict), so
+//      shuffle bytes must come out <= the row path's at equal-or-lower
+//      CPU, with byte-identical job output.
+//
+// Exits nonzero on a correctness failure (checksum or output mismatch)
+// or a missed perf acceptance bar; --no-perf-gate keeps the correctness
+// checks but reports perf informationally (for sanitizer ctest runs,
+// where timings are meaningless).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "anticombine/transform.h"
+#include "bench_util.h"
+#include "codec/codec.h"
+#include "common/hash.h"
+#include "common/record_batch.h"
+#include "datagen/cloud.h"
+#include "datagen/qlog.h"
+#include "datagen/random_text.h"
+#include "io/run_file.h"
+#include "mr/job_runner.h"
+#include "mr/metrics.h"
+#include "mr/shuffle.h"
+#include "workloads/query_suggestion.h"
+#include "workloads/wordcount.h"
+
+using namespace antimr;         // NOLINT
+using namespace antimr::bench;  // NOLINT
+
+namespace {
+
+uint64_t NowNanosLocal() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: stored-segment scan throughput on bench_e3's dataset shapes.
+// ---------------------------------------------------------------------------
+
+struct Dataset {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> records;  // key-sorted
+  /// Gated speedup floor. The >=2x acceptance bar targets record-path
+  /// datasets (many small records, where per-record dispatch dominates);
+  /// wide-record datasets are byte-bound — memcpy plus CRC over the same
+  /// bytes in either format — so they carry a >=1x no-regression floor and
+  /// report their speedup informationally.
+  double min_ratio = 2.0;
+  const char* note = nullptr;  // printed under the table row when set
+};
+
+Dataset WordCountEmits() {
+  RandomTextConfig rc;
+  rc.num_lines = 6000;
+  rc.words_per_line = 40;
+  rc.vocabulary_words = 3000;
+  RandomTextGenerator gen(rc);
+  Dataset d;
+  d.name = "wordcount";
+  for (const KV& line : gen.Generate()) {
+    size_t pos = 0;
+    const std::string& text = line.value;
+    while (pos < text.size()) {
+      size_t space = text.find(' ', pos);
+      if (space == std::string::npos) space = text.size();
+      if (space > pos) {
+        d.records.emplace_back(text.substr(pos, space - pos), "1");
+      }
+      pos = space + 1;
+    }
+  }
+  return d;
+}
+
+Dataset ThetaJoinEmits() {
+  CloudConfig cc;
+  cc.num_records = 40000;
+  CloudGenerator gen(cc);
+  Dataset d;
+  d.name = "theta_join";
+  d.min_ratio = 1.0;
+  d.note = "byte-bound (~430 B records): both formats memcpy+CRC the same "
+           "bytes, so the floor is no-regression, not 2x";
+  for (const KV& kv : gen.Generate()) {
+    CloudReport report;
+    CloudGenerator::ParseReport(kv.value, &report);
+    d.records.emplace_back("row" + std::to_string(report.date % 16), kv.value);
+  }
+  return d;
+}
+
+struct ScanRow {
+  std::string name;
+  uint64_t records = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t row_stored_bytes = 0;
+  uint64_t col_stored_bytes = 0;
+  uint64_t row_scan_nanos = 0;  // best-of reps
+  uint64_t col_scan_nanos = 0;
+  double ratio = 0;  // columnar records/s over row records/s
+  double min_ratio = 2.0;
+  const char* note = nullptr;
+  bool checksum_ok = false;
+};
+
+// O(1)-per-record consumption fold: a rolling mix of each record's sizes
+// and boundary bytes, order-sensitive. Cheap enough that the measurement
+// stays on the scan path, not on the consumer; byte-level identity of the
+// two formats is gated separately (the job-output comparison below, plus
+// the chunk round-trip tests).
+inline uint64_t FoldRecord(uint64_t sum, const Slice& key,
+                           const Slice& value) {
+  sum = sum * 1099511628211ULL + key.size() * 2654435761ULL + value.size();
+  sum ^= static_cast<uint8_t>(key[0]) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(key[key.size() - 1]))
+          << 8);
+  if (!value.empty()) {
+    sum ^= static_cast<uint64_t>(static_cast<uint8_t>(value[0])) << 16;
+  }
+  return sum;
+}
+
+uint64_t DrainRecordWise(Env* env, const std::string& fname,
+                         uint64_t* checksum) {
+  std::unique_ptr<SegmentStream> reader;
+  ANTIMR_CHECK_OK(OpenSegmentReader(env, fname, GetCodec(CodecType::kNone),
+                                    SegmentReadOptions{}, &reader));
+  uint64_t sum = 0;
+  const uint64_t t0 = NowNanosLocal();
+  while (reader->Valid()) {
+    sum = FoldRecord(sum, reader->key(), reader->value());
+    ANTIMR_CHECK_OK(reader->Next());
+  }
+  const uint64_t elapsed = NowNanosLocal() - t0;
+  *checksum = sum;
+  return elapsed;
+}
+
+uint64_t DrainBatched(Env* env, const std::string& fname, uint64_t* checksum) {
+  std::unique_ptr<SegmentStream> reader;
+  ANTIMR_CHECK_OK(OpenSegmentReader(env, fname, GetCodec(CodecType::kNone),
+                                    SegmentReadOptions{}, &reader));
+  uint64_t sum = 0;
+  RecordBatch batch;
+  BatchOptions opts;
+  const uint64_t t0 = NowNanosLocal();
+  while (true) {
+    ANTIMR_CHECK_OK(reader->NextBatch(&batch, opts));
+    if (batch.empty()) break;
+    for (const RecordRef& r : batch) {
+      sum = FoldRecord(sum, r.key, r.value);
+    }
+  }
+  const uint64_t elapsed = NowNanosLocal() - t0;
+  *checksum = sum;
+  return elapsed;
+}
+
+ScanRow RunScan(Dataset dataset) {
+  ScanRow row;
+  row.name = dataset.name;
+  row.min_ratio = dataset.min_ratio;
+  row.note = dataset.note;
+  std::stable_sort(
+      dataset.records.begin(), dataset.records.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [k, v] : dataset.records) {
+    row.payload_bytes += k.size() + v.size();
+  }
+  row.records = dataset.records.size();
+
+  std::unique_ptr<Env> env = NewMemEnv();
+  uint64_t compress_nanos = 0;
+  SegmentWriteResult wr;
+  {
+    VectorStream stream(&dataset.records);
+    SegmentWriteOptions opts;
+    opts.format = RecordFormat::kRow;
+    ANTIMR_CHECK_OK(
+        WriteSegment(env.get(), "row", &stream, opts, &compress_nanos, &wr));
+    row.row_stored_bytes = wr.stored_bytes;
+  }
+  {
+    VectorStream stream(&dataset.records);
+    SegmentWriteOptions opts;
+    opts.format = RecordFormat::kColumnar;
+    opts.stable_input = true;  // dataset.records outlives the write
+    ANTIMR_CHECK_OK(
+        WriteSegment(env.get(), "col", &stream, opts, &compress_nanos, &wr));
+    row.col_stored_bytes = wr.stored_bytes;
+  }
+
+  constexpr int kReps = 5;
+  uint64_t row_checksum = 0;
+  uint64_t col_checksum = 0;
+  row.row_scan_nanos = ~uint64_t{0};
+  row.col_scan_nanos = ~uint64_t{0};
+  for (int rep = 0; rep < kReps; ++rep) {
+    row.row_scan_nanos = std::min(
+        row.row_scan_nanos, DrainRecordWise(env.get(), "row", &row_checksum));
+    row.col_scan_nanos = std::min(
+        row.col_scan_nanos, DrainBatched(env.get(), "col", &col_checksum));
+  }
+  row.checksum_ok = row_checksum == col_checksum;
+  row.ratio = row.col_scan_nanos == 0
+                  ? 0
+                  : static_cast<double>(row.row_scan_nanos) /
+                        static_cast<double>(row.col_scan_nanos);
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: end-to-end shuffle bytes + CPU under EagerSH, row vs columnar.
+// ---------------------------------------------------------------------------
+
+struct JobRow {
+  std::string name;
+  uint64_t row_shuffle_bytes = 0;
+  uint64_t col_shuffle_bytes = 0;
+  uint64_t row_cpu_nanos = 0;
+  uint64_t col_cpu_nanos = 0;
+  bool output_ok = false;
+};
+
+JobRow RunFormatsAB(const std::string& name, const JobSpec& eager_spec,
+                    const std::vector<InputSplit>& splits) {
+  JobRow row;
+  row.name = name;
+  // Shuffle bytes are deterministic; CPU is not — take the best of five
+  // runs per format, and interleave the formats within each rep (like the
+  // scan loop above) so slow machine drift — frequency scaling, co-tenant
+  // load — hits both formats alike instead of whichever format ran second.
+  constexpr int kReps = 5;
+  auto run_once = [&](RecordFormat format, JobResult* result) {
+    RunOptions options;
+    options.record_format = format;
+    options.collect_output = true;
+    ANTIMR_CHECK_OK(RunJob(eager_spec, splits, options, result));
+  };
+  JobMetrics row_metrics;
+  JobMetrics col_metrics;
+  std::vector<KV> row_output;
+  std::vector<KV> col_output;
+  for (int rep = 0; rep < kReps; ++rep) {
+    JobResult row_result;
+    JobResult col_result;
+    run_once(RecordFormat::kRow, &row_result);
+    run_once(RecordFormat::kColumnar, &col_result);
+    if (rep == 0) {
+      row_metrics = row_result.metrics;
+      col_metrics = col_result.metrics;
+      row_output = row_result.FlatOutput();
+      col_output = col_result.FlatOutput();
+    } else {
+      row_metrics.total_cpu_nanos = std::min(
+          row_metrics.total_cpu_nanos, row_result.metrics.total_cpu_nanos);
+      col_metrics.total_cpu_nanos = std::min(
+          col_metrics.total_cpu_nanos, col_result.metrics.total_cpu_nanos);
+    }
+    if (getenv("E4_DUMP") != nullptr) {
+      fprintf(stderr, "DUMP %s fmt=0 %s\nDUMP %s fmt=1 %s\n", name.c_str(),
+              row_result.metrics.ToJson().c_str(), name.c_str(),
+              col_result.metrics.ToJson().c_str());
+    }
+  }
+  row.output_ok = row_output == col_output && !row_output.empty();
+  row.row_shuffle_bytes = row_metrics.shuffle_bytes;
+  row.col_shuffle_bytes = col_metrics.shuffle_bytes;
+  row.row_cpu_nanos = row_metrics.total_cpu_nanos;
+  row.col_cpu_nanos = col_metrics.total_cpu_nanos;
+  return row;
+}
+
+std::vector<JobRow> RunJobComparisons() {
+  std::vector<JobRow> rows;
+  {
+    QLogConfig qc;
+    qc.num_records = 20000;
+    const std::vector<InputSplit> splits = QLogGenerator(qc).MakeSplits(8);
+    workloads::QuerySuggestionConfig cfg;
+    cfg.num_reduce_tasks = 8;
+    const JobSpec spec = anticombine::EnableAntiCombining(
+        workloads::MakeQuerySuggestionJob(cfg),
+        anticombine::AntiCombineOptions::EagerOnly());
+    rows.push_back(RunFormatsAB("e2_qsuggest_eager", spec, splits));
+  }
+  {
+    RandomTextConfig rc;
+    rc.num_lines = 24000;
+    const std::vector<InputSplit> splits =
+        RandomTextGenerator(rc).MakeSplits(8);
+    workloads::WordCountConfig cfg;
+    cfg.with_combiner = false;  // EagerSH replaces the combiner
+    cfg.num_reduce_tasks = 8;
+    const JobSpec spec = anticombine::EnableAntiCombining(
+        workloads::MakeWordCountJob(cfg),
+        anticombine::AntiCombineOptions::EagerOnly());
+    rows.push_back(RunFormatsAB("e8_wordcount_eager", spec, splits));
+  }
+  return rows;
+}
+
+double Rps(uint64_t records, uint64_t nanos) {
+  return nanos == 0 ? 0 : 1e9 * static_cast<double>(records) /
+                              static_cast<double>(nanos);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool perf_gate = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-perf-gate") == 0) perf_gate = false;
+  }
+
+  Header("E4 (infra): columnar chunk storage vs row runs",
+         "storage-layer acceptance, not a paper figure",
+         "batched columnar scan + dictionary-coded EagerSH shuffle");
+
+  bool correctness_ok = true;
+  bool perf_ok = true;
+
+  std::printf("\nstored-segment scan (bench_e3 dataset shapes, best of 5):\n");
+  std::printf("  %-12s %10s %12s %12s %12s %12s %8s\n", "dataset", "records",
+              "row MB/s", "col MB/s", "row rec/s", "col rec/s", "ratio");
+  std::vector<ScanRow> scans;
+  std::vector<Dataset> datasets;
+  datasets.push_back(WordCountEmits());
+  datasets.push_back(ThetaJoinEmits());
+  for (Dataset& d : datasets) {
+    scans.push_back(RunScan(std::move(d)));
+    const ScanRow& s = scans.back();
+    correctness_ok = correctness_ok && s.checksum_ok;
+    perf_ok = perf_ok && s.ratio >= s.min_ratio;
+    const double mb = static_cast<double>(s.payload_bytes) / (1024 * 1024);
+    std::printf("  %-12s %10llu %12.1f %12.1f %12.0f %12.0f %7.2fx%s\n",
+                s.name.c_str(), static_cast<unsigned long long>(s.records),
+                mb * 1e9 / static_cast<double>(s.row_scan_nanos),
+                mb * 1e9 / static_cast<double>(s.col_scan_nanos),
+                Rps(s.records, s.row_scan_nanos),
+                Rps(s.records, s.col_scan_nanos), s.ratio,
+                s.checksum_ok ? "" : "  CHECKSUM MISMATCH");
+    if (s.note != nullptr) std::printf("      ^ %s\n", s.note);
+  }
+
+  std::printf("\nEagerSH jobs, row vs columnar storage (same spec, same "
+              "input):\n");
+  std::printf("  %-20s %14s %14s %8s %12s %12s %8s\n", "job", "row shuffle",
+              "col shuffle", "bytes", "row cpu", "col cpu", "cpu");
+  const std::vector<JobRow> jobs = RunJobComparisons();
+  for (const JobRow& j : jobs) {
+    correctness_ok = correctness_ok && j.output_ok;
+    const double bytes_ratio =
+        j.row_shuffle_bytes == 0
+            ? 0
+            : static_cast<double>(j.col_shuffle_bytes) /
+                  static_cast<double>(j.row_shuffle_bytes);
+    const double cpu_ratio = j.row_cpu_nanos == 0
+                                 ? 0
+                                 : static_cast<double>(j.col_cpu_nanos) /
+                                       static_cast<double>(j.row_cpu_nanos);
+    // "Equal or lower CPU" with measurement headroom: total_cpu_nanos on a
+    // multi-second job wobbles a few percent run to run.
+    perf_ok = perf_ok && j.col_shuffle_bytes <= j.row_shuffle_bytes &&
+              cpu_ratio <= 1.10;
+    std::printf("  %-20s %14s %14s %7.2fx %12s %12s %7.2fx%s\n",
+                j.name.c_str(), FormatBytes(j.row_shuffle_bytes).c_str(),
+                FormatBytes(j.col_shuffle_bytes).c_str(), bytes_ratio,
+                FormatNanos(j.row_cpu_nanos).c_str(),
+                FormatNanos(j.col_cpu_nanos).c_str(), cpu_ratio,
+                j.output_ok ? "" : "  OUTPUT MISMATCH");
+  }
+
+  std::string json =
+      "{\"schema_version\": 2, \"bench\": \"bench_e4_columnar_scan\", "
+      "\"scan\": [\n";
+  for (size_t i = 0; i < scans.size(); ++i) {
+    const ScanRow& s = scans[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s  {\"name\": \"%s\", \"records\": %llu, \"payload_bytes\": %llu, "
+        "\"row_stored_bytes\": %llu, \"col_stored_bytes\": %llu, "
+        "\"row_scan_nanos\": %llu, \"col_scan_nanos\": %llu, "
+        "\"throughput_ratio\": %.3f, \"min_ratio\": %.1f, "
+        "\"checksum_ok\": %s}",
+        i == 0 ? "" : ",\n", s.name.c_str(),
+        static_cast<unsigned long long>(s.records),
+        static_cast<unsigned long long>(s.payload_bytes),
+        static_cast<unsigned long long>(s.row_stored_bytes),
+        static_cast<unsigned long long>(s.col_stored_bytes),
+        static_cast<unsigned long long>(s.row_scan_nanos),
+        static_cast<unsigned long long>(s.col_scan_nanos), s.ratio,
+        s.min_ratio, s.checksum_ok ? "true" : "false");
+    json += buf;
+  }
+  json += "\n], \"jobs\": [\n";
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const JobRow& j = jobs[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s  {\"name\": \"%s\", \"row_shuffle_bytes\": %llu, "
+        "\"col_shuffle_bytes\": %llu, \"row_cpu_nanos\": %llu, "
+        "\"col_cpu_nanos\": %llu, \"output_ok\": %s}",
+        i == 0 ? "" : ",\n", j.name.c_str(),
+        static_cast<unsigned long long>(j.row_shuffle_bytes),
+        static_cast<unsigned long long>(j.col_shuffle_bytes),
+        static_cast<unsigned long long>(j.row_cpu_nanos),
+        static_cast<unsigned long long>(j.col_cpu_nanos),
+        j.output_ok ? "true" : "false");
+    json += buf;
+  }
+  json += "\n]}\n";
+  std::FILE* f = std::fopen("BENCH_e4.json", "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_e4.json\n");
+  }
+
+  std::printf("\ncorrectness (checksums + byte-identical job output): %s\n",
+              correctness_ok ? "PASS" : "FAIL");
+  std::printf("acceptance (>=2x record-path scan, no wide-record regression, "
+              "<= row shuffle bytes at ~equal CPU): %s%s\n",
+              perf_ok ? "PASS" : "FAIL", perf_gate ? "" : " (not gating)");
+  if (!correctness_ok) return 1;
+  return perf_gate && !perf_ok ? 1 : 0;
+}

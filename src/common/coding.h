@@ -39,6 +39,43 @@ bool GetFixed64(Slice* input, uint64_t* value);
 /// Number of bytes PutVarint32/64 would append.
 int VarintLength(uint64_t value);
 
+/// Write a varint32 at `dst` (caller sized the buffer via VarintLength);
+/// returns one past the last byte written. The in-place counterpart of
+/// PutVarint32 for encoders that serialize into pre-allocated arena bytes.
+inline char* EncodeVarint32(char* dst, uint32_t value) {
+  while (value >= 0x80) {
+    *dst++ = static_cast<char>(value | 0x80);
+    value >>= 7;
+  }
+  *dst++ = static_cast<char>(value);
+  return dst;
+}
+
+/// Pointer-based varint32 with the common 1-byte case inlined — for decode
+/// loops that run once per record, where the Slice-mutating GetVarint32
+/// costs more than the parse itself. Returns the advanced pointer, or
+/// nullptr on truncation/overflow.
+inline const char* GetVarint32Ptr(const char* p, const char* end,
+                                  uint32_t* value) {
+  if (p < end) {
+    const uint32_t b = static_cast<unsigned char>(*p);
+    if (b < 0x80) {
+      *value = b;
+      return p + 1;
+    }
+  }
+  uint32_t result = 0;
+  for (int shift = 0; shift <= 28 && p < end; shift += 7) {
+    const uint32_t b = static_cast<unsigned char>(*p++);
+    result |= (b & 0x7f) << shift;
+    if (b < 0x80) {
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
 /// Zig-zag encoding so small negative ints stay small on the wire.
 inline uint64_t ZigZagEncode(int64_t v) {
   return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);

@@ -1,0 +1,68 @@
+// The unit of vectorized record movement: a batch of RecordRef views plus
+// the options a producer uses to bound one. Batches extend the PR-5
+// valid-until-Next rule one level up: every view in a batch stays valid
+// until the NEXT call (NextBatch or Next) on the stream that produced it,
+// so a consumer may walk the whole batch — and only the whole batch —
+// without copying.
+//
+// A stream is consumed either record-wise (Valid/key/value/Next) or
+// batch-wise (NextBatch), never interleaved: the default NextBatch adapter
+// defers the underlying advance to the start of the following call, so a
+// record-wise call in between would observe (or destroy) a record the batch
+// consumer still owns.
+#ifndef ANTIMR_COMMON_RECORD_BATCH_H_
+#define ANTIMR_COMMON_RECORD_BATCH_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/slice.h"
+
+namespace antimr {
+
+/// Three-way key comparator; negative/zero/positive like memcmp. (Also
+/// declared by io/merger.h — the aliases name the same type.)
+using KeyComparator = std::function<int(const Slice&, const Slice&)>;
+
+/// A batch of borrowed records. Ordering and lifetime are the producer's:
+/// sorted streams produce sorted batches, and every view dies at the next
+/// call on the producing stream.
+using RecordBatch = std::vector<RecordRef>;
+
+/// Default record cap per NextBatch call.
+constexpr size_t kDefaultBatchRecords = 1024;
+
+/// \brief Caller-side bounds on one NextBatch call.
+struct BatchOptions {
+  /// Maximum records the producer may return (>= 1 is always honored by
+  /// producers when the stream is non-empty and the key bound admits).
+  size_t max_records = kDefaultBatchRecords;
+
+  /// Optional exclusive/inclusive key bound: only records with
+  /// cmp(key, *stop_key) < 0 — or == 0 when take_equal — are taken. The
+  /// k-way merge uses this to drain a winner up to the next contender's
+  /// head without losing merge stability. Null = unbounded.
+  const Slice* stop_key = nullptr;
+  bool take_equal = false;
+  /// Comparator for stop_key checks; required when stop_key is set.
+  const KeyComparator* cmp = nullptr;
+  /// Optional plain-function form of `cmp`, used preferentially: Admits
+  /// runs per record in producers' bound checks, where the std::function
+  /// dispatch costs more than the comparison. Set it when the comparator
+  /// wraps a plain function (the merge extracts it via cmp.target()).
+  int (*raw_cmp)(const Slice&, const Slice&) = nullptr;
+
+  /// True when `key` is inside the bound (always true when unbounded).
+  bool Admits(const Slice& key) const {
+    if (stop_key == nullptr) return true;
+    const int c =
+        raw_cmp != nullptr ? raw_cmp(key, *stop_key) : (*cmp)(key, *stop_key);
+    return c < 0 || (c == 0 && take_equal);
+  }
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_COMMON_RECORD_BATCH_H_

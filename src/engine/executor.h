@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "mr/local_cluster.h"
 #include "mr/metrics.h"
 #include "mr/shuffle.h"
+#include "table/format.h"
 
 namespace antimr {
 namespace engine {
@@ -47,6 +49,13 @@ struct ExecutorOptions {
   int max_task_attempts = 1;
   /// Backoff before a task's first retry; doubles per attempt (capped).
   uint64_t retry_backoff_nanos = 1000 * 1000;
+  /// When set, override every stage spec's record_format (storage layout of
+  /// spills and shuffle segments — JobSpec::record_format).
+  std::optional<RecordFormat> record_format;
+  /// When set, override every stage spec's chunk_block_bytes.
+  std::optional<size_t> chunk_block_bytes;
+  /// When set, override every stage spec's chunk_codec.
+  std::optional<CodecType> chunk_codec;
 };
 
 /// \brief Metrics roll-up for one stage of a plan.

@@ -32,6 +32,17 @@ class MergingStream : public KVStream {
   Slice value() const override { return inputs_[current_]->value(); }
   Status Next() override;
 
+  /// Vectorized merge, when every input supports eager batches: each
+  /// winning stream drains a whole run bounded by the second-best head key
+  /// in one NextBatch call, with one heap fix-up per run instead of per
+  /// record, and runs accumulate into the batch until an input would have
+  /// to produce a second run (which would invalidate its first run's
+  /// views). Ties drain to the lower-indexed input first, so batch output
+  /// is byte-identical to the record-wise merge. Falls back to the
+  /// one-record adapter when any input is deferred-advance.
+  Status NextBatch(RecordBatch* batch, const BatchOptions& opts) override;
+  bool SupportsEagerBatches() const override { return eager_inputs_; }
+
  private:
   void SiftDown(size_t i);
   bool HeapLess(int a, int b) const;
@@ -41,6 +52,17 @@ class MergingStream : public KVStream {
   KeyComparator cmp_;
   std::vector<int> heap_;  // indexes into inputs_
   int current_ = -1;       // stream whose head is the current record
+  bool eager_inputs_ = false;
+  // Plain-function form of cmp_ (null when cmp_ wraps a closure), handed to
+  // producers via BatchOptions::raw_cmp; bytewise_ additionally marks the
+  // default byte order so HeapLess can compare inline.
+  int (*raw_cmp_)(const Slice&, const Slice&) = nullptr;
+  bool bytewise_ = false;
+  // NextBatch scratch: the current winner's run, and per-input marks of the
+  // merged-batch generation that last drained it.
+  RecordBatch run_;
+  std::vector<uint64_t> drained_in_;
+  uint64_t drain_gen_ = 0;
 };
 
 }  // namespace antimr

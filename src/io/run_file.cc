@@ -42,6 +42,22 @@ std::unique_ptr<SequentialFile> NewSliceSource(const Slice& data) {
   return std::make_unique<SliceSource>(data);
 }
 
+Status KVStream::NextBatch(RecordBatch* batch, const BatchOptions& opts) {
+  batch->clear();
+  // Deferred-advance adapter: the record handed out by the previous call
+  // had to stay alive for its consumer, so its Next() happens here.
+  if (batch_advance_pending_) {
+    batch_advance_pending_ = false;
+    ANTIMR_RETURN_NOT_OK(Next());
+  }
+  if (!Valid() || opts.max_records == 0 || !opts.Admits(key())) {
+    return Status::OK();
+  }
+  batch->emplace_back(key(), value());
+  batch_advance_pending_ = true;
+  return Status::OK();
+}
+
 Status ReadFileToString(Env* env, const std::string& fname, std::string* out) {
   std::unique_ptr<SequentialFile> file;
   ANTIMR_RETURN_NOT_OK(env->NewSequentialFile(fname, &file));
@@ -100,6 +116,16 @@ Status StringRunStream::Next() {
   value_ = v;
   pos_ = data_.size() - in.size();
   valid_ = true;
+  return Status::OK();
+}
+
+Status StringRunStream::NextBatch(RecordBatch* batch,
+                                  const BatchOptions& opts) {
+  batch->clear();
+  while (valid_ && batch->size() < opts.max_records && opts.Admits(key_)) {
+    batch->emplace_back(key_, value_);
+    ANTIMR_RETURN_NOT_OK(Next());
+  }
   return Status::OK();
 }
 
@@ -237,6 +263,10 @@ Status BlockRunReader::DecodeNextBlock() {
       return CorruptionAt("crc mismatch (stored " + std::to_string(frame.crc) +
                           ", computed " + std::to_string(actual) + ")");
     }
+    // Decode into the generation-before-last's buffer: the just-finished
+    // block (block_ before the swap) must survive this decode so a batch
+    // returned up to its tail stays valid across the advance.
+    std::swap(block_, prev_block_);
     Status st = codec_->Decompress(frame.payload, &block_);
     if (!st.ok()) {
       valid_ = false;
@@ -275,6 +305,21 @@ Status BlockRunReader::Next() {
   pos_ = block_.size() - in.size();
   ++stats_.records;
   valid_ = true;
+  return Status::OK();
+}
+
+Status BlockRunReader::NextBatch(RecordBatch* batch,
+                                 const BatchOptions& opts) {
+  batch->clear();
+  while (valid_ && batch->size() < opts.max_records && opts.Admits(key_)) {
+    batch->emplace_back(key_, value_);
+    const bool at_block_end = pos_ >= block_.size();
+    ANTIMR_RETURN_NOT_OK(Next());
+    // Crossing a block boundary decoded a fresh block. The batch's views
+    // (all in the block just finished) survive exactly one decode, so stop
+    // here; the next call starts inside the new block.
+    if (at_block_end) break;
+  }
   return Status::OK();
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "codec/codec.h"
+#include "common/record_batch.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "io/buffered_io.h"
@@ -35,6 +36,14 @@ namespace antimr {
 /// A freshly constructed stream is positioned at its first record; Valid()
 /// is false when exhausted. key()/value() views are valid until the next
 /// call to Next().
+///
+/// Batch consumption: NextBatch drains up to opts.max_records (within the
+/// optional key bound) into `batch`; every view in the batch is valid until
+/// the NEXT call on this stream, and an empty batch means exhaustion (or a
+/// bound that excludes the head). A stream is consumed either record-wise
+/// or batch-wise — interleaving the two is undefined, because the default
+/// adapter defers the underlying Next() to the start of the following call
+/// so the single record it returned stays alive for the caller.
 class KVStream {
  public:
   virtual ~KVStream() = default;
@@ -42,6 +51,21 @@ class KVStream {
   virtual Slice key() const = 0;
   virtual Slice value() const = 0;
   virtual Status Next() = 0;
+
+  /// Fill `batch` (cleared first) with the next records. The base
+  /// implementation returns one record per call via the deferred-advance
+  /// adapter; stable-storage streams override it to return real batches.
+  virtual Status NextBatch(RecordBatch* batch, const BatchOptions& opts);
+
+  /// True when NextBatch advances the stream eagerly: after the call,
+  /// Valid()/key() describe the first record NOT in the batch, and batch
+  /// views survive that advance. The k-way merge requires this of its
+  /// inputs to vectorize; deferred-advance streams (the base adapter)
+  /// return false and merge record-wise.
+  virtual bool SupportsEagerBatches() const { return false; }
+
+ private:
+  bool batch_advance_pending_ = false;  ///< base NextBatch adapter state
 };
 
 /// \brief Appends key/value records to a run file.
@@ -98,6 +122,19 @@ class VectorStream : public KVStream {
     return Status::OK();
   }
 
+  /// Eager batches: the borrowed vector outlives the stream, so views
+  /// survive any number of advances.
+  Status NextBatch(RecordBatch* batch, const BatchOptions& opts) override {
+    batch->clear();
+    while (Valid() && batch->size() < opts.max_records &&
+           opts.Admits(key())) {
+      batch->emplace_back(key(), value());
+      ++pos_;
+    }
+    return Status::OK();
+  }
+  bool SupportsEagerBatches() const override { return true; }
+
  private:
   const std::vector<std::pair<std::string, std::string>>* records_;
   size_t pos_ = 0;
@@ -118,6 +155,11 @@ class StringRunStream : public KVStream {
   Slice key() const override { return key_; }
   Slice value() const override { return value_; }
   Status Next() override;
+
+  /// Eager batches: views parse in place out of the owned buffer, which is
+  /// never touched after construction.
+  Status NextBatch(RecordBatch* batch, const BatchOptions& opts) override;
+  bool SupportsEagerBatches() const override { return true; }
 
  private:
   std::string data_;
@@ -190,6 +232,21 @@ struct BlockReadStats {
   /// current decompressed block. Bounded by (readahead + 1) frames + one raw
   /// block, independent of segment size.
   uint64_t peak_buffered_bytes = 0;
+  /// Blocks skipped by min/max-key stats (columnar chunks only): their
+  /// payloads were neither read, transferred, nor decoded.
+  uint64_t blocks_pruned = 0;
+  /// Stored payload bytes those pruned blocks would have cost.
+  uint64_t pruned_bytes = 0;
+};
+
+/// \brief A KVStream over one shuffle segment, whatever its storage format.
+///
+/// BlockRunReader (row runs) and ChunkReader (columnar chunks) both
+/// implement it; segment consumers hold SegmentStream so the format is a
+/// per-file property detected from the magic, not a compile-time choice.
+class SegmentStream : public KVStream {
+ public:
+  virtual const BlockReadStats& stats() const = 0;
 };
 
 /// \brief Streaming KVStream over a block-framed run with bounded readahead.
@@ -198,7 +255,12 @@ struct BlockReadStats {
 /// deep) and decompressed one at a time, so memory stays O(block) while the
 /// source — a throttled disk file or an in-memory fetched segment — is
 /// consumed sequentially.
-class BlockRunReader : public KVStream {
+///
+/// Block storage is double-buffered: decoding block N+1 reuses the buffer
+/// block N-1 occupied, never block N's, so a NextBatch result (whose views
+/// live in one block) survives the advance onto the next block and dies
+/// only at the following call, per the batch contract.
+class BlockRunReader : public SegmentStream {
  public:
   struct Options {
     size_t readahead_blocks = kDefaultReadaheadBlocks;
@@ -220,7 +282,13 @@ class BlockRunReader : public KVStream {
   Slice value() const override { return value_; }
   Status Next() override;
 
-  const BlockReadStats& stats() const { return stats_; }
+  /// Eager batches, capped at the current block's tail: the batch stops
+  /// after the first block-boundary crossing so all its views share one
+  /// buffer generation (see the double-buffering note above).
+  Status NextBatch(RecordBatch* batch, const BatchOptions& opts) override;
+  bool SupportsEagerBatches() const override { return true; }
+
+  const BlockReadStats& stats() const override { return stats_; }
 
  private:
   struct Frame {
@@ -240,6 +308,7 @@ class BlockRunReader : public KVStream {
   std::deque<Frame> readahead_;
   uint64_t readahead_bytes_ = 0;
   std::string block_;  // current decompressed block
+  std::string prev_block_;  // previous generation, kept for batch views
   size_t pos_ = 0;     // parse position within block_
   Slice key_;
   Slice value_;

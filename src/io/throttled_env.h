@@ -18,7 +18,9 @@ namespace antimr {
 void SleepForBytes(uint64_t bytes, double mb_per_s);
 
 /// Wrap `base` (not owned) so every file read/write pays simulated disk
-/// time at the given bandwidth.
+/// time at the given bandwidth. Charges accumulate and sleep once per
+/// ~64 KiB quantum (flushed at Close/EOF), so many small operations cost
+/// the same simulated time as one batched operation over the same bytes.
 std::unique_ptr<Env> NewThrottledEnv(Env* base, double disk_mb_per_s);
 
 }  // namespace antimr

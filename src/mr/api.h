@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/record_batch.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "io/env.h"
@@ -84,6 +85,13 @@ class MapContext {
  public:
   virtual ~MapContext() = default;
   virtual void Emit(const Slice& key, const Slice& value) = 0;
+
+  /// Emit several records at once. Identical to calling Emit per record;
+  /// batch-aware sinks (MapOutputBuffer) override it to amortize partition
+  /// dispatch and buffer bookkeeping.
+  virtual void EmitBatch(const RecordBatch& batch) {
+    for (const RecordRef& r : batch) Emit(r.key, r.value);
+  }
 };
 
 /// \brief The Map primitive. One instance per map task (may hold state).
@@ -192,6 +200,20 @@ class RecordSource {
     return true;
   }
 
+  /// Fill `batch` (cleared first) with up to `max_records` records and
+  /// return the count; 0 means end of split. Views obey the batch contract
+  /// (common/record_batch.h): valid until the next call on this source. The
+  /// default adapter returns one record per call through NextRef; sources
+  /// with stable storage override it to return real batches.
+  virtual size_t NextBatch(RecordBatch* batch,
+                           size_t max_records = kDefaultBatchRecords) {
+    batch->clear();
+    RecordRef ref;
+    if (max_records == 0 || !NextRef(&ref)) return 0;
+    batch->push_back(ref);
+    return 1;
+  }
+
  private:
   KV scratch_;  ///< backing for the default NextRef adapter only
 };
@@ -219,6 +241,17 @@ class VectorSource : public RecordSource {
     if (pos_ >= records_->size()) return false;
     *ref = (*records_)[pos_++].ref();
     return true;
+  }
+
+  /// Eager batches: the shared vector outlives the source, so views survive
+  /// any number of advances.
+  size_t NextBatch(RecordBatch* batch,
+                   size_t max_records = kDefaultBatchRecords) override {
+    batch->clear();
+    while (pos_ < records_->size() && batch->size() < max_records) {
+      batch->push_back((*records_)[pos_++].ref());
+    }
+    return batch->size();
   }
 
  private:

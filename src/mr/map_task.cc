@@ -39,6 +39,23 @@ class MapTaskContext : public MapContext {
     metrics_->emitted_bytes += key.size() + value.size();
   }
 
+  /// Batched emit: one partition-timing scope and one buffer reservation
+  /// for the whole batch instead of per record.
+  void EmitBatch(const RecordBatch& batch) override {
+    if (batch.empty()) return;
+    partition_scratch_.resize(batch.size());
+    {
+      ScopedTimer t(&metrics_->cpu.partition_fn);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        partition_scratch_[i] = spec_.partitioner->Partition(
+            batch[i].key, spec_.num_reduce_tasks);
+      }
+    }
+    buffer_.AddBatch(batch, partition_scratch_);
+    metrics_->emitted_records += batch.size();
+    for (const RecordRef& r : batch) metrics_->emitted_bytes += r.bytes();
+  }
+
   /// Spill when over budget. Called between Map invocations (not from Emit)
   /// so sort/combine/compress cost is not attributed to map_fn.
   Status MaybeSpill() {
@@ -63,8 +80,8 @@ class MapTaskContext : public MapContext {
           SpillFileName(job_id_, task_id_, spill_count_, p);
       created_files_.push_back(fname);
       SegmentWriteResult res;
-      ANTIMR_RETURN_NOT_OK(
-          WritePossiblyCombined(stream.get(), p, fname, codec, &res));
+      ANTIMR_RETURN_NOT_OK(WritePossiblyCombined(
+          stream.get(), p, fname, codec, /*final_segment=*/false, &res));
       spill_files_per_partition_[static_cast<size_t>(p)].push_back(fname);
     }
     ++spill_count_;
@@ -97,8 +114,8 @@ class MapTaskContext : public MapContext {
         const std::string fname = SegmentFileName(job_id_, task_id_, p);
         created_files_.push_back(fname);
         SegmentWriteResult res;
-        ANTIMR_RETURN_NOT_OK(
-            WritePossiblyCombined(stream.get(), p, fname, codec, &res));
+        ANTIMR_RETURN_NOT_OK(WritePossiblyCombined(
+            stream.get(), p, fname, codec, /*final_segment=*/true, &res));
         result->segment_files[static_cast<size_t>(p)] = fname;
       }
       buffer_.Clear();
@@ -116,11 +133,11 @@ class MapTaskContext : public MapContext {
       // Stream each spill through a block reader: the merge holds O(block)
       // memory per spill instead of inflating every spill up front.
       std::vector<std::unique_ptr<KVStream>> inputs;
-      std::vector<std::unique_ptr<BlockRunReader>> empty_spills;
+      std::vector<std::unique_ptr<SegmentStream>> empty_spills;
       std::vector<const BlockReadStats*> spill_stats;
       inputs.reserve(spills.size());
       for (const std::string& fname : spills) {
-        std::unique_ptr<BlockRunReader> reader;
+        std::unique_ptr<SegmentStream> reader;
         ANTIMR_RETURN_NOT_OK(
             OpenSegmentReader(env_, fname, codec, {}, &reader));
         spill_stats.push_back(&reader->stats());
@@ -137,13 +154,16 @@ class MapTaskContext : public MapContext {
       created_files_.push_back(fname);
       SegmentWriteResult res;
       if (combine_on_merge) {
-        ANTIMR_RETURN_NOT_OK(
-            WriteCombined(&merged, p, fname, codec, &res));
+        ANTIMR_RETURN_NOT_OK(WriteCombined(&merged, p, fname, codec,
+                                           /*final_segment=*/true, &res));
       } else {
         ScopedTimer t(&metrics_->cpu.merge);
-        ANTIMR_RETURN_NOT_OK(WriteSegment(env_, fname, &merged, codec,
-                                          &metrics_->cpu.compress, &res,
-                                          spec_.shuffle_block_bytes));
+        // Merge-backed views die at each batch; the writer must copy.
+        ANTIMR_RETURN_NOT_OK(
+            WriteSegment(env_, fname, &merged,
+                         SegmentOptions(/*final_segment=*/true,
+                                        /*stable_input=*/false),
+                         &metrics_->cpu.compress, &res));
       }
       for (const BlockReadStats* s : spill_stats) {
         metrics_->cpu.decompress += s->decode_nanos;
@@ -172,19 +192,48 @@ class MapTaskContext : public MapContext {
   }
 
  private:
+  /// Segment layout for everything this task writes, derived from the spec.
+  /// `final_segment` is true for the segments reducers fetch; intermediate
+  /// spills skip the eager-payload dictionary rewrite — they are merged and
+  /// deleted within this task, so rewriting them buys no shuffle bytes and
+  /// would cost a rewrite + rematerialize round trip per spill generation.
+  SegmentWriteOptions SegmentOptions(bool final_segment,
+                                     bool stable_input) const {
+    SegmentWriteOptions o;
+    o.format = spec_.record_format;
+    o.stable_input = stable_input;
+    if (spec_.record_format == RecordFormat::kColumnar) {
+      o.codec = GetCodec(spec_.EffectiveChunkCodec());
+      o.block_bytes = spec_.EffectiveChunkBlockBytes();
+      // Only anti-combined map output consists entirely of flagged EagerSH/
+      // LazySH payloads; plain jobs' values must never be parsed as such.
+      o.rewrite_eager_payloads =
+          final_segment && spec_.mapper_reports_logical_output;
+    } else {
+      o.codec = GetCodec(spec_.map_output_codec);
+      o.block_bytes = spec_.shuffle_block_bytes;
+    }
+    return o;
+  }
+
   Status WritePossiblyCombined(KVStream* stream, int partition,
                                const std::string& fname, const Codec* codec,
-                               SegmentWriteResult* res) {
+                               bool final_segment, SegmentWriteResult* res) {
     if (spec_.combiner_factory != nullptr) {
-      return WriteCombined(stream, partition, fname, codec, res);
+      return WriteCombined(stream, partition, fname, codec, final_segment,
+                           res);
     }
-    return WriteSegment(env_, fname, stream, codec, &metrics_->cpu.compress,
-                        res, spec_.shuffle_block_bytes);
+    // Both callers drain buffer_.PartitionStream: views into the map-output
+    // arena, alive until buffer_.Clear() — after every write.
+    return WriteSegment(env_, fname, stream,
+                        SegmentOptions(final_segment, /*stable_input=*/true),
+                        &metrics_->cpu.compress, res);
   }
 
   Status WriteCombined(KVStream* stream, int partition,
                        const std::string& fname, const Codec* codec,
-                       SegmentWriteResult* res) {
+                       bool final_segment, SegmentWriteResult* res) {
+    (void)codec;
     TaskInfo info = info_;
     info.shuffle_partition = partition;
     std::vector<KV> combined;
@@ -195,8 +244,10 @@ class MapTaskContext : public MapContext {
     metrics_->combine_input_records += stats.records;
     metrics_->combine_output_records += combined.size();
     KVVectorStream out(&combined);
-    return WriteSegment(env_, fname, &out, codec, &metrics_->cpu.compress,
-                        res, spec_.shuffle_block_bytes);
+    // `combined` owns its records and outlives the write.
+    return WriteSegment(env_, fname, &out,
+                        SegmentOptions(final_segment, /*stable_input=*/true),
+                        &metrics_->cpu.compress, res);
   }
 
   const JobSpec& spec_;
@@ -206,6 +257,7 @@ class MapTaskContext : public MapContext {
   Env* env_;
   JobMetrics* metrics_;
   MapOutputBuffer buffer_;
+  std::vector<int> partition_scratch_;  // EmitBatch partition targets
   std::vector<std::vector<std::string>> spill_files_per_partition_;
   /// Every file name this task has started writing, for failure cleanup.
   std::vector<std::string> created_files_;
@@ -241,20 +293,25 @@ Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
 
   const Status status = [&]() -> Status {
     std::unique_ptr<RecordSource> source = split.open();
-    RecordRef record;
-    // NextRef instead of Next: sources with stable storage (dataset
-    // partitions, vectors) hand out views, so the input hop costs no
-    // allocation; file-backed sources fall back to a reused scratch record.
-    while (source->NextRef(&record)) {
-      m.input_records += 1;
-      m.input_bytes += record.bytes();
-      if (outer_times_map) {
-        ScopedTimer t(&m.cpu.map_fn);
-        mapper->Map(record.key, record.value, &ctx);
-      } else {
-        mapper->Map(record.key, record.value, &ctx);
+    RecordBatch batch;
+    // Batched input drive: sources with stable storage (dataset partitions,
+    // vectors) hand out whole batches of views, so the input hop costs no
+    // allocation and no per-record virtual dispatch; other sources fall
+    // back to one record per NextBatch. Map and the spill check stay
+    // per-record, so spill points (and therefore job output) are identical
+    // to the record-wise loop.
+    while (source->NextBatch(&batch) > 0) {
+      for (const RecordRef& record : batch) {
+        m.input_records += 1;
+        m.input_bytes += record.bytes();
+        if (outer_times_map) {
+          ScopedTimer t(&m.cpu.map_fn);
+          mapper->Map(record.key, record.value, &ctx);
+        } else {
+          mapper->Map(record.key, record.value, &ctx);
+        }
+        ANTIMR_RETURN_NOT_OK(ctx.MaybeSpill());
       }
-      ANTIMR_RETURN_NOT_OK(ctx.MaybeSpill());
     }
     if (outer_times_map) {
       ScopedTimer t(&m.cpu.map_fn);

@@ -26,6 +26,17 @@ struct GroupRunStats {
 Status RunGroups(KVStream* stream, const KeyComparator& grouping_cmp,
                  Reducer* reducer, ReduceContext* ctx, GroupRunStats* stats);
 
+/// Batched variant of RunGroups: drains `stream` via NextBatch and runs
+/// whole in-batch groups zero-copy, with one stream call per batch instead
+/// of per record. A group that crosses a batch boundary is carried in an
+/// arena until its end arrives (O(group) memory for boundary-spanning
+/// groups, O(1) otherwise). Reduce call order, group keys, and value order
+/// are identical to RunGroups. Intended for eager-batch streams; falls back
+/// to one-record batches (correct, slower) otherwise.
+Status RunGroupsBatched(KVStream* stream, const KeyComparator& grouping_cmp,
+                        Reducer* reducer, ReduceContext* ctx,
+                        GroupRunStats* stats);
+
 /// \brief ReduceContext that appends records to a vector.
 class CollectingContext : public ReduceContext {
  public:
@@ -56,6 +67,19 @@ class KVVectorStream : public KVStream {
     ++pos_;
     return Status::OK();
   }
+
+  /// Eager batches: the borrowed vector outlives the stream.
+  Status NextBatch(RecordBatch* batch, const BatchOptions& opts) override {
+    batch->clear();
+    while (pos_ < records_->size() && batch->size() < opts.max_records) {
+      const KV& r = (*records_)[pos_];
+      if (!opts.Admits(r.key)) break;
+      batch->emplace_back(Slice(r.key), Slice(r.value));
+      ++pos_;
+    }
+    return Status::OK();
+  }
+  bool SupportsEagerBatches() const override { return true; }
 
  private:
   const std::vector<KV>* records_;

@@ -1,0 +1,108 @@
+// Chunked columnar table format (modeled on YTsaurus table_client chunks):
+// a chunk is a sequence of self-describing blocks, each holding a key column
+// and a value column serialized separately so the two compress on their own
+// terms. Per block the writer records min/max keys (for pruning), chooses
+// dictionary vs raw key encoding and a per-column codec by measured size,
+// and CRC-protects the header and the column payloads independently.
+//
+//   chunk  := magic "ACH1" block*
+//   block  := fixed32(header_len) header key_payload value_payload
+//   header := varint64(record_count)
+//             byte(flags)            bit0: eager-dict payload rewrite on
+//             byte(key_encoding)     0 = raw len-prefixed, 1 = dictionary
+//             byte(key_codec)        CodecType (kNone = stored raw)
+//             byte(value_codec)      CodecType (kNone = stored raw)
+//             varint32(key_raw_len)  varint32(key_stored_len)
+//             varint32(val_raw_len)  varint32(val_stored_len)
+//             len-prefixed(min_key)  len-prefixed(max_key)
+//             fixed32(payload_crc)   crc32 of key_payload||value_payload
+//             fixed32(header_crc)    crc32 of all header bytes before it
+//
+//   key_payload (raw):  {len-prefixed key}*record_count
+//   key_payload (dict): varint32(dict_size) {len-prefixed entry}*dict_size
+//                       {varint32(id)}*record_count
+//   value_payload:      {len-prefixed value}*record_count
+//
+// The dictionary covers every distinct key byte-string the block references:
+// row keys, plus — in anti-combined segments — the {other keys} embedded in
+// EagerSH payloads, which the writer can rewrite to dictionary ids
+// (anticombine::Encoding::kEagerDict) when that is smaller.
+#ifndef ANTIMR_TABLE_FORMAT_H_
+#define ANTIMR_TABLE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/record_batch.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace antimr {
+
+/// On-storage layout of spill and shuffle segment files.
+enum class RecordFormat : uint8_t {
+  kRow = 0,       ///< block-framed row runs (io/run_file.h, magic "ABS1")
+  kColumnar = 1,  ///< columnar chunks (this header, magic "ACH1")
+};
+
+/// First bytes of every columnar chunk: "AntiMR CHunk v1".
+constexpr char kChunkMagic[4] = {'A', 'C', 'H', '1'};
+
+/// Key-column encodings a block header may carry.
+enum class KeyEncoding : uint8_t {
+  kRaw = 0,
+  kDictionary = 1,
+};
+
+/// Block header flag bits.
+constexpr uint8_t kBlockFlagEagerDictRewrite = 0x1;
+
+inline const char* RecordFormatName(RecordFormat format) {
+  return format == RecordFormat::kColumnar ? "columnar" : "row";
+}
+
+inline Status RecordFormatFromName(const std::string& name,
+                                   RecordFormat* format) {
+  if (name == "row") {
+    *format = RecordFormat::kRow;
+    return Status::OK();
+  }
+  if (name == "columnar") {
+    *format = RecordFormat::kColumnar;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown record format: " + name +
+                                 " (expected row|columnar)");
+}
+
+/// \brief Inclusive key interval for block pruning.
+///
+/// A block whose [min_key, max_key] stats fall entirely outside the range is
+/// skipped without reading (or transferring) its payload. Unset bounds are
+/// open ends.
+struct KeyRange {
+  Slice lo;
+  Slice hi;
+  bool has_lo = false;
+  bool has_hi = false;
+
+  /// True when a block with the given stats may contain keys in the range.
+  bool Overlaps(const Slice& min_key, const Slice& max_key,
+                const KeyComparator& cmp) const {
+    if (has_lo && cmp(max_key, lo) < 0) return false;
+    if (has_hi && cmp(min_key, hi) > 0) return false;
+    return true;
+  }
+
+  /// True when `key` itself is inside the range.
+  bool Contains(const Slice& key, const KeyComparator& cmp) const {
+    if (has_lo && cmp(key, lo) < 0) return false;
+    if (has_hi && cmp(key, hi) > 0) return false;
+    return true;
+  }
+};
+
+}  // namespace antimr
+
+#endif  // ANTIMR_TABLE_FORMAT_H_

@@ -1,0 +1,408 @@
+// Columnar chunk format tests: roundtrip across codecs and key encodings,
+// the EagerSH->dictionary payload rewrite, block stats pruning, and a
+// corruption sweep (truncation, bit flips, bad dictionary ids) — a corrupt
+// chunk must always surface as Status::Corruption, never as wrong records.
+#include "table/chunk_reader.h"
+#include "table/chunk_writer.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anticombine/encoding.h"
+#include "codec/crc32.h"
+#include "common/coding.h"
+#include "io/env.h"
+#include "io/merger.h"
+
+namespace antimr {
+namespace {
+
+using Records = std::vector<std::pair<std::string, std::string>>;
+
+class ChunkTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+
+  void WriteChunk(const std::string& fname, const Records& records,
+                  ChunkWriter::Options options) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile(fname, &file).ok());
+    ChunkWriter writer(std::move(file), options);
+    for (const auto& [k, v] : records) {
+      ASSERT_TRUE(writer.Append(k, v).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  Records ReadChunk(const std::string& fname,
+                    ChunkReader::Options options = {},
+                    BlockReadStats* stats = nullptr) {
+    std::unique_ptr<ChunkReader> reader;
+    Status st = OpenChunk(env_.get(), fname, std::move(options), &reader);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    Records got;
+    if (!st.ok()) return got;
+    while (reader->Valid()) {
+      got.emplace_back(reader->key().ToString(), reader->value().ToString());
+      EXPECT_TRUE(reader->Next().ok());
+    }
+    if (stats != nullptr) *stats = reader->stats();
+    return got;
+  }
+
+  std::string ReadAll(const std::string& fname) {
+    std::unique_ptr<SequentialFile> file;
+    EXPECT_TRUE(env_->NewSequentialFile(fname, &file).ok());
+    std::string out;
+    std::vector<char> scratch(4096);
+    Slice chunk;
+    while (true) {
+      EXPECT_TRUE(file->Read(scratch.size(), &chunk, scratch.data()).ok());
+      if (chunk.empty()) break;
+      out.append(chunk.data(), chunk.size());
+    }
+    return out;
+  }
+
+  void WriteAll(const std::string& fname, const std::string& bytes) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile(fname, &file).ok());
+    ASSERT_TRUE(file->Append(bytes).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+
+  Status OpenAndDrain(const std::string& fname) {
+    std::unique_ptr<ChunkReader> reader;
+    ANTIMR_RETURN_NOT_OK(OpenChunk(env_.get(), fname, {}, &reader));
+    while (reader->Valid()) {
+      ANTIMR_RETURN_NOT_OK(reader->Next());
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+Records SortedRecords(size_t n, size_t value_size = 8) {
+  Records records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06zu", i);
+    records.emplace_back(key, std::string(value_size, 'a' + (i % 26)));
+  }
+  return records;
+}
+
+TEST_F(ChunkTableTest, RoundTrip) {
+  const Records records = SortedRecords(1000);
+  WriteChunk("c", records, {});
+  EXPECT_EQ(ReadChunk("c"), records);
+}
+
+TEST_F(ChunkTableTest, EmptyChunk) {
+  WriteChunk("c", {}, {});
+  std::unique_ptr<ChunkReader> reader;
+  ASSERT_TRUE(OpenChunk(env_.get(), "c", {}, &reader).ok());
+  EXPECT_FALSE(reader->Valid());
+}
+
+TEST_F(ChunkTableTest, BinaryPayloadsAndEmptyFields) {
+  Records records = {{std::string("\x00\x01\xff", 3), std::string(300, '\0')},
+                     {std::string("\x01", 1), ""},
+                     {"k", "v"}};
+  WriteChunk("c", records, {});
+  EXPECT_EQ(ReadChunk("c"), records);
+}
+
+TEST_F(ChunkTableTest, MultiBlockRoundTripAcrossCodecs) {
+  const Records records = SortedRecords(2000, 64);
+  for (CodecType codec :
+       {CodecType::kNone, CodecType::kSnappyLike, CodecType::kDeflateLike,
+        CodecType::kGzip, CodecType::kBzip2Like}) {
+    ChunkWriter::Options wopts;
+    wopts.block_bytes = 4 * 1024;  // force many blocks
+    wopts.codec = codec;
+    const std::string fname = "c" + std::to_string(static_cast<int>(codec));
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile(fname, &file).ok());
+    ChunkWriter writer(std::move(file), wopts);
+    for (const auto& [k, v] : records) ASSERT_TRUE(writer.Append(k, v).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+    EXPECT_GT(writer.block_count(), 10u);
+    EXPECT_EQ(writer.record_count(), records.size());
+
+    BlockReadStats stats;
+    EXPECT_EQ(ReadChunk(fname, {}, &stats), records);
+    EXPECT_EQ(stats.blocks, writer.block_count());
+    EXPECT_EQ(stats.records, records.size());
+    EXPECT_GT(stats.bytes_read, 0u);
+  }
+}
+
+TEST_F(ChunkTableTest, RepeatedKeysChooseDictionaryEncoding) {
+  // Grouped duplicate keys: dictionary encoding stores each key once plus
+  // small ids, which beats raw len-prefixed repetition.
+  Records records;
+  for (int k = 0; k < 20; ++k) {
+    for (int i = 0; i < 200; ++i) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "shared-key-%04d", k);
+      records.emplace_back(key, "v" + std::to_string(i));
+    }
+  }
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("c", &file).ok());
+  ChunkWriter writer(std::move(file), {});
+  for (const auto& [k, v] : records) ASSERT_TRUE(writer.Append(k, v).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_GT(writer.dict_blocks(), 0u);
+  EXPECT_LT(writer.stored_bytes(), writer.raw_bytes());
+  EXPECT_EQ(ReadChunk("c"), records);
+}
+
+TEST_F(ChunkTableTest, BatchReadMatchesRecordRead) {
+  const Records records = SortedRecords(3000, 24);
+  ChunkWriter::Options wopts;
+  wopts.block_bytes = 8 * 1024;
+  WriteChunk("c", records, wopts);
+
+  std::unique_ptr<ChunkReader> reader;
+  ASSERT_TRUE(OpenChunk(env_.get(), "c", {}, &reader).ok());
+  ASSERT_TRUE(reader->SupportsEagerBatches());
+  Records got;
+  RecordBatch batch;
+  BatchOptions opts;
+  while (true) {
+    ASSERT_TRUE(reader->NextBatch(&batch, opts).ok());
+    if (batch.empty()) break;
+    for (const RecordRef& r : batch) {
+      got.emplace_back(r.key.ToString(), r.value.ToString());
+    }
+  }
+  EXPECT_EQ(got, records);
+}
+
+TEST_F(ChunkTableTest, EagerDictRewriteRoundTripsToIdenticalBytes) {
+  // Anti-combined segment shape: every value is an EagerSH payload whose
+  // {other keys} also occur as row keys, so the writer can fold them into
+  // the block dictionary. The reader must rematerialize byte-identical
+  // standard EagerSH payloads — downstream AntiReducer decoding never
+  // learns the storage did anything.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back("dictkey" + std::to_string(i / 10) + "-" +
+                   std::to_string(i % 10));
+  }
+  Records records;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<Slice> others;
+    for (int j = 0; j < 40; j += 7) others.emplace_back(keys[j]);
+    std::string payload;
+    anticombine::EncodeEagerPayload(others, "value" + std::to_string(i),
+                                    &payload);
+    records.emplace_back(keys[i], payload);
+  }
+
+  ChunkWriter::Options wopts;
+  wopts.rewrite_eager_payloads = true;
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("c", &file).ok());
+  ChunkWriter writer(std::move(file), wopts);
+  for (const auto& [k, v] : records) ASSERT_TRUE(writer.Append(k, v).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_GT(writer.payload_rewrites(), 0u);
+  EXPECT_LT(writer.stored_bytes(), writer.raw_bytes());
+
+  EXPECT_EQ(ReadChunk("c"), records);
+}
+
+TEST_F(ChunkTableTest, PruningSkipsBlocksWithoutChangingSurvivors) {
+  const Records records = SortedRecords(4000, 16);
+  ChunkWriter::Options wopts;
+  wopts.block_bytes = 2 * 1024;
+  WriteChunk("c", records, wopts);
+
+  // Unpruned baseline.
+  BlockReadStats full_stats;
+  const Records full = ReadChunk("c", {}, &full_stats);
+  ASSERT_EQ(full, records);
+  ASSERT_GT(full_stats.blocks, 20u);
+
+  // Middle slice of the key space.
+  KeyRange range;
+  range.lo = "key001000";
+  range.hi = "key003000";
+  range.has_lo = range.has_hi = true;
+  ChunkReader::Options ropts;
+  ropts.prune = &range;
+  ropts.prune_cmp = BytewiseCompare;
+  BlockReadStats pruned_stats;
+  const Records pruned = ReadChunk("c", std::move(ropts), &pruned_stats);
+
+  EXPECT_GT(pruned_stats.blocks_pruned, 0u);
+  EXPECT_GT(pruned_stats.pruned_bytes, 0u);
+  EXPECT_LT(pruned_stats.bytes_read, full_stats.bytes_read);
+  EXPECT_LT(pruned.size(), full.size());  // strictly fewer records survive
+
+  // Stats-based pruning only drops whole blocks with no range keys at all:
+  // every in-range record must survive, in order, byte-identical.
+  Records expected_in_range;
+  for (const auto& kv : records) {
+    if (kv.first >= "key001000" && kv.first <= "key003000") {
+      expected_in_range.push_back(kv);
+    }
+  }
+  Records got_in_range;
+  for (const auto& kv : pruned) {
+    if (kv.first >= "key001000" && kv.first <= "key003000") {
+      got_in_range.push_back(kv);
+    }
+  }
+  EXPECT_EQ(got_in_range, expected_in_range);
+}
+
+TEST_F(ChunkTableTest, PruneEverythingReadsNoPayloads) {
+  const Records records = SortedRecords(2000, 16);
+  ChunkWriter::Options wopts;
+  wopts.block_bytes = 2 * 1024;
+  WriteChunk("c", records, wopts);
+
+  KeyRange range;
+  range.lo = "zzz";  // past every key
+  range.has_lo = true;
+  ChunkReader::Options ropts;
+  ropts.prune = &range;
+  ropts.prune_cmp = BytewiseCompare;
+  BlockReadStats stats;
+  const Records got = ReadChunk("c", std::move(ropts), &stats);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(stats.blocks, 0u);
+  EXPECT_GT(stats.blocks_pruned, 0u);
+  // Only magic + frame headers were transferred.
+  EXPECT_LT(stats.bytes_read, stats.pruned_bytes);
+}
+
+// ---- Corruption sweep ------------------------------------------------------
+
+TEST_F(ChunkTableTest, MissingMagicIsCorruption) {
+  WriteAll("c", "AB");
+  std::unique_ptr<ChunkReader> reader;
+  const Status st = OpenChunk(env_.get(), "c", {}, &reader);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(ChunkTableTest, ForeignMagicIsCorruption) {
+  WriteAll("c", std::string("ABS1") + "rest of a row run");
+  std::unique_ptr<ChunkReader> reader;
+  const Status st = OpenChunk(env_.get(), "c", {}, &reader);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.ToString().find("bad magic"), std::string::npos);
+}
+
+TEST_F(ChunkTableTest, TruncatedChunkIsCorruption) {
+  WriteChunk("c", SortedRecords(2000, 32), {});
+  const std::string bytes = ReadAll("c");
+  ASSERT_GT(bytes.size(), 64u);
+  // Chop at several depths: mid-header, mid-payload, one byte short.
+  for (const size_t keep :
+       {size_t{6}, bytes.size() / 2, bytes.size() - 1}) {
+    WriteAll("t", bytes.substr(0, keep));
+    const Status st = OpenAndDrain("t");
+    EXPECT_TRUE(st.IsCorruption()) << "keep=" << keep << ": " << st.ToString();
+  }
+}
+
+TEST_F(ChunkTableTest, FlippedPayloadByteIsCorruption) {
+  WriteChunk("c", SortedRecords(500, 32), {});
+  std::string bytes = ReadAll("c");
+  // Flip a byte near the end: inside the last block's value payload.
+  bytes[bytes.size() - 3] ^= 0x40;
+  WriteAll("t", bytes);
+  const Status st = OpenAndDrain("t");
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(ChunkTableTest, FlippedHeaderByteIsCorruption) {
+  WriteChunk("c", SortedRecords(500, 32), {});
+  std::string bytes = ReadAll("c");
+  // First block header starts after magic(4) + header_len(4).
+  bytes[10] ^= 0x01;
+  WriteAll("t", bytes);
+  const Status st = OpenAndDrain("t");
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(ChunkTableTest, ImplausibleHeaderLengthIsCorruption) {
+  WriteChunk("c", SortedRecords(100), {});
+  std::string bytes = ReadAll("c");
+  // Overwrite the first header_len fixed32 with a huge value.
+  bytes[4] = bytes[5] = bytes[6] = bytes[7] = '\xff';
+  WriteAll("t", bytes);
+  const Status st = OpenAndDrain("t");
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.ToString().find("implausible header length"),
+            std::string::npos);
+}
+
+// A block whose CRCs are valid but whose dictionary ids point past the
+// dictionary must be rejected by the id bounds check, not crash. The block
+// is hand-assembled so both CRCs pass.
+TEST_F(ChunkTableTest, OutOfRangeDictionaryIdIsCorruption) {
+  // key_payload (dict): dict_size=1, entry "k", then one id = 5 (bad).
+  std::string key_payload;
+  PutVarint32(&key_payload, 1);
+  PutLengthPrefixed(&key_payload, "k");
+  PutVarint32(&key_payload, 5);
+  std::string val_payload;
+  PutLengthPrefixed(&val_payload, "v");
+
+  std::string header;
+  PutVarint64(&header, 1);                    // record_count
+  header.push_back('\0');                     // flags
+  header.push_back('\x01');                   // key_encoding = dictionary
+  header.push_back('\0');                     // key_codec = none
+  header.push_back('\0');                     // value_codec = none
+  PutVarint32(&header, key_payload.size());   // key_raw_len
+  PutVarint32(&header, key_payload.size());   // key_stored_len
+  PutVarint32(&header, val_payload.size());   // val_raw_len
+  PutVarint32(&header, val_payload.size());   // val_stored_len
+  PutLengthPrefixed(&header, "k");            // min_key
+  PutLengthPrefixed(&header, "k");            // max_key
+  PutFixed32(&header, Crc32(0, key_payload + val_payload));
+  PutFixed32(&header, Crc32(0, header));
+
+  std::string chunk(kChunkMagic, sizeof(kChunkMagic));
+  PutFixed32(&chunk, header.size());
+  chunk += header + key_payload + val_payload;
+  WriteAll("t", chunk);
+
+  const Status st = OpenAndDrain("t");
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.ToString().find("bad dictionary id"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(ChunkTableTest, ErrorsNameChunkAndBlock) {
+  WriteChunk("c", SortedRecords(500, 32), {});
+  std::string bytes = ReadAll("c");
+  bytes[bytes.size() - 3] ^= 0x40;
+  WriteAll("t", bytes);
+  std::unique_ptr<SequentialFile> file;
+  ASSERT_TRUE(env_->NewSequentialFile("t", &file).ok());
+  ChunkReader::Options ropts;
+  ropts.name = "spill_7";
+  ChunkReader reader(std::move(file), std::move(ropts));
+  Status st = reader.Open();
+  while (st.ok() && reader.Valid()) st = reader.Next();
+  ASSERT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.ToString().find("chunk spill_7 block"), std::string::npos)
+      << st.ToString();
+}
+
+}  // namespace
+}  // namespace antimr

@@ -281,6 +281,55 @@ TEST_P(FaultInjection, TransientFaultsRecoverWithRetries) {
   }
 }
 
+// The storage format must be invisible in results, even under faults and
+// retries: a columnar-format run (compressed chunks, small blocks) must
+// produce byte-identical output to the row-format clean run, both on a
+// clean pass and across a transient-fault sweep with retries.
+TEST_P(FaultInjection, ColumnarOutputMatchesRowUnderTransientFaults) {
+  std::vector<KV> row_output;
+  {
+    auto env = NewMemEnv();
+    JobResult result;
+    ASSERT_TRUE(RunJob(TestJob(), MakeSplits(TestInput(), 2),
+                       MakeOptions(env.get()), &result)
+                    .ok());
+    row_output = result.FlatOutput();
+  }
+  ASSERT_FALSE(row_output.empty());
+
+  RunOptions columnar = MakeOptions(nullptr);
+  columnar.record_format = RecordFormat::kColumnar;
+  columnar.chunk_codec = CodecType::kSnappyLike;
+  columnar.chunk_block_bytes = 1024;  // many blocks per segment
+
+  int total_ops = 0;
+  {
+    FaultyEnv env(NewMemEnv(), FaultyEnv::kForever);
+    columnar.env = &env;
+    JobResult result;
+    ASSERT_TRUE(
+        RunJob(TestJob(), MakeSplits(TestInput(), 2), columnar, &result).ok());
+    EXPECT_TRUE(result.FlatOutput() == row_output)
+        << "clean columnar run diverged from row format";
+    total_ops = env.operations_seen();
+  }
+  ASSERT_GT(total_ops, 20);
+
+  columnar.max_task_attempts = 3;
+  columnar.retry_backoff_nanos = 1000;  // keep the sweep fast
+  for (int fail_at = 0; fail_at < total_ops; fail_at += 7) {
+    FaultyEnv env(NewMemEnv(), fail_at, /*fail_times=*/1);
+    columnar.env = &env;
+    JobResult result;
+    const Status st =
+        RunJob(TestJob(), MakeSplits(TestInput(), 2), columnar, &result);
+    ASSERT_TRUE(st.ok()) << "fault at op " << fail_at
+                         << " not survived: " << st.ToString();
+    EXPECT_TRUE(result.FlatOutput() == row_output)
+        << "columnar output diverged, fault at op " << fail_at;
+  }
+}
+
 // Permanent faults must NOT be retried: a Corruption error fails the plan
 // on the first attempt even with a retry budget left. Retrying corruption
 // would just re-read the same bad bytes and mask the bug.

@@ -67,6 +67,54 @@ TEST(ThrottledEnv, ReadsTakeSimulatedTime) {
   EXPECT_GE(NowNanos() - start, 150'000'000u);
 }
 
+// Regression: byte charges are batched into ~64 KiB quanta, so N tiny reads
+// cost the same simulated time as one large read over the same bytes. The
+// old per-op accounting slept once per Read; each sleep_for() has a
+// scheduler-granularity floor, so 2048 tiny reads paid 2048 floors (hundreds
+// of ms of real time) for microseconds of simulated time.
+TEST(ThrottledEnv, TinyReadsChargeOncePerQuantum) {
+  auto base = NewMemEnv();
+  {
+    std::unique_ptr<WritableFile> w;
+    ASSERT_TRUE(base->NewWritableFile("f", &w).ok());
+    ASSERT_TRUE(w->Append(std::string(16 * 1024, 'z')).ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+  // 1000 MB/s: 16 KiB is ~16 us of simulated time. 2048 8-byte reads must
+  // not each pay a separate sleep.
+  auto env = NewThrottledEnv(base.get(), 1000.0);
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TRUE(env->NewSequentialFile("f", &r).ok());
+  char scratch[8];
+  Slice chunk;
+  const uint64_t start = NowNanos();
+  uint64_t total = 0;
+  for (int i = 0; i < 2048; ++i) {
+    ASSERT_TRUE(r->Read(sizeof(scratch), &chunk, scratch).ok());
+    total += chunk.size();
+  }
+  EXPECT_EQ(total, 16u * 1024);
+  EXPECT_LT(NowNanos() - start, 150'000'000u)
+      << "tiny reads are being throttled per-op, not per-quantum";
+}
+
+// The accumulator must not drop bytes: small ops that together cross the
+// quantum still pay the full simulated time for their total.
+TEST(ThrottledEnv, SmallWritesStillPayTotalBytes) {
+  auto base = NewMemEnv();
+  // 1 MB/s: 256 KiB in 4 KiB appends should take ~250 ms in total.
+  auto env = NewThrottledEnv(base.get(), 1.0);
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env->NewWritableFile("f", &w).ok());
+  const std::string data(4 * 1024, 'x');
+  const uint64_t start = NowNanos();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(w->Append(data).ok());
+  }
+  ASSERT_TRUE(w->Close().ok());
+  EXPECT_GE(NowNanos() - start, 150'000'000u) << "accumulator dropped bytes";
+}
+
 TEST(SleepForBytes, ZeroRateIsNoOp) {
   const uint64_t start = NowNanos();
   SleepForBytes(100 * 1024 * 1024, 0.0);

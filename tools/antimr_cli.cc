@@ -17,6 +17,7 @@
 //   antimr_cli help
 #include <cstdio>
 #include <cstring>
+#include <optional>
 
 #include "antimr.h"
 #include "common/random.h"
@@ -61,6 +62,12 @@ int Usage() {
       "  --codec=none|snappy|deflate|gzip|bzip2    (default none)\n"
       "  --records=N --maps=N --reduces=N --seed=N\n"
       "  --disk-mbps=N --net-mbps=N   simulated hardware (default off)\n"
+      "  --row-format=row|columnar    storage layout of spills and shuffle\n"
+      "                        segments (default: the spec's, normally row)\n"
+      "  --chunk-block-size=BYTES  columnar block target size (default:\n"
+      "                        the shuffle block size)\n"
+      "  --chunk-codec=none|snappy|deflate|gzip|bzip2  per-column codec\n"
+      "                        cap for columnar chunks (default: --codec)\n"
       "  --max-task-attempts=N total executions allowed per task; N>1\n"
       "                        retries transient (I/O) task failures with\n"
       "                        capped exponential backoff (default 1)\n"
@@ -75,6 +82,30 @@ int Usage() {
       "                        JSON, anything else Prometheus text format\n"
       "  --top-tasks=N         print the N most expensive tasks (default 5)\n");
   return 2;
+}
+
+/// Storage-format knobs shared by the run and pipeline commands. Parsed into
+/// the per-run override optionals (RunOptions / ExecutorOptions), so an
+/// unset flag leaves the stage spec's own choice in force.
+Status ParseFormatFlags(const Flags& flags,
+                        std::optional<RecordFormat>* record_format,
+                        std::optional<size_t>* chunk_block_bytes,
+                        std::optional<CodecType>* chunk_codec) {
+  if (flags.Has("row-format")) {
+    RecordFormat format = RecordFormat::kRow;
+    ANTIMR_RETURN_NOT_OK(
+        RecordFormatFromName(flags.GetString("row-format", "row"), &format));
+    *record_format = format;
+  }
+  if (flags.Has("chunk-block-size")) {
+    *chunk_block_bytes = flags.GetUint("chunk-block-size", 0);
+  }
+  if (flags.Has("chunk-codec")) {
+    const auto codec = CodecTypeFromName(flags.GetString("chunk-codec", ""));
+    if (!codec.ok()) return codec.status();
+    *chunk_codec = codec.value();
+  }
+  return Status::OK();
 }
 
 Status BuildJob(const Flags& flags, JobSpec* spec,
@@ -165,6 +196,15 @@ int RunCommand(const Flags& flags) {
   run.collect_task_metrics = flags.Has("top-tasks");
   run.max_task_attempts =
       static_cast<int>(flags.GetUint("max-task-attempts", 1));
+  {
+    const Status st = ParseFormatFlags(flags, &run.record_format,
+                                       &run.chunk_block_bytes,
+                                       &run.chunk_codec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return Usage();
+    }
+  }
 
   // PageRank is iterative: either one multi-stage plan (dag, the default)
   // or the legacy one-job-per-iteration driver loop.
@@ -190,6 +230,9 @@ int RunCommand(const Flags& flags) {
       exec_options.num_workers = run.num_workers;
       exec_options.hardware = run.hardware;
       exec_options.max_task_attempts = run.max_task_attempts;
+      exec_options.record_format = run.record_format;
+      exec_options.chunk_block_bytes = run.chunk_block_bytes;
+      exec_options.chunk_codec = run.chunk_codec;
       engine::Executor executor(exec_options);
       engine::PlanResult plan_result;
       st = workloads::RunPageRankDag(cfg, GraphGenerator(gc).Generate(),
@@ -344,6 +387,13 @@ int PipelineCommand(const Flags& flags) {
   exec_options.collect_task_metrics = flags.Has("top-tasks");
   exec_options.max_task_attempts =
       static_cast<int>(flags.GetUint("max-task-attempts", 1));
+  st = ParseFormatFlags(flags, &exec_options.record_format,
+                        &exec_options.chunk_block_bytes,
+                        &exec_options.chunk_codec);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return Usage();
+  }
   engine::Executor executor(exec_options);
   engine::PlanResult result;
   st = executor.Run(plan, &result);
