@@ -98,6 +98,11 @@ inline JobMetrics RunStrategy(const JobSpec& spec, Strategy strategy,
 struct JsonRow {
   std::string name;
   JobMetrics metrics;
+  /// Extra raw-JSON members spliced into the row object between "name" and
+  /// the metrics counters, e.g. "\"transport\": \"tcp\", \"workers\": 4".
+  /// The distributed bench stamps its transport and measured wire bytes
+  /// here. Empty = no extra members (existing reports are unchanged).
+  std::string extra;
 };
 
 /// Report format version stamped into every BENCH_*.json. Bump when the
@@ -119,10 +124,14 @@ inline void WriteJsonReport(const std::string& path, const std::string& bench,
   std::fprintf(f, "{\"schema_version\": %d, \"bench\": \"%s\", \"rows\": [\n",
                kReportSchemaVersion, bench.c_str());
   for (size_t i = 0; i < rows.size(); ++i) {
-    // Splice "name" into the metrics object: {"name": "...", <counters>}.
+    // Splice "name" (and any extra members) into the metrics object:
+    // {"name": "...", <extra,> <counters>}.
     const std::string json = rows[i].metrics.ToJson();
-    std::fprintf(f, "  {\"name\": \"%s\", %s%s\n", rows[i].name.c_str(),
-                 json.substr(1).c_str(), i + 1 < rows.size() ? "," : "");
+    const std::string extra =
+        rows[i].extra.empty() ? "" : rows[i].extra + ", ";
+    std::fprintf(f, "  {\"name\": \"%s\", %s%s%s\n", rows[i].name.c_str(),
+                 extra.c_str(), json.substr(1).c_str(),
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);

@@ -1,0 +1,517 @@
+#include "engine/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "engine/job_registry.h"
+#include "net/frame.h"
+#include "obs/trace.h"
+
+namespace antimr {
+namespace engine {
+
+Coordinator::Coordinator(net::Transport* transport,
+                         const CoordinatorOptions& options)
+    : transport_(transport),
+      options_(options),
+      workers_live_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "antimr_coord_workers_live", "registered workers currently alive")),
+      tasks_assigned_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "antimr_coord_tasks_assigned_total", "task RPCs sent to workers")),
+      workers_lost_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "antimr_coord_workers_lost_total",
+          "workers declared dead (conn error or heartbeat timeout)")) {}
+
+Coordinator::~Coordinator() { Stop(); }
+
+Status Coordinator::Start(const std::string& addr) {
+  ANTIMR_RETURN_NOT_OK(transport_->Listen(addr, &listener_));
+  addr_ = listener_->addr();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  monitor_thread_ = std::thread([this] { MonitorLoop(); });
+  ANTIMR_LOG(kInfo) << "coordinator listening on " << addr_;
+  return Status::OK();
+}
+
+void Coordinator::AcceptLoop() {
+  for (;;) {
+    std::unique_ptr<net::Conn> conn;
+    if (!transport_ || !listener_->Accept(&conn).ok()) return;
+
+    // Handshake inline: workers send Register immediately after dialing, so
+    // the accept loop stalls only for the one frame round-trip.
+    uint8_t type = 0;
+    std::string payload;
+    net::RegisterMsg reg;
+    if (!net::ReadFrame(conn.get(), &type, &payload).ok() ||
+        type != net::kRegister ||
+        !net::DecodeRegister(payload, &reg).ok()) {
+      continue;  // not a worker; drop the conn
+    }
+
+    auto worker = std::make_unique<WorkerState>();
+    WorkerState* w = worker.get();
+    w->name = reg.worker_name;
+    w->shuffle_addr = reg.shuffle_addr;
+    w->slots = std::max(1u, reg.slots);
+    w->conn = std::move(conn);
+    w->alive = true;
+    w->last_activity_nanos = NowNanos();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      w->id = next_worker_id_++;
+      workers_[w->id] = std::move(worker);
+    }
+    workers_live_gauge_->Add(1);
+
+    net::RegisterAckMsg ack;
+    ack.worker_id = w->id;
+    std::string ack_payload;
+    net::EncodeRegisterAck(ack, &ack_payload);
+    Status st;
+    {
+      std::lock_guard<std::mutex> lock(w->write_mu);
+      st = net::WriteFrame(w->conn.get(), net::kRegisterAck, ack_payload);
+    }
+    if (!st.ok()) {
+      MarkDead(w, "register ack failed: " + st.message());
+      continue;
+    }
+    ANTIMR_LOG(kInfo) << "worker " << w->id << " (" << w->name
+                      << ") registered, shuffle at " << w->shuffle_addr;
+    w->receiver = std::thread([this, w] { ReceiveLoop(w); });
+    cv_.notify_all();
+  }
+}
+
+void Coordinator::ReceiveLoop(WorkerState* worker) {
+  for (;;) {
+    uint8_t type = 0;
+    std::string payload;
+    const Status st = net::ReadFrame(worker->conn.get(), &type, &payload);
+    if (!st.ok()) {
+      MarkDead(worker, st.message());
+      return;
+    }
+    if (type == net::kHeartbeat) {
+      net::HeartbeatMsg hb;
+      if (net::DecodeHeartbeat(payload, &hb).ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        worker->last_activity_nanos = NowNanos();
+      }
+    } else if (type == net::kTaskResult) {
+      net::TaskResultMsg result;
+      if (!net::DecodeTaskResult(payload, &result).ok()) {
+        MarkDead(worker, "undecodable task result");
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      worker->last_activity_nanos = NowNanos();
+      auto it = pending_.find(result.rpc_id);
+      if (it != pending_.end()) {
+        PendingCall* call = it->second;
+        *call->result = std::move(result);
+        call->status = Status::OK();
+        call->done = true;
+        pending_.erase(it);
+        cv_.notify_all();
+      }
+    }
+    // Unknown frame types are skipped (forward compatibility).
+  }
+}
+
+void Coordinator::MonitorLoop() {
+  for (;;) {
+    std::vector<WorkerState*> lost;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock,
+                   std::chrono::nanoseconds(options_.monitor_period_nanos),
+                   [this] { return stopping_; });
+      if (stopping_) return;
+      const uint64_t now = NowNanos();
+      for (auto& [id, worker] : workers_) {
+        if (worker->alive &&
+            now - worker->last_activity_nanos >
+                options_.heartbeat_timeout_nanos) {
+          lost.push_back(worker.get());
+        }
+      }
+    }
+    for (WorkerState* w : lost) MarkDead(w, "heartbeat timeout");
+  }
+}
+
+void Coordinator::MarkDead(WorkerState* worker, const std::string& why) {
+  bool shutting_down;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!worker->alive) return;
+    shutting_down = stopping_;
+    worker->alive = false;
+    // Update the metrics under mu_ so anyone observing live_workers() == 0
+    // (which also takes mu_) already sees the loss counted.
+    workers_live_gauge_->Sub(1);
+    // A conn closed by our own Stop is a clean goodbye, not a lost worker.
+    if (!shutting_down) workers_lost_counter_->Inc();
+    // Fail every Call waiting on this worker with the transient class, so
+    // the TaskGraph retry layer re-places the task like any flaky failure.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second->worker_id == worker->id) {
+        it->second->status = Status::IOError(
+            "worker " + std::to_string(worker->id) + " lost (" + why + ")");
+        it->second->done = true;
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  worker->conn->Close();
+  if (!shutting_down) {
+    ANTIMR_LOG(kWarn) << "worker " << worker->id << " lost: " << why;
+  }
+  cv_.notify_all();
+}
+
+bool Coordinator::WaitForWorkers(int n, uint64_t timeout_nanos) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::nanoseconds(timeout_nanos), [&] {
+    int live = 0;
+    for (const auto& [id, worker] : workers_) live += worker->alive ? 1 : 0;
+    return live >= n;
+  });
+}
+
+int Coordinator::live_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int live = 0;
+  for (const auto& [id, worker] : workers_) live += worker->alive ? 1 : 0;
+  return live;
+}
+
+Status Coordinator::PickWorker(uint32_t* worker_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const WorkerState* best = nullptr;
+  for (const auto& [id, worker] : workers_) {
+    if (!worker->alive) continue;
+    // Least inflight-per-slot keeps a big worker busier than a small one.
+    if (best == nullptr ||
+        worker->inflight * best->slots < best->inflight * worker->slots) {
+      best = worker.get();
+    }
+  }
+  if (best == nullptr) {
+    return Status::ResourceExhausted("no live workers");
+  }
+  *worker_id = best->id;
+  return Status::OK();
+}
+
+bool Coordinator::WorkerAlive(uint32_t worker_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workers_.find(worker_id);
+  return it != workers_.end() && it->second->alive;
+}
+
+std::string Coordinator::WorkerShuffleAddr(uint32_t worker_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workers_.find(worker_id);
+  return it == workers_.end() ? std::string() : it->second->shuffle_addr;
+}
+
+Status Coordinator::Call(uint32_t worker_id, net::TaskAssignMsg assign,
+                         net::TaskResultMsg* result) {
+  ANTIMR_TRACE_SPAN_DYN(
+      "rpc", std::string(assign.kind == net::TaskKind::kMap ? "map" : "reduce") +
+                 ":" + assign.job_id + ":" +
+                 std::to_string(assign.task_index) + "@w" +
+                 std::to_string(worker_id));
+  assign.rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
+
+  PendingCall call;
+  call.worker_id = worker_id;
+  call.result = result;
+  WorkerState* worker = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = workers_.find(worker_id);
+    if (it == workers_.end()) {
+      return Status::InvalidArgument("unknown worker " +
+                                     std::to_string(worker_id));
+    }
+    if (!it->second->alive) {
+      return Status::IOError("worker " + std::to_string(worker_id) +
+                             " lost (already dead)");
+    }
+    worker = it->second.get();
+    worker->inflight++;
+    pending_[assign.rpc_id] = &call;
+  }
+
+  std::string payload;
+  net::EncodeTaskAssign(assign, &payload);
+  Status write_status;
+  {
+    std::lock_guard<std::mutex> lock(worker->write_mu);
+    write_status = net::WriteFrame(worker->conn.get(), net::kTaskAssign,
+                                   payload);
+  }
+  tasks_assigned_counter_->Inc();
+
+  if (!write_status.ok()) {
+    // The receiver (or we, below) will notice the dead conn; unregister our
+    // pending entry first so MarkDead's sweep cannot touch a dead stack
+    // frame, then report the loss ourselves in case the receiver is slow.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(assign.rpc_id);
+      worker->inflight--;
+    }
+    MarkDead(worker, "write failed: " + write_status.message());
+    return Status::IOError("worker " + std::to_string(worker_id) + " lost (" +
+                           write_status.message() + ")");
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return call.done; });
+  worker->inflight--;
+  if (!call.status.ok()) return call.status;
+  if (result->status_code != 0) {
+    return net::StatusFromWire(result->status_code, result->status_msg);
+  }
+  return Status::OK();
+}
+
+void Coordinator::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (listener_) listener_->Close();
+  // Join the accept thread before touching the worker set: it is the only
+  // spawner of receiver threads, so a registration racing with Stop could
+  // otherwise start a receiver after the join pass below already ran.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  std::vector<WorkerState*> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, worker] : workers_) workers.push_back(worker.get());
+  }
+  for (WorkerState* w : workers) {
+    bool alive;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      alive = w->alive;
+    }
+    if (alive) {
+      std::lock_guard<std::mutex> lock(w->write_mu);
+      net::WriteFrame(w->conn.get(), net::kShutdown, "");  // best effort
+    }
+    w->conn->Close();
+  }
+  for (WorkerState* w : workers) {
+    if (w->receiver.joinable()) w->receiver.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, worker] : workers_) {
+      if (worker->alive) {
+        worker->alive = false;
+        workers_live_gauge_->Sub(1);
+      }
+    }
+  }
+}
+
+// --- distributed job driver ----------------------------------------------
+
+std::vector<KV> DistJobResult::FlatOutput() const {
+  std::vector<KV> flat;
+  for (const auto& part : outputs) {
+    flat.insert(flat.end(), part.begin(), part.end());
+  }
+  return flat;
+}
+
+namespace {
+
+/// Placement of one map task's current (latest successful) execution.
+struct MapPlacement {
+  std::mutex mu;  ///< serializes heal re-runs of this map
+  uint32_t worker = 0;
+  std::vector<std::string> segment_files;  ///< per reduce partition
+  JobMetrics metrics;                      ///< latest attempt only
+  uint64_t cpu_nanos = 0;
+  std::atomic<uint32_t> attempts{0};  ///< executions started (job_id scope)
+};
+
+std::string UniqueJobId(const std::string& name) {
+  static std::atomic<uint64_t> counter{0};
+  return "dist_" + name + "_" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
+                         DistJobResult* result) {
+  *result = DistJobResult();
+  const uint64_t wall_start = NowNanos();
+
+  // Build the spec locally only to learn the job's shape (and fail fast on
+  // bad params) — workers rebuild their own from the same registry.
+  JobSpec spec;
+  ANTIMR_RETURN_NOT_OK(
+      BuildRegisteredJob(options.job_name, options.params, &spec));
+  const int num_maps = static_cast<int>(options.splits.size());
+  const int num_reduces = spec.num_reduce_tasks;
+  if (num_maps == 0) return Status::InvalidArgument("no input splits");
+  const std::string job_id =
+      options.job_id.empty() ? UniqueJobId(options.job_name) : options.job_id;
+  ANTIMR_TRACE_SPAN_DYN("engine", "dist:" + job_id);
+
+  // Encode each split once; retries and heals reuse the bytes.
+  std::vector<std::string> encoded_splits(num_maps);
+  for (int m = 0; m < num_maps; ++m) {
+    net::EncodeKVList(options.splits[m], &encoded_splits[m]);
+  }
+
+  std::deque<MapPlacement> placements(num_maps);
+  std::vector<std::vector<KV>> outputs(num_reduces);
+  std::vector<JobMetrics> reduce_metrics(num_reduces);
+  std::vector<uint64_t> reduce_cpu(num_reduces, 0);
+  std::atomic<uint64_t> map_runs{0};
+
+  // Runs (or re-runs) map `m` on a live worker and records its placement.
+  // Callers hold placements[m].mu.
+  auto run_map_once = [&](int m) -> Status {
+    MapPlacement& loc = placements[m];
+    uint32_t worker_id = 0;
+    ANTIMR_RETURN_NOT_OK(coord->PickWorker(&worker_id));
+    net::TaskAssignMsg assign;
+    assign.kind = net::TaskKind::kMap;
+    assign.job_name = options.job_name;
+    assign.params = options.params;
+    // Attempt-scoped job_id: a re-execution (retry or heal) can land on a
+    // worker that already holds the previous attempt's files; unique names
+    // keep stale segments from masking the fresh ones.
+    const uint32_t attempt =
+        loc.attempts.fetch_add(1, std::memory_order_relaxed);
+    assign.job_id = job_id + "_a" + std::to_string(attempt);
+    assign.task_index = static_cast<uint32_t>(m);
+    assign.attempt = attempt;
+    assign.split_records = encoded_splits[m];
+    net::TaskResultMsg res;
+    ANTIMR_RETURN_NOT_OK(coord->Call(worker_id, std::move(assign), &res));
+    JobMetrics metrics;
+    ANTIMR_RETURN_NOT_OK(net::DecodeJobMetrics(res.metrics, &metrics));
+    loc.worker = worker_id;
+    loc.segment_files = std::move(res.segment_files);
+    loc.metrics = metrics;
+    loc.cpu_nanos = res.cpu_nanos;
+    map_runs.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  };
+
+  // Dispatcher threads only block on worker RPCs, so size the pool to run
+  // every task's dispatch concurrently by default.
+  const int total_tasks = num_maps + num_reduces;
+  TaskPool dispatch(options.dispatch_threads > 0 ? options.dispatch_threads
+                                                 : std::min(total_tasks, 64),
+                    "dispatch");
+  RetryPolicy retry;
+  retry.max_attempts = std::max(1, options.max_task_attempts);
+  retry.backoff_nanos = options.retry_backoff_nanos;
+  TaskGraph graph(&dispatch, retry);
+
+  std::vector<int> map_ids(num_maps);
+  for (int m = 0; m < num_maps; ++m) {
+    map_ids[m] = graph.AddTask(
+        [&, m](int) -> Status {
+          std::lock_guard<std::mutex> lock(placements[m].mu);
+          return run_map_once(m);
+        },
+        {}, TaskGraph::TaskOptions());
+  }
+
+  for (int p = 0; p < num_reduces; ++p) {
+    graph.AddTask(
+        [&, p](int) -> Status {
+          // Heal before placing: any map whose owning worker died lost its
+          // segments, so re-run it first. The per-map mutex lets concurrent
+          // reduce attempts heal disjoint maps in parallel while never
+          // double-running one.
+          for (int m = 0; m < num_maps; ++m) {
+            MapPlacement& loc = placements[m];
+            std::lock_guard<std::mutex> lock(loc.mu);
+            if (!coord->WorkerAlive(loc.worker)) {
+              ANTIMR_RETURN_NOT_OK(run_map_once(m));
+            }
+          }
+          net::TaskAssignMsg assign;
+          assign.kind = net::TaskKind::kReduce;
+          assign.job_name = options.job_name;
+          assign.params = options.params;
+          assign.job_id = job_id;
+          assign.task_index = static_cast<uint32_t>(p);
+          assign.collect_output = options.collect_outputs;
+          assign.network_mb_per_s = options.network_mb_per_s;
+          assign.readahead_blocks = options.readahead_blocks;
+          // Segment list in map-index order: merge order is part of the
+          // output contract, identical to the single-process planner.
+          for (int m = 0; m < num_maps; ++m) {
+            MapPlacement& loc = placements[m];
+            std::lock_guard<std::mutex> lock(loc.mu);
+            const std::string& file = loc.segment_files[p];
+            if (file.empty()) continue;
+            assign.segments.push_back(
+                {coord->WorkerShuffleAddr(loc.worker), file});
+          }
+          uint32_t worker_id = 0;
+          ANTIMR_RETURN_NOT_OK(coord->PickWorker(&worker_id));
+          net::TaskResultMsg res;
+          ANTIMR_RETURN_NOT_OK(
+              coord->Call(worker_id, std::move(assign), &res));
+          ANTIMR_RETURN_NOT_OK(
+              net::DecodeKVList(res.output_records, &outputs[p]));
+          ANTIMR_RETURN_NOT_OK(
+              net::DecodeJobMetrics(res.metrics, &reduce_metrics[p]));
+          reduce_cpu[p] = res.cpu_nanos;
+          return Status::OK();
+        },
+        map_ids, TaskGraph::TaskOptions());
+  }
+
+  const Status run_status = graph.Wait();
+  if (!run_status.ok()) return run_status;
+
+  for (int m = 0; m < num_maps; ++m) {
+    result->metrics.Add(placements[m].metrics);
+    result->metrics.total_cpu_nanos += placements[m].cpu_nanos;
+  }
+  for (int p = 0; p < num_reduces; ++p) {
+    result->metrics.Add(reduce_metrics[p]);
+    result->metrics.total_cpu_nanos += reduce_cpu[p];
+  }
+  result->outputs = std::move(outputs);
+  const uint64_t total_runs = map_runs.load(std::memory_order_relaxed);
+  result->map_reruns =
+      total_runs > static_cast<uint64_t>(num_maps)
+          ? total_runs - static_cast<uint64_t>(num_maps)
+          : 0;
+  result->metrics.wall_nanos = NowNanos() - wall_start;
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace antimr

@@ -1,0 +1,185 @@
+// The control plane of the distributed engine. A Coordinator accepts worker
+// registrations over a transport, tracks liveness via heartbeats, and
+// exposes a blocking task-RPC (Call) the distributed job driver schedules
+// over. RunDistributedJob reuses the single-process scheduling machinery —
+// TaskGraph + RetryPolicy — but its task bodies ship TaskAssign messages to
+// workers instead of running locally, so retry semantics, backoff, and
+// dependency ordering are identical in both modes.
+//
+// Worker-loss model: a worker is dead when its connection errors or its
+// heartbeats stop for heartbeat_timeout_nanos. Death fails every in-flight
+// Call on that worker with a *transient* IOError, which flows back through
+// the TaskGraph retry path exactly like any flaky task; the reduce-side
+// driver additionally "heals" map placements whose owning worker died (the
+// map's segments died with the worker's storage) by re-running those maps
+// on live workers before retrying the reduce — re-execution recovery, the
+// MapReduce fault-tolerance contract.
+#ifndef ANTIMR_ENGINE_COORDINATOR_H_
+#define ANTIMR_ENGINE_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mr/api.h"
+#include "mr/local_cluster.h"
+#include "mr/metrics.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "obs/metrics_registry.h"
+
+namespace antimr {
+namespace engine {
+
+struct CoordinatorOptions {
+  /// A worker with no heartbeat or result for this long is declared lost.
+  uint64_t heartbeat_timeout_nanos = 2ull * 1000 * 1000 * 1000;
+  /// How often the monitor thread scans for lost workers.
+  uint64_t monitor_period_nanos = 50ull * 1000 * 1000;
+};
+
+/// \brief Accepts workers, tracks liveness, routes task RPCs.
+///
+/// Thread-safe. Workers are never forgotten: a dead worker's id keeps
+/// resolving (WorkerAlive false) so the driver can detect stale placements.
+class Coordinator {
+ public:
+  /// `transport` is borrowed and must outlive the coordinator.
+  explicit Coordinator(net::Transport* transport,
+                       const CoordinatorOptions& options = CoordinatorOptions());
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Listen for workers on `addr` ("" = auto / ephemeral).
+  Status Start(const std::string& addr);
+
+  /// The address workers dial.
+  const std::string& addr() const { return addr_; }
+
+  /// Block until `n` workers are registered and alive, or `timeout_nanos`
+  /// elapses. Returns whether the quorum was reached.
+  bool WaitForWorkers(int n, uint64_t timeout_nanos);
+
+  int live_workers() const;
+
+  /// Least-loaded live worker, or ResourceExhausted (transient — a retry
+  /// may find a recovered cluster) when none is alive.
+  Status PickWorker(uint32_t* worker_id);
+
+  bool WorkerAlive(uint32_t worker_id) const;
+
+  /// Shuffle-service address of a worker (live or dead; segments on a dead
+  /// worker are gone, which is exactly why callers check WorkerAlive).
+  std::string WorkerShuffleAddr(uint32_t worker_id) const;
+
+  /// Execute one task on `worker_id`: send the assignment, block until the
+  /// matching TaskResult arrives or the worker dies. Worker death surfaces
+  /// as transient IOError("worker N lost"); a task failure on the worker
+  /// surfaces as the task's own Status. `assign.rpc_id` is set here.
+  Status Call(uint32_t worker_id, net::TaskAssignMsg assign,
+              net::TaskResultMsg* result);
+
+  /// Best-effort Shutdown to every live worker, close everything, join all
+  /// threads. Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  struct WorkerState {
+    uint32_t id = 0;
+    std::string name;
+    std::string shuffle_addr;
+    uint32_t slots = 1;
+    std::unique_ptr<net::Conn> conn;
+    std::thread receiver;
+    std::mutex write_mu;  ///< serializes frame writes on `conn`
+    bool alive = false;
+    uint64_t last_activity_nanos = 0;
+    int inflight = 0;  ///< Calls outstanding (load-balance key)
+  };
+
+  struct PendingCall {
+    uint32_t worker_id = 0;
+    net::TaskResultMsg* result = nullptr;
+    Status status;
+    bool done = false;
+  };
+
+  void AcceptLoop();
+  void ReceiveLoop(WorkerState* worker);
+  void MonitorLoop();
+  /// Declare `worker` lost: fail its pending calls, close its conn.
+  /// Caller must NOT hold mu_.
+  void MarkDead(WorkerState* worker, const std::string& why);
+
+  net::Transport* transport_;
+  CoordinatorOptions options_;
+  std::string addr_;
+  std::unique_ptr<net::Listener> listener_;
+  std::thread accept_thread_;
+  std::thread monitor_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  uint32_t next_worker_id_ = 1;
+  std::map<uint32_t, std::unique_ptr<WorkerState>> workers_;
+  std::atomic<uint64_t> next_rpc_id_{1};
+  std::map<uint64_t, PendingCall*> pending_;
+
+  obs::Gauge* workers_live_gauge_;
+  obs::Counter* tasks_assigned_counter_;
+  obs::Counter* workers_lost_counter_;
+};
+
+// --- distributed job driver ----------------------------------------------
+
+struct DistJobOptions {
+  std::string job_name;     ///< registered builder name (engine/job_registry.h)
+  net::JobParams params;    ///< builder params, shipped verbatim to workers
+  /// Input records per map task; maps are placed one per TaskAssign.
+  std::vector<std::vector<KV>> splits;
+  bool collect_outputs = true;
+  /// Retry budget per task (map heal re-runs count against the reduce's
+  /// attempts only through its backoff, not this cap).
+  int max_task_attempts = 3;
+  uint64_t retry_backoff_nanos = 1000 * 1000;
+  /// Simulated shuffle bandwidth the reduce workers apply per fetched chunk.
+  double network_mb_per_s = 0;
+  uint32_t readahead_blocks = 0;
+  /// Scope for segment file names; "" derives one from job_name. Attempts
+  /// get unique sub-scopes so re-executions never collide with stale files.
+  std::string job_id;
+  /// Dispatcher threads driving blocking Calls; 0 sizes to the task count
+  /// (dispatchers spend their life blocked on worker RPCs, not CPU).
+  int dispatch_threads = 0;
+};
+
+struct DistJobResult {
+  /// Reduce output per partition (when collect_outputs).
+  std::vector<std::vector<KV>> outputs;
+  /// Summed task metrics (latest attempt of each map, so healed maps are
+  /// not double-counted) plus driver wall time.
+  JobMetrics metrics;
+  /// Map task executions beyond the first num_maps (retries + heals).
+  uint64_t map_reruns = 0;
+
+  /// Flatten outputs across partitions (partition order, then emission
+  /// order) — comparable to PlanResult::FlatOutput / JobResult::FlatOutput.
+  std::vector<KV> FlatOutput() const;
+};
+
+/// Run one registered job across `coord`'s workers. Blocks until done.
+Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
+                         DistJobResult* result);
+
+}  // namespace engine
+}  // namespace antimr
+
+#endif  // ANTIMR_ENGINE_COORDINATOR_H_

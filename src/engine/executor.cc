@@ -9,6 +9,7 @@
 #include "engine/planner.h"
 #include "io/throttled_env.h"
 #include "mr/reduce_task.h"
+#include "net/shuffle_service.h"
 #include "obs/trace.h"
 
 namespace antimr {
@@ -68,6 +69,25 @@ Status Executor::Run(const JobPlan& plan, PlanResult* result) {
     task_env = throttled_env.get();
   }
 
+  // Shuffle data plane: a per-run SegmentServer exports the segments tasks
+  // write to task_env (so the disk throttle still applies on the serving
+  // side) and every reduce-side fetch pulls them through a ShuffleClient
+  // over the transport — loopback by default, or whatever the caller
+  // injected (e.g. TCP for single-process wire benchmarks). The network
+  // throttle is paid per fetched chunk in the client, replacing the old
+  // reader-side ThrottledEnv simulation. Declared before the TaskGraph so
+  // they outlive every task.
+  std::unique_ptr<net::Transport> owned_transport;
+  net::Transport* transport = options_.transport;
+  if (transport == nullptr) {
+    owned_transport = net::NewLoopbackTransport();
+    transport = owned_transport.get();
+  }
+  net::SegmentServer shuffle_server(transport, task_env);
+  ANTIMR_RETURN_NOT_OK(shuffle_server.Start(""));
+  net::ShuffleClient shuffle_client(transport,
+                                    options_.hardware.network_mb_per_s);
+
   bool any_pipelined = false;
   for (const Stage& stage : plan.stages()) {
     if (stage.options.shuffle_mode == ShuffleMode::kPipelined) {
@@ -95,6 +115,8 @@ Status Executor::Run(const JobPlan& plan, PlanResult* result) {
   ctx.task_env = task_env;
   ctx.cleanup_env = env;
   ctx.fetch_pool = fetch_pool_.get();
+  ctx.shuffle = &shuffle_client;
+  ctx.shuffle_addr = shuffle_server.addr();
   ctx.readahead_blocks = options_.readahead_blocks > 0
                              ? options_.readahead_blocks
                              : kShuffleReadaheadBlocks;

@@ -17,6 +17,7 @@
 #include "mr/local_cluster.h"
 #include "mr/metrics.h"
 #include "mr/shuffle.h"
+#include "net/transport.h"
 #include "table/format.h"
 
 namespace antimr {
@@ -56,6 +57,11 @@ struct ExecutorOptions {
   std::optional<size_t> chunk_block_bytes;
   /// When set, override every stage spec's chunk_codec.
   std::optional<CodecType> chunk_codec;
+  /// Transport for the shuffle data plane. Every shuffled byte crosses this
+  /// boundary (a per-run SegmentServer serves map segments; reduce-side
+  /// fetchers pull them through a ShuffleClient), so loopback and TCP runs
+  /// account bytes at the same framing site. Null = per-run loopback.
+  net::Transport* transport = nullptr;
 };
 
 /// \brief Metrics roll-up for one stage of a plan.

@@ -212,11 +212,25 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
             [&ctx, st, p](int attempt) {
               if (attempt > 0) st->reduce_results[p] = ReduceTaskResult();
               ReduceTaskInputs inputs;
-              inputs.network_mb_per_s = ctx.network_mb_per_s;
               inputs.readahead_blocks = ctx.readahead_blocks;
-              for (const MapTaskResult& mr : st->map_results) {
-                const std::string& fname = mr.segment_files[p];
-                if (!fname.empty()) inputs.segment_files.push_back(fname);
+              // Segments travel through the shuffle service even in the
+              // two-wave model, so barrier and pipelined runs count the
+              // same transport-boundary bytes. The direct-Env path stays
+              // for contexts lowered without a shuffle client.
+              if (ctx.shuffle != nullptr) {
+                inputs.shuffle = ctx.shuffle;
+                for (const MapTaskResult& mr : st->map_results) {
+                  const std::string& fname = mr.segment_files[p];
+                  if (!fname.empty()) {
+                    inputs.remote.push_back({ctx.shuffle_addr, fname});
+                  }
+                }
+              } else {
+                inputs.network_mb_per_s = ctx.network_mb_per_s;
+                for (const MapTaskResult& mr : st->map_results) {
+                  const std::string& fname = mr.segment_files[p];
+                  if (!fname.empty()) inputs.segment_files.push_back(fname);
+                }
               }
               return RunStageReduce(ctx, st, static_cast<int>(p), inputs);
             },
@@ -251,9 +265,16 @@ Status LowerPlan(const PlannerContext& ctx, TaskGraph* graph,
                       1, std::memory_order_relaxed);
                 }
                 const uint64_t cpu_start = ThreadCpuNanos();
-                Status status = FetchSegmentFrames(ctx.task_env, fname,
-                                                   ctx.network_mb_per_s,
-                                                   &st->fetched[p][m]);
+                // Over the shuffle service when the executor provides one
+                // (so the copy crosses the counted transport boundary),
+                // otherwise straight from the Env as before.
+                Status status =
+                    ctx.shuffle != nullptr
+                        ? ctx.shuffle->Fetch(ctx.shuffle_addr, fname,
+                                             &st->fetched[p][m])
+                        : FetchSegmentFrames(ctx.task_env, fname,
+                                             ctx.network_mb_per_s,
+                                             &st->fetched[p][m]);
                 st->fetch_cpu[p].fetch_add(ThreadCpuNanos() - cpu_start,
                                            std::memory_order_relaxed);
                 return status;

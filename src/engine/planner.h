@@ -20,6 +20,7 @@
 #include "mr/local_cluster.h"
 #include "mr/map_task.h"
 #include "mr/reduce_task.h"
+#include "net/shuffle_service.h"
 
 namespace antimr {
 namespace engine {
@@ -32,6 +33,13 @@ struct PlannerContext {
   Env* task_env = nullptr;     ///< storage as tasks see it (maybe throttled)
   Env* cleanup_env = nullptr;  ///< unthrottled storage for file deletion
   TaskPool* fetch_pool = nullptr;  ///< dedicated pool for pipelined fetches
+  /// Shuffle data plane: segments are pulled from `shuffle_addr` (the
+  /// Executor's SegmentServer over task_env) through this client, so every
+  /// shuffled byte crosses the transport framing layer — loopback in
+  /// single-process runs, TCP in distributed ones. Null falls back to the
+  /// pre-transport direct-Env path (unit tests lowering plans by hand).
+  net::ShuffleClient* shuffle = nullptr;
+  std::string shuffle_addr;
   size_t readahead_blocks = 0;
   double network_mb_per_s = 0;
   bool collect_outputs = true;        ///< retain sink datasets in the catalog

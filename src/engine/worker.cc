@@ -1,0 +1,217 @@
+#include "engine/worker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "engine/job_registry.h"
+#include "mr/map_task.h"
+#include "mr/reduce_task.h"
+#include "net/frame.h"
+#include "obs/trace.h"
+
+namespace antimr {
+namespace engine {
+
+Worker::Worker(net::Transport* transport, const WorkerOptions& options)
+    : transport_(transport),
+      options_(options),
+      owned_env_(options.env == nullptr ? NewMemEnv() : nullptr),
+      env_(options.env != nullptr ? options.env : owned_env_.get()),
+      shuffle_server_(transport, env_),
+      pool_(std::max(1, options.slots), options.name) {}
+
+Worker::~Worker() { Stop(); }
+
+Status Worker::Start(const std::string& coordinator_addr,
+                     const std::string& shuffle_addr) {
+  ANTIMR_RETURN_NOT_OK(shuffle_server_.Start(shuffle_addr));
+  ANTIMR_RETURN_NOT_OK(transport_->Dial(coordinator_addr, &conn_));
+
+  net::RegisterMsg reg;
+  reg.worker_name = options_.name;
+  reg.shuffle_addr = shuffle_server_.addr();
+  reg.slots = static_cast<uint32_t>(std::max(1, options_.slots));
+  std::string payload;
+  net::EncodeRegister(reg, &payload);
+  ANTIMR_RETURN_NOT_OK(net::WriteFrame(conn_.get(), net::kRegister, payload));
+
+  uint8_t type = 0;
+  ANTIMR_RETURN_NOT_OK(net::ReadFrame(conn_.get(), &type, &payload));
+  if (type != net::kRegisterAck) {
+    return Status::IOError("expected RegisterAck, got frame type " +
+                           std::to_string(type));
+  }
+  net::RegisterAckMsg ack;
+  ANTIMR_RETURN_NOT_OK(net::DecodeRegisterAck(payload, &ack));
+  id_ = ack.worker_id;
+  ANTIMR_LOG(kInfo) << "worker " << options_.name << " registered as " << id_
+                    << ", shuffle at " << shuffle_server_.addr();
+
+  receiver_ = std::thread([this] { ReceiveLoop(); });
+  heartbeat_ = std::thread([this] { HeartbeatLoop(); });
+  return Status::OK();
+}
+
+void Worker::ReceiveLoop() {
+  for (;;) {
+    uint8_t type = 0;
+    std::string payload;
+    if (!net::ReadFrame(conn_.get(), &type, &payload).ok()) break;
+    if (type == net::kTaskAssign) {
+      auto assign = std::make_shared<net::TaskAssignMsg>();
+      if (!net::DecodeTaskAssign(payload, assign.get()).ok()) break;
+      inflight_tasks_.fetch_add(1, std::memory_order_relaxed);
+      pool_.Submit([this, assign] {
+        Execute(*assign);
+        // Notify while holding mu_: Stop's drain-wait may be the last thing
+        // keeping this Worker alive, and it can only re-check its predicate
+        // once we release the lock — i.e. after notify_all has returned, so
+        // cv_ is never destroyed under a thread still inside it.
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_tasks_.fetch_sub(1, std::memory_order_relaxed);
+        cv_.notify_all();
+      });
+    } else if (type == net::kShutdown) {
+      break;
+    }
+    // Other frame types are ignored (forward compatibility).
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Worker::HeartbeatLoop() {
+  uint64_t seq = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(
+              lock, std::chrono::nanoseconds(options_.heartbeat_period_nanos),
+              [this] { return done_ || stopped_ || crashed(); })) {
+        return;
+      }
+    }
+    net::HeartbeatMsg hb;
+    hb.worker_id = id_;
+    hb.seq = ++seq;
+    std::string payload;
+    net::EncodeHeartbeat(hb, &payload);
+    std::lock_guard<std::mutex> lock(write_mu_);
+    // Errors are ignored: a dead conn also wakes the receiver, which owns
+    // the shutdown transition.
+    net::WriteFrame(conn_.get(), net::kHeartbeat, payload);
+  }
+}
+
+void Worker::Execute(const net::TaskAssignMsg& assign) {
+  net::TaskResultMsg result;
+  result.rpc_id = assign.rpc_id;
+  const Status st = ExecuteTask(assign, &result);
+  if (!st.ok()) {
+    result.status_code = static_cast<int32_t>(st.code());
+    result.status_msg = st.message();
+  }
+  // A crashed worker is a dead process: it reports nothing, and the
+  // coordinator learns of the loss from the closed conn / silent heartbeats.
+  if (crashed()) return;
+  std::string payload;
+  net::EncodeTaskResult(result, &payload);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  net::WriteFrame(conn_.get(), net::kTaskResult, payload);  // best effort
+}
+
+Status Worker::ExecuteTask(const net::TaskAssignMsg& assign,
+                           net::TaskResultMsg* result) {
+  JobSpec spec;
+  ANTIMR_RETURN_NOT_OK(
+      BuildRegisteredJob(assign.job_name, assign.params, &spec));
+  const int index = static_cast<int>(assign.task_index);
+  const uint64_t cpu_start = ThreadCpuNanos();
+
+  if (assign.kind == net::TaskKind::kMap) {
+    ANTIMR_TRACE_SPAN_DYN("task", "dist_map:" + assign.job_id + ":" +
+                                      std::to_string(index));
+    if (on_map_start) on_map_start(index, assign.attempt);
+    if (crashed()) return Status::IOError("worker crashed");
+    std::vector<KV> records;
+    ANTIMR_RETURN_NOT_OK(net::DecodeKVList(assign.split_records, &records));
+    MapTaskResult map_result;
+    ANTIMR_RETURN_NOT_OK(RunMapTask(spec, assign.job_id, index,
+                                    MakeSplit(std::move(records)), env_,
+                                    &map_result));
+    result->segment_files = std::move(map_result.segment_files);
+    net::EncodeJobMetrics(map_result.metrics, &result->metrics);
+  } else {
+    ANTIMR_TRACE_SPAN_DYN("task", "dist_reduce:" + assign.job_id + ":" +
+                                       std::to_string(index));
+    if (on_reduce_start) on_reduce_start(index, assign.attempt);
+    if (crashed()) return Status::IOError("worker crashed");
+    // A per-task client still pools conns across this task's segments; the
+    // simulated bandwidth rides in on the assignment so all workers throttle
+    // identically without per-worker configuration.
+    net::ShuffleClient shuffle(transport_, assign.network_mb_per_s);
+    ReduceTaskInputs inputs;
+    inputs.remote.assign(assign.segments.begin(), assign.segments.end());
+    inputs.shuffle = &shuffle;
+    if (assign.readahead_blocks > 0) {
+      inputs.readahead_blocks = assign.readahead_blocks;
+    }
+    ReduceTaskResult reduce_result;
+    ANTIMR_RETURN_NOT_OK(RunReduceTask(spec, index, inputs, env_,
+                                       assign.collect_output,
+                                       &reduce_result));
+    net::EncodeKVList(reduce_result.output, &result->output_records);
+    net::EncodeJobMetrics(reduce_result.metrics, &result->metrics);
+  }
+  result->cpu_nanos = ThreadCpuNanos() - cpu_start;
+  return Status::OK();
+}
+
+void Worker::WaitDone() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_ || stopped_; });
+}
+
+void Worker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (conn_ != nullptr) conn_->Close();
+  shuffle_server_.Stop();
+  if (receiver_.joinable()) receiver_.join();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  // Drain in-flight tasks before members they use (conn_, env_) can be
+  // destroyed; the closed conn and shuffle server guarantee they terminate.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return inflight_tasks_.load(std::memory_order_relaxed) == 0;
+    });
+  }
+}
+
+void Worker::Crash() {
+  crashed_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    cv_.notify_all();  // under mu_, as in the task lambda (see ReceiveLoop)
+  }
+  if (conn_ != nullptr) conn_->Close();
+  shuffle_server_.Stop();
+  ANTIMR_LOG(kWarn) << "worker " << options_.name << " (" << id_
+                    << ") simulated crash";
+}
+
+}  // namespace engine
+}  // namespace antimr

@@ -240,13 +240,36 @@ Status RunReduceTask(const JobSpec& spec, int partition,
       empty_readers.push_back(std::move(reader));
     }
   };
-  for (const FetchedSegment* fs : inputs.fetched) {
-    m.shuffle_bytes += fs->fetched_bytes;
-    m.shuffle_fetch_wait_nanos += fs->fetch_nanos;
+  // Remote segments are pulled through the transport now, before any reader
+  // opens: their bytes (FetchedSegment::fetched_bytes = stored segment
+  // size as it crossed the wire) are the task's shuffle transfer volume,
+  // measured at the same boundary the pipelined fetchers use.
+  std::vector<FetchedSegment> remote_storage;
+  if (!inputs.remote.empty()) {
+    if (inputs.shuffle == nullptr) {
+      return Status::InvalidArgument(
+          "ReduceTaskInputs.remote requires a ShuffleClient");
+    }
+    remote_storage.resize(inputs.remote.size());
+    for (size_t i = 0; i < inputs.remote.size(); ++i) {
+      ANTIMR_RETURN_NOT_OK(inputs.shuffle->Fetch(
+          inputs.remote[i].addr, inputs.remote[i].file, &remote_storage[i]));
+    }
+  }
+  auto adopt_fetched = [&](const FetchedSegment& fs) -> Status {
+    m.shuffle_bytes += fs.fetched_bytes;
+    m.shuffle_fetch_wait_nanos += fs.fetch_nanos;
     std::unique_ptr<SegmentStream> reader;
     ANTIMR_RETURN_NOT_OK(
-        OpenFetchedSegment(*fs, codec, inputs.readahead_blocks, &reader));
+        OpenFetchedSegment(fs, codec, inputs.readahead_blocks, &reader));
     adopt(std::move(reader), /*from_memory=*/true);
+    return Status::OK();
+  };
+  for (const FetchedSegment& fs : remote_storage) {
+    ANTIMR_RETURN_NOT_OK(adopt_fetched(fs));
+  }
+  for (const FetchedSegment* fs : inputs.fetched) {
+    ANTIMR_RETURN_NOT_OK(adopt_fetched(*fs));
   }
   for (const std::string& fname : inputs.segment_files) {
     SegmentReadOptions ropts;

@@ -10,6 +10,8 @@
 #include "mr/job_spec.h"
 #include "mr/metrics.h"
 #include "mr/shuffle.h"
+#include "net/shuffle_service.h"
+#include "net/wire.h"
 
 namespace antimr {
 
@@ -98,12 +100,22 @@ Status ApplyCombiner(const JobSpec& spec, const TaskInfo& info,
 /// pipelined scheduler's concurrent fetchers.
 struct ReduceTaskInputs {
   /// Segments to fetch inline, streamed from storage during the merge.
+  /// Legacy direct-storage path: the engine now ships segments through
+  /// `remote` instead so every byte crosses the transport boundary.
   std::vector<std::string> segment_files;
   /// Segments pre-fetched by the concurrent shuffle phase, borrowed from
   /// the scheduler (which keeps ownership so a transiently-failed reduce
   /// can be retried against the same fetched bytes). Decompression is
   /// still block-at-a-time during the merge.
   std::vector<const FetchedSegment*> fetched;
+  /// Segments this task pulls through `shuffle` at task start (barrier
+  /// shuffle and distributed reduce tasks), in map-index order — merge
+  /// order is part of the output contract. Their transfer volume is
+  /// counted from FetchedSegment::fetched_bytes, the same boundary the
+  /// pipelined fetchers use, so both shuffle modes account identically.
+  std::vector<net::SegmentRef> remote;
+  /// Fetcher for `remote`; required when `remote` is non-empty.
+  net::ShuffleClient* shuffle = nullptr;
   /// Simulated shuffle bandwidth; 0 = unthrottled. Applies to inline
   /// fetches only (pre-fetched segments paid it at fetch time).
   double network_mb_per_s = 0;

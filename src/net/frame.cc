@@ -1,0 +1,92 @@
+#include "net/frame.h"
+
+#include "codec/crc32.h"
+#include "common/coding.h"
+#include "common/slice.h"
+#include "obs/metrics_registry.h"
+
+namespace antimr {
+namespace net {
+
+namespace {
+
+struct Counters {
+  obs::Counter* bytes_sent;
+  obs::Counter* bytes_received;
+  obs::Counter* frames_sent;
+  obs::Counter* frames_received;
+};
+
+Counters& GlobalCounters() {
+  static Counters c = {
+      obs::MetricsRegistry::Global().GetCounter(
+          "antimr_net_bytes_sent_total",
+          "Wire bytes sent through the frame layer (headers + payloads)"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "antimr_net_bytes_received_total",
+          "Wire bytes received through the frame layer (headers + payloads)"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "antimr_net_frames_sent_total", "Frames sent"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "antimr_net_frames_received_total", "Frames received"),
+  };
+  return c;
+}
+
+}  // namespace
+
+WireCounters SnapshotWireCounters() {
+  Counters& c = GlobalCounters();
+  WireCounters snap;
+  snap.bytes_sent = c.bytes_sent->value();
+  snap.bytes_received = c.bytes_received->value();
+  snap.frames_sent = c.frames_sent->value();
+  snap.frames_received = c.frames_received->value();
+  return snap;
+}
+
+Status WriteFrame(Conn* conn, uint8_t type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + payload.size());
+  PutFixed32(&wire, static_cast<uint32_t>(payload.size()));
+  wire.push_back(static_cast<char>(type));
+  PutFixed32(&wire, Crc32(0, Slice(payload)));
+  wire.append(payload);
+  ANTIMR_RETURN_NOT_OK(conn->Write(wire));
+  Counters& c = GlobalCounters();
+  c.bytes_sent->Inc(wire.size());
+  c.frames_sent->Inc();
+  return Status::OK();
+}
+
+Status ReadFrame(Conn* conn, uint8_t* type, std::string* payload) {
+  std::string header;
+  ANTIMR_RETURN_NOT_OK(conn->ReadFull(kFrameHeaderBytes, &header));
+  Slice h(header);
+  uint32_t len = 0;
+  if (!GetFixed32(&h, &len)) return Status::IOError("bad frame header");
+  *type = static_cast<uint8_t>(h[0]);
+  h.RemovePrefix(1);
+  uint32_t want_crc = 0;
+  if (!GetFixed32(&h, &want_crc)) return Status::IOError("bad frame header");
+  if (len > kMaxFramePayload) {
+    return Status::IOError("frame length " + std::to_string(len) +
+                           " exceeds limit (corrupt stream?)");
+  }
+  payload->clear();
+  if (len > 0) ANTIMR_RETURN_NOT_OK(conn->ReadFull(len, payload));
+  const uint32_t got_crc = Crc32(0, Slice(*payload));
+  if (got_crc != want_crc) {
+    return Status::IOError("frame crc mismatch from " + conn->peer());
+  }
+  Counters& c = GlobalCounters();
+  c.bytes_received->Inc(kFrameHeaderBytes + payload->size());
+  c.frames_received->Inc();
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace antimr

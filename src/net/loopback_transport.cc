@@ -1,0 +1,239 @@
+#include "net/transport.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace antimr {
+namespace net {
+
+namespace {
+
+/// One direction of a loopback connection: a bounded in-memory byte queue.
+/// The cap gives the same backpressure a socket send buffer would — a fast
+/// shuffle server cannot run arbitrarily far ahead of a slow reducer.
+struct Pipe {
+  static constexpr size_t kCapacity = 1 << 20;  // 1 MiB
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string buffer;
+  bool closed = false;
+
+  Status Write(const std::string& data) {
+    size_t pos = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    while (pos < data.size()) {
+      cv.wait(lock, [&] { return closed || buffer.size() < kCapacity; });
+      if (closed) return Status::IOError("connection closed");
+      const size_t room = kCapacity - buffer.size();
+      const size_t n = std::min(room, data.size() - pos);
+      buffer.append(data, pos, n);
+      pos += n;
+      cv.notify_all();
+    }
+    return Status::OK();
+  }
+
+  Status ReadFull(size_t n, std::string* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu);
+    while (out->size() < n) {
+      cv.wait(lock, [&] { return closed || !buffer.empty(); });
+      if (buffer.empty()) {  // closed and drained
+        return out->empty() ? Status::IOError("connection closed")
+                            : Status::IOError("short read");
+      }
+      const size_t take = std::min(n - out->size(), buffer.size());
+      out->append(buffer, 0, take);
+      buffer.erase(0, take);
+      cv.notify_all();
+    }
+    return Status::OK();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+    cv.notify_all();
+  }
+};
+
+class LoopbackConn : public Conn {
+ public:
+  LoopbackConn(std::shared_ptr<Pipe> read_from, std::shared_ptr<Pipe> write_to,
+               std::string peer)
+      : read_from_(std::move(read_from)),
+        write_to_(std::move(write_to)),
+        peer_(std::move(peer)) {}
+
+  ~LoopbackConn() override { Close(); }
+
+  Status Write(const std::string& data) override {
+    return write_to_->Write(data);
+  }
+
+  Status ReadFull(size_t n, std::string* out) override {
+    return read_from_->ReadFull(n, out);
+  }
+
+  void Close() override {
+    // Closing either direction wakes both endpoints: the peer's reads see
+    // EOF once the buffer drains, its writes fail immediately.
+    read_from_->Close();
+    write_to_->Close();
+  }
+
+  std::string peer() const override { return peer_; }
+
+ private:
+  std::shared_ptr<Pipe> read_from_;
+  std::shared_ptr<Pipe> write_to_;
+  std::string peer_;
+};
+
+struct PendingConn {
+  std::shared_ptr<Pipe> to_server;
+  std::shared_ptr<Pipe> to_client;
+};
+
+/// The server side of one listening address: a queue of dialed-but-not-yet-
+/// accepted connections. Shared (via shared_ptr) between the Listener that
+/// drains it and any Dial call that holds a reference, so a dial racing a
+/// listener teardown sees "closed" instead of a dangling pointer.
+struct AcceptQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PendingConn> pending;
+  bool closed = false;
+
+  bool Enqueue(PendingConn p) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (closed) return false;
+    pending.push_back(std::move(p));
+    cv.notify_all();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+    // Dials that raced with Close: fail their conns so the dialer's first
+    // read errors out instead of hanging.
+    for (PendingConn& p : pending) {
+      p.to_server->Close();
+      p.to_client->Close();
+    }
+    pending.clear();
+    cv.notify_all();
+  }
+};
+
+/// Shared address book of one loopback transport instance.
+struct Hub {
+  std::mutex mu;
+  uint64_t next_addr = 0;
+  std::map<std::string, std::shared_ptr<AcceptQueue>> queues;
+};
+
+class LoopbackListener : public Listener {
+ public:
+  LoopbackListener(std::shared_ptr<Hub> hub, std::string addr,
+                   std::shared_ptr<AcceptQueue> queue)
+      : hub_(std::move(hub)),
+        addr_(std::move(addr)),
+        queue_(std::move(queue)) {}
+
+  ~LoopbackListener() override { Close(); }
+
+  Status Accept(std::unique_ptr<Conn>* conn) override {
+    std::unique_lock<std::mutex> lock(queue_->mu);
+    queue_->cv.wait(lock,
+                    [&] { return queue_->closed || !queue_->pending.empty(); });
+    if (queue_->pending.empty()) return Status::IOError("listener closed");
+    PendingConn p = std::move(queue_->pending.front());
+    queue_->pending.pop_front();
+    *conn = std::make_unique<LoopbackConn>(p.to_server, p.to_client,
+                                           "loopback-client");
+    return Status::OK();
+  }
+
+  void Close() override {
+    {
+      std::lock_guard<std::mutex> hub_lock(hub_->mu);
+      auto it = hub_->queues.find(addr_);
+      if (it != hub_->queues.end() && it->second == queue_) {
+        hub_->queues.erase(it);
+      }
+    }
+    queue_->Close();
+  }
+
+  std::string addr() const override { return addr_; }
+
+ private:
+  std::shared_ptr<Hub> hub_;
+  std::string addr_;
+  std::shared_ptr<AcceptQueue> queue_;
+};
+
+class LoopbackTransport : public Transport {
+ public:
+  LoopbackTransport() : hub_(std::make_shared<Hub>()) {}
+
+  Status Listen(const std::string& addr,
+                std::unique_ptr<Listener>* listener) override {
+    std::lock_guard<std::mutex> lock(hub_->mu);
+    std::string resolved = addr;
+    if (resolved.empty() || resolved == "*") {
+      resolved = "loopback:" + std::to_string(hub_->next_addr++);
+    }
+    if (hub_->queues.count(resolved) > 0) {
+      return Status::InvalidArgument("loopback address in use: " + resolved);
+    }
+    auto queue = std::make_shared<AcceptQueue>();
+    hub_->queues[resolved] = queue;
+    *listener = std::make_unique<LoopbackListener>(hub_, resolved,
+                                                   std::move(queue));
+    return Status::OK();
+  }
+
+  Status Dial(const std::string& addr,
+              std::unique_ptr<Conn>* conn) override {
+    std::shared_ptr<AcceptQueue> queue;
+    {
+      std::lock_guard<std::mutex> lock(hub_->mu);
+      auto it = hub_->queues.find(addr);
+      if (it == hub_->queues.end()) {
+        return Status::IOError("connection refused: " + addr);
+      }
+      queue = it->second;
+    }
+    PendingConn p;
+    p.to_server = std::make_shared<Pipe>();
+    p.to_client = std::make_shared<Pipe>();
+    auto client = std::make_unique<LoopbackConn>(p.to_client, p.to_server,
+                                                 addr);
+    if (!queue->Enqueue(std::move(p))) {
+      return Status::IOError("connection refused: " + addr);
+    }
+    *conn = std::move(client);
+    return Status::OK();
+  }
+
+  const char* name() const override { return "loopback"; }
+
+ private:
+  std::shared_ptr<Hub> hub_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> NewLoopbackTransport() {
+  return std::make_unique<LoopbackTransport>();
+}
+
+}  // namespace net
+}  // namespace antimr

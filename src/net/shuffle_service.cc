@@ -1,0 +1,191 @@
+#include "net/shuffle_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "io/throttled_env.h"
+#include "net/frame.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+
+namespace antimr {
+namespace net {
+
+namespace {
+/// Segment bytes per FetchChunk frame. Matches the pre-transport fetch
+/// granularity (and the segment block size), so the simulated-bandwidth
+/// sleeps happen on the same cadence as before.
+constexpr size_t kFetchChunkBytes = 64 * 1024;
+}  // namespace
+
+SegmentServer::SegmentServer(Transport* transport, Env* env)
+    : transport_(transport), env_(env) {}
+
+SegmentServer::~SegmentServer() { Stop(); }
+
+Status SegmentServer::Start(const std::string& addr) {
+  ANTIMR_RETURN_NOT_OK(transport_->Listen(addr, &listener_));
+  addr_ = listener_->addr();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SegmentServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  if (listener_ != nullptr) listener_->Close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : conns_) conn->Close();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SegmentServer::AcceptLoop() {
+  while (true) {
+    std::unique_ptr<Conn> conn;
+    if (!listener_->Accept(&conn).ok()) return;  // closed
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      conn->Close();
+      return;
+    }
+    Conn* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    handlers_.emplace_back([this, raw] { Serve(raw); });
+  }
+}
+
+void SegmentServer::Serve(Conn* conn) {
+  std::string payload;
+  char scratch[kFetchChunkBytes];
+  while (true) {
+    uint8_t type = 0;
+    if (!ReadFrame(conn, &type, &payload).ok()) return;  // peer gone
+    if (type != kFetchReq) return;  // protocol violation: drop the conn
+    FetchReqMsg req;
+    if (!DecodeFetchReq(payload, &req).ok()) return;
+    ANTIMR_TRACE_SPAN_DYN("rpc", "serve_segment:" + req.file);
+
+    std::unique_ptr<SequentialFile> file;
+    Status st = env_->NewSequentialFile(req.file, &file);
+    std::string chunk_payload;
+    while (st.ok()) {
+      Slice chunk;
+      st = file->Read(sizeof(scratch), &chunk, scratch);
+      if (!st.ok() || chunk.empty()) break;
+      chunk_payload.assign(chunk.data(), chunk.size());
+      if (!WriteFrame(conn, kFetchChunk, chunk_payload).ok()) return;
+    }
+    if (st.ok()) {
+      if (!WriteFrame(conn, kFetchEnd, std::string()).ok()) return;
+    } else {
+      ANTIMR_LOG(kDebug) << "serve_segment " << req.file
+                         << " failed: " << st.ToString();
+      FetchErrorMsg err;
+      err.status_code = static_cast<int32_t>(st.code());
+      err.status_msg = st.message();
+      EncodeFetchError(err, &chunk_payload);
+      if (!WriteFrame(conn, kFetchError, chunk_payload).ok()) return;
+    }
+  }
+}
+
+ShuffleClient::ShuffleClient(Transport* transport, double network_mb_per_s)
+    : transport_(transport), network_mb_per_s_(network_mb_per_s) {}
+
+ShuffleClient::~ShuffleClient() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [addr, conns] : idle_) {
+    for (auto& conn : conns) conn->Close();
+  }
+}
+
+Status ShuffleClient::Fetch(const std::string& addr, const std::string& file,
+                            FetchedSegment* out) {
+  *out = FetchedSegment();
+  ScopedTimer t(&out->fetch_nanos);
+  out->file = file;
+  ANTIMR_TRACE_SPAN_DYN("rpc", "fetch_segment:" + file);
+
+  std::unique_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_.find(addr);
+    if (it != idle_.end() && !it->second.empty()) {
+      conn = std::move(it->second.back());
+      it->second.pop_back();
+    }
+  }
+  bool pooled = conn != nullptr;
+  if (!pooled) ANTIMR_RETURN_NOT_OK(transport_->Dial(addr, &conn));
+
+  bool server_reported = false;
+  Status st = FetchOnce(conn.get(), file, out, &server_reported);
+  if (!st.ok() && pooled && !server_reported) {
+    // A pooled conn may have died while idle (server restart, worker
+    // crash); retry exactly once on a fresh dial before reporting. Only
+    // conn-level failures qualify — an error the server answered with
+    // arrived over a healthy conn and must surface to the task retry
+    // layer, not be masked by a second request.
+    out->frames.clear();
+    ANTIMR_RETURN_NOT_OK(transport_->Dial(addr, &conn));
+    pooled = false;
+    st = FetchOnce(conn.get(), file, out, &server_reported);
+  }
+  if (!st.ok()) {
+    ANTIMR_LOG(kDebug) << "fetch " << file << " from " << addr
+                       << " failed: " << st.ToString();
+    // Whatever the wire said, a failed fetch is retryable: the retry layer
+    // either re-fetches or re-places the producing map task.
+    return st.IsTransient() ? st : Status::IOError(st.ToString());
+  }
+  out->fetched_bytes = out->frames.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_[addr].push_back(std::move(conn));
+  }
+  return Status::OK();
+}
+
+Status ShuffleClient::FetchOnce(Conn* conn, const std::string& file,
+                                FetchedSegment* out, bool* server_reported) {
+  *server_reported = false;
+  std::string payload;
+  EncodeFetchReq(FetchReqMsg{file}, &payload);
+  ANTIMR_RETURN_NOT_OK(WriteFrame(conn, kFetchReq, payload));
+  while (true) {
+    uint8_t type = 0;
+    ANTIMR_RETURN_NOT_OK(ReadFrame(conn, &type, &payload));
+    switch (type) {
+      case kFetchChunk:
+        out->frames.append(payload);
+        // Simulated shuffle bandwidth, paid per chunk as it arrives — the
+        // same cadence the pre-transport FetchSegmentFrames used.
+        SleepForBytes(payload.size(), network_mb_per_s_);
+        break;
+      case kFetchEnd:
+        return Status::OK();
+      case kFetchError: {
+        *server_reported = true;
+        FetchErrorMsg err;
+        ANTIMR_RETURN_NOT_OK(DecodeFetchError(payload, &err));
+        return StatusFromWire(err.status_code,
+                              "fetch " + file + ": " + err.status_msg);
+      }
+      default:
+        return Status::IOError("unexpected frame type " +
+                               std::to_string(type) + " during fetch");
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace antimr

@@ -1,0 +1,102 @@
+// The data plane of the distributed shuffle: every worker (and the
+// single-process Executor) runs a SegmentServer over its task Env, and
+// reduce-side fetchers pull whole stored segments through a ShuffleClient.
+// Bytes move as FetchChunk frames, so the frame layer's counters — and the
+// FetchedSegment::fetched_bytes each fetch reports — measure the identical
+// transport boundary in pipelined and barrier mode, loopback and TCP.
+#ifndef ANTIMR_NET_SHUFFLE_SERVICE_H_
+#define ANTIMR_NET_SHUFFLE_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/env.h"
+#include "mr/shuffle.h"
+#include "net/transport.h"
+
+namespace antimr {
+namespace net {
+
+/// \brief Serves segment files from one Env over a transport.
+///
+/// One accept thread plus one handler thread per live connection; a
+/// connection serves any number of sequential FetchReqs (fetchers pool
+/// their conns). Stop() closes everything and joins.
+class SegmentServer {
+ public:
+  /// `transport` and `env` are borrowed and must outlive the server.
+  SegmentServer(Transport* transport, Env* env);
+  ~SegmentServer();
+
+  SegmentServer(const SegmentServer&) = delete;
+  SegmentServer& operator=(const SegmentServer&) = delete;
+
+  /// Listen on `addr` ("" = auto) and start accepting.
+  Status Start(const std::string& addr);
+
+  /// The resolved address fetchers dial.
+  const std::string& addr() const { return addr_; }
+
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void Serve(Conn* conn);
+
+  Transport* transport_;
+  Env* env_;
+  std::string addr_;
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::vector<std::thread> handlers_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+/// \brief Reduce-side fetcher: pulls segments from SegmentServers.
+///
+/// Keeps a small pool of idle connections per address so a reduce task
+/// fetching many segments from one worker pays the dial once. Thread-safe.
+class ShuffleClient {
+ public:
+  /// `network_mb_per_s` simulates shuffle bandwidth: each received chunk
+  /// sleeps Bytes/rate, exactly where the pre-transport code throttled its
+  /// in-process copies. 0 = unthrottled.
+  explicit ShuffleClient(Transport* transport, double network_mb_per_s = 0);
+  ~ShuffleClient();
+
+  ShuffleClient(const ShuffleClient&) = delete;
+  ShuffleClient& operator=(const ShuffleClient&) = delete;
+
+  /// Fetch segment `file` from the server at `addr` into *out (replacing
+  /// its contents). out->fetched_bytes is the segment's stored size — the
+  /// payload bytes that crossed the transport. Connection-level failures
+  /// and server-reported errors come back as transient IOError so the
+  /// retry layer re-fetches (from a re-placed map if the worker is gone).
+  Status Fetch(const std::string& addr, const std::string& file,
+               FetchedSegment* out);
+
+  double network_mb_per_s() const { return network_mb_per_s_; }
+
+ private:
+  /// One request/response exchange. *server_reported distinguishes an
+  /// error the server answered with (surface it) from conn-level trouble
+  /// (eligible for the stale-pooled-conn redial).
+  Status FetchOnce(Conn* conn, const std::string& file, FetchedSegment* out,
+                   bool* server_reported);
+
+  Transport* transport_;
+  const double network_mb_per_s_;
+  std::mutex mu_;
+  std::map<std::string, std::vector<std::unique_ptr<Conn>>> idle_;
+};
+
+}  // namespace net
+}  // namespace antimr
+
+#endif  // ANTIMR_NET_SHUFFLE_SERVICE_H_

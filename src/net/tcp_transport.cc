@@ -1,0 +1,224 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace antimr {
+namespace net {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Parse "host:port" into a sockaddr_in. Only IPv4 dotted-quad hosts (and
+/// the localhost name) are supported — the cluster tooling runs on
+/// 127.0.0.1, and keeping resolution out of the transport avoids blocking
+/// DNS calls on task-critical paths.
+Status ParseAddr(const std::string& addr, sockaddr_in* out) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("tcp address must be host:port: " + addr);
+  }
+  std::string host = addr.substr(0, colon);
+  const std::string port_str = addr.substr(colon + 1);
+  if (host.empty() || host == "localhost" || host == "*") host = "127.0.0.1";
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad tcp port: " + addr);
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument("bad tcp host: " + addr);
+  }
+  return Status::OK();
+}
+
+std::string FormatAddr(const sockaddr_in& sa) {
+  char host[INET_ADDRSTRLEN] = {0};
+  inet_ntop(AF_INET, &sa.sin_addr, host, sizeof(host));
+  return std::string(host) + ":" + std::to_string(ntohs(sa.sin_port));
+}
+
+class TcpConn : public Conn {
+ public:
+  TcpConn(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {}
+
+  ~TcpConn() override {
+    Close();
+    // The fd is released only here, after every user of this Conn is gone,
+    // so a concurrent ReadFull can never race a kernel fd-number reuse.
+    ::close(fd_);
+  }
+
+  Status Write(const std::string& data) override {
+    size_t pos = 0;
+    while (pos < data.size()) {
+      // MSG_NOSIGNAL: a peer reset must surface as a Status, not SIGPIPE.
+      const ssize_t n = ::send(fd_, data.data() + pos, data.size() - pos,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("send"));
+      }
+      pos += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status ReadFull(size_t n, std::string* out) override {
+    out->clear();
+    out->resize(n);
+    size_t pos = 0;
+    while (pos < n) {
+      const ssize_t got = ::recv(fd_, out->data() + pos, n - pos, 0);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("recv"));
+      }
+      if (got == 0) {
+        return pos == 0 ? Status::IOError("connection closed")
+                        : Status::IOError("short read");
+      }
+      pos += static_cast<size_t>(got);
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    bool expected = false;
+    if (closed_.compare_exchange_strong(expected, true)) {
+      // shutdown (not close) so threads blocked in recv/send wake with
+      // EOF/EPIPE while the fd number stays reserved until the destructor.
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  std::string peer() const override { return peer_; }
+
+ private:
+  const int fd_;
+  std::string peer_;
+  std::atomic<bool> closed_{false};
+};
+
+class TcpListener : public Listener {
+ public:
+  TcpListener(int fd, std::string addr) : fd_(fd), addr_(std::move(addr)) {}
+
+  ~TcpListener() override {
+    Close();
+    ::close(fd_);
+  }
+
+  Status Accept(std::unique_ptr<Conn>* conn) override {
+    while (true) {
+      sockaddr_in peer_sa;
+      socklen_t len = sizeof(peer_sa);
+      const int fd =
+          ::accept(fd_, reinterpret_cast<sockaddr*>(&peer_sa), &len);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (closed_.load()) return Status::IOError("listener closed");
+        return Status::IOError(ErrnoMessage("accept"));
+      }
+      if (closed_.load()) {
+        ::close(fd);
+        return Status::IOError("listener closed");
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *conn = std::make_unique<TcpConn>(fd, FormatAddr(peer_sa));
+      return Status::OK();
+    }
+  }
+
+  void Close() override {
+    bool expected = false;
+    if (closed_.compare_exchange_strong(expected, true)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  std::string addr() const override { return addr_; }
+
+ private:
+  const int fd_;
+  std::string addr_;
+  std::atomic<bool> closed_{false};
+};
+
+class TcpTransport : public Transport {
+ public:
+  Status Listen(const std::string& addr,
+                std::unique_ptr<Listener>* listener) override {
+    sockaddr_in sa;
+    ANTIMR_RETURN_NOT_OK(ParseAddr(addr.empty() ? "127.0.0.1:0" : addr, &sa));
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IOError(ErrnoMessage("socket"));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      const Status st = Status::IOError(ErrnoMessage("bind"));
+      ::close(fd);
+      return st;
+    }
+    if (::listen(fd, 64) != 0) {
+      const Status st = Status::IOError(ErrnoMessage("listen"));
+      ::close(fd);
+      return st;
+    }
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      const Status st = Status::IOError(ErrnoMessage("getsockname"));
+      ::close(fd);
+      return st;
+    }
+    *listener = std::make_unique<TcpListener>(fd, FormatAddr(bound));
+    return Status::OK();
+  }
+
+  Status Dial(const std::string& addr,
+              std::unique_ptr<Conn>* conn) override {
+    sockaddr_in sa;
+    ANTIMR_RETURN_NOT_OK(ParseAddr(addr, &sa));
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IOError(ErrnoMessage("socket"));
+    while (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      if (errno == EINTR) continue;
+      const Status st =
+          Status::IOError("connect " + addr + ": " + std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    *conn = std::make_unique<TcpConn>(fd, addr);
+    return Status::OK();
+  }
+
+  const char* name() const override { return "tcp"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> NewTcpTransport() {
+  return std::make_unique<TcpTransport>();
+}
+
+}  // namespace net
+}  // namespace antimr

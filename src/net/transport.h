@@ -1,0 +1,96 @@
+// Byte-stream transport abstraction under the distributed engine: a Conn is
+// a reliable, ordered, bidirectional byte pipe; a Listener accepts Conns; a
+// Transport names an implementation. Two implementations exist:
+//
+//  * loopback — in-process pipes with bounded buffers. Every single-process
+//    Executor run shuffles through it, so the framing/accounting code path
+//    is exercised by the whole legacy test suite, not just network tests.
+//  * tcp — POSIX sockets on localhost/LAN, for real multi-process clusters.
+//
+// Conns carry no message boundaries; net/frame.h layers length-prefixed
+// CRC-framed messages on top, and is the single place wire bytes are
+// counted (see net/frame.h).
+#ifndef ANTIMR_NET_TRANSPORT_H_
+#define ANTIMR_NET_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace antimr {
+namespace net {
+
+/// \brief One end of an established connection. Blocking I/O.
+///
+/// Write and ReadFull may be called concurrently from two threads (one
+/// reader + one writer); neither is safe for concurrent calls on the same
+/// side — callers serialize writers with their own mutex. Close may be
+/// called from any thread and unblocks both directions on both ends.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+
+  /// Write all of `data`; partial writes are retried internally.
+  virtual Status Write(const std::string& data) = 0;
+
+  /// Read exactly `n` bytes into *out (replacing its contents). A peer
+  /// close before any byte arrives returns IOError("connection closed");
+  /// a close mid-read returns IOError("short read").
+  virtual Status ReadFull(size_t n, std::string* out) = 0;
+
+  /// Shut the connection down in both directions; idempotent.
+  virtual void Close() = 0;
+
+  /// Address of the remote end, for logs and error messages.
+  virtual std::string peer() const = 0;
+};
+
+/// \brief Accepts incoming connections on one address.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Block until a connection arrives. Returns IOError("listener closed")
+  /// after Close.
+  virtual Status Accept(std::unique_ptr<Conn>* conn) = 0;
+
+  /// Stop accepting and unblock pending Accept calls; idempotent.
+  virtual void Close() = 0;
+
+  /// The resolved address peers dial, e.g. "127.0.0.1:41873" after
+  /// listening on port 0, or "loopback:3" for an auto-named loopback.
+  virtual std::string addr() const = 0;
+};
+
+/// \brief Factory for Listeners and Conns of one wire implementation.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Bind `addr` and start accepting. Loopback: "" or "*" auto-names the
+  /// endpoint. TCP: "host:port" with port 0 for an ephemeral port; the
+  /// Listener's addr() reports the resolved one.
+  virtual Status Listen(const std::string& addr,
+                        std::unique_ptr<Listener>* listener) = 0;
+
+  /// Connect to a listening address.
+  virtual Status Dial(const std::string& addr,
+                      std::unique_ptr<Conn>* conn) = 0;
+
+  /// "loopback" or "tcp" — stamped into bench reports.
+  virtual const char* name() const = 0;
+};
+
+/// In-process transport. Addresses are scoped to this instance: two
+/// loopback transports cannot reach each other (tests use one shared
+/// instance for a whole simulated cluster).
+std::unique_ptr<Transport> NewLoopbackTransport();
+
+/// TCP sockets. Thread-safe; one instance serves a whole process.
+std::unique_ptr<Transport> NewTcpTransport();
+
+}  // namespace net
+}  // namespace antimr
+
+#endif  // ANTIMR_NET_TRANSPORT_H_

@@ -1,0 +1,159 @@
+// Message vocabulary of the coordinator/worker protocol and the shuffle
+// fetch protocol, with hand-rolled encode/decode over common/coding.h
+// primitives (no external serialization dependency). Every message rides in
+// one frame (net/frame.h); the frame type byte is the MsgType.
+//
+// Control plane (worker <-> coordinator, one long-lived Conn per worker):
+//
+//   worker -> Register          once, immediately after dialing
+//   coord  -> RegisterAck       assigns the worker id
+//   worker -> Heartbeat         every heartbeat period
+//   coord  -> TaskAssign        one map or reduce task execution
+//   worker -> TaskResult        matching rpc_id, success or failure
+//   coord  -> Shutdown          graceful stop
+//
+// Data plane (reducer's ShuffleClient <-> map-side SegmentServer):
+//
+//   client -> FetchReq          one segment file name
+//   server -> FetchChunk*       the segment's stored bytes, chunked
+//   server -> FetchEnd          end of segment
+//   server -> FetchError        Status instead of data
+#ifndef ANTIMR_NET_WIRE_H_
+#define ANTIMR_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "mr/api.h"
+#include "mr/metrics.h"
+
+namespace antimr {
+namespace net {
+
+enum MsgType : uint8_t {
+  kRegister = 1,
+  kRegisterAck = 2,
+  kHeartbeat = 3,
+  kTaskAssign = 4,
+  kTaskResult = 5,
+  kShutdown = 6,
+  kFetchReq = 16,
+  kFetchChunk = 17,
+  kFetchEnd = 18,
+  kFetchError = 19,
+};
+
+struct RegisterMsg {
+  std::string worker_name;
+  std::string shuffle_addr;  ///< where this worker's SegmentServer listens
+  uint32_t slots = 1;        ///< concurrent task capacity
+};
+
+struct RegisterAckMsg {
+  uint32_t worker_id = 0;
+};
+
+struct HeartbeatMsg {
+  uint32_t worker_id = 0;
+  uint64_t seq = 0;
+};
+
+/// String key/value pairs a registered job builder turns back into a
+/// JobSpec on the worker (JobSpec itself holds std::function factories and
+/// cannot cross a process boundary).
+using JobParams = std::vector<std::pair<std::string, std::string>>;
+
+enum class TaskKind : uint8_t { kMap = 0, kReduce = 1 };
+
+/// One remote segment a reduce task must fetch: the owning worker's shuffle
+/// address plus the segment file name on that worker's storage.
+struct SegmentRef {
+  std::string addr;
+  std::string file;
+};
+
+struct TaskAssignMsg {
+  uint64_t rpc_id = 0;  ///< echoed in the TaskResult
+  TaskKind kind = TaskKind::kMap;
+  std::string job_name;  ///< registered builder name
+  JobParams params;
+  std::string job_id;  ///< segment-file scope (attempt-unique for maps)
+  uint32_t task_index = 0;
+  uint32_t attempt = 0;
+  // Map tasks: the split's records, encoded with EncodeKVList.
+  std::string split_records;
+  // Reduce tasks: every map's segment for this partition, in map-index
+  // order (merge order is part of the output contract).
+  std::vector<SegmentRef> segments;
+  bool collect_output = true;
+  double network_mb_per_s = 0;  ///< simulated fetch bandwidth on the worker
+  uint32_t readahead_blocks = 0;
+};
+
+struct TaskResultMsg {
+  uint64_t rpc_id = 0;
+  int32_t status_code = 0;  ///< Status::Code as int; 0 = ok
+  std::string status_msg;
+  // Map tasks: segment file name per reduce partition ("" = empty).
+  std::vector<std::string> segment_files;
+  // Reduce tasks: the partition's output, encoded with EncodeKVList.
+  std::string output_records;
+  std::string metrics;  ///< EncodeJobMetrics of the task's JobMetrics
+  uint64_t cpu_nanos = 0;
+};
+
+struct FetchReqMsg {
+  std::string file;
+};
+
+struct FetchErrorMsg {
+  int32_t status_code = 0;
+  std::string status_msg;
+};
+
+// --- encode/decode -------------------------------------------------------
+// Decode returns IOError on malformed payloads (transient: a garbled
+// message is wire trouble, and the frame CRC already screens storage-level
+// corruption).
+
+void EncodeRegister(const RegisterMsg& msg, std::string* out);
+Status DecodeRegister(const std::string& payload, RegisterMsg* msg);
+
+void EncodeRegisterAck(const RegisterAckMsg& msg, std::string* out);
+Status DecodeRegisterAck(const std::string& payload, RegisterAckMsg* msg);
+
+void EncodeHeartbeat(const HeartbeatMsg& msg, std::string* out);
+Status DecodeHeartbeat(const std::string& payload, HeartbeatMsg* msg);
+
+void EncodeTaskAssign(const TaskAssignMsg& msg, std::string* out);
+Status DecodeTaskAssign(const std::string& payload, TaskAssignMsg* msg);
+
+void EncodeTaskResult(const TaskResultMsg& msg, std::string* out);
+Status DecodeTaskResult(const std::string& payload, TaskResultMsg* msg);
+
+void EncodeFetchReq(const FetchReqMsg& msg, std::string* out);
+Status DecodeFetchReq(const std::string& payload, FetchReqMsg* msg);
+
+void EncodeFetchError(const FetchErrorMsg& msg, std::string* out);
+Status DecodeFetchError(const std::string& payload, FetchErrorMsg* msg);
+
+/// Rebuild a Status from a (code, message) pair that crossed the wire.
+Status StatusFromWire(int32_t code, const std::string& msg);
+
+/// KV list codec used for split records and reduce outputs:
+/// varint64(count) then count x (length-prefixed key, length-prefixed value).
+void EncodeKVList(const std::vector<KV>& records, std::string* out);
+Status DecodeKVList(const std::string& payload, std::vector<KV>* records);
+
+/// JobMetrics codec: every X-macro sum/max field, the per-phase CPU fields,
+/// and total_cpu_nanos/wall_nanos, as varint64s in declaration order.
+void EncodeJobMetrics(const JobMetrics& metrics, std::string* out);
+Status DecodeJobMetrics(const std::string& payload, JobMetrics* metrics);
+
+}  // namespace net
+}  // namespace antimr
+
+#endif  // ANTIMR_NET_WIRE_H_

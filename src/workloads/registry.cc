@@ -1,0 +1,109 @@
+#include "workloads/registry.h"
+
+#include <map>
+#include <string>
+
+#include "anticombine/transform.h"
+#include "engine/job_registry.h"
+#include "workloads/sort.h"
+#include "workloads/theta_join.h"
+#include "workloads/wordcount.h"
+
+namespace antimr {
+namespace workloads {
+
+namespace {
+
+using engine::ParamBool;
+using engine::ParamCodec;
+using engine::ParamInt;
+using engine::ParamUint64;
+using Params = std::map<std::string, std::string>;
+
+// Apply the anti_combine/lazy_threshold_nanos params as the builder's last
+// step, so the transform wraps the fully configured original job.
+Status ApplyAntiCombine(const Params& params, JobSpec* spec) {
+  auto it = params.find("anti_combine");
+  const std::string mode = it == params.end() ? "off" : it->second;
+  if (mode == "off") return Status::OK();
+  anticombine::AntiCombineOptions options;
+  if (mode == "eager") {
+    options = anticombine::AntiCombineOptions::EagerOnly();
+  } else if (mode == "lazy") {
+    options = anticombine::AntiCombineOptions::LazyOnly();
+  } else if (mode == "adaptive") {
+    options = anticombine::AntiCombineOptions::Unrestricted();
+  } else if (mode == "alpha") {
+    options = anticombine::AntiCombineOptions::Alpha();
+  } else {
+    return Status::InvalidArgument("bad anti_combine mode: " + mode);
+  }
+  uint64_t threshold = 0;
+  ANTIMR_RETURN_NOT_OK(ParamUint64(params, "lazy_threshold_nanos",
+                                   options.lazy_threshold_nanos, &threshold));
+  options.lazy_threshold_nanos = threshold;
+  *spec = anticombine::EnableAntiCombining(*spec, options);
+  return Status::OK();
+}
+
+Status BuildWordCount(const Params& params, JobSpec* spec) {
+  WordCountConfig config;
+  ANTIMR_RETURN_NOT_OK(ParamInt(params, "reduces", config.num_reduce_tasks,
+                                &config.num_reduce_tasks));
+  ANTIMR_RETURN_NOT_OK(
+      ParamCodec(params, "codec", config.codec, &config.codec));
+  ANTIMR_RETURN_NOT_OK(ParamBool(params, "combiner", config.with_combiner,
+                                 &config.with_combiner));
+  uint64_t buffer = config.map_buffer_bytes;
+  ANTIMR_RETURN_NOT_OK(
+      ParamUint64(params, "map_buffer_bytes", buffer, &buffer));
+  config.map_buffer_bytes = static_cast<size_t>(buffer);
+  *spec = MakeWordCountJob(config);
+  return ApplyAntiCombine(params, spec);
+}
+
+Status BuildSort(const Params& params, JobSpec* spec) {
+  SortConfig config;
+  ANTIMR_RETURN_NOT_OK(ParamInt(params, "reduces", config.num_reduce_tasks,
+                                &config.num_reduce_tasks));
+  ANTIMR_RETURN_NOT_OK(
+      ParamCodec(params, "codec", config.codec, &config.codec));
+  uint64_t buffer = config.map_buffer_bytes;
+  ANTIMR_RETURN_NOT_OK(
+      ParamUint64(params, "map_buffer_bytes", buffer, &buffer));
+  config.map_buffer_bytes = static_cast<size_t>(buffer);
+  *spec = MakeSortJob(config);
+  return ApplyAntiCombine(params, spec);
+}
+
+Status BuildThetaJoin(const Params& params, JobSpec* spec) {
+  ThetaJoinConfig config;
+  ANTIMR_RETURN_NOT_OK(ParamInt(params, "reduces", config.num_reduce_tasks,
+                                &config.num_reduce_tasks));
+  ANTIMR_RETURN_NOT_OK(
+      ParamCodec(params, "codec", config.codec, &config.codec));
+  ANTIMR_RETURN_NOT_OK(
+      ParamInt(params, "grid_rows", config.grid_rows, &config.grid_rows));
+  ANTIMR_RETURN_NOT_OK(
+      ParamInt(params, "grid_cols", config.grid_cols, &config.grid_cols));
+  ANTIMR_RETURN_NOT_OK(ParamInt(params, "latitude_band", config.latitude_band,
+                                &config.latitude_band));
+  ANTIMR_RETURN_NOT_OK(ParamUint64(params, "salt", config.salt, &config.salt));
+  uint64_t buffer = config.map_buffer_bytes;
+  ANTIMR_RETURN_NOT_OK(
+      ParamUint64(params, "map_buffer_bytes", buffer, &buffer));
+  config.map_buffer_bytes = static_cast<size_t>(buffer);
+  *spec = MakeThetaJoinJob(config);
+  return ApplyAntiCombine(params, spec);
+}
+
+}  // namespace
+
+void RegisterStandardJobs() {
+  engine::RegisterJobBuilder("wordcount", BuildWordCount);
+  engine::RegisterJobBuilder("sort", BuildSort);
+  engine::RegisterJobBuilder("theta_join", BuildThetaJoin);
+}
+
+}  // namespace workloads
+}  // namespace antimr

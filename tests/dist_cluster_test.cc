@@ -1,0 +1,285 @@
+// The distributed engine end to end: a Coordinator plus in-process Worker
+// objects over one shared transport must produce byte-identical output to
+// the single-process RunJob path — on the loopback transport and on real
+// TCP sockets, with and without workers dying mid-job. Worker-loss recovery
+// is the MapReduce contract: segments on a dead worker are gone, so the
+// driver re-runs that worker's maps elsewhere before retrying the reduce.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/coordinator.h"
+#include "engine/job_registry.h"
+#include "engine/worker.h"
+#include "datagen/cloud.h"
+#include "datagen/random_text.h"
+#include "net/frame.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "obs/metrics_registry.h"
+#include "test_util.h"
+#include "workloads/registry.h"
+
+namespace antimr {
+namespace {
+
+using engine::Coordinator;
+using engine::CoordinatorOptions;
+using engine::DistJobOptions;
+using engine::DistJobResult;
+using engine::RunDistributedJob;
+using engine::Worker;
+using engine::WorkerOptions;
+
+/// Chunk records exactly like MakeSplits so the distributed splits carry the
+/// same per-map record ranges as the single-process splits.
+std::vector<std::vector<KV>> Chunk(std::vector<KV> records, int num_splits) {
+  std::vector<std::vector<KV>> chunks;
+  const size_t per =
+      (records.size() + num_splits - 1) / static_cast<size_t>(num_splits);
+  for (size_t start = 0; start < records.size(); start += per) {
+    const size_t end = std::min(records.size(), start + per);
+    chunks.emplace_back(records.begin() + static_cast<long>(start),
+                        records.begin() + static_cast<long>(end));
+  }
+  if (chunks.empty()) chunks.emplace_back();
+  return chunks;
+}
+
+std::vector<KV> WordCountInput() {
+  RandomTextConfig config;
+  config.num_lines = 3000;
+  config.seed = 11;
+  return RandomTextGenerator(config).Generate();
+}
+
+/// Single-process reference output for a registered job over `records`.
+std::vector<KV> SingleProcessOutput(const std::string& job_name,
+                                    const net::JobParams& params,
+                                    const std::vector<KV>& records,
+                                    int maps) {
+  JobSpec spec;
+  Status st = engine::BuildRegisteredJob(job_name, params, &spec);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  RunOptions run;
+  run.collect_output = true;
+  JobResult result;
+  st = RunJob(spec, MakeSplits(records, maps), run, &result);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return result.FlatOutput();
+}
+
+class DistClusterTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    workloads::RegisterStandardJobs();
+    transport_ = GetParam() == std::string("tcp")
+                     ? net::NewTcpTransport()
+                     : net::NewLoopbackTransport();
+    CoordinatorOptions options;
+    // Fast loss detection keeps the crash tests quick; workers heartbeat
+    // every 50ms so a healthy worker never trips it.
+    options.heartbeat_timeout_nanos = 400ull * 1000 * 1000;
+    options.monitor_period_nanos = 20ull * 1000 * 1000;
+    coord_ = std::make_unique<Coordinator>(transport_.get(), options);
+    ASSERT_TRUE(coord_->Start("").ok());
+  }
+
+  void TearDown() override {
+    coord_->Stop();
+    for (auto& worker : workers_) worker->Stop();
+  }
+
+  void StartWorkers(int n) {
+    for (int i = 0; i < n; ++i) {
+      WorkerOptions options;
+      options.name = "w" + std::to_string(i);
+      options.slots = 2;
+      options.heartbeat_period_nanos = 50ull * 1000 * 1000;
+      workers_.push_back(
+          std::make_unique<Worker>(transport_.get(), options));
+    }
+    // Hooks must be in place before Start; tests that use them set the
+    // shared state the hooks read afterwards.
+    for (auto& worker : workers_) {
+      ASSERT_TRUE(worker->Start(coord_->addr()).ok());
+    }
+    ASSERT_TRUE(coord_->WaitForWorkers(n, 10ull * 1000 * 1000 * 1000));
+  }
+
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<Coordinator> coord_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+TEST_P(DistClusterTest, WordCountMatchesSingleProcess) {
+  const std::vector<KV> input = WordCountInput();
+  const net::JobParams params = {{"reduces", "4"},
+                                 {"anti_combine", "adaptive"}};
+  StartWorkers(3);
+
+  DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = params;
+  options.splits = Chunk(input, 6);
+  DistJobResult result;
+  const Status st = RunDistributedJob(coord_.get(), options, &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  EXPECT_EQ(result.FlatOutput(),
+            SingleProcessOutput("wordcount", params, input, 6));
+  EXPECT_EQ(result.map_reruns, 0u);
+  EXPECT_GT(result.metrics.output_records, 0u);
+}
+
+TEST_P(DistClusterTest, ThetaJoinMatchesSingleProcess) {
+  CloudConfig config;
+  config.num_records = 2000;
+  config.seed = 5;
+  const std::vector<KV> input = CloudGenerator(config).Generate();
+  const net::JobParams params = {{"reduces", "4"},
+                                 {"grid_rows", "4"},
+                                 {"grid_cols", "4"},
+                                 {"anti_combine", "eager"}};
+  StartWorkers(2);
+
+  DistJobOptions options;
+  options.job_name = "theta_join";
+  options.params = params;
+  options.splits = Chunk(input, 4);
+  DistJobResult result;
+  const Status st = RunDistributedJob(coord_.get(), options, &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(result.FlatOutput(),
+            SingleProcessOutput("theta_join", params, input, 4));
+}
+
+TEST_P(DistClusterTest, WorkerCrashMidMapRecovers) {
+  const std::vector<KV> input = WordCountInput();
+  const net::JobParams params = {{"reduces", "3"}};
+  std::atomic<bool> crashed{false};
+  StartWorkers(3);
+  // The first map that lands on worker 0 kills it mid-task: its result is
+  // never sent and every segment it produced is unreachable.
+  workers_[0]->on_map_start = [&](int, uint32_t) {
+    if (!crashed.exchange(true)) workers_[0]->Crash();
+  };
+
+  DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = params;
+  options.splits = Chunk(input, 6);
+  options.max_task_attempts = 4;
+  DistJobResult result;
+  const Status st = RunDistributedJob(coord_.get(), options, &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  EXPECT_TRUE(crashed.load());
+  EXPECT_EQ(result.FlatOutput(),
+            SingleProcessOutput("wordcount", params, input, 6));
+}
+
+TEST_P(DistClusterTest, WorkerCrashMidShuffleFetchRecovers) {
+  const std::vector<KV> input = WordCountInput();
+  const net::JobParams params = {{"reduces", "4"}};
+  StartWorkers(2);
+
+  // Kill the worker that owns map 0's segments the moment a reduce on the
+  // *other* worker starts — that reduce's shuffle fetches hit a dead
+  // SegmentServer, so recovery must re-run the lost maps, not just retry
+  // the fetch.
+  std::atomic<Worker*> map_owner{nullptr};
+  std::atomic<bool> crashed{false};
+  for (auto& worker : workers_) {
+    Worker* self = worker.get();
+    self->on_map_start = [&map_owner, self](int, uint32_t) {
+      Worker* expected = nullptr;
+      map_owner.compare_exchange_strong(expected, self);
+    };
+    self->on_reduce_start = [&map_owner, &crashed, self](int, uint32_t) {
+      Worker* owner = map_owner.load();
+      if (owner != nullptr && owner != self && !crashed.exchange(true)) {
+        owner->Crash();
+      }
+    };
+  }
+
+  DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = params;
+  options.splits = Chunk(input, 6);
+  options.max_task_attempts = 4;
+  DistJobResult result;
+  const Status st = RunDistributedJob(coord_.get(), options, &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  EXPECT_TRUE(crashed.load());
+  EXPECT_GT(result.map_reruns, 0u);
+  EXPECT_EQ(result.FlatOutput(),
+            SingleProcessOutput("wordcount", params, input, 6));
+}
+
+TEST_P(DistClusterTest, SilentWorkerIsDeclaredLostByHeartbeatTimeout) {
+  obs::Counter* lost = obs::MetricsRegistry::Global().GetCounter(
+      "antimr_coord_workers_lost_total", "");
+  const uint64_t lost_before = lost->value();
+
+  // A hand-rolled worker that registers and then goes silent — the conn
+  // stays open, so only the heartbeat monitor can declare it dead.
+  std::unique_ptr<net::Conn> conn;
+  ASSERT_TRUE(transport_->Dial(coord_->addr(), &conn).ok());
+  net::RegisterMsg reg;
+  reg.worker_name = "zombie";
+  reg.shuffle_addr = "nowhere:0";
+  reg.slots = 1;
+  std::string payload;
+  net::EncodeRegister(reg, &payload);
+  ASSERT_TRUE(net::WriteFrame(conn.get(), net::kRegister, payload).ok());
+  uint8_t type = 0;
+  ASSERT_TRUE(net::ReadFrame(conn.get(), &type, &payload).ok());
+  ASSERT_EQ(type, net::kRegisterAck);
+  ASSERT_EQ(coord_->live_workers(), 1);
+
+  for (int i = 0; i < 100 && coord_->live_workers() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(coord_->live_workers(), 0);
+  EXPECT_EQ(lost->value(), lost_before + 1);
+}
+
+TEST_P(DistClusterTest, NoWorkersFailsAfterRetryBudget) {
+  DistJobOptions options;
+  options.job_name = "wordcount";
+  options.splits = Chunk(WordCountInput(), 2);
+  options.max_task_attempts = 2;
+  options.retry_backoff_nanos = 1000;
+  DistJobResult result;
+  const Status st = RunDistributedJob(coord_.get(), options, &result);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsTransient()) << st.ToString();
+}
+
+TEST_P(DistClusterTest, UnknownJobFailsFast) {
+  StartWorkers(1);
+  DistJobOptions options;
+  options.job_name = "no_such_job";
+  options.splits = {{}};
+  DistJobResult result;
+  const Status st = RunDistributedJob(coord_.get(), options, &result);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kNotFound) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, DistClusterTest,
+                         ::testing::Values("loopback", "tcp"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace antimr

@@ -9,10 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/coordinator.h"
 #include "engine/executor.h"
 #include "engine/job_plan.h"
+#include "engine/job_registry.h"
+#include "engine/worker.h"
+#include "datagen/random_text.h"
+#include "net/transport.h"
 #include "obs/metrics_registry.h"
 #include "test_util.h"
+#include "workloads/registry.h"
 
 namespace antimr {
 namespace {
@@ -377,6 +383,64 @@ INSTANTIATE_TEST_SUITE_P(ShuffleModes, FaultInjection,
                                       ? "Pipelined"
                                       : "Barrier";
                          });
+
+// A worker whose local storage flakes transiently mid-job: the fault fails
+// the task on that worker, the failure crosses the wire as the task's own
+// Status, and the coordinator's retry layer re-places it. The cluster-level
+// outcome must be byte-identical to a clean single-process run.
+TEST(DistFaultInjection, DistributedJobRecoversFromWorkerStorageFlake) {
+  workloads::RegisterStandardJobs();
+  RandomTextConfig text_config;
+  text_config.num_lines = 2000;
+  text_config.seed = 3;
+  const std::vector<KV> input = RandomTextGenerator(text_config).Generate();
+  const net::JobParams params = {{"reduces", "3"}};
+
+  JobSpec spec;
+  ASSERT_TRUE(engine::BuildRegisteredJob("wordcount", params, &spec).ok());
+  RunOptions run;
+  run.collect_output = true;
+  JobResult expected;
+  ASSERT_TRUE(
+      RunJob(spec, MakeSplits(input, 4), run, &expected).ok());
+
+  std::unique_ptr<net::Transport> transport = net::NewLoopbackTransport();
+  engine::Coordinator coord(transport.get());
+  ASSERT_TRUE(coord.Start("").ok());
+
+  FaultyEnv flaky(NewMemEnv(), /*fail_at=*/6, /*fail_times=*/1);
+  engine::WorkerOptions flaky_options;
+  flaky_options.name = "flaky";
+  flaky_options.env = &flaky;
+  engine::Worker flaky_worker(transport.get(), flaky_options);
+  engine::Worker steady_worker(transport.get());
+  ASSERT_TRUE(flaky_worker.Start(coord.addr()).ok());
+  ASSERT_TRUE(steady_worker.Start(coord.addr()).ok());
+  ASSERT_TRUE(coord.WaitForWorkers(2, 10ull * 1000 * 1000 * 1000));
+
+  engine::DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = params;
+  options.max_task_attempts = 4;
+  options.retry_backoff_nanos = 1000;
+  {
+    const size_t per = (input.size() + 3) / 4;
+    for (size_t start = 0; start < input.size(); start += per) {
+      const size_t end = std::min(input.size(), start + per);
+      options.splits.emplace_back(input.begin() + static_cast<long>(start),
+                                  input.begin() + static_cast<long>(end));
+    }
+  }
+  engine::DistJobResult result;
+  const Status st = engine::RunDistributedJob(&coord, options, &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(flaky.faults_injected(), 1);
+  EXPECT_EQ(result.FlatOutput(), expected.FlatOutput());
+
+  coord.Stop();
+  flaky_worker.Stop();
+  steady_worker.Stop();
+}
 
 }  // namespace
 }  // namespace antimr

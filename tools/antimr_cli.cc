@@ -17,11 +17,18 @@
 //   antimr_cli help
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "antimr.h"
+#include "common/hash.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "engine/coordinator.h"
+#include "engine/worker.h"
+#include "net/frame.h"
+#include "net/transport.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "datagen/cloud.h"
@@ -31,6 +38,7 @@
 #include "tools/flags.h"
 #include "workloads/pagerank.h"
 #include "workloads/query_suggestion.h"
+#include "workloads/registry.h"
 #include "workloads/sort.h"
 #include "workloads/theta_join.h"
 #include "workloads/wordcount.h"
@@ -47,6 +55,8 @@ int Usage() {
       "sort [options]\n"
       "  antimr_cli pipeline [options]      wordcount -> sort two-stage DAG\n"
       "  antimr_cli codecs [--size=BYTES]\n"
+      "  antimr_cli worker --connect=HOST:PORT [--slots=N] [--name=S]\n"
+      "                                     join a distributed cluster\n"
       "options:\n"
       "  --strategy=original|eager|lazy|adaptive   (default adaptive)\n"
       "  --engine=dag|loop     pagerank driver: one multi-stage plan (dag)\n"
@@ -72,7 +82,26 @@ int Usage() {
       "                        retries transient (I/O) task failures with\n"
       "                        capped exponential backoff (default 1)\n"
       "  --json                dump metrics as a JSON object\n"
+      "  --output-hash         collect the output and print a stable hash\n"
+      "                        (for cross-process identity checks)\n"
       "  --partitioner=hash|prefix1|prefix5        (qsuggest)\n"
+      "distributed run (wordcount, sort, thetajoin):\n"
+      "  --dist=off|loopback|tcp   off (default) runs single-process;\n"
+      "                        loopback runs coordinator + in-process\n"
+      "                        workers over the in-memory transport; tcp\n"
+      "                        listens for external `antimr_cli worker`\n"
+      "                        processes on real sockets\n"
+      "  --workers=N           worker quorum to wait for / spawn (default 2)\n"
+      "  --listen=HOST:PORT    coordinator bind address (tcp; default\n"
+      "                        127.0.0.1:0 = ephemeral, printed on stdout)\n"
+      "  --wait-workers-ms=N   registration quorum timeout (default 30000)\n"
+      "  --heartbeat-timeout-ms=N  declare a silent worker lost (default "
+      "2000)\n"
+      "worker options:\n"
+      "  --connect=HOST:PORT   coordinator address (required)\n"
+      "  --slots=N             concurrent task slots (default 2)\n"
+      "  --name=S              worker name for logs (default worker)\n"
+      "  --heartbeat-ms=N      heartbeat period (default 100)\n"
       "observability (any command):\n"
       "  --trace=FILE          write a Chrome/Perfetto trace (chrome://tracing"
       ",\n"
@@ -174,10 +203,20 @@ Status BuildJob(const Flags& flags, JobSpec* spec,
   return Status::InvalidArgument("unknown workload: " + workload);
 }
 
+uint64_t HashOutput(const std::vector<KV>& kvs);
+int DistRunCommand(const Flags& flags, const std::string& mode);
+
 int RunCommand(const Flags& flags) {
   const uint64_t records = flags.GetUint("records", 20000);
   const int maps = static_cast<int>(flags.GetUint("maps", 8));
   const std::string workload = flags.GetString("workload", "qsuggest");
+
+  const std::string dist = flags.GetString("dist", "off");
+  if (dist == "loopback" || dist == "tcp") return DistRunCommand(flags, dist);
+  if (dist != "off") {
+    std::fprintf(stderr, "error: unknown dist mode %s\n", dist.c_str());
+    return Usage();
+  }
 
   anticombine::AntiCombineOptions options;
   if (flags.Has("threshold-us")) {
@@ -190,7 +229,7 @@ int RunCommand(const Flags& flags) {
   const std::string strategy = flags.GetString("strategy", "adaptive");
 
   RunOptions run;
-  run.collect_output = false;
+  run.collect_output = flags.Has("output-hash");
   run.hardware.disk_mb_per_s = flags.GetDouble("disk-mbps", 0);
   run.hardware.network_mb_per_s = flags.GetDouble("net-mbps", 0);
   run.collect_task_metrics = flags.Has("top-tasks");
@@ -281,6 +320,12 @@ int RunCommand(const Flags& flags) {
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
+  }
+  if (flags.Has("output-hash")) {
+    const std::vector<KV> flat = result.FlatOutput();
+    std::printf("output_hash=%016llx output_records=%zu\n",
+                static_cast<unsigned long long>(HashOutput(flat)),
+                flat.size());
   }
   if (flags.GetBool("json", false)) {
     std::printf("%s\n", result.metrics.ToJson().c_str());
@@ -474,6 +519,224 @@ int CodecsCommand(const Flags& flags) {
   return 0;
 }
 
+/// Order-sensitive FNV chain over the flattened output. Two runs that
+/// produced byte-identical output in the same partition order hash equal —
+/// the cross-process identity check run_local_cluster.sh relies on.
+uint64_t HashOutput(const std::vector<KV>& kvs) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const KV& kv : kvs) {
+    h = Hash64(kv.key.data(), kv.key.size(), h);
+    h = Hash64(kv.value.data(), kv.value.size(), h);
+  }
+  return h;
+}
+
+/// Chunk `records` exactly like MakeSplits (mr/types.cc) so distributed map
+/// inputs match the single-process splits record-for-record.
+std::vector<std::vector<KV>> ChunkRecords(std::vector<KV> records,
+                                          int num_splits) {
+  std::vector<std::vector<KV>> chunks;
+  if (num_splits <= 0) num_splits = 1;
+  const size_t n = records.size();
+  const size_t per = (n + num_splits - 1) / static_cast<size_t>(num_splits);
+  size_t start = 0;
+  while (start < n) {
+    const size_t end = std::min(n, start + per);
+    chunks.emplace_back(
+        std::make_move_iterator(records.begin() + static_cast<long>(start)),
+        std::make_move_iterator(records.begin() + static_cast<long>(end)));
+    start = end;
+  }
+  if (chunks.empty()) chunks.emplace_back();
+  return chunks;
+}
+
+/// Translate the run command's flags into a registered-job name, its
+/// JobParams, and the input splits for the distributed driver. The params
+/// mirror what BuildJob configures locally, so `--dist=loopback` and
+/// `--dist=off` execute the same job over the same input.
+Status BuildDistJob(const Flags& flags, uint64_t records, int maps,
+                    engine::DistJobOptions* dist) {
+  const std::string workload = flags.GetString("workload", "qsuggest");
+  const uint64_t seed = flags.GetUint("seed", 42);
+  const std::string codec = flags.GetString("codec", "none");
+  const std::string reduces = std::to_string(flags.GetUint("reduces", 8));
+
+  if (workload == "wordcount") {
+    RandomTextConfig rc;
+    rc.num_lines = records;
+    rc.seed = seed;
+    dist->job_name = "wordcount";
+    dist->splits = ChunkRecords(RandomTextGenerator(rc).Generate(), maps);
+    dist->params = {{"reduces", reduces},
+                    {"codec", codec},
+                    {"combiner", flags.GetBool("combiner", true) ? "1" : "0"}};
+  } else if (workload == "sort") {
+    RandomTextConfig rc;
+    rc.num_lines = records;
+    rc.seed = seed;
+    dist->job_name = "sort";
+    dist->splits = ChunkRecords(RandomTextGenerator(rc).Generate(), maps);
+    dist->params = {{"reduces", reduces}, {"codec", codec}};
+  } else if (workload == "thetajoin") {
+    CloudConfig cc;
+    cc.num_records = records;
+    cc.seed = seed;
+    dist->job_name = "theta_join";
+    dist->splits = ChunkRecords(CloudGenerator(cc).Generate(), maps);
+    int grid_rows = 0, grid_cols = 0;
+    workloads::SizeGridForMemory(records,
+                                 flags.GetUint("region-records", 1000),
+                                 &grid_rows, &grid_cols);
+    dist->params = {{"reduces", reduces},
+                    {"codec", codec},
+                    {"grid_rows", std::to_string(grid_rows)},
+                    {"grid_cols", std::to_string(grid_cols)}};
+  } else {
+    return Status::InvalidArgument("workload " + workload +
+                                   " is not registered for --dist mode");
+  }
+
+  const std::string strategy = flags.GetString("strategy", "adaptive");
+  if (strategy != "original") {
+    if (strategy != "eager" && strategy != "lazy" && strategy != "adaptive") {
+      return Status::InvalidArgument("unknown strategy " + strategy);
+    }
+    dist->params.emplace_back("anti_combine", strategy);
+    if (flags.Has("threshold-us")) {
+      dist->params.emplace_back(
+          "lazy_threshold_nanos",
+          std::to_string(flags.GetUint("threshold-us", 0) * 1000));
+    }
+  }
+  return Status::OK();
+}
+
+/// `run --dist=loopback|tcp`: bring up a Coordinator (plus in-process
+/// workers in loopback mode), wait for the worker quorum, and drive the job
+/// through RunDistributedJob.
+int DistRunCommand(const Flags& flags, const std::string& mode) {
+  workloads::RegisterStandardJobs();
+  const uint64_t records = flags.GetUint("records", 20000);
+  const int maps = static_cast<int>(flags.GetUint("maps", 8));
+  const int workers = static_cast<int>(flags.GetUint("workers", 2));
+
+  engine::DistJobOptions dist;
+  Status st = BuildDistJob(flags, records, maps, &dist);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return Usage();
+  }
+  dist.network_mb_per_s = flags.GetDouble("net-mbps", 0);
+  dist.max_task_attempts =
+      static_cast<int>(flags.GetUint("max-task-attempts", 3));
+  dist.collect_outputs = true;
+
+  std::unique_ptr<net::Transport> transport =
+      mode == "tcp" ? net::NewTcpTransport() : net::NewLoopbackTransport();
+  engine::CoordinatorOptions coord_options;
+  coord_options.heartbeat_timeout_nanos =
+      flags.GetUint("heartbeat-timeout-ms", 2000) * 1000000ull;
+  engine::Coordinator coord(transport.get(), coord_options);
+  st = coord.Start(flags.GetString("listen", ""));
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("coordinator listening at %s\n", coord.addr().c_str());
+  std::fflush(stdout);
+
+  std::vector<std::unique_ptr<engine::Worker>> local_workers;
+  if (mode == "loopback") {
+    for (int i = 0; i < workers; ++i) {
+      engine::WorkerOptions worker_options;
+      worker_options.name = "worker" + std::to_string(i);
+      worker_options.slots = static_cast<int>(flags.GetUint("slots", 2));
+      local_workers.push_back(
+          std::make_unique<engine::Worker>(transport.get(), worker_options));
+      st = local_workers.back()->Start(coord.addr());
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  const uint64_t wait_ms = flags.GetUint("wait-workers-ms", 30000);
+  if (!coord.WaitForWorkers(workers, wait_ms * 1000000ull)) {
+    std::fprintf(stderr, "error: timed out waiting for %d workers\n",
+                 workers);
+    return 1;
+  }
+
+  const net::WireCounters wire_before = net::SnapshotWireCounters();
+  engine::DistJobResult result;
+  st = RunDistributedJob(&coord, dist, &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const net::WireCounters wire_after = net::SnapshotWireCounters();
+
+  std::printf("workload=%s dist=%s workers=%d maps=%zu records=%llu\n",
+              flags.GetString("workload", "qsuggest").c_str(), mode.c_str(),
+              workers, dist.splits.size(),
+              static_cast<unsigned long long>(records));
+  std::printf("wire_bytes_sent=%llu wire_bytes_received=%llu "
+              "map_reruns=%llu\n",
+              static_cast<unsigned long long>(wire_after.bytes_sent -
+                                              wire_before.bytes_sent),
+              static_cast<unsigned long long>(wire_after.bytes_received -
+                                              wire_before.bytes_received),
+              static_cast<unsigned long long>(result.map_reruns));
+  if (flags.Has("output-hash")) {
+    const std::vector<KV> flat = result.FlatOutput();
+    std::printf("output_hash=%016llx output_records=%zu\n",
+                static_cast<unsigned long long>(HashOutput(flat)),
+                flat.size());
+  }
+  if (flags.GetBool("json", false)) {
+    std::printf("%s\n", result.metrics.ToJson().c_str());
+  } else {
+    std::printf("\n%s", result.metrics.ToString().c_str());
+  }
+  // Coordinator first: its Stop sends Shutdown, so in-process workers wind
+  // down cleanly instead of being declared lost when their conns close.
+  coord.Stop();
+  for (auto& worker : local_workers) worker->Stop();
+  return 0;
+}
+
+/// `antimr_cli worker`: the body of one worker process. Dials the
+/// coordinator, serves tasks until the coordinator sends Shutdown or the
+/// connection drops, then exits.
+int WorkerCommand(const Flags& flags) {
+  const std::string connect = flags.GetString("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "error: worker requires --connect=HOST:PORT\n");
+    return Usage();
+  }
+  workloads::RegisterStandardJobs();
+  std::unique_ptr<net::Transport> transport = net::NewTcpTransport();
+  engine::WorkerOptions options;
+  options.name = flags.GetString("name", "worker");
+  options.slots = static_cast<int>(flags.GetUint("slots", 2));
+  options.heartbeat_period_nanos =
+      flags.GetUint("heartbeat-ms", 100) * 1000000ull;
+  engine::Worker worker(transport.get(), options);
+  const Status st =
+      worker.Start(connect, flags.GetString("shuffle-listen", ""));
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("worker %s registered as %u, shuffle at %s\n",
+              options.name.c_str(), worker.id(), worker.shuffle_addr().c_str());
+  std::fflush(stdout);
+  worker.WaitDone();
+  worker.Stop();
+  return 0;
+}
+
 /// Write `body` to `path`, mirroring Tracer::WriteJson's error convention.
 Status WriteTextFile(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -490,6 +753,7 @@ int Dispatch(const Flags& flags, const std::string& command) {
   if (command == "run") return RunCommand(flags);
   if (command == "pipeline") return PipelineCommand(flags);
   if (command == "codecs") return CodecsCommand(flags);
+  if (command == "worker") return WorkerCommand(flags);
   return Usage();
 }
 

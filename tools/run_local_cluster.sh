@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# Multi-process smoke test: 1 coordinator + N worker processes on localhost
+# TCP must produce byte-identical output to the single-process engine.
+#
+# usage: run_local_cluster.sh [CLI_BINARY] [WORKERS] [WORKLOAD]
+#   CLI_BINARY  path to antimr_cli      (default: ./build/tools/antimr_cli)
+#   WORKERS     worker process count    (default: 2)
+#   WORKLOAD    wordcount|sort|thetajoin (default: wordcount)
+#
+# Exit 0 when the output hashes match, non-zero otherwise.
+set -eu
+
+CLI=${1:-./build/tools/antimr_cli}
+WORKERS=${2:-2}
+WORKLOAD=${3:-wordcount}
+RECORDS=${RECORDS:-5000}
+MAPS=${MAPS:-6}
+REDUCES=${REDUCES:-4}
+STRATEGY=${STRATEGY:-adaptive}
+
+if [ ! -x "$CLI" ]; then
+  echo "run_local_cluster: no antimr_cli at $CLI" >&2
+  exit 2
+fi
+
+WORK_DIR=$(mktemp -d "${TMPDIR:-/tmp}/antimr_cluster.XXXXXX")
+WORKER_PIDS=""
+cleanup() {
+  for pid in $WORKER_PIDS; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT INT TERM
+
+# Derive a port from the PID to dodge parallel ctest instances; the bind is
+# retried on the next port if something else got there first.
+PORT=$((20000 + $$ % 20000))
+ATTEMPTS=0
+while :; do
+  "$CLI" run --workload="$WORKLOAD" --strategy="$STRATEGY" \
+      --records="$RECORDS" --maps="$MAPS" --reduces="$REDUCES" \
+      --dist=tcp --listen=127.0.0.1:$PORT --workers="$WORKERS" \
+      --output-hash > "$WORK_DIR/coord.out" 2>&1 &
+  COORD_PID=$!
+  sleep 0.2
+  if kill -0 "$COORD_PID" 2>/dev/null; then
+    break
+  fi
+  wait "$COORD_PID" || true
+  ATTEMPTS=$((ATTEMPTS + 1))
+  if [ "$ATTEMPTS" -ge 5 ]; then
+    echo "run_local_cluster: coordinator failed to start:" >&2
+    cat "$WORK_DIR/coord.out" >&2
+    exit 1
+  fi
+  PORT=$((PORT + 1))
+done
+
+i=0
+while [ "$i" -lt "$WORKERS" ]; do
+  "$CLI" worker --connect=127.0.0.1:$PORT --name="worker$i" \
+      > "$WORK_DIR/worker$i.out" 2>&1 &
+  WORKER_PIDS="$WORKER_PIDS $!"
+  i=$((i + 1))
+done
+
+if ! wait "$COORD_PID"; then
+  echo "run_local_cluster: distributed run failed:" >&2
+  cat "$WORK_DIR/coord.out" >&2
+  exit 1
+fi
+# Workers exit on the coordinator's Shutdown; reap them before comparing.
+for pid in $WORKER_PIDS; do wait "$pid" || true; done
+WORKER_PIDS=""
+
+DIST_HASH=$(sed -n 's/^output_hash=\([0-9a-f]*\).*/\1/p' "$WORK_DIR/coord.out")
+if [ -z "$DIST_HASH" ]; then
+  echo "run_local_cluster: no output_hash in coordinator output:" >&2
+  cat "$WORK_DIR/coord.out" >&2
+  exit 1
+fi
+
+"$CLI" run --workload="$WORKLOAD" --strategy="$STRATEGY" \
+    --records="$RECORDS" --maps="$MAPS" --reduces="$REDUCES" \
+    --output-hash > "$WORK_DIR/local.out" 2>&1
+LOCAL_HASH=$(sed -n 's/^output_hash=\([0-9a-f]*\).*/\1/p' "$WORK_DIR/local.out")
+
+if [ "$DIST_HASH" != "$LOCAL_HASH" ]; then
+  echo "run_local_cluster: OUTPUT MISMATCH ($WORKLOAD, $WORKERS workers):" >&2
+  echo "  distributed: $DIST_HASH" >&2
+  echo "  local:       $LOCAL_HASH" >&2
+  exit 1
+fi
+echo "run_local_cluster: $WORKLOAD with $WORKERS workers over tcp matches" \
+     "single-process (hash $DIST_HASH)"
