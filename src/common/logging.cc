@@ -78,6 +78,21 @@ int LogThreadId() {
   return id;
 }
 
+namespace {
+std::mutex g_label_mutex;
+std::string g_node_label;  // guarded by g_label_mutex
+}  // namespace
+
+void SetLogNodeLabel(const std::string& label) {
+  std::lock_guard<std::mutex> lock(g_label_mutex);
+  g_node_label = label;
+}
+
+std::string GetLogNodeLabel() {
+  std::lock_guard<std::mutex> lock(g_label_mutex);
+  return g_node_label;
+}
+
 void SetLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
@@ -95,9 +110,15 @@ void LogLine(LogLevel level, const char* file, int line,
   }
   const double secs =
       static_cast<double>(NowNanos() - ProcessStartNanos()) * 1e-9;
+  const std::string label = GetLogNodeLabel();
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%.6f T%02d %s %s:%d] %s\n", secs, LogThreadId(),
-               LevelName(level), base, line, msg.c_str());
+  if (label.empty()) {
+    std::fprintf(stderr, "[%.6f T%02d %s %s:%d] %s\n", secs, LogThreadId(),
+                 LevelName(level), base, line, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%.6f %s T%02d %s %s:%d] %s\n", secs, label.c_str(),
+                 LogThreadId(), LevelName(level), base, line, msg.c_str());
+  }
 }
 }  // namespace internal
 

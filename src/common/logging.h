@@ -5,6 +5,9 @@
 // per-process thread id — the same id the tracer uses for its lanes — so a
 // log line can be matched against the span active in a trace file:
 //   [0.013942 T03 INFO shuffle.cc:212] fetched segment 4/8
+// Cluster processes additionally stamp a node label (SetLogNodeLabel) so
+// interleaved coordinator/worker stderr remains attributable:
+//   [0.013942 w2 T03 INFO shuffle.cc:212] fetched segment 4/8
 // The initial threshold comes from the ANTIMR_LOG environment variable
 // (debug|info|warn|error); unset or unrecognized keeps the kWarn default.
 #ifndef ANTIMR_COMMON_LOGGING_H_
@@ -30,6 +33,13 @@ bool ParseLogLevel(const char* name, LogLevel* level);
 /// logs or traces, then 1, 2, ...). Shared with obs::Tracer so log lines and
 /// trace lanes agree on which thread is which.
 int LogThreadId();
+
+/// Process-wide node label stamped into every log line ("coord", "w2", ...).
+/// Empty (the default) omits the field entirely, keeping single-process
+/// output unchanged. Set once at process/role setup; not synchronized for
+/// concurrent mutation.
+void SetLogNodeLabel(const std::string& label);
+std::string GetLogNodeLabel();
 
 namespace internal {
 void LogLine(LogLevel level, const char* file, int line,

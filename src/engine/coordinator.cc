@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <utility>
 
@@ -14,6 +15,32 @@
 namespace antimr {
 namespace engine {
 
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
 Coordinator::Coordinator(net::Transport* transport,
                          const CoordinatorOptions& options)
     : transport_(transport),
@@ -24,7 +51,12 @@ Coordinator::Coordinator(net::Transport* transport,
           "antimr_coord_tasks_assigned_total", "task RPCs sent to workers")),
       workers_lost_counter_(obs::MetricsRegistry::Global().GetCounter(
           "antimr_coord_workers_lost_total",
-          "workers declared dead (conn error or heartbeat timeout)")) {}
+          "workers declared dead (conn error or heartbeat timeout)")),
+      rpc_latency_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "antimr_coord_rpc_latency_nanos",
+          "task RPC round-trip latency (dispatch to result)")) {
+  trace_merger_.SetProcessName(1, "coord");
+}
 
 Coordinator::~Coordinator() { Stop(); }
 
@@ -84,6 +116,9 @@ void Coordinator::AcceptLoop() {
     }
     ANTIMR_LOG(kInfo) << "worker " << w->id << " (" << w->name
                       << ") registered, shuffle at " << w->shuffle_addr;
+    // pid lane for the merged cluster trace: coordinator is 1, workers 1+id.
+    trace_merger_.SetProcessName(1 + static_cast<int>(w->id),
+                                 "worker:" + w->name);
     w->receiver = std::thread([this, w] { ReceiveLoop(w); });
     cv_.notify_all();
   }
@@ -101,14 +136,35 @@ void Coordinator::ReceiveLoop(WorkerState* worker) {
     if (type == net::kHeartbeat) {
       net::HeartbeatMsg hb;
       if (net::DecodeHeartbeat(payload, &hb).ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        worker->last_activity_nanos = NowNanos();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          worker->last_activity_nanos = NowNanos();
+        }
+        // Federate the worker's registry snapshot. Absolute cumulative
+        // values make the fold idempotent under retransmits, so no seq
+        // tracking is needed here.
+        if (!hb.metrics_snapshot.empty()) {
+          obs::MetricsSnapshot snap;
+          if (obs::DecodeMetricsSnapshot(hb.metrics_snapshot, &snap).ok()) {
+            cluster_metrics_.Fold(worker->id, snap);
+          }
+        }
       }
     } else if (type == net::kTaskResult) {
       net::TaskResultMsg result;
       if (!net::DecodeTaskResult(payload, &result).ok()) {
         MarkDead(worker, "undecodable task result");
         return;
+      }
+      if (!result.trace_chunk.empty()) {
+        const Status merge =
+            trace_merger_.AddChunk(1 + static_cast<int>(worker->id),
+                                   result.trace_chunk);
+        if (!merge.ok()) {
+          ANTIMR_LOG(kWarn) << "dropping trace chunk from worker "
+                            << worker->id << ": " << merge.ToString();
+        }
+        result.trace_chunk.clear();  // callers only see task payloads
       }
       std::lock_guard<std::mutex> lock(mu_);
       worker->last_activity_nanos = NowNanos();
@@ -121,6 +177,20 @@ void Coordinator::ReceiveLoop(WorkerState* worker) {
         pending_.erase(it);
         cv_.notify_all();
       }
+    } else if (type == net::kTraceChunk) {
+      // Residual spans an exclusive worker process flushes on Shutdown
+      // (handler threads, anything not drained at a task boundary).
+      net::TraceChunkMsg msg;
+      if (net::DecodeTraceChunk(payload, &msg).ok() && !msg.chunk.empty()) {
+        const Status merge = trace_merger_.AddChunk(
+            1 + static_cast<int>(worker->id), msg.chunk);
+        if (!merge.ok()) {
+          ANTIMR_LOG(kWarn) << "dropping trace chunk from worker "
+                            << worker->id << ": " << merge.ToString();
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      worker->last_activity_nanos = NowNanos();
     }
     // Unknown frame types are skipped (forward compatibility).
   }
@@ -173,6 +243,9 @@ void Coordinator::MarkDead(WorkerState* worker, const std::string& why) {
       }
     }
   }
+  // Retain the worker's last snapshot in the federation (its work happened)
+  // but zero its gauges once no live worker backs them.
+  cluster_metrics_.MarkWorkerDead(worker->id);
   worker->conn->Close();
   if (!shutting_down) {
     ANTIMR_LOG(kWarn) << "worker " << worker->id << " lost: " << why;
@@ -233,6 +306,7 @@ Status Coordinator::Call(uint32_t worker_id, net::TaskAssignMsg assign,
                  ":" + assign.job_id + ":" +
                  std::to_string(assign.task_index) + "@w" +
                  std::to_string(worker_id));
+  const uint64_t call_start = NowNanos();
   assign.rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
 
   PendingCall call;
@@ -264,6 +338,13 @@ Status Coordinator::Call(uint32_t worker_id, net::TaskAssignMsg assign,
                                    payload);
   }
   tasks_assigned_counter_->Inc();
+  if (write_status.ok() && obs::kTraceCompiled && obs::TraceEnabled()) {
+    // Flow arrow out of this rpc span into the worker's task span; the
+    // rpc_id doubles as the flow id and rides in the assignment the worker
+    // already decodes, which records the matching FlowEnd.
+    obs::Tracer::Global().FlowStart("dispatch", "task_dispatch",
+                                    assign.rpc_id);
+  }
 
   if (!write_status.ok()) {
     // The receiver (or we, below) will notice the dead conn; unregister our
@@ -282,6 +363,7 @@ Status Coordinator::Call(uint32_t worker_id, net::TaskAssignMsg assign,
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return call.done; });
   worker->inflight--;
+  rpc_latency_hist_->Observe(NowNanos() - call_start);
   if (!call.status.ok()) return call.status;
   if (result->status_code != 0) {
     return net::StatusFromWire(result->status_code, result->status_msg);
@@ -302,6 +384,7 @@ void Coordinator::Stop() {
   // otherwise start a receiver after the join pass below already ran.
   if (accept_thread_.joinable()) accept_thread_.join();
   if (monitor_thread_.joinable()) monitor_thread_.join();
+  if (http_ != nullptr) http_->Stop();
   std::vector<WorkerState*> workers;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -317,8 +400,25 @@ void Coordinator::Stop() {
       std::lock_guard<std::mutex> lock(w->write_mu);
       net::WriteFrame(w->conn.get(), net::kShutdown, "");  // best effort
     }
-    w->conn->Close();
   }
+  if (obs::kTraceCompiled && obs::TraceEnabled()) {
+    // Workers answer Shutdown with a final kTraceChunk and close their end;
+    // wait (bounded) for the receivers to see those clean EOFs so the last
+    // chunks land in the merger before we cut the connections ourselves.
+    const uint64_t deadline = NowNanos() + 500ull * 1000 * 1000;
+    for (;;) {
+      bool any_alive = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [id, worker] : workers_) {
+          if (worker->alive) any_alive = true;
+        }
+      }
+      if (!any_alive || NowNanos() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (WorkerState* w : workers) w->conn->Close();
   for (WorkerState* w : workers) {
     if (w->receiver.joinable()) w->receiver.join();
   }
@@ -331,6 +431,117 @@ void Coordinator::Stop() {
       }
     }
   }
+}
+
+// --- observability surface ------------------------------------------------
+
+Status Coordinator::StartStatusServer(const std::string& addr) {
+  http_ = std::make_unique<net::HttpServer>(transport_);
+  http_->Handle("/metrics", [this](std::string* content_type) {
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return ClusterMetricsText();
+  });
+  http_->Handle("/status", [this](std::string* content_type) {
+    *content_type = "application/json";
+    return StatusJson();
+  });
+  ANTIMR_RETURN_NOT_OK(http_->Start(addr));
+  ANTIMR_LOG(kInfo) << "status server listening on " << http_->addr();
+  return Status::OK();
+}
+
+std::string Coordinator::ClusterMetricsText() const {
+  return cluster_metrics_.ToPrometheusText(&obs::MetricsRegistry::Global(),
+                                           obs::ProcessUid());
+}
+
+std::string Coordinator::StatusJson() const {
+  std::string out;
+  out.append("{\n");
+  const uint64_t now = NowNanos();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int live = 0;
+    int inflight = 0;
+    for (const auto& [id, worker] : workers_) {
+      live += worker->alive ? 1 : 0;
+      inflight += worker->inflight;
+    }
+    out.append("  \"live_workers\": ").append(std::to_string(live));
+    out.append(",\n  \"inflight_tasks\": ").append(std::to_string(inflight));
+    out.append(",\n  \"workers\": [");
+    bool first = true;
+    for (const auto& [id, worker] : workers_) {
+      out.append(first ? "\n" : ",\n");
+      first = false;
+      out.append("    {\"id\": ").append(std::to_string(id));
+      out.append(", \"name\": \"");
+      AppendJsonEscaped(&out, worker->name);
+      out.append("\", \"alive\": ").append(worker->alive ? "true" : "false");
+      out.append(", \"slots\": ").append(std::to_string(worker->slots));
+      out.append(", \"inflight\": ").append(std::to_string(worker->inflight));
+      const uint64_t idle_nanos = now > worker->last_activity_nanos
+                                      ? now - worker->last_activity_nanos
+                                      : 0;
+      out.append(", \"last_activity_ms\": ")
+          .append(std::to_string(idle_nanos / 1000000));
+      out.append(", \"shuffle_addr\": \"");
+      AppendJsonEscaped(&out, worker->shuffle_addr);
+      out.append("\"}");
+    }
+    out.append(first ? "]" : "\n  ]");
+  }
+  const JobStatusSnapshot job = job_status();
+  out.append(",\n  \"job\": {\"job_id\": \"");
+  AppendJsonEscaped(&out, job.job_id);
+  out.append("\", \"name\": \"");
+  AppendJsonEscaped(&out, job.job_name);
+  out.append("\", \"state\": \"");
+  AppendJsonEscaped(&out, job.state);
+  out.append("\", \"maps_total\": ").append(std::to_string(job.maps_total));
+  out.append(", \"maps_done\": ").append(std::to_string(job.maps_done));
+  out.append(", \"reduces_total\": ")
+      .append(std::to_string(job.reduces_total));
+  out.append(", \"reduces_done\": ").append(std::to_string(job.reduces_done));
+  out.append(", \"map_reruns\": ").append(std::to_string(job.map_reruns));
+  out.append("}\n}\n");
+  return out;
+}
+
+void Coordinator::PublishJobStatus(const JobStatusSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  job_status_ = snapshot;
+}
+
+JobStatusSnapshot Coordinator::job_status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return job_status_;
+}
+
+std::string Coordinator::ClusterTraceJson() {
+  if (obs::kTraceCompiled) {
+    std::string local;
+    obs::Tracer::Global().DrainAll(&local);
+    if (!local.empty()) {
+      const Status merge = trace_merger_.AddChunk(1, local);
+      if (!merge.ok()) {
+        ANTIMR_LOG(kWarn) << "dropping local trace buffers: "
+                          << merge.ToString();
+      }
+    }
+  }
+  return trace_merger_.ToJson();
+}
+
+Status Coordinator::WriteClusterTrace(const std::string& path) {
+  if (obs::kTraceCompiled) {
+    std::string local;
+    obs::Tracer::Global().DrainAll(&local);
+    if (!local.empty()) {
+      ANTIMR_RETURN_NOT_OK(trace_merger_.AddChunk(1, local));
+    }
+  }
+  return trace_merger_.WriteJson(path);
 }
 
 // --- distributed job driver ----------------------------------------------
@@ -391,6 +602,29 @@ Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
   std::vector<JobMetrics> reduce_metrics(num_reduces);
   std::vector<uint64_t> reduce_cpu(num_reduces, 0);
   std::atomic<uint64_t> map_runs{0};
+  std::atomic<uint64_t> maps_done{0};
+  std::atomic<uint64_t> reduces_done{0};
+
+  // Workers capture and ship trace spans only when this run is tracing.
+  const bool trace_enabled = obs::kTraceCompiled && obs::TraceEnabled();
+
+  auto publish_status = [&](const char* state) {
+    JobStatusSnapshot s;
+    s.job_id = job_id;
+    s.job_name = options.job_name;
+    s.state = state;
+    s.maps_total = static_cast<uint64_t>(num_maps);
+    s.maps_done = std::min(maps_done.load(std::memory_order_relaxed),
+                           static_cast<uint64_t>(num_maps));
+    s.reduces_total = static_cast<uint64_t>(num_reduces);
+    s.reduces_done = reduces_done.load(std::memory_order_relaxed);
+    const uint64_t runs = map_runs.load(std::memory_order_relaxed);
+    s.map_reruns = runs > static_cast<uint64_t>(num_maps)
+                       ? runs - static_cast<uint64_t>(num_maps)
+                       : 0;
+    coord->PublishJobStatus(s);
+  };
+  publish_status("running");
 
   // Runs (or re-runs) map `m` on a live worker and records its placement.
   // Callers hold placements[m].mu.
@@ -410,6 +644,7 @@ Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
     assign.job_id = job_id + "_a" + std::to_string(attempt);
     assign.task_index = static_cast<uint32_t>(m);
     assign.attempt = attempt;
+    assign.trace_enabled = trace_enabled;
     assign.split_records = encoded_splits[m];
     net::TaskResultMsg res;
     ANTIMR_RETURN_NOT_OK(coord->Call(worker_id, std::move(assign), &res));
@@ -438,15 +673,20 @@ Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
   for (int m = 0; m < num_maps; ++m) {
     map_ids[m] = graph.AddTask(
         [&, m](int) -> Status {
-          std::lock_guard<std::mutex> lock(placements[m].mu);
-          return run_map_once(m);
+          {
+            std::lock_guard<std::mutex> lock(placements[m].mu);
+            ANTIMR_RETURN_NOT_OK(run_map_once(m));
+          }
+          maps_done.fetch_add(1, std::memory_order_relaxed);
+          publish_status("running");
+          return Status::OK();
         },
         {}, TaskGraph::TaskOptions());
   }
 
   for (int p = 0; p < num_reduces; ++p) {
     graph.AddTask(
-        [&, p](int) -> Status {
+        [&, p](int attempt) -> Status {
           // Heal before placing: any map whose owning worker died lost its
           // segments, so re-run it first. The per-map mutex lets concurrent
           // reduce attempts heal disjoint maps in parallel while never
@@ -464,6 +704,8 @@ Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
           assign.params = options.params;
           assign.job_id = job_id;
           assign.task_index = static_cast<uint32_t>(p);
+          assign.attempt = static_cast<uint32_t>(attempt);
+          assign.trace_enabled = trace_enabled;
           assign.collect_output = options.collect_outputs;
           assign.network_mb_per_s = options.network_mb_per_s;
           assign.readahead_blocks = options.readahead_blocks;
@@ -487,12 +729,15 @@ Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
           ANTIMR_RETURN_NOT_OK(
               net::DecodeJobMetrics(res.metrics, &reduce_metrics[p]));
           reduce_cpu[p] = res.cpu_nanos;
+          reduces_done.fetch_add(1, std::memory_order_relaxed);
+          publish_status("running");
           return Status::OK();
         },
         map_ids, TaskGraph::TaskOptions());
   }
 
   const Status run_status = graph.Wait();
+  publish_status(run_status.ok() ? "done" : "failed");
   if (!run_status.ok()) return run_status;
 
   for (int m = 0; m < num_maps; ++m) {

@@ -29,12 +29,28 @@
 #include "mr/api.h"
 #include "mr/local_cluster.h"
 #include "mr/metrics.h"
+#include "net/http.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/federation.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace_merge.h"
 
 namespace antimr {
 namespace engine {
+
+/// Point-in-time view of the job the driver is running (or last ran),
+/// published by RunDistributedJob and served verbatim on /status.
+struct JobStatusSnapshot {
+  std::string job_id;
+  std::string job_name;
+  std::string state = "none";  ///< none | running | done | failed
+  uint64_t maps_total = 0;
+  uint64_t maps_done = 0;
+  uint64_t reduces_total = 0;
+  uint64_t reduces_done = 0;
+  uint64_t map_reruns = 0;
+};
 
 struct CoordinatorOptions {
   /// A worker with no heartbeat or result for this long is declared lost.
@@ -87,8 +103,41 @@ class Coordinator {
               net::TaskResultMsg* result);
 
   /// Best-effort Shutdown to every live worker, close everything, join all
-  /// threads. Idempotent; also run by the destructor.
+  /// threads. When a trace is being captured, waits briefly for workers'
+  /// final kTraceChunk frames before dropping connections. Idempotent; also
+  /// run by the destructor.
   void Stop();
+
+  // --- observability surface ---------------------------------------------
+
+  /// Serve GET /metrics (Prometheus text) and GET /status (JSON) on `addr`
+  /// ("" = auto) over the coordinator's transport. Call after Start.
+  Status StartStatusServer(const std::string& addr);
+
+  /// Resolved status-server address ("" if not started).
+  std::string status_addr() const {
+    return http_ == nullptr ? std::string() : http_->addr();
+  }
+
+  /// Cluster-wide Prometheus text: federated worker registries (latest
+  /// heartbeat snapshots, dead workers retained) + this process's own.
+  std::string ClusterMetricsText() const;
+
+  /// The /status JSON document (workers, liveness, in-flight, job progress).
+  std::string StatusJson() const;
+
+  /// Federated metrics state — exposed for tests and embedders.
+  obs::ClusterMetrics& cluster_metrics() { return cluster_metrics_; }
+
+  void PublishJobStatus(const JobStatusSnapshot& snapshot);
+  JobStatusSnapshot job_status() const;
+
+  /// Merge this process's remaining trace buffers with every chunk workers
+  /// shipped and render one Chrome-trace JSON document (coordinator = pid 1,
+  /// worker N = pid 1+N). Callable after Stop — typically is, so workers'
+  /// shutdown chunks are in.
+  std::string ClusterTraceJson();
+  Status WriteClusterTrace(const std::string& path);
 
  private:
   struct WorkerState {
@@ -136,6 +185,14 @@ class Coordinator {
   obs::Gauge* workers_live_gauge_;
   obs::Counter* tasks_assigned_counter_;
   obs::Counter* workers_lost_counter_;
+  obs::Histogram* rpc_latency_hist_;
+
+  obs::ClusterMetrics cluster_metrics_;
+  obs::ClusterTraceMerger trace_merger_;
+  std::unique_ptr<net::HttpServer> http_;
+
+  mutable std::mutex status_mu_;
+  JobStatusSnapshot job_status_;
 };
 
 // --- distributed job driver ----------------------------------------------

@@ -11,6 +11,7 @@
 #include "mr/map_task.h"
 #include "mr/reduce_task.h"
 #include "net/frame.h"
+#include "obs/federation.h"
 #include "obs/trace.h"
 
 namespace antimr {
@@ -22,7 +23,12 @@ Worker::Worker(net::Transport* transport, const WorkerOptions& options)
       owned_env_(options.env == nullptr ? NewMemEnv() : nullptr),
       env_(options.env != nullptr ? options.env : owned_env_.get()),
       shuffle_server_(transport, env_),
-      pool_(std::max(1, options.slots), options.name) {}
+      pool_(std::max(1, options.slots), options.name) {
+  shuffle_server_.set_trace_sink([this](std::string&& chunk) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    pending_trace_.append(chunk);
+  });
+}
 
 Worker::~Worker() { Stop(); }
 
@@ -76,10 +82,34 @@ void Worker::ReceiveLoop() {
         cv_.notify_all();
       });
     } else if (type == net::kShutdown) {
+      if (options_.exclusive_process && obs::kTraceCompiled &&
+          obs::TraceEnabled()) {
+        // Last chance to ship spans not drained at a task boundary
+        // (handler-thread leftovers, heartbeat-side instants). DrainAll is
+        // safe here only because an exclusive worker has no co-resident
+        // tracer users mid-span.
+        net::TraceChunkMsg msg;
+        msg.worker_id = id_;
+        obs::Tracer::Global().DrainAll(&msg.chunk);
+        {
+          std::lock_guard<std::mutex> lock(trace_mu_);
+          msg.chunk.append(pending_trace_);
+          pending_trace_.clear();
+        }
+        if (!msg.chunk.empty()) {
+          std::string out;
+          net::EncodeTraceChunk(msg, &out);
+          std::lock_guard<std::mutex> lock(write_mu_);
+          net::WriteFrame(conn_.get(), net::kTraceChunk, out);  // best effort
+        }
+      }
       break;
     }
     // Other frame types are ignored (forward compatibility).
   }
+  // Close our end so the coordinator's receiver sees a prompt, clean EOF
+  // (its Stop waits briefly for exactly that before cutting conns itself).
+  if (conn_ != nullptr) conn_->Close();
   {
     std::lock_guard<std::mutex> lock(mu_);
     done_ = true;
@@ -101,6 +131,12 @@ void Worker::HeartbeatLoop() {
     net::HeartbeatMsg hb;
     hb.worker_id = id_;
     hb.seq = ++seq;
+    // Every beat carries the registry's full absolute state — the
+    // federation protocol's idempotency comes from exactly this.
+    obs::MetricsSnapshot snap;
+    obs::SnapshotRegistry(obs::MetricsRegistry::Global(), obs::ProcessUid(),
+                          &snap);
+    obs::EncodeMetricsSnapshot(snap, &hb.metrics_snapshot);
     std::string payload;
     net::EncodeHeartbeat(hb, &payload);
     std::lock_guard<std::mutex> lock(write_mu_);
@@ -113,10 +149,26 @@ void Worker::HeartbeatLoop() {
 void Worker::Execute(const net::TaskAssignMsg& assign) {
   net::TaskResultMsg result;
   result.rpc_id = assign.rpc_id;
+  // The coordinator's trace session extends to us through the assignment:
+  // start capturing on first sight (idempotent), so exclusive worker
+  // processes need no out-of-band tracing switch.
+  if (obs::kTraceCompiled && assign.trace_enabled && !obs::TraceEnabled()) {
+    obs::Tracer::Global().Start();
+  }
   const Status st = ExecuteTask(assign, &result);
   if (!st.ok()) {
     result.status_code = static_cast<int32_t>(st.code());
     result.status_msg = st.message();
+  }
+  if (obs::kTraceCompiled && assign.trace_enabled && obs::TraceEnabled()) {
+    // Task boundary: no span is open on this pool thread, so the chunk is
+    // balanced. Handler-thread chunks parked by the shuffle sink ride along.
+    obs::Tracer::Global().DrainThisThread(&result.trace_chunk);
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    if (!pending_trace_.empty()) {
+      result.trace_chunk.append(pending_trace_);
+      pending_trace_.clear();
+    }
   }
   // A crashed worker is a dead process: it reports nothing, and the
   // coordinator learns of the loss from the closed conn / silent heartbeats.
@@ -137,7 +189,14 @@ Status Worker::ExecuteTask(const net::TaskAssignMsg& assign,
 
   if (assign.kind == net::TaskKind::kMap) {
     ANTIMR_TRACE_SPAN_DYN("task", "dist_map:" + assign.job_id + ":" +
-                                      std::to_string(index));
+                                      std::to_string(index) + "#a" +
+                                      std::to_string(assign.attempt));
+    if (obs::kTraceCompiled && obs::TraceEnabled() && assign.rpc_id != 0) {
+      // Arrow head of the coordinator's dispatch FlowStart (id = rpc_id),
+      // recorded inside the task span so viewers can anchor it.
+      obs::Tracer::Global().FlowEnd("dispatch", "task_dispatch",
+                                    assign.rpc_id);
+    }
     if (on_map_start) on_map_start(index, assign.attempt);
     if (crashed()) return Status::IOError("worker crashed");
     std::vector<KV> records;
@@ -150,13 +209,20 @@ Status Worker::ExecuteTask(const net::TaskAssignMsg& assign,
     net::EncodeJobMetrics(map_result.metrics, &result->metrics);
   } else {
     ANTIMR_TRACE_SPAN_DYN("task", "dist_reduce:" + assign.job_id + ":" +
-                                       std::to_string(index));
+                                       std::to_string(index) + "#a" +
+                                       std::to_string(assign.attempt));
+    if (obs::kTraceCompiled && obs::TraceEnabled() && assign.rpc_id != 0) {
+      obs::Tracer::Global().FlowEnd("dispatch", "task_dispatch",
+                                    assign.rpc_id);
+    }
     if (on_reduce_start) on_reduce_start(index, assign.attempt);
     if (crashed()) return Status::IOError("worker crashed");
     // A per-task client still pools conns across this task's segments; the
     // simulated bandwidth rides in on the assignment so all workers throttle
     // identically without per-worker configuration.
     net::ShuffleClient shuffle(transport_, assign.network_mb_per_s);
+    shuffle.set_trace_origin("reduce:" + assign.job_id + ":" +
+                             std::to_string(index));
     ReduceTaskInputs inputs;
     inputs.remote.assign(assign.segments.begin(), assign.segments.end());
     inputs.shuffle = &shuffle;

@@ -36,6 +36,12 @@ struct WorkerOptions {
   uint64_t heartbeat_period_nanos = 100ull * 1000 * 1000;
   /// Task storage; null = a private in-memory Env per worker.
   Env* env = nullptr;
+  /// True when this Worker owns the whole process (`antimr_cli worker`).
+  /// An exclusive worker answers Shutdown by draining *all* trace lanes
+  /// into one final kTraceChunk — safe only because no other Worker (or a
+  /// coordinator) shares the process's Tracer. In-process workers leave
+  /// shutdown draining to the coordinator's own DrainAll.
+  bool exclusive_process = false;
 };
 
 /// \brief A worker node: task executor + segment server + heartbeats.
@@ -99,6 +105,10 @@ class Worker {
   std::thread heartbeat_;
 
   std::mutex write_mu_;  ///< serializes frame writes on conn_
+  std::mutex trace_mu_;  ///< guards pending_trace_
+  /// Trace chunks drained by shuffle handler threads (via the SegmentServer
+  /// sink); piggybacked on the next TaskResult or the final Shutdown chunk.
+  std::string pending_trace_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;

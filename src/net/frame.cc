@@ -15,6 +15,8 @@ struct Counters {
   obs::Counter* bytes_received;
   obs::Counter* frames_sent;
   obs::Counter* frames_received;
+  obs::Histogram* frame_sent_bytes;
+  obs::Histogram* frame_received_bytes;
 };
 
 Counters& GlobalCounters() {
@@ -29,6 +31,12 @@ Counters& GlobalCounters() {
           "antimr_net_frames_sent_total", "Frames sent"),
       obs::MetricsRegistry::Global().GetCounter(
           "antimr_net_frames_received_total", "Frames received"),
+      obs::MetricsRegistry::Global().GetHistogram(
+          "antimr_net_frame_sent_bytes",
+          "Per-frame wire size sent (header + payload)"),
+      obs::MetricsRegistry::Global().GetHistogram(
+          "antimr_net_frame_received_bytes",
+          "Per-frame wire size received (header + payload)"),
   };
   return c;
 }
@@ -59,6 +67,7 @@ Status WriteFrame(Conn* conn, uint8_t type, const std::string& payload) {
   Counters& c = GlobalCounters();
   c.bytes_sent->Inc(wire.size());
   c.frames_sent->Inc();
+  c.frame_sent_bytes->Observe(wire.size());
   return Status::OK();
 }
 
@@ -85,6 +94,7 @@ Status ReadFrame(Conn* conn, uint8_t* type, std::string* payload) {
   Counters& c = GlobalCounters();
   c.bytes_received->Inc(kFrameHeaderBytes + payload->size());
   c.frames_received->Inc();
+  c.frame_received_bytes->Observe(kFrameHeaderBytes + payload->size());
   return Status::OK();
 }
 

@@ -1,0 +1,83 @@
+// Minimal HTTP/1.0 server + client over net::Transport, for the
+// coordinator's status surface (/metrics Prometheus text, /status JSON).
+//
+// Riding on Transport instead of raw sockets buys two things: the endpoint
+// works identically on the in-process loopback transport (so tests exercise
+// it without binding ports) and on TCP (so curl and Prometheus can scrape a
+// real cluster). Traffic deliberately bypasses net/frame.h — the frame
+// layer stays the single *job* wire-byte counting site, and scraping the
+// metrics must not perturb the numbers being scraped.
+//
+// Scope is exactly what a status endpoint needs and nothing more: GET only,
+// exact-path handler dispatch, one request per connection ("Connection:
+// close"), no keep-alive, no chunked encoding, 8 KB request-header cap.
+#ifndef ANTIMR_NET_HTTP_H_
+#define ANTIMR_NET_HTTP_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace antimr {
+namespace net {
+
+/// \brief Serves registered GET handlers over a transport.
+///
+/// One accept thread plus one handler thread per connection, SegmentServer
+/// style. Handlers run on connection threads and must be thread-safe.
+class HttpServer {
+ public:
+  /// Returns the response body; may set *content_type (defaults to
+  /// "text/plain; charset=utf-8").
+  using Handler = std::function<std::string(std::string* content_type)>;
+
+  /// `transport` is borrowed and must outlive the server.
+  explicit HttpServer(Transport* transport);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register an exact-path handler ("/status"). Call before Start.
+  void Handle(const std::string& path, Handler handler);
+
+  /// Listen on `addr` ("" = auto / ephemeral) and start accepting.
+  Status Start(const std::string& addr);
+
+  /// The resolved address clients dial.
+  const std::string& addr() const { return addr_; }
+
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void Serve(Conn* conn);
+
+  Transport* transport_;
+  std::string addr_;
+  std::map<std::string, Handler> handlers_;
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+/// Blocking GET of `path` from the HttpServer at `addr`; *body receives the
+/// response entity. Non-200 responses come back as IOError carrying the
+/// status line.
+Status HttpGet(Transport* transport, const std::string& addr,
+               const std::string& path, std::string* body);
+
+}  // namespace net
+}  // namespace antimr
+
+#endif  // ANTIMR_NET_HTTP_H_

@@ -7,6 +7,7 @@
 #include "io/throttled_env.h"
 #include "net/frame.h"
 #include "net/wire.h"
+#include "obs/federation.h"
 #include "obs/trace.h"
 
 namespace antimr {
@@ -68,33 +69,61 @@ void SegmentServer::Serve(Conn* conn) {
   char scratch[kFetchChunkBytes];
   while (true) {
     uint8_t type = 0;
-    if (!ReadFrame(conn, &type, &payload).ok()) return;  // peer gone
-    if (type != kFetchReq) return;  // protocol violation: drop the conn
+    if (!ReadFrame(conn, &type, &payload).ok()) break;  // peer gone
+    if (type != kFetchReq) break;  // protocol violation: drop the conn
     FetchReqMsg req;
-    if (!DecodeFetchReq(payload, &req).ok()) return;
-    ANTIMR_TRACE_SPAN_DYN("rpc", "serve_segment:" + req.file);
+    if (!DecodeFetchReq(payload, &req).ok()) break;
+    bool conn_lost = false;
+    {
+      // Inner scope: the serve span must close before the post-request
+      // trace drain below, or the shipped chunk would hold an unbalanced B.
+      ANTIMR_TRACE_SPAN_DYN(
+          "rpc", req.origin.empty()
+                     ? "serve_segment:" + req.file
+                     : "serve_segment:" + req.file + "<-" + req.origin);
+      if (obs::kTraceCompiled && obs::TraceEnabled() && req.flow_id != 0) {
+        // Arrow head of the reducer's FlowStart: remote fetches render as
+        // flows from the reduce task's lane into this server's lane.
+        obs::Tracer::Global().FlowEnd("shuffle", "shuffle_fetch",
+                                      req.flow_id);
+      }
 
-    std::unique_ptr<SequentialFile> file;
-    Status st = env_->NewSequentialFile(req.file, &file);
-    std::string chunk_payload;
-    while (st.ok()) {
-      Slice chunk;
-      st = file->Read(sizeof(scratch), &chunk, scratch);
-      if (!st.ok() || chunk.empty()) break;
-      chunk_payload.assign(chunk.data(), chunk.size());
-      if (!WriteFrame(conn, kFetchChunk, chunk_payload).ok()) return;
+      std::unique_ptr<SequentialFile> file;
+      Status st = env_->NewSequentialFile(req.file, &file);
+      std::string chunk_payload;
+      while (st.ok()) {
+        Slice chunk;
+        st = file->Read(sizeof(scratch), &chunk, scratch);
+        if (!st.ok() || chunk.empty()) break;
+        chunk_payload.assign(chunk.data(), chunk.size());
+        if (!WriteFrame(conn, kFetchChunk, chunk_payload).ok()) {
+          conn_lost = true;
+          break;
+        }
+      }
+      if (conn_lost) {
+        // fall through to the trace drain, then drop the conn
+      } else if (st.ok()) {
+        conn_lost = !WriteFrame(conn, kFetchEnd, std::string()).ok();
+      } else {
+        ANTIMR_LOG(kDebug) << "serve_segment " << req.file
+                           << " failed: " << st.ToString();
+        FetchErrorMsg err;
+        err.status_code = static_cast<int32_t>(st.code());
+        err.status_msg = st.message();
+        EncodeFetchError(err, &chunk_payload);
+        conn_lost = !WriteFrame(conn, kFetchError, chunk_payload).ok();
+      }
     }
-    if (st.ok()) {
-      if (!WriteFrame(conn, kFetchEnd, std::string()).ok()) return;
-    } else {
-      ANTIMR_LOG(kDebug) << "serve_segment " << req.file
-                         << " failed: " << st.ToString();
-      FetchErrorMsg err;
-      err.status_code = static_cast<int32_t>(st.code());
-      err.status_msg = st.message();
-      EncodeFetchError(err, &chunk_payload);
-      if (!WriteFrame(conn, kFetchError, chunk_payload).ok()) return;
+    // Hand this request's spans to the owner (engine::Worker) so remote
+    // serve activity reaches the coordinator's merged trace; handler
+    // threads are otherwise invisible to task-boundary draining.
+    if (obs::kTraceCompiled && obs::TraceEnabled() && trace_sink_) {
+      std::string trace_chunk;
+      obs::Tracer::Global().DrainThisThread(&trace_chunk);
+      if (!trace_chunk.empty()) trace_sink_(std::move(trace_chunk));
     }
+    if (conn_lost) break;
   }
 }
 
@@ -114,6 +143,13 @@ Status ShuffleClient::Fetch(const std::string& addr, const std::string& file,
   ScopedTimer t(&out->fetch_nanos);
   out->file = file;
   ANTIMR_TRACE_SPAN_DYN("rpc", "fetch_segment:" + file);
+  uint64_t flow_id = 0;
+  if (obs::kTraceCompiled && obs::TraceEnabled()) {
+    // Tail of a flow arrow into the serving worker's lane; the id rides in
+    // the FetchReq and the server records the matching FlowEnd.
+    flow_id = obs::NextFlowId();
+    obs::Tracer::Global().FlowStart("shuffle", "shuffle_fetch", flow_id);
+  }
 
   std::unique_ptr<Conn> conn;
   {
@@ -128,7 +164,7 @@ Status ShuffleClient::Fetch(const std::string& addr, const std::string& file,
   if (!pooled) ANTIMR_RETURN_NOT_OK(transport_->Dial(addr, &conn));
 
   bool server_reported = false;
-  Status st = FetchOnce(conn.get(), file, out, &server_reported);
+  Status st = FetchOnce(conn.get(), file, flow_id, out, &server_reported);
   if (!st.ok() && pooled && !server_reported) {
     // A pooled conn may have died while idle (server restart, worker
     // crash); retry exactly once on a fresh dial before reporting. Only
@@ -138,7 +174,7 @@ Status ShuffleClient::Fetch(const std::string& addr, const std::string& file,
     out->frames.clear();
     ANTIMR_RETURN_NOT_OK(transport_->Dial(addr, &conn));
     pooled = false;
-    st = FetchOnce(conn.get(), file, out, &server_reported);
+    st = FetchOnce(conn.get(), file, flow_id, out, &server_reported);
   }
   if (!st.ok()) {
     ANTIMR_LOG(kDebug) << "fetch " << file << " from " << addr
@@ -156,10 +192,15 @@ Status ShuffleClient::Fetch(const std::string& addr, const std::string& file,
 }
 
 Status ShuffleClient::FetchOnce(Conn* conn, const std::string& file,
-                                FetchedSegment* out, bool* server_reported) {
+                                uint64_t flow_id, FetchedSegment* out,
+                                bool* server_reported) {
   *server_reported = false;
   std::string payload;
-  EncodeFetchReq(FetchReqMsg{file}, &payload);
+  FetchReqMsg req;
+  req.file = file;
+  req.flow_id = flow_id;
+  req.origin = trace_origin_;
+  EncodeFetchReq(req, &payload);
   ANTIMR_RETURN_NOT_OK(WriteFrame(conn, kFetchReq, payload));
   while (true) {
     uint8_t type = 0;

@@ -7,6 +7,7 @@
 #ifndef ANTIMR_NET_SHUFFLE_SERVICE_H_
 #define ANTIMR_NET_SHUFFLE_SERVICE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +42,15 @@ class SegmentServer {
   /// The resolved address fetchers dial.
   const std::string& addr() const { return addr_; }
 
+  /// Distributed tracing hook: after each request is served while a trace
+  /// is being captured, the handler thread drains its own span buffer and
+  /// hands the serialized chunk here (engine::Worker accumulates these for
+  /// the coordinator). Called from handler threads — must be thread-safe.
+  /// Set before Start.
+  void set_trace_sink(std::function<void(std::string&&)> sink) {
+    trace_sink_ = std::move(sink);
+  }
+
   void Stop();
 
  private:
@@ -50,6 +60,7 @@ class SegmentServer {
   Transport* transport_;
   Env* env_;
   std::string addr_;
+  std::function<void(std::string&&)> trace_sink_;
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;
   std::mutex mu_;
@@ -83,15 +94,23 @@ class ShuffleClient {
 
   double network_mb_per_s() const { return network_mb_per_s_; }
 
+  /// Requester label stamped into FetchReqs ("reduce:<job_id>:<index>") so
+  /// remote serve spans attribute their traffic; also enables the
+  /// reducer→server flow arrows when a trace is being captured.
+  void set_trace_origin(std::string origin) {
+    trace_origin_ = std::move(origin);
+  }
+
  private:
   /// One request/response exchange. *server_reported distinguishes an
   /// error the server answered with (surface it) from conn-level trouble
   /// (eligible for the stale-pooled-conn redial).
-  Status FetchOnce(Conn* conn, const std::string& file, FetchedSegment* out,
-                   bool* server_reported);
+  Status FetchOnce(Conn* conn, const std::string& file, uint64_t flow_id,
+                   FetchedSegment* out, bool* server_reported);
 
   Transport* transport_;
   const double network_mb_per_s_;
+  std::string trace_origin_;
   std::mutex mu_;
   std::map<std::string, std::vector<std::unique_ptr<Conn>>> idle_;
 };

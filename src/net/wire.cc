@@ -92,11 +92,13 @@ void EncodeHeartbeat(const HeartbeatMsg& msg, std::string* out) {
   out->clear();
   PutVarint32(out, msg.worker_id);
   PutVarint64(out, msg.seq);
+  PutString(out, msg.metrics_snapshot);
 }
 
 Status DecodeHeartbeat(const std::string& payload, HeartbeatMsg* msg) {
   Slice in(payload);
-  if (!GetVarint32(&in, &msg->worker_id) || !GetVarint64(&in, &msg->seq)) {
+  if (!GetVarint32(&in, &msg->worker_id) || !GetVarint64(&in, &msg->seq) ||
+      !GetString(&in, &msg->metrics_snapshot)) {
     return Malformed("Heartbeat");
   }
   return Status::OK();
@@ -120,6 +122,7 @@ void EncodeTaskAssign(const TaskAssignMsg& msg, std::string* out) {
   out->push_back(msg.collect_output ? 1 : 0);
   PutDouble(out, msg.network_mb_per_s);
   PutVarint32(out, msg.readahead_blocks);
+  out->push_back(msg.trace_enabled ? 1 : 0);
 }
 
 Status DecodeTaskAssign(const std::string& payload, TaskAssignMsg* msg) {
@@ -151,9 +154,11 @@ Status DecodeTaskAssign(const std::string& payload, TaskAssignMsg* msg) {
   msg->collect_output = in[0] != 0;
   in.RemovePrefix(1);
   if (!GetDouble(&in, &msg->network_mb_per_s) ||
-      !GetVarint32(&in, &msg->readahead_blocks)) {
+      !GetVarint32(&in, &msg->readahead_blocks) || in.empty()) {
     return Malformed("TaskAssign tail");
   }
+  msg->trace_enabled = in[0] != 0;
+  in.RemovePrefix(1);
   return Status::OK();
 }
 
@@ -167,6 +172,7 @@ void EncodeTaskResult(const TaskResultMsg& msg, std::string* out) {
   PutString(out, msg.output_records);
   PutString(out, msg.metrics);
   PutVarint64(out, msg.cpu_nanos);
+  PutString(out, msg.trace_chunk);
 }
 
 Status DecodeTaskResult(const std::string& payload, TaskResultMsg* msg) {
@@ -187,7 +193,8 @@ Status DecodeTaskResult(const std::string& payload, TaskResultMsg* msg) {
   }
   if (!GetString(&in, &msg->output_records) ||
       !GetString(&in, &msg->metrics) ||
-      !GetVarint64(&in, &msg->cpu_nanos)) {
+      !GetVarint64(&in, &msg->cpu_nanos) ||
+      !GetString(&in, &msg->trace_chunk)) {
     return Malformed("TaskResult tail");
   }
   return Status::OK();
@@ -196,11 +203,30 @@ Status DecodeTaskResult(const std::string& payload, TaskResultMsg* msg) {
 void EncodeFetchReq(const FetchReqMsg& msg, std::string* out) {
   out->clear();
   PutString(out, msg.file);
+  PutVarint64(out, msg.flow_id);
+  PutString(out, msg.origin);
 }
 
 Status DecodeFetchReq(const std::string& payload, FetchReqMsg* msg) {
   Slice in(payload);
-  if (!GetString(&in, &msg->file)) return Malformed("FetchReq");
+  if (!GetString(&in, &msg->file) || !GetVarint64(&in, &msg->flow_id) ||
+      !GetString(&in, &msg->origin)) {
+    return Malformed("FetchReq");
+  }
+  return Status::OK();
+}
+
+void EncodeTraceChunk(const TraceChunkMsg& msg, std::string* out) {
+  out->clear();
+  PutVarint32(out, msg.worker_id);
+  PutString(out, msg.chunk);
+}
+
+Status DecodeTraceChunk(const std::string& payload, TraceChunkMsg* msg) {
+  Slice in(payload);
+  if (!GetVarint32(&in, &msg->worker_id) || !GetString(&in, &msg->chunk)) {
+    return Malformed("TraceChunk");
+  }
   return Status::OK();
 }
 

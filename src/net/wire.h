@@ -7,9 +7,12 @@
 //
 //   worker -> Register          once, immediately after dialing
 //   coord  -> RegisterAck       assigns the worker id
-//   worker -> Heartbeat         every heartbeat period
+//   worker -> Heartbeat         every heartbeat period, piggybacking an
+//                               absolute metrics-registry snapshot
 //   coord  -> TaskAssign        one map or reduce task execution
-//   worker -> TaskResult        matching rpc_id, success or failure
+//   worker -> TaskResult        matching rpc_id, success or failure,
+//                               piggybacking the task's trace chunk
+//   worker -> TraceChunk        residual trace events at shutdown
 //   coord  -> Shutdown          graceful stop
 //
 // Data plane (reducer's ShuffleClient <-> map-side SegmentServer):
@@ -40,6 +43,7 @@ enum MsgType : uint8_t {
   kTaskAssign = 4,
   kTaskResult = 5,
   kShutdown = 6,
+  kTraceChunk = 7,
   kFetchReq = 16,
   kFetchChunk = 17,
   kFetchEnd = 18,
@@ -59,6 +63,10 @@ struct RegisterAckMsg {
 struct HeartbeatMsg {
   uint32_t worker_id = 0;
   uint64_t seq = 0;
+  /// EncodeMetricsSnapshot of the worker's registry: *absolute* cumulative
+  /// values, so a retransmitted or reordered beat folds idempotently at the
+  /// coordinator (obs/federation.h). Empty = no snapshot this beat.
+  std::string metrics_snapshot;
 };
 
 /// String key/value pairs a registered job builder turns back into a
@@ -91,6 +99,10 @@ struct TaskAssignMsg {
   bool collect_output = true;
   double network_mb_per_s = 0;  ///< simulated fetch bandwidth on the worker
   uint32_t readahead_blocks = 0;
+  /// Trace context: the coordinator is capturing, so record spans for this
+  /// task (job_id/task_index/attempt above name them) and ship them back in
+  /// TaskResultMsg::trace_chunk.
+  bool trace_enabled = false;
 };
 
 struct TaskResultMsg {
@@ -103,10 +115,26 @@ struct TaskResultMsg {
   std::string output_records;
   std::string metrics;  ///< EncodeJobMetrics of the task's JobMetrics
   uint64_t cpu_nanos = 0;
+  /// Serialized trace lane blocks recorded while running this task (see
+  /// Tracer::DrainThisThread). Empty when the assignment had trace off.
+  std::string trace_chunk;
 };
 
 struct FetchReqMsg {
   std::string file;
+  /// Trace context: flow-arrow id pairing the reducer's FlowStart with the
+  /// serving worker's FlowEnd (0 = not tracing), plus a human-readable
+  /// requester label ("reduce:<job_id>:<index>") for the serve span's args.
+  uint64_t flow_id = 0;
+  std::string origin;
+};
+
+/// Residual trace events a worker process drains at shutdown (events not
+/// attributable to one task: shuffle serves, heartbeats). worker_id lets the
+/// coordinator map the chunk to its process lane.
+struct TraceChunkMsg {
+  uint32_t worker_id = 0;
+  std::string chunk;
 };
 
 struct FetchErrorMsg {
@@ -136,6 +164,9 @@ Status DecodeTaskResult(const std::string& payload, TaskResultMsg* msg);
 
 void EncodeFetchReq(const FetchReqMsg& msg, std::string* out);
 Status DecodeFetchReq(const std::string& payload, FetchReqMsg* msg);
+
+void EncodeTraceChunk(const TraceChunkMsg& msg, std::string* out);
+Status DecodeTraceChunk(const std::string& payload, TraceChunkMsg* msg);
 
 void EncodeFetchError(const FetchErrorMsg& msg, std::string* out);
 Status DecodeFetchError(const std::string& payload, FetchErrorMsg* msg);

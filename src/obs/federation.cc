@@ -1,0 +1,283 @@
+#include "obs/federation.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <random>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/stopwatch.h"
+
+namespace antimr {
+namespace obs {
+
+namespace {
+
+Status Corrupt() { return Status::InvalidArgument("corrupt metrics snapshot"); }
+
+bool GetString(Slice* in, std::string* out) {
+  Slice s;
+  if (!GetLengthPrefixed(in, &s)) return false;
+  out->assign(s.data(), s.size());
+  return true;
+}
+
+}  // namespace
+
+uint64_t ProcessUid() {
+  static const uint64_t uid = [] {
+    std::random_device rd;
+    uint64_t v = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    v ^= static_cast<uint64_t>(::getpid()) << 16;
+    v ^= NowNanos();
+    return v != 0 ? v : 1;
+  }();
+  return uid;
+}
+
+uint64_t NextFlowId() {
+  static std::atomic<uint64_t> seq{0};
+  return (ProcessUid() << 32) |
+         (seq.fetch_add(1, std::memory_order_relaxed) & 0xFFFFFFFFu);
+}
+
+void SnapshotRegistry(const MetricsRegistry& reg, uint64_t registry_uid,
+                      MetricsSnapshot* out) {
+  out->registry_uid = registry_uid;
+  reg.VisitEntries([out](const std::string& name, const Counter* counter,
+                         const Gauge* gauge, const Histogram* histogram) {
+    if (counter != nullptr) {
+      out->counters[name] = counter->value();
+    } else if (gauge != nullptr) {
+      out->gauges[name] = gauge->value();
+    } else if (histogram != nullptr) {
+      SnapshotHistogram& h = out->histograms[name];
+      h.count = histogram->count();
+      h.sum = histogram->sum();
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        const uint64_t n = histogram->bucket_count(i);
+        if (n != 0) h.buckets[i] = n;
+      }
+    }
+  });
+}
+
+void EncodeMetricsSnapshot(const MetricsSnapshot& snap, std::string* out) {
+  PutFixed64(out, snap.registry_uid);
+  PutVarint32(out, static_cast<uint32_t>(snap.counters.size()));
+  for (const auto& [name, v] : snap.counters) {
+    PutLengthPrefixed(out, name);
+    PutVarint64(out, v);
+  }
+  PutVarint32(out, static_cast<uint32_t>(snap.gauges.size()));
+  for (const auto& [name, v] : snap.gauges) {
+    PutLengthPrefixed(out, name);
+    PutVarint64(out, ZigZagEncode(v));
+  }
+  PutVarint32(out, static_cast<uint32_t>(snap.histograms.size()));
+  for (const auto& [name, h] : snap.histograms) {
+    PutLengthPrefixed(out, name);
+    PutVarint64(out, h.count);
+    PutVarint64(out, h.sum);
+    PutVarint32(out, static_cast<uint32_t>(h.buckets.size()));
+    for (const auto& [idx, n] : h.buckets) {
+      PutVarint32(out, static_cast<uint32_t>(idx));
+      PutVarint64(out, n);
+    }
+  }
+}
+
+Status DecodeMetricsSnapshot(const std::string& payload, MetricsSnapshot* out) {
+  *out = MetricsSnapshot();
+  Slice in(payload);
+  uint32_t n = 0;
+  if (!GetFixed64(&in, &out->registry_uid) || !GetVarint32(&in, &n)) {
+    return Corrupt();
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t v = 0;
+    if (!GetString(&in, &name) || !GetVarint64(&in, &v)) return Corrupt();
+    out->counters[name] = v;
+  }
+  if (!GetVarint32(&in, &n)) return Corrupt();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t zz = 0;
+    if (!GetString(&in, &name) || !GetVarint64(&in, &zz)) return Corrupt();
+    out->gauges[name] = ZigZagDecode(zz);
+  }
+  if (!GetVarint32(&in, &n)) return Corrupt();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    SnapshotHistogram h;
+    uint32_t nbuckets = 0;
+    if (!GetString(&in, &name) || !GetVarint64(&in, &h.count) ||
+        !GetVarint64(&in, &h.sum) || !GetVarint32(&in, &nbuckets)) {
+      return Corrupt();
+    }
+    for (uint32_t b = 0; b < nbuckets; ++b) {
+      uint32_t idx = 0;
+      uint64_t cnt = 0;
+      if (!GetVarint32(&in, &idx) || !GetVarint64(&in, &cnt) ||
+          idx >= static_cast<uint32_t>(Histogram::kNumBuckets)) {
+        return Corrupt();
+      }
+      h.buckets[static_cast<int>(idx)] = cnt;
+    }
+    out->histograms[name] = std::move(h);
+  }
+  if (!in.empty()) return Corrupt();
+  return Status::OK();
+}
+
+void ClusterMetrics::Fold(uint32_t worker_id, const MetricsSnapshot& snap) {
+  if (snap.registry_uid == 0) return;  // beat carried no snapshot
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_uid_[worker_id] = snap.registry_uid;
+  Incarnation& inc = incarnations_[snap.registry_uid];
+  inc.workers.insert(worker_id);
+  // A late beat from a worker already declared dead must not resurrect its
+  // liveness (gauges would never zero); its values still fold below.
+  if (dead_workers_.find(worker_id) == dead_workers_.end()) {
+    inc.live.insert(worker_id);
+  }
+  inc.latest.registry_uid = snap.registry_uid;
+  for (const auto& [name, v] : snap.counters) {
+    uint64_t& cur = inc.latest.counters[name];
+    cur = std::max(cur, v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    inc.latest.gauges[name] = v;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    SnapshotHistogram& cur = inc.latest.histograms[name];
+    // Total count orders histogram states; a stale beat can't shrink one.
+    if (h.count >= cur.count) cur = h;
+  }
+}
+
+void ClusterMetrics::MarkWorkerDead(uint32_t worker_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_workers_.insert(worker_id);
+  auto it = worker_uid_.find(worker_id);
+  if (it == worker_uid_.end()) return;  // died before its first snapshot
+  Incarnation& inc = incarnations_[it->second];
+  inc.live.erase(worker_id);
+  if (inc.live.empty()) {
+    for (auto& [name, g] : inc.latest.gauges) g = 0;
+  }
+}
+
+void ClusterMetrics::MergeInto(const MetricsSnapshot& src,
+                               MetricsSnapshot* dst) const {
+  for (const auto& [name, v] : src.counters) dst->counters[name] += v;
+  for (const auto& [name, v] : src.gauges) dst->gauges[name] += v;
+  for (const auto& [name, h] : src.histograms) {
+    SnapshotHistogram& cur = dst->histograms[name];
+    cur.count += h.count;
+    cur.sum += h.sum;
+    for (const auto& [idx, n] : h.buckets) cur.buckets[idx] += n;
+  }
+}
+
+MetricsSnapshot ClusterMetrics::TotalsLocked(const MetricsRegistry* local,
+                                             uint64_t local_uid) const {
+  MetricsSnapshot totals;
+  if (local != nullptr) {
+    MetricsSnapshot s;
+    SnapshotRegistry(*local, local_uid, &s);
+    MergeInto(s, &totals);
+  }
+  for (const auto& [uid, inc] : incarnations_) {
+    // The coordinator's own registry is read live above; in-process workers
+    // reporting the same incarnation must not double it.
+    if (local != nullptr && uid == local_uid) continue;
+    MergeInto(inc.latest, &totals);
+  }
+  return totals;
+}
+
+MetricsSnapshot ClusterMetrics::ClusterTotals(const MetricsRegistry* local,
+                                              uint64_t local_uid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TotalsLocked(local, local_uid);
+}
+
+std::string ClusterMetrics::ToPrometheusText(const MetricsRegistry* local,
+                                             uint64_t local_uid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const MetricsSnapshot totals = TotalsLocked(local, local_uid);
+  std::string out;
+  out.reserve(1 << 14);
+  char buf[160];
+  auto worker_series = [&](const std::string& name, bool is_counter) {
+    for (const auto& [worker_id, uid] : worker_uid_) {
+      const auto inc = incarnations_.find(uid);
+      if (inc == incarnations_.end()) continue;
+      const MetricsSnapshot& s = inc->second.latest;
+      if (is_counter) {
+        const auto it = s.counters.find(name);
+        if (it == s.counters.end()) continue;
+        std::snprintf(buf, sizeof(buf), "{worker=\"%u\"} %" PRIu64 "\n",
+                      worker_id, it->second);
+      } else {
+        const auto it = s.gauges.find(name);
+        if (it == s.gauges.end()) continue;
+        std::snprintf(buf, sizeof(buf), "{worker=\"%u\"} %" PRId64 "\n",
+                      worker_id, it->second);
+      }
+      out.append(name).append(buf);
+    }
+  };
+  for (const auto& [name, v] : totals.counters) {
+    out.append("# TYPE ").append(name).append(" counter\n");
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", v);
+    out.append(name).append(buf);
+    worker_series(name, /*is_counter=*/true);
+  }
+  for (const auto& [name, v] : totals.gauges) {
+    out.append("# TYPE ").append(name).append(" gauge\n");
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", v);
+    out.append(name).append(buf);
+    worker_series(name, /*is_counter=*/false);
+  }
+  for (const auto& [name, h] : totals.histograms) {
+    out.append("# TYPE ").append(name).append(" histogram\n");
+    uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+      const auto it = h.buckets.find(i);
+      if (it != h.buckets.end()) cumulative += it->second;
+      // Same readability rule as MetricsRegistry::ToPrometheusText: skip
+      // leading all-zero buckets, keep the first and everything after counts
+      // start so cumulative counts never restart from a gap.
+      if (cumulative == 0 && i != 0) continue;
+      std::snprintf(buf, sizeof(buf),
+                    "_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                    Histogram::BucketBound(i), cumulative);
+      out.append(name).append(buf);
+    }
+    const auto inf = h.buckets.find(Histogram::kNumBuckets - 1);
+    if (inf != h.buckets.end()) cumulative += inf->second;
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  cumulative);
+    out.append(name).append(buf);
+    std::snprintf(buf, sizeof(buf), "_sum %" PRIu64 "\n", h.sum);
+    out.append(name).append(buf);
+    std::snprintf(buf, sizeof(buf), "_count %" PRIu64 "\n", h.count);
+    out.append(name).append(buf);
+  }
+  return out;
+}
+
+size_t ClusterMetrics::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worker_uid_.size();
+}
+
+}  // namespace obs
+}  // namespace antimr

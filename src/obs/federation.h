@@ -1,0 +1,119 @@
+// Metrics federation: shipping per-process MetricsRegistry state to the
+// coordinator and folding it into one cluster-wide view.
+//
+// Protocol (piggybacked on worker heartbeats): each beat carries a full
+// *absolute* snapshot of the worker's registry — cumulative counter values,
+// current gauges, whole histograms — never increments. Retransmits and
+// duplicate folds are therefore idempotent by construction, and a lost beat
+// costs nothing (the next one carries the same cumulative state). The
+// coordinator keeps the latest snapshot per *registry incarnation* and
+// merges counters with max(), so a stale or reordered beat can never move a
+// counter backwards.
+//
+// Incarnations, not workers, are the dedup unit: a snapshot is stamped with
+// `registry_uid`, a random per-process id. In-process loopback clusters run
+// every worker against the same process-global registry; folding each
+// worker's beat as if it were independent would multiply counts by the
+// worker count. Distinct uids (real multi-process clusters) sum; identical
+// uids collapse to one. A reconnecting worker process gets a fresh uid, so
+// its new counters sum on top of the dead incarnation's retained final
+// snapshot — cluster totals stay monotonic across reconnects.
+//
+// Death: MarkWorkerDead keeps the incarnation's final snapshot (counters
+// remain in cluster totals — work done is done) but zeroes its gauges once
+// no live worker shares the incarnation (a dead process holds no queue
+// depth).
+#ifndef ANTIMR_OBS_FEDERATION_H_
+#define ANTIMR_OBS_FEDERATION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+
+namespace antimr {
+namespace obs {
+
+/// Random 64-bit id of this process (stable for the process lifetime, never
+/// zero). Stamps metrics snapshots so the coordinator can tell "N workers
+/// sharing one registry" from "N independent registries".
+uint64_t ProcessUid();
+
+/// Process-unique id for trace flow arrows: high bits from ProcessUid, low
+/// bits a process-local sequence, so ids never collide across the cluster.
+uint64_t NextFlowId();
+
+/// Sparse histogram state: only non-zero log2 buckets travel.
+struct SnapshotHistogram {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::map<int, uint64_t> buckets;  ///< bucket index → count
+};
+
+/// One registry's absolute state at a point in time.
+struct MetricsSnapshot {
+  uint64_t registry_uid = 0;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, SnapshotHistogram> histograms;
+};
+
+/// Capture `reg`'s current state, stamped with `registry_uid`.
+void SnapshotRegistry(const MetricsRegistry& reg, uint64_t registry_uid,
+                      MetricsSnapshot* out);
+
+void EncodeMetricsSnapshot(const MetricsSnapshot& snap, std::string* out);
+Status DecodeMetricsSnapshot(const std::string& payload, MetricsSnapshot* out);
+
+/// \brief The coordinator's cluster-wide metrics view: latest snapshot per
+/// registry incarnation plus worker → incarnation attribution. Thread-safe.
+class ClusterMetrics {
+ public:
+  /// Fold a snapshot reported by `worker_id`. Idempotent; per-counter max
+  /// keeps totals monotonic under retransmit or reorder.
+  void Fold(uint32_t worker_id, const MetricsSnapshot& snap);
+
+  /// Worker declared lost. Its incarnation's final snapshot is retained;
+  /// gauges zero once the incarnation has no live workers left.
+  void MarkWorkerDead(uint32_t worker_id);
+
+  /// Merged totals: `local` (the coordinator's own registry, incarnation
+  /// `local_uid`, read live) plus every *other* incarnation's latest
+  /// snapshot, counted once each. `local` may be null.
+  MetricsSnapshot ClusterTotals(const MetricsRegistry* local,
+                                uint64_t local_uid) const;
+
+  /// Prometheus exposition of ClusterTotals: an unlabelled cluster-total
+  /// series per metric, plus per-worker `{worker="N"}` series for counters
+  /// and gauges (histograms merge into the total only).
+  std::string ToPrometheusText(const MetricsRegistry* local,
+                               uint64_t local_uid) const;
+
+  /// Workers that have ever reported (dead ones included — retention).
+  size_t worker_count() const;
+
+ private:
+  struct Incarnation {
+    MetricsSnapshot latest;
+    std::set<uint32_t> workers;  ///< every worker that ever reported it
+    std::set<uint32_t> live;     ///< subset not yet marked dead
+  };
+
+  void MergeInto(const MetricsSnapshot& src, MetricsSnapshot* dst) const;
+  MetricsSnapshot TotalsLocked(const MetricsRegistry* local,
+                               uint64_t local_uid) const;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Incarnation> incarnations_;  ///< registry_uid → state
+  std::map<uint32_t, uint64_t> worker_uid_;       ///< worker → incarnation
+  std::set<uint32_t> dead_workers_;               ///< never resurrected
+};
+
+}  // namespace obs
+}  // namespace antimr
+
+#endif  // ANTIMR_OBS_FEDERATION_H_

@@ -67,6 +67,16 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return GetEntry(name, help, Kind::kHistogram)->histogram.get();
 }
 
+void MetricsRegistry::VisitEntries(
+    const std::function<void(const std::string& name, const Counter* counter,
+                             const Gauge* gauge, const Histogram* histogram)>&
+        fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : metrics_) {
+    fn(name, e.counter.get(), e.gauge.get(), e.histogram.get());
+  }
+}
+
 std::string MetricsRegistry::ToPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

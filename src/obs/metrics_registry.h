@@ -18,6 +18,7 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -104,6 +105,14 @@ class MetricsRegistry {
   /// JSON object keyed by metric name; histograms carry count, sum, and the
   /// non-empty buckets with their upper bounds.
   std::string ToJson() const;
+
+  /// Walk every instrument in name order. Exactly one of counter / gauge /
+  /// histogram is non-null per call. Used by the federation layer to
+  /// snapshot a registry for heartbeat shipping without widening this class.
+  void VisitEntries(
+      const std::function<void(const std::string& name, const Counter* counter,
+                               const Gauge* gauge,
+                               const Histogram* histogram)>& fn) const;
 
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/coding.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
@@ -80,12 +81,12 @@ TraceArgs& TraceArgs::Add(const char* key, const std::string& value) {
 }
 
 struct TraceEvent {
-  char ph;            // B E X i C b e
+  char ph;            // B E X i C b e s f
   const char* cat;    // static string; may be "" for C events
   std::string name;
   uint64_t ts_nanos;
   uint64_t dur_nanos;  // X only
-  uint64_t id;         // b/e only
+  uint64_t id;         // b/e/s/f only
   int64_t value;       // C only
   std::string args;    // pre-rendered args body, no braces
 };
@@ -181,6 +182,73 @@ void Tracer::AsyncEnd(const char* cat, std::string name, uint64_t id,
   b->events.push_back({'e', cat, std::move(name), ts_nanos, 0, id, 0, {}});
 }
 
+void Tracer::FlowStart(const char* cat, std::string name, uint64_t id) {
+  ThreadBuffer* b = BufferForThisThread();
+  const uint64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back({'s', cat, std::move(name), now, 0, id, 0, {}});
+}
+
+void Tracer::FlowEnd(const char* cat, std::string name, uint64_t id) {
+  ThreadBuffer* b = BufferForThisThread();
+  const uint64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back({'f', cat, std::move(name), now, 0, id, 0, {}});
+}
+
+namespace {
+
+// Chunk wire format (concatenable sequence of lane blocks):
+//   varint32 tid | length-prefixed lane name | varint64 event count |
+//   per event: u8 ph | LP cat | LP name | varint64 ts | varint64 dur |
+//              varint64 id | varint64 zigzag(value) | LP args
+void EncodeLaneBlock(int tid, const std::string& name,
+                     const std::vector<TraceEvent>& events, std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(tid));
+  PutLengthPrefixed(out, name);
+  PutVarint64(out, events.size());
+  for (const TraceEvent& ev : events) {
+    out->push_back(ev.ph);
+    PutLengthPrefixed(out, Slice(ev.cat == nullptr ? "" : ev.cat));
+    PutLengthPrefixed(out, ev.name);
+    PutVarint64(out, ev.ts_nanos);
+    PutVarint64(out, ev.dur_nanos);
+    PutVarint64(out, ev.id);
+    PutVarint64(out, ZigZagEncode(ev.value));
+    PutLengthPrefixed(out, ev.args);
+  }
+}
+
+}  // namespace
+
+void Tracer::DrainThisThread(std::string* out) {
+  ThreadBuffer* b = BufferForThisThread();
+  std::vector<TraceEvent> events;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(b->mu);
+    if (b->events.empty()) return;
+    events.swap(b->events);
+    name = b->name;
+  }
+  EncodeLaneBlock(b->tid, name, events, out);
+}
+
+void Tracer::DrainAll(std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ThreadBuffer* b : buffers_) {
+    std::vector<TraceEvent> events;
+    std::string name;
+    {
+      std::lock_guard<std::mutex> bl(b->mu);
+      if (b->events.empty()) continue;
+      events.swap(b->events);
+      name = b->name;
+    }
+    EncodeLaneBlock(b->tid, name, events, out);
+  }
+}
+
 void Tracer::SetCurrentThreadName(std::string name) {
   ThreadBuffer* b = BufferForThisThread();
   std::lock_guard<std::mutex> lock(b->mu);
@@ -197,6 +265,62 @@ size_t Tracer::event_count() {
   return n;
 }
 
+void AppendTraceEventJson(std::string* out, int pid, int tid,
+                          const TraceEventView& ev) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\": \"%c\", \"pid\": %d, \"tid\": %d, \"ts\": %.3f",
+                ev.ph, pid, tid, static_cast<double>(ev.ts_nanos) / 1000.0);
+  out->append(buf);
+  if (ev.ph == 'X') {
+    std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
+                  static_cast<double>(ev.dur_nanos) / 1000.0);
+    out->append(buf);
+  }
+  if (ev.ph != 'E') {
+    out->append(", \"name\": ");
+    AppendJsonString(out, ev.name);
+  }
+  if (!ev.cat.empty()) {
+    out->append(", \"cat\": ");
+    AppendJsonString(out, ev.cat);
+  }
+  if (ev.ph == 'i') {
+    out->append(", \"s\": \"t\"");  // thread-scoped instant
+  }
+  if (ev.ph == 'b' || ev.ph == 'e' || ev.ph == 's' || ev.ph == 'f') {
+    std::snprintf(buf, sizeof(buf), ", \"id\": \"0x%" PRIx64 "\"", ev.id);
+    out->append(buf);
+  }
+  if (ev.ph == 'f') {
+    // Bind the arrow head to the enclosing slice's end, the convention
+    // chrome://tracing renders most reliably.
+    out->append(", \"bp\": \"e\"");
+  }
+  if (ev.ph == 'C') {
+    std::snprintf(buf, sizeof(buf), ", \"args\": {\"value\": %" PRId64 "}",
+                  ev.value);
+    out->append(buf);
+  } else if (!ev.args.empty()) {
+    out->append(", \"args\": {");
+    out->append(ev.args);
+    out->append("}");
+  }
+  out->append("}");
+}
+
+void AppendTraceMetaJson(std::string* out, int pid, int tid, const char* what,
+                         const std::string& name) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\": \"M\", \"pid\": %d, \"tid\": %d, \"name\": "
+                "\"%s\", \"args\": {\"name\": ",
+                pid, tid, what);
+  out->append(buf);
+  AppendJsonString(out, name);
+  out->append("}}");
+}
+
 std::string Tracer::ToJson() {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -208,22 +332,16 @@ std::string Tracer::ToJson() {
     first = false;
     out.append(line);
   };
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
-                "\"process_name\", \"args\": {\"name\": \"antimr\"}}");
-  emit(buf);
+  {
+    std::string line;
+    AppendTraceMetaJson(&line, 1, 0, "process_name", "antimr");
+    emit(line);
+  }
   for (ThreadBuffer* b : buffers_) {
     std::lock_guard<std::mutex> bl(b->mu);
     if (!b->name.empty()) {
       std::string line;
-      std::snprintf(buf, sizeof(buf),
-                    "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": "
-                    "\"thread_name\", \"args\": {\"name\": ",
-                    b->tid);
-      line.append(buf);
-      AppendJsonString(&line, b->name);
-      line.append("}}");
+      AppendTraceMetaJson(&line, 1, b->tid, "thread_name", b->name);
       emit(line);
     }
     // Synthesized X events (per-task phase breakdowns) and async stage
@@ -236,41 +354,17 @@ std::string Tracer::ToJson() {
                        return a.ts_nanos < e.ts_nanos;
                      });
     for (const TraceEvent& ev : sorted) {
+      TraceEventView view;
+      view.ph = ev.ph;
+      view.cat = ev.cat == nullptr ? "" : ev.cat;
+      view.name = ev.name;
+      view.ts_nanos = ev.ts_nanos;
+      view.dur_nanos = ev.dur_nanos;
+      view.id = ev.id;
+      view.value = ev.value;
+      view.args = ev.args;
       std::string line;
-      std::snprintf(buf, sizeof(buf),
-                    "{\"ph\": \"%c\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f",
-                    ev.ph, b->tid, static_cast<double>(ev.ts_nanos) / 1000.0);
-      line.append(buf);
-      if (ev.ph == 'X') {
-        std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
-                      static_cast<double>(ev.dur_nanos) / 1000.0);
-        line.append(buf);
-      }
-      if (ev.ph != 'E') {
-        line.append(", \"name\": ");
-        AppendJsonString(&line, ev.name);
-      }
-      if (ev.cat != nullptr && ev.cat[0] != '\0') {
-        line.append(", \"cat\": ");
-        AppendJsonString(&line, std::string(ev.cat));
-      }
-      if (ev.ph == 'i') {
-        line.append(", \"s\": \"t\"");  // thread-scoped instant
-      }
-      if (ev.ph == 'b' || ev.ph == 'e') {
-        std::snprintf(buf, sizeof(buf), ", \"id\": \"0x%" PRIx64 "\"", ev.id);
-        line.append(buf);
-      }
-      if (ev.ph == 'C') {
-        std::snprintf(buf, sizeof(buf), ", \"args\": {\"value\": %" PRId64 "}",
-                      ev.value);
-        line.append(buf);
-      } else if (!ev.args.empty()) {
-        line.append(", \"args\": {");
-        line.append(ev.args);
-        line.append("}");
-      }
-      line.append("}");
+      AppendTraceEventJson(&line, 1, b->tid, view);
       emit(line);
     }
   }

@@ -18,7 +18,18 @@
 //   i    instant (spills, decisions, GC, failures)
 //   C    counter sample (queue depth, busy workers)
 //   b/e  async span on an id-keyed track (one per plan stage)
+//   s/f  flow arrow start/finish on an id-keyed edge (coordinator→worker
+//        task dispatch, reducer→remote shuffle fetch); both ends must sit
+//        inside a duration event on their thread to render
 //   M    metadata (thread/process names), emitted by the exporter
+//
+// Distributed runs: every process records into its own Tracer; workers
+// drain buffered events into compact binary *chunks* (DrainThisThread at
+// task boundaries, DrainAll at process shutdown) that travel back to the
+// coordinator over the wire, where obs::ClusterTraceMerger renders one
+// merged trace with a pid lane per process. Timestamps are CLOCK_MONOTONIC,
+// which shares one epoch across processes on a single host, so lanes align
+// without clock translation.
 #ifndef ANTIMR_OBS_TRACE_H_
 #define ANTIMR_OBS_TRACE_H_
 
@@ -102,9 +113,25 @@ class Tracer {
                   uint64_t ts_nanos);
   void AsyncEnd(const char* cat, std::string name, uint64_t id,
                 uint64_t ts_nanos);
+  /// Flow arrow endpoints ('s'/'f'), paired across threads/processes by id.
+  /// Record each inside an enclosing span or viewers will not anchor it.
+  void FlowStart(const char* cat, std::string name, uint64_t id);
+  void FlowEnd(const char* cat, std::string name, uint64_t id);
 
   /// Label the calling thread's lane ("workers-3", "fetch-0", ...).
   void SetCurrentThreadName(std::string name);
+
+  // --- chunk shipping (distributed runs) ---------------------------------
+  /// Serialize and remove the calling thread's buffered events, appending
+  /// one lane block to *out (concatenable; see ClusterTraceMerger). Spans in
+  /// the chunk are balanced only if called between tasks — i.e. with no
+  /// B…E span open on this thread — which worker task boundaries guarantee.
+  /// No-op (appends nothing) when the lane is empty.
+  void DrainThisThread(std::string* out);
+  /// Serialize and remove every lane's buffered events. Only safe when no
+  /// other thread is mid-span: a worker process at shutdown, or the
+  /// coordinator assembling the final merged trace.
+  void DrainAll(std::string* out);
 
   /// Chrome trace-event JSON: {"displayTimeUnit":..., "traceEvents":[...]}.
   /// Per-lane events are sorted by timestamp, so ts is monotonic per tid.
@@ -150,6 +177,27 @@ class ScopedSpan {
  private:
   bool active_ = false;
 };
+
+/// \brief One trace event in owned form — the decode target for shipped
+/// chunks and the shared input of the JSON renderer used by both
+/// Tracer::ToJson and ClusterTraceMerger.
+struct TraceEventView {
+  char ph = 'i';
+  std::string cat;
+  std::string name;
+  uint64_t ts_nanos = 0;
+  uint64_t dur_nanos = 0;  // X only
+  uint64_t id = 0;         // b/e/s/f only
+  int64_t value = 0;       // C only
+  std::string args;        // pre-rendered args body, no braces
+};
+
+/// Render one Chrome trace-event object (no trailing comma) into *out.
+void AppendTraceEventJson(std::string* out, int pid, int tid,
+                          const TraceEventView& ev);
+/// Render a 'M' metadata event; `what` is "process_name" or "thread_name".
+void AppendTraceMetaJson(std::string* out, int pid, int tid, const char* what,
+                         const std::string& name);
 
 }  // namespace obs
 }  // namespace antimr

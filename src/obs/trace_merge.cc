@@ -1,0 +1,148 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace antimr {
+namespace obs {
+
+namespace {
+
+Status Corrupt() { return Status::InvalidArgument("corrupt trace chunk"); }
+
+bool GetString(Slice* in, std::string* out) {
+  Slice s;
+  if (!GetLengthPrefixed(in, &s)) return false;
+  out->assign(s.data(), s.size());
+  return true;
+}
+
+}  // namespace
+
+Status DecodeTraceChunk(const std::string& chunk,
+                        std::vector<TraceChunkLane>* lanes) {
+  Slice in(chunk);
+  while (!in.empty()) {
+    TraceChunkLane lane;
+    uint32_t tid = 0;
+    uint64_t count = 0;
+    if (!GetVarint32(&in, &tid) || !GetString(&in, &lane.name) ||
+        !GetVarint64(&in, &count)) {
+      return Corrupt();
+    }
+    lane.tid = static_cast<int>(tid);
+    // An absurd count means corruption; don't reserve unbounded memory.
+    if (count > chunk.size()) return Corrupt();
+    lane.events.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      TraceEventView ev;
+      uint64_t zz_value = 0;
+      if (in.empty()) return Corrupt();
+      ev.ph = in[0];
+      in.RemovePrefix(1);
+      if (!GetString(&in, &ev.cat) || !GetString(&in, &ev.name) ||
+          !GetVarint64(&in, &ev.ts_nanos) || !GetVarint64(&in, &ev.dur_nanos) ||
+          !GetVarint64(&in, &ev.id) || !GetVarint64(&in, &zz_value) ||
+          !GetString(&in, &ev.args)) {
+        return Corrupt();
+      }
+      ev.value = ZigZagDecode(zz_value);
+      lane.events.push_back(std::move(ev));
+    }
+    lanes->push_back(std::move(lane));
+  }
+  return Status::OK();
+}
+
+void ClusterTraceMerger::SetProcessName(int pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_names_[pid] = name;
+}
+
+Status ClusterTraceMerger::AddChunk(int pid, const std::string& chunk) {
+  std::vector<TraceChunkLane> decoded;
+  ANTIMR_RETURN_NOT_OK(DecodeTraceChunk(chunk, &decoded));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceChunkLane& in : decoded) {
+    Lane& lane = lanes_[{pid, in.tid}];
+    if (lane.name.empty()) lane.name = in.name;
+    std::move(in.events.begin(), in.events.end(),
+              std::back_inserter(lane.events));
+  }
+  return Status::OK();
+}
+
+size_t ClusterTraceMerger::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, lane] : lanes_) n += lane.events.size();
+  return n;
+}
+
+std::string ClusterTraceMerger::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(1 << 16);
+  out.append("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  bool first = true;
+  auto emit = [&out, &first](const std::string& line) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append(line);
+  };
+  // A process that shipped chunks but was never labeled still gets a lane.
+  std::map<int, std::string> names = process_names_;
+  for (const auto& [key, lane] : lanes_) {
+    const int pid = key.first;
+    if (names.find(pid) == names.end()) {
+      names[pid] = "pid" + std::to_string(pid);
+    }
+  }
+  for (const auto& [pid, name] : names) {
+    std::string line;
+    AppendTraceMetaJson(&line, pid, 0, "process_name", name);
+    emit(line);
+  }
+  for (const auto& [key, lane] : lanes_) {
+    const auto [pid, tid] = key;
+    if (!lane.name.empty()) {
+      std::string line;
+      AppendTraceMetaJson(&line, pid, tid, "thread_name", lane.name);
+      emit(line);
+    }
+    // Same per-lane re-sort as Tracer::ToJson: synthesized X/async events
+    // carry explicit earlier timestamps; stable keeps B-before-E at ties.
+    std::vector<TraceEventView> sorted = lane.events;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEventView& a, const TraceEventView& e) {
+                       return a.ts_nanos < e.ts_nanos;
+                     });
+    for (const TraceEventView& ev : sorted) {
+      std::string line;
+      AppendTraceEventJson(&line, pid, tid, ev);
+      emit(line);
+    }
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+Status ClusterTraceMerger::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace antimr

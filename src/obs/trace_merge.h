@@ -1,0 +1,74 @@
+// Merging worker trace chunks into one cluster-wide Chrome trace.
+//
+// Workers serialize their Tracer lanes into binary chunks (see
+// Tracer::DrainThisThread / DrainAll in trace.h) that ride back to the
+// coordinator piggybacked on TaskResult or in a kTraceChunk frame. The
+// ClusterTraceMerger decodes them into per-(pid, tid) lanes — one *process*
+// lane per worker, the coordinator conventionally pid 1 — and renders a
+// single Perfetto/Chrome JSON where coordinator→worker dispatch and
+// reducer→shuffle-server fetches appear as flow arrows ('s'/'f' pairs
+// crossing pid lanes).
+//
+// Timestamps are CLOCK_MONOTONIC microseconds from a shared boot epoch
+// (single-host clusters), so no clock translation happens here; lanes are
+// re-sorted per (pid, tid) exactly as Tracer::ToJson does for one process.
+#ifndef ANTIMR_OBS_TRACE_MERGE_H_
+#define ANTIMR_OBS_TRACE_MERGE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace antimr {
+namespace obs {
+
+/// Decode a serialized trace chunk (a concatenation of lane blocks) into
+/// owned events, appending to *lanes. Corruption → InvalidArgument.
+struct TraceChunkLane {
+  int tid = 0;
+  std::string name;
+  std::vector<TraceEventView> events;
+};
+Status DecodeTraceChunk(const std::string& chunk,
+                        std::vector<TraceChunkLane>* lanes);
+
+/// \brief Accumulates trace chunks from many processes and renders the
+/// merged trace. Thread-safe: the coordinator's receive loops add chunks
+/// concurrently while a status request renders.
+class ClusterTraceMerger {
+ public:
+  /// Label a process lane ("coord", "worker:w1", ...). pid 1 is the
+  /// coordinator by convention; workers use 1 + worker_id.
+  void SetProcessName(int pid, const std::string& name);
+
+  /// Decode `chunk` into process `pid`'s lanes. Chunks for the same
+  /// (pid, tid) accumulate — a worker ships one chunk per task.
+  Status AddChunk(int pid, const std::string& chunk);
+
+  /// Events accumulated across all processes (tests, sizing).
+  size_t event_count() const;
+
+  /// Chrome trace-event JSON over every process lane added so far.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Lane {
+    std::string name;
+    std::vector<TraceEventView> events;
+  };
+
+  mutable std::mutex mu_;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, Lane> lanes_;  ///< (pid, tid) → lane
+};
+
+}  // namespace obs
+}  // namespace antimr
+
+#endif  // ANTIMR_OBS_TRACE_MERGE_H_

@@ -19,9 +19,12 @@
 #include "datagen/cloud.h"
 #include "datagen/random_text.h"
 #include "net/frame.h"
+#include "net/http.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/federation.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "test_util.h"
 #include "workloads/registry.h"
 
@@ -273,6 +276,155 @@ TEST_P(DistClusterTest, UnknownJobFailsFast) {
   const Status st = RunDistributedJob(coord_.get(), options, &result);
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), Status::Code::kNotFound) << st.ToString();
+}
+
+TEST_P(DistClusterTest, ClusterTraceCapturesRerunAcrossWorkerLanes) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  const std::vector<KV> input = WordCountInput();
+  std::atomic<bool> crashed{false};
+  StartWorkers(3);
+  // Kill one worker mid-map so the merged trace must show the re-executed
+  // attempt on a surviving worker's lane.
+  workers_[0]->on_map_start = [&](int, uint32_t) {
+    if (!crashed.exchange(true)) workers_[0]->Crash();
+  };
+
+  obs::Tracer::Global().Start();
+  DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = {{"reduces", "3"}};
+  options.splits = Chunk(input, 6);
+  options.max_task_attempts = 4;
+  DistJobResult result;
+  const Status st = RunDistributedJob(coord_.get(), options, &result);
+  obs::Tracer::Global().Stop();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(crashed.load());
+
+  const std::string json = coord_->ClusterTraceJson();
+  obs::Tracer::Global().Clear();
+
+  // One pid lane per process, each labeled: coordinator plus all three
+  // registered workers (the dead one keeps its lane).
+  EXPECT_NE(json.find("\"coord\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker:w0\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker:w1\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker:w2\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  // The healed map ran as a later attempt; task span names carry it.
+  EXPECT_NE(json.find("dist_map:"), std::string::npos);
+  EXPECT_NE(json.find("#a1"), std::string::npos);
+  EXPECT_NE(json.find("dist_reduce:"), std::string::npos);
+  // Dispatch flow arrows: 's' on the coordinator, 'f' inside the worker's
+  // task span, bound to the enclosing-slice end.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+}
+
+TEST_P(DistClusterTest, FederatedWireBytesMatchFrameCounters) {
+  StartWorkers(2);
+  DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = {{"reduces", "2"}};
+  options.splits = Chunk(WordCountInput(), 4);
+  DistJobResult result;
+  ASSERT_TRUE(RunDistributedJob(coord_.get(), options, &result).ok());
+
+  // Wait for at least one post-job heartbeat from every worker so the
+  // federated view has folded both registries.
+  for (int i = 0; i < 200 && coord_->cluster_metrics().worker_count() < 2;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(coord_->cluster_metrics().worker_count(), 2u);
+
+  // In-process workers share the coordinator's registry, so the cluster
+  // total must equal the single frame-layer counter — sandwiched between
+  // two live snapshots because heartbeats keep flowing. If federation
+  // double-counted the shared incarnation, the total would be ~3x.
+  const net::WireCounters before = net::SnapshotWireCounters();
+  const obs::MetricsSnapshot totals = coord_->cluster_metrics().ClusterTotals(
+      &obs::MetricsRegistry::Global(), obs::ProcessUid());
+  const net::WireCounters after = net::SnapshotWireCounters();
+  const uint64_t sent = totals.counters.at("antimr_net_bytes_sent_total");
+  const uint64_t received =
+      totals.counters.at("antimr_net_bytes_received_total");
+  EXPECT_GE(sent, before.bytes_sent);
+  EXPECT_LE(sent, after.bytes_sent);
+  EXPECT_GE(received, before.bytes_received);
+  EXPECT_LE(received, after.bytes_received);
+
+  // The Prometheus rendering carries per-worker attribution and the
+  // per-frame size histograms observed at the same frame boundary.
+  const std::string text = coord_->ClusterMetricsText();
+  EXPECT_NE(text.find("antimr_net_bytes_sent_total{worker=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("antimr_net_bytes_sent_total{worker=\"2\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("antimr_net_frame_sent_bytes_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("antimr_net_frame_received_bytes_count"),
+            std::string::npos);
+}
+
+TEST_P(DistClusterTest, StatusServerServesStatusAndMetrics) {
+  ASSERT_TRUE(coord_->StartStatusServer("").ok());
+  ASSERT_FALSE(coord_->status_addr().empty());
+  StartWorkers(2);
+
+  DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = {{"reduces", "2"}};
+  options.splits = Chunk(WordCountInput(), 4);
+  DistJobResult result;
+  ASSERT_TRUE(RunDistributedJob(coord_.get(), options, &result).ok());
+
+  std::string body;
+  ASSERT_TRUE(net::HttpGet(transport_.get(), coord_->status_addr(), "/status",
+                           &body)
+                  .ok());
+  EXPECT_NE(body.find("\"live_workers\": 2"), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"w0\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"w1\""), std::string::npos);
+  EXPECT_NE(body.find("\"state\": \"done\""), std::string::npos);
+  EXPECT_NE(body.find("\"maps_total\": 4"), std::string::npos);
+  EXPECT_NE(body.find("\"maps_done\": 4"), std::string::npos);
+  EXPECT_NE(body.find("\"reduces_done\": 2"), std::string::npos);
+
+  body.clear();
+  ASSERT_TRUE(net::HttpGet(transport_.get(), coord_->status_addr(), "/metrics",
+                           &body)
+                  .ok());
+  EXPECT_NE(body.find("antimr_net_bytes_sent_total"), std::string::npos);
+  EXPECT_NE(body.find("antimr_coord_rpc_latency_nanos_count"),
+            std::string::npos);
+
+  EXPECT_FALSE(net::HttpGet(transport_.get(), coord_->status_addr(),
+                            "/no_such_path", &body)
+                   .ok());
+}
+
+TEST_P(DistClusterTest, DeadWorkerSeriesRetainedInClusterMetrics) {
+  StartWorkers(2);
+  for (int i = 0; i < 200 && coord_->cluster_metrics().worker_count() < 2;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(coord_->cluster_metrics().worker_count(), 2u);
+
+  workers_[0]->Crash();
+  for (int i = 0; i < 200 && coord_->live_workers() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(coord_->live_workers(), 1);
+
+  // Retention: the lost worker's final snapshot stays federated — its
+  // labeled series keep appearing and its counters stay in the totals.
+  EXPECT_EQ(coord_->cluster_metrics().worker_count(), 2u);
+  const std::string text = coord_->ClusterMetricsText();
+  EXPECT_NE(text.find("{worker=\"1\"}"), std::string::npos);
+  EXPECT_NE(text.find("{worker=\"2\"}"), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, DistClusterTest,

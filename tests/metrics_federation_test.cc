@@ -1,0 +1,218 @@
+// Metrics federation edge cases: the snapshot wire format round-trips, the
+// coordinator-side fold is idempotent under retransmits and reorder, dead
+// workers keep their final counters but lose their gauges, reconnecting
+// workers (fresh registry uid) stay monotonic, and in-process workers that
+// share one registry (same uid) are counted once, not N times.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/federation.h"
+#include "obs/metrics_registry.h"
+
+namespace antimr {
+namespace obs {
+namespace {
+
+MetricsSnapshot MakeSnapshot(uint64_t uid, uint64_t tasks, int64_t queue) {
+  MetricsSnapshot snap;
+  snap.registry_uid = uid;
+  snap.counters["antimr_tasks_total"] = tasks;
+  snap.gauges["antimr_queue_depth"] = queue;
+  SnapshotHistogram h;
+  h.count = tasks;
+  h.sum = tasks * 100;
+  h.buckets[3] = tasks;
+  snap.histograms["antimr_task_nanos"] = h;
+  return snap;
+}
+
+uint64_t TotalCounter(const ClusterMetrics& cluster, const std::string& name) {
+  const MetricsSnapshot totals = cluster.ClusterTotals(nullptr, 0);
+  auto it = totals.counters.find(name);
+  return it == totals.counters.end() ? 0 : it->second;
+}
+
+int64_t TotalGauge(const ClusterMetrics& cluster, const std::string& name) {
+  const MetricsSnapshot totals = cluster.ClusterTotals(nullptr, 0);
+  auto it = totals.gauges.find(name);
+  return it == totals.gauges.end() ? 0 : it->second;
+}
+
+TEST(MetricsSnapshotWire, RoundTripsAllMetricKinds) {
+  MetricsSnapshot snap = MakeSnapshot(0x1234abcd, 42, -7);
+  snap.gauges["antimr_negative"] = -123456789;
+  snap.histograms["antimr_empty"] = SnapshotHistogram();
+
+  std::string wire;
+  EncodeMetricsSnapshot(snap, &wire);
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(DecodeMetricsSnapshot(wire, &decoded).ok());
+
+  EXPECT_EQ(decoded.registry_uid, snap.registry_uid);
+  EXPECT_EQ(decoded.counters, snap.counters);
+  EXPECT_EQ(decoded.gauges, snap.gauges);
+  ASSERT_EQ(decoded.histograms.size(), snap.histograms.size());
+  const SnapshotHistogram& h = decoded.histograms.at("antimr_task_nanos");
+  EXPECT_EQ(h.count, 42u);
+  EXPECT_EQ(h.sum, 4200u);
+  EXPECT_EQ(h.buckets, snap.histograms.at("antimr_task_nanos").buckets);
+}
+
+TEST(MetricsSnapshotWire, RejectsTruncatedAndTrailingBytes) {
+  std::string wire;
+  EncodeMetricsSnapshot(MakeSnapshot(7, 5, 1), &wire);
+  MetricsSnapshot decoded;
+  for (size_t cut = 1; cut < wire.size(); ++cut) {
+    // Any truncation must fail cleanly, never crash or accept silently (the
+    // section counts make every strict prefix incomplete).
+    EXPECT_FALSE(DecodeMetricsSnapshot(wire.substr(0, cut), &decoded).ok())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(DecodeMetricsSnapshot(wire + "x", &decoded).ok());
+}
+
+TEST(MetricsSnapshotWire, SnapshotRegistryCapturesLiveState) {
+  MetricsRegistry reg;
+  reg.GetCounter("antimr_c", "")->Inc(11);
+  reg.GetGauge("antimr_g", "")->Set(-3);
+  reg.GetHistogram("antimr_h", "")->Observe(1000);
+  MetricsSnapshot snap;
+  SnapshotRegistry(reg, 99, &snap);
+  EXPECT_EQ(snap.registry_uid, 99u);
+  EXPECT_EQ(snap.counters.at("antimr_c"), 11u);
+  EXPECT_EQ(snap.gauges.at("antimr_g"), -3);
+  EXPECT_EQ(snap.histograms.at("antimr_h").count, 1u);
+  EXPECT_EQ(snap.histograms.at("antimr_h").sum, 1000u);
+}
+
+TEST(ClusterMetricsTest, RetransmitIsIdempotent) {
+  ClusterMetrics cluster;
+  const MetricsSnapshot snap = MakeSnapshot(100, 10, 2);
+  cluster.Fold(1, snap);
+  cluster.Fold(1, snap);  // duplicate heartbeat (retransmit)
+  cluster.Fold(1, snap);
+  EXPECT_EQ(TotalCounter(cluster, "antimr_tasks_total"), 10u);
+  EXPECT_EQ(TotalGauge(cluster, "antimr_queue_depth"), 2);
+}
+
+TEST(ClusterMetricsTest, StaleBeatNeverMovesCountersBackwards) {
+  ClusterMetrics cluster;
+  cluster.Fold(1, MakeSnapshot(100, 50, 4));
+  cluster.Fold(1, MakeSnapshot(100, 30, 9));  // reordered older beat
+  EXPECT_EQ(TotalCounter(cluster, "antimr_tasks_total"), 50u);
+  // Gauges are point-in-time: the latest arrival wins regardless.
+  EXPECT_EQ(TotalGauge(cluster, "antimr_queue_depth"), 9);
+}
+
+TEST(ClusterMetricsTest, DistinctIncarnationsSumSharedIncarnationCollapses) {
+  ClusterMetrics sharing;  // in-process cluster: one registry, one uid
+  sharing.Fold(1, MakeSnapshot(100, 40, 1));
+  sharing.Fold(2, MakeSnapshot(100, 40, 1));
+  sharing.Fold(3, MakeSnapshot(100, 40, 1));
+  EXPECT_EQ(TotalCounter(sharing, "antimr_tasks_total"), 40u);
+  EXPECT_EQ(sharing.worker_count(), 3u);
+
+  ClusterMetrics separate;  // real processes: independent uids
+  separate.Fold(1, MakeSnapshot(100, 40, 1));
+  separate.Fold(2, MakeSnapshot(200, 40, 1));
+  EXPECT_EQ(TotalCounter(separate, "antimr_tasks_total"), 80u);
+}
+
+TEST(ClusterMetricsTest, DeadWorkerKeepsCountersZeroesGauges) {
+  ClusterMetrics cluster;
+  cluster.Fold(1, MakeSnapshot(100, 25, 6));
+  cluster.MarkWorkerDead(1);
+  // Work already done stays in the totals; a dead process holds no queue.
+  EXPECT_EQ(TotalCounter(cluster, "antimr_tasks_total"), 25u);
+  EXPECT_EQ(TotalGauge(cluster, "antimr_queue_depth"), 0);
+  EXPECT_EQ(cluster.worker_count(), 1u);  // retention: never forgotten
+  // A late beat from the dead worker must not resurrect its gauges.
+  cluster.Fold(1, MakeSnapshot(100, 25, 6));
+  cluster.MarkWorkerDead(1);
+  EXPECT_EQ(TotalGauge(cluster, "antimr_queue_depth"), 0);
+}
+
+TEST(ClusterMetricsTest, SharedIncarnationGaugesSurviveOneDeath) {
+  // Two workers report the same incarnation (in-process cluster); one dying
+  // must not zero the gauges the survivor still backs.
+  ClusterMetrics cluster;
+  cluster.Fold(1, MakeSnapshot(100, 25, 6));
+  cluster.Fold(2, MakeSnapshot(100, 25, 6));
+  cluster.MarkWorkerDead(1);
+  EXPECT_EQ(TotalGauge(cluster, "antimr_queue_depth"), 6);
+  cluster.MarkWorkerDead(2);
+  EXPECT_EQ(TotalGauge(cluster, "antimr_queue_depth"), 0);
+}
+
+TEST(ClusterMetricsTest, ReconnectWithFreshUidStaysMonotonic) {
+  ClusterMetrics cluster;
+  cluster.Fold(1, MakeSnapshot(100, 30, 2));
+  cluster.MarkWorkerDead(1);
+  const uint64_t after_death = TotalCounter(cluster, "antimr_tasks_total");
+  EXPECT_EQ(after_death, 30u);
+  // The restarted process reports under a new uid: its counters sum on top
+  // of the dead incarnation's retained snapshot.
+  cluster.Fold(1, MakeSnapshot(200, 5, 1));
+  EXPECT_EQ(TotalCounter(cluster, "antimr_tasks_total"), 35u);
+  EXPECT_GE(TotalCounter(cluster, "antimr_tasks_total"), after_death);
+}
+
+TEST(ClusterMetricsTest, LocalRegistryMergesWithoutDoubleCount) {
+  MetricsRegistry local;
+  local.GetCounter("antimr_tasks_total", "")->Inc(7);
+  ClusterMetrics cluster;
+  cluster.Fold(1, MakeSnapshot(100, 10, 0));
+  // Worker snapshot for the coordinator's own uid (loopback: the worker
+  // shares the coordinator's registry) must not add to the live local read.
+  cluster.Fold(2, MakeSnapshot(555, 7, 0));
+  const MetricsSnapshot totals = cluster.ClusterTotals(&local, 555);
+  EXPECT_EQ(totals.counters.at("antimr_tasks_total"), 17u);
+}
+
+TEST(ClusterMetricsTest, PrometheusTextHasTotalsAndWorkerSeries) {
+  ClusterMetrics cluster;
+  cluster.Fold(1, MakeSnapshot(100, 12, 3));
+  cluster.Fold(2, MakeSnapshot(200, 8, 1));
+  const std::string text = cluster.ToPrometheusText(nullptr, 0);
+  EXPECT_NE(text.find("# TYPE antimr_tasks_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("antimr_tasks_total 20"), std::string::npos);
+  EXPECT_NE(text.find("antimr_tasks_total{worker=\"1\"} 12"),
+            std::string::npos);
+  EXPECT_NE(text.find("antimr_tasks_total{worker=\"2\"} 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("antimr_queue_depth{worker=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("antimr_task_nanos_count 20"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, VisitEntriesSeesEveryKind) {
+  MetricsRegistry reg;
+  reg.GetCounter("antimr_a", "")->Inc(1);
+  reg.GetGauge("antimr_b", "")->Set(2);
+  reg.GetHistogram("antimr_c", "")->Observe(3);
+  int counters = 0, gauges = 0, histograms = 0;
+  reg.VisitEntries([&](const std::string& name, const Counter* counter,
+                       const Gauge* gauge, const Histogram* histogram) {
+    counters += counter != nullptr && name == "antimr_a" ? 1 : 0;
+    gauges += gauge != nullptr && name == "antimr_b" ? 1 : 0;
+    histograms += histogram != nullptr && name == "antimr_c" ? 1 : 0;
+  });
+  EXPECT_EQ(counters, 1);
+  EXPECT_EQ(gauges, 1);
+  EXPECT_EQ(histograms, 1);
+}
+
+TEST(FederationIds, ProcessUidStableAndFlowIdsUnique) {
+  EXPECT_NE(ProcessUid(), 0u);
+  EXPECT_EQ(ProcessUid(), ProcessUid());
+  const uint64_t a = NextFlowId();
+  const uint64_t b = NextFlowId();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a >> 32, b >> 32);  // same process prefix
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace antimr

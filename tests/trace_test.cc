@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "obs/trace_merge.h"
 
 namespace antimr {
 namespace obs {
@@ -148,6 +149,139 @@ TEST_F(TraceTest, StopKeepsEventsUntilClear) {
   Tracer::Global().Clear();
   EXPECT_EQ(Tracer::Global().event_count(), 0u);
   EXPECT_EQ(Tracer::Global().ToJson().find("\"kept\""), std::string::npos);
+}
+
+TEST_F(TraceTest, FlowArrowsExportWithHexIdsAndBindingPoint) {
+  if (!kTraceCompiled) GTEST_SKIP() << "built with ANTIMR_TRACE=OFF";
+  Tracer::Global().Start();
+  {
+    ANTIMR_TRACE_SPAN("test", "dispatch_site");
+    Tracer::Global().FlowStart("dispatch", "task_dispatch", 0x2b);
+  }
+  {
+    ANTIMR_TRACE_SPAN("test", "execute_site");
+    Tracer::Global().FlowEnd("dispatch", "task_dispatch", 0x2b);
+  }
+  Tracer::Global().Stop();
+
+  const std::string json = Tracer::Global().ToJson();
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  // Both ends share the id; only the finish carries the binding point.
+  EXPECT_EQ(CountOccurrences(json, "\"id\": \"0x2b\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"bp\": \"e\""), 1u);
+}
+
+TEST_F(TraceTest, DrainedChunksDecodeAndRemoveEvents) {
+  if (!kTraceCompiled) GTEST_SKIP() << "built with ANTIMR_TRACE=OFF";
+  Tracer::Global().Start();
+  Tracer::Global().SetCurrentThreadName("drain-lane");
+  { ANTIMR_TRACE_SPAN("test", "task_one"); }
+  ANTIMR_TRACE_INSTANT("test", "mark",
+                       TraceArgs().Add("bytes", uint64_t{128}));
+  ANTIMR_TRACE_COUNTER("depth", -4);
+  Tracer::Global().Stop();
+
+  std::string chunk;
+  Tracer::Global().DrainThisThread(&chunk);
+  ASSERT_FALSE(chunk.empty());
+  // Drained means gone: a second drain ships nothing.
+  std::string again;
+  Tracer::Global().DrainThisThread(&again);
+  EXPECT_TRUE(again.empty());
+
+  std::vector<TraceChunkLane> lanes;
+  ASSERT_TRUE(DecodeTraceChunk(chunk, &lanes).ok());
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[0].name, "drain-lane");
+  ASSERT_EQ(lanes[0].events.size(), 4u);  // B, E, i, C
+  EXPECT_EQ(lanes[0].events[0].ph, 'B');
+  EXPECT_EQ(lanes[0].events[0].name, "task_one");
+  EXPECT_EQ(lanes[0].events[1].ph, 'E');
+  EXPECT_EQ(lanes[0].events[2].ph, 'i');
+  EXPECT_EQ(lanes[0].events[2].args, "\"bytes\": 128");
+  EXPECT_EQ(lanes[0].events[3].ph, 'C');
+  EXPECT_EQ(lanes[0].events[3].value, -4);
+
+  // Chunks concatenate: two drained blocks decode as two lane blocks.
+  Tracer::Global().Start();
+  ANTIMR_TRACE_INSTANT("test", "later");
+  Tracer::Global().Stop();
+  std::string second;
+  Tracer::Global().DrainThisThread(&second);
+  lanes.clear();
+  ASSERT_TRUE(DecodeTraceChunk(chunk + second, &lanes).ok());
+  EXPECT_EQ(lanes.size(), 2u);
+
+  EXPECT_FALSE(DecodeTraceChunk(chunk.substr(0, chunk.size() / 2), &lanes)
+                   .ok());
+}
+
+TEST_F(TraceTest, DrainAllShipsEveryThreadLane) {
+  if (!kTraceCompiled) GTEST_SKIP() << "built with ANTIMR_TRACE=OFF";
+  Tracer::Global().Start();
+  ANTIMR_TRACE_INSTANT("test", "main_lane_event");
+  std::thread t([] {
+    Tracer::Global().SetCurrentThreadName("drain-all-worker");
+    ANTIMR_TRACE_INSTANT("test", "worker_lane_event");
+  });
+  t.join();
+  Tracer::Global().Stop();
+
+  std::string chunk;
+  Tracer::Global().DrainAll(&chunk);
+  EXPECT_EQ(Tracer::Global().event_count(), 0u);
+
+  std::vector<TraceChunkLane> lanes;
+  ASSERT_TRUE(DecodeTraceChunk(chunk, &lanes).ok());
+  size_t events = 0;
+  bool saw_worker_lane = false;
+  for (const TraceChunkLane& lane : lanes) {
+    events += lane.events.size();
+    saw_worker_lane |= lane.name == "drain-all-worker";
+  }
+  EXPECT_GE(events, 2u);
+  EXPECT_TRUE(saw_worker_lane);
+}
+
+TEST_F(TraceTest, ClusterMergerRendersOnePidLanePerProcess) {
+  if (!kTraceCompiled) GTEST_SKIP() << "built with ANTIMR_TRACE=OFF";
+  // Build two "processes" worth of chunks from the one real tracer.
+  Tracer::Global().Start();
+  { ANTIMR_TRACE_SPAN("task", "coord_side"); }
+  Tracer::Global().Stop();
+  std::string coord_chunk;
+  Tracer::Global().DrainThisThread(&coord_chunk);
+
+  Tracer::Global().Start();
+  Tracer::Global().SetCurrentThreadName("exec-0");
+  { ANTIMR_TRACE_SPAN("task", "worker_side"); }
+  Tracer::Global().Stop();
+  std::string worker_chunk;
+  Tracer::Global().DrainThisThread(&worker_chunk);
+
+  ClusterTraceMerger merger;
+  merger.SetProcessName(1, "coord");
+  merger.SetProcessName(2, "worker:w0");
+  ASSERT_TRUE(merger.AddChunk(1, coord_chunk).ok());
+  ASSERT_TRUE(merger.AddChunk(2, worker_chunk).ok());
+  EXPECT_EQ(merger.event_count(), 4u);  // two balanced B/E pairs
+
+  const std::string json = merger.ToJson();
+  EXPECT_EQ(CountOccurrences(json, "\"process_name\""), 2u);
+  EXPECT_NE(json.find("\"coord\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker:w0\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"coord_side\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker_side\""), std::string::npos);
+  // The worker lane keeps its thread label under its own pid.
+  EXPECT_NE(json.find("\"exec-0\""), std::string::npos);
+
+  // A chunk for a pid nobody labeled still renders, with a synthetic name.
+  ClusterTraceMerger unlabeled;
+  ASSERT_TRUE(unlabeled.AddChunk(7, coord_chunk).ok());
+  EXPECT_NE(unlabeled.ToJson().find("\"pid7\""), std::string::npos);
 }
 
 }  // namespace

@@ -15,14 +15,19 @@
 //       [--stage2-shuffle=pipelined|barrier]   (wordcount -> sort DAG)
 //   antimr_cli codecs [--size=BYTES]
 //   antimr_cli help
+#include <sys/stat.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "antimr.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "engine/coordinator.h"
@@ -57,6 +62,8 @@ int Usage() {
       "  antimr_cli codecs [--size=BYTES]\n"
       "  antimr_cli worker --connect=HOST:PORT [--slots=N] [--name=S]\n"
       "                                     join a distributed cluster\n"
+      "  antimr_cli status --connect=HOST:PORT [--endpoint=status|metrics]\n"
+      "                                     scrape a live coordinator\n"
       "options:\n"
       "  --strategy=original|eager|lazy|adaptive   (default adaptive)\n"
       "  --engine=dag|loop     pagerank driver: one multi-stage plan (dag)\n"
@@ -97,6 +104,15 @@ int Usage() {
       "  --wait-workers-ms=N   registration quorum timeout (default 30000)\n"
       "  --heartbeat-timeout-ms=N  declare a silent worker lost (default "
       "2000)\n"
+      "  --status-listen=HOST:PORT  serve GET /status (JSON) and /metrics\n"
+      "                        (cluster-federated Prometheus text) over HTTP\n"
+      "                        (default off; =127.0.0.1:0 for ephemeral)\n"
+      "  --cluster-trace=FILE  capture spans on every node and write one\n"
+      "                        merged Chrome/Perfetto trace (a pid lane per\n"
+      "                        process, flow arrows for dispatch + shuffle)\n"
+      "  --gate-file=PATH      after the worker quorum, wait for PATH to\n"
+      "                        exist before submitting the job (lets scripts\n"
+      "                        probe /status first)\n"
       "worker options:\n"
       "  --connect=HOST:PORT   coordinator address (required)\n"
       "  --slots=N             concurrent task slots (default 2)\n"
@@ -617,9 +633,20 @@ Status BuildDistJob(const Flags& flags, uint64_t records, int maps,
 /// through RunDistributedJob.
 int DistRunCommand(const Flags& flags, const std::string& mode) {
   workloads::RegisterStandardJobs();
+  SetLogNodeLabel("coord");
   const uint64_t records = flags.GetUint("records", 20000);
   const int maps = static_cast<int>(flags.GetUint("maps", 8));
   const int workers = static_cast<int>(flags.GetUint("workers", 2));
+
+  const std::string cluster_trace_file = flags.GetString("cluster-trace", "");
+  if (!cluster_trace_file.empty()) {
+    if (!obs::kTraceCompiled) {
+      std::fprintf(stderr,
+                   "warning: built with ANTIMR_TRACE=OFF; "
+                   "the cluster trace will contain no events\n");
+    }
+    obs::Tracer::Global().Start();
+  }
 
   engine::DistJobOptions dist;
   Status st = BuildDistJob(flags, records, maps, &dist);
@@ -645,6 +672,15 @@ int DistRunCommand(const Flags& flags, const std::string& mode) {
   }
   std::printf("coordinator listening at %s\n", coord.addr().c_str());
   std::fflush(stdout);
+  if (flags.Has("status-listen")) {
+    st = coord.StartStatusServer(flags.GetString("status-listen", ""));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("status listening at %s\n", coord.status_addr().c_str());
+    std::fflush(stdout);
+  }
 
   std::vector<std::unique_ptr<engine::Worker>> local_workers;
   if (mode == "loopback") {
@@ -666,6 +702,19 @@ int DistRunCommand(const Flags& flags, const std::string& mode) {
     std::fprintf(stderr, "error: timed out waiting for %d workers\n",
                  workers);
     return 1;
+  }
+  const std::string gate_file = flags.GetString("gate-file", "");
+  if (!gate_file.empty()) {
+    struct ::stat gate_stat;
+    const uint64_t gate_deadline = NowNanos() + wait_ms * 1000000ull;
+    while (::stat(gate_file.c_str(), &gate_stat) != 0) {
+      if (NowNanos() >= gate_deadline) {
+        std::fprintf(stderr, "error: timed out waiting for gate file %s\n",
+                     gate_file.c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
   }
 
   const net::WireCounters wire_before = net::SnapshotWireCounters();
@@ -703,6 +752,16 @@ int DistRunCommand(const Flags& flags, const std::string& mode) {
   // down cleanly instead of being declared lost when their conns close.
   coord.Stop();
   for (auto& worker : local_workers) worker->Stop();
+  if (!cluster_trace_file.empty()) {
+    obs::Tracer::Global().Stop();
+    const Status wt = coord.WriteClusterTrace(cluster_trace_file);
+    if (!wt.ok()) {
+      std::fprintf(stderr, "error writing cluster trace: %s\n",
+                   wt.ToString().c_str());
+      return 1;
+    }
+    std::printf("cluster trace written to %s\n", cluster_trace_file.c_str());
+  }
   return 0;
 }
 
@@ -716,12 +775,14 @@ int WorkerCommand(const Flags& flags) {
     return Usage();
   }
   workloads::RegisterStandardJobs();
+  SetLogNodeLabel("worker");
   std::unique_ptr<net::Transport> transport = net::NewTcpTransport();
   engine::WorkerOptions options;
   options.name = flags.GetString("name", "worker");
   options.slots = static_cast<int>(flags.GetUint("slots", 2));
   options.heartbeat_period_nanos =
       flags.GetUint("heartbeat-ms", 100) * 1000000ull;
+  options.exclusive_process = true;
   engine::Worker worker(transport.get(), options);
   const Status st =
       worker.Start(connect, flags.GetString("shuffle-listen", ""));
@@ -729,11 +790,37 @@ int WorkerCommand(const Flags& flags) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
   }
+  SetLogNodeLabel("w" + std::to_string(worker.id()));
   std::printf("worker %s registered as %u, shuffle at %s\n",
               options.name.c_str(), worker.id(), worker.shuffle_addr().c_str());
   std::fflush(stdout);
   worker.WaitDone();
   worker.Stop();
+  return 0;
+}
+
+/// `antimr_cli status --connect=HOST:PORT`: scrape a live coordinator's
+/// status surface and print the body verbatim (machine-consumable).
+int StatusCommand(const Flags& flags) {
+  const std::string connect = flags.GetString("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "error: status requires --connect=HOST:PORT\n");
+    return Usage();
+  }
+  const std::string endpoint = flags.GetString("endpoint", "status");
+  if (endpoint != "status" && endpoint != "metrics") {
+    std::fprintf(stderr, "error: unknown endpoint %s\n", endpoint.c_str());
+    return Usage();
+  }
+  std::unique_ptr<net::Transport> transport = net::NewTcpTransport();
+  std::string body;
+  const Status st =
+      net::HttpGet(transport.get(), connect, "/" + endpoint, &body);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fwrite(body.data(), 1, body.size(), stdout);
   return 0;
 }
 
@@ -754,6 +841,7 @@ int Dispatch(const Flags& flags, const std::string& command) {
   if (command == "pipeline") return PipelineCommand(flags);
   if (command == "codecs") return CodecsCommand(flags);
   if (command == "worker") return WorkerCommand(flags);
+  if (command == "status") return StatusCommand(flags);
   return Usage();
 }
 

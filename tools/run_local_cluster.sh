@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
 # Multi-process smoke test: 1 coordinator + N worker processes on localhost
-# TCP must produce byte-identical output to the single-process engine.
+# TCP must produce byte-identical output to the single-process engine. The
+# coordinator's /status endpoint must also report every worker live before
+# the job is released (via --gate-file), exercising the live status surface
+# the way an operator would.
 #
 # usage: run_local_cluster.sh [CLI_BINARY] [WORKERS] [WORKLOAD]
 #   CLI_BINARY  path to antimr_cli      (default: ./build/tools/antimr_cli)
@@ -39,6 +42,7 @@ while :; do
   "$CLI" run --workload="$WORKLOAD" --strategy="$STRATEGY" \
       --records="$RECORDS" --maps="$MAPS" --reduces="$REDUCES" \
       --dist=tcp --listen=127.0.0.1:$PORT --workers="$WORKERS" \
+      --status-listen=127.0.0.1:0 --gate-file="$WORK_DIR/gate" \
       --output-hash > "$WORK_DIR/coord.out" 2>&1 &
   COORD_PID=$!
   sleep 0.2
@@ -55,6 +59,21 @@ while :; do
   PORT=$((PORT + 1))
 done
 
+# The status server binds an ephemeral port; read it off stdout.
+STATUS_ADDR=""
+i=0
+while [ "$i" -lt 50 ]; do
+  STATUS_ADDR=$(sed -n 's/^status listening at //p' "$WORK_DIR/coord.out")
+  [ -n "$STATUS_ADDR" ] && break
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ -z "$STATUS_ADDR" ]; then
+  echo "run_local_cluster: coordinator never announced its status server:" >&2
+  cat "$WORK_DIR/coord.out" >&2
+  exit 1
+fi
+
 i=0
 while [ "$i" -lt "$WORKERS" ]; do
   "$CLI" worker --connect=127.0.0.1:$PORT --name="worker$i" \
@@ -62,6 +81,25 @@ while [ "$i" -lt "$WORKERS" ]; do
   WORKER_PIDS="$WORKER_PIDS $!"
   i=$((i + 1))
 done
+
+# The job stays gated until /status reports the full quorum live — the
+# observability check this script exists to make.
+LIVE=""
+i=0
+while [ "$i" -lt 100 ]; do
+  LIVE=$("$CLI" status --connect="$STATUS_ADDR" 2>/dev/null \
+         | sed -n 's/^ *"live_workers": \([0-9]*\).*/\1/p')
+  [ "$LIVE" = "$WORKERS" ] && break
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ "$LIVE" != "$WORKERS" ]; then
+  echo "run_local_cluster: /status never reported $WORKERS live workers" \
+       "(last: '$LIVE')" >&2
+  cat "$WORK_DIR/coord.out" >&2
+  exit 1
+fi
+touch "$WORK_DIR/gate"
 
 if ! wait "$COORD_PID"; then
   echo "run_local_cluster: distributed run failed:" >&2

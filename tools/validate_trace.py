@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace-event JSON file produced by --trace.
+"""Validate a Chrome trace-event JSON file produced by --trace or a merged
+cluster trace produced by --cluster-trace.
 
 Structural checks (always on):
   * the file parses as JSON with a "traceEvents" list
   * every event carries the required keys for its phase type
   * within each (pid, tid) lane, timestamps are non-decreasing
   * every lane's B/E spans are balanced and properly nested
+  * flow arrows are causally ordered: for every flow id with both ends,
+    the earliest start ('s') does not postdate the latest finish ('f')
 
-Acceptance checks (opt-in flags, used by the tier-1 ctest):
+Acceptance checks (opt-in flags, used by the ctest suites):
   * --expect-stages N        at least N distinct async "stage:*" tracks
   * --expect-anticombine     at least one shared_spill or adaptive_decision
                              instant event
+  * --expect-pids N          at least N distinct pid lanes, each labeled by
+                             a process_name metadata event (cluster merges)
+  * --expect-flows N         at least N flow ids with a matched s/f pair;
+                             orphan ends are tolerated (a crashed worker
+                             legitimately strands its arrows) but counted
+  * --expect-span SUBSTR     some B or X event name contains SUBSTR
+                             (repeatable; all must match)
 
 Exits 0 when every requested check passes, 1 otherwise. Stdlib only.
 """
@@ -28,6 +38,8 @@ PHASE_KEYS = {
     "C": {"name", "ts", "args"},
     "b": {"name", "cat", "ts", "id"},
     "e": {"name", "cat", "ts", "id"},
+    "s": {"name", "cat", "ts", "id"},
+    "f": {"name", "cat", "ts", "id"},
     "M": {"name", "args"},
 }
 
@@ -45,6 +57,14 @@ def main():
     parser.add_argument("--expect-anticombine", action="store_true",
                         help="require a shared_spill or adaptive_decision "
                              "instant")
+    parser.add_argument("--expect-pids", type=int, default=0, metavar="N",
+                        help="require at least N named pid lanes")
+    parser.add_argument("--expect-flows", type=int, default=0, metavar="N",
+                        help="require at least N matched s/f flow pairs")
+    parser.add_argument("--expect-span", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="require a B/X span name containing SUBSTR "
+                             "(repeatable)")
     args = parser.parse_args()
 
     try:
@@ -61,6 +81,10 @@ def main():
     open_spans = {}   # (pid, tid) -> stack of open B names
     stage_tracks = set()
     anticombine_instants = 0
+    named_pids = set()       # pids with a process_name metadata event
+    flow_starts = {}         # flow id -> earliest 's' ts
+    flow_finishes = {}       # flow id -> latest 'f' ts
+    span_names = set()       # B/X names (for --expect-span)
 
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -73,6 +97,8 @@ def main():
             return fail("event %d (ph=%s) missing keys %s"
                         % (i, ph, sorted(missing)))
         if ph == "M":
+            if ev["name"] == "process_name":
+                named_pids.add(ev["pid"])
             continue
         lane = (ev["pid"], ev["tid"])
         ts = ev["ts"]
@@ -82,19 +108,38 @@ def main():
         last_ts[lane] = ts
         if ph == "B":
             open_spans.setdefault(lane, []).append(ev["name"])
+            span_names.add(ev["name"])
         elif ph == "E":
             if not open_spans.get(lane):
                 return fail("event %d: E with no open span in lane %s"
                             % (i, lane))
             open_spans[lane].pop()
+        elif ph == "X":
+            span_names.add(ev["name"])
         elif ph == "b" and ev["name"].startswith("stage:"):
             stage_tracks.add(ev["name"])
         elif ph == "i" and ev["name"] in ("shared_spill", "adaptive_decision"):
             anticombine_instants += 1
+        elif ph == "s":
+            fid = ev["id"]
+            flow_starts[fid] = min(flow_starts.get(fid, ts), ts)
+        elif ph == "f":
+            fid = ev["id"]
+            flow_finishes[fid] = max(flow_finishes.get(fid, ts), ts)
 
     unbalanced = {lane: stack for lane, stack in open_spans.items() if stack}
     if unbalanced:
         return fail("unclosed spans at end of trace: %s" % unbalanced)
+
+    matched_flows = 0
+    for fid, start_ts in flow_starts.items():
+        if fid in flow_finishes:
+            if start_ts > flow_finishes[fid]:
+                return fail("flow %s finishes (ts %s) before it starts "
+                            "(ts %s)" % (fid, flow_finishes[fid], start_ts))
+            matched_flows += 1
+    orphan_flows = (len(flow_starts) - matched_flows
+                    + sum(1 for fid in flow_finishes if fid not in flow_starts))
 
     if args.expect_stages and len(stage_tracks) < args.expect_stages:
         return fail("expected >= %d stage tracks, found %d: %s"
@@ -103,11 +148,22 @@ def main():
     if args.expect_anticombine and anticombine_instants == 0:
         return fail("expected a shared_spill or adaptive_decision instant, "
                     "found none")
+    if args.expect_pids and len(named_pids) < args.expect_pids:
+        return fail("expected >= %d named pid lanes, found %d: %s"
+                    % (args.expect_pids, len(named_pids), sorted(named_pids)))
+    if args.expect_flows and matched_flows < args.expect_flows:
+        return fail("expected >= %d matched flow pairs, found %d "
+                    "(%d orphan ends)"
+                    % (args.expect_flows, matched_flows, orphan_flows))
+    for substr in args.expect_span:
+        if not any(substr in name for name in span_names):
+            return fail("no B/X span name contains %r" % substr)
 
-    print("validate_trace: OK: %d events, %d lanes, %d stage tracks, "
+    print("validate_trace: OK: %d events, %d lanes, %d named pids, "
+          "%d stage tracks, %d matched flows (%d orphans), "
           "%d anti-combining instants"
-          % (len(events), len(last_ts), len(stage_tracks),
-             anticombine_instants))
+          % (len(events), len(last_ts), len(named_pids), len(stage_tracks),
+             matched_flows, orphan_flows, anticombine_instants))
     return 0
 
 
