@@ -1,0 +1,337 @@
+// E7-skew — per-reducer load balance under a Zipf-skewed shuffle.
+//
+// A wordcount over Zipf(s=1.5) text concentrates ~40% of all intermediate
+// records on the single most popular word. Three partitioning modes on the
+// distributed engine:
+//
+//   hash   HashPartitioner — the hot key pins one reducer (the baseline
+//          skew problem: max/mean per-reducer load >= 3x).
+//   range  sampled quantile pivots (RangePartitioner) — balances the cold
+//          keys but the hot key still lands in one range.
+//   split  range + hot-key splitting: sampled superfrequent keys are salted
+//          across ranges and a deterministic merge fix-up stage restores
+//          the exact unsplit output (max/mean <= 1.5x).
+//
+// Crossed with the Anti-Combining strategies (salted keys must survive
+// EagerSH/LazySH re-execution) and with speculative execution on/off (a
+// backup attempt must never change the output). Load spread is gated on
+// reduce input *records* — invariant under the strategies' different wire
+// encodings — and reported in bytes alongside. Every run's order-insensitive
+// output hash must be identical; results land in BENCH_e7.json.
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "engine/coordinator.h"
+#include "engine/job_registry.h"
+#include "engine/skew_runner.h"
+#include "engine/worker.h"
+#include "net/transport.h"
+#include "workloads/registry.h"
+
+using namespace antimr;         // NOLINT
+using namespace antimr::bench;  // NOLINT
+
+namespace {
+
+constexpr int kReduces = 8;
+constexpr int kMaps = 8;
+constexpr int kWorkers = 4;
+
+/// Zipf(s) wordcount input: `lines` lines of `words_per_line` words drawn
+/// from a `vocab`-word dictionary; rank 0 dominates.
+std::vector<KV> ZipfLines(int lines, size_t vocab, double s,
+                          int words_per_line, uint64_t seed) {
+  Random rng(seed);
+  ZipfSampler zipf(vocab, s);
+  std::vector<KV> records;
+  records.reserve(static_cast<size_t>(lines));
+  for (int i = 0; i < lines; ++i) {
+    std::string line;
+    for (int j = 0; j < words_per_line; ++j) {
+      if (j > 0) line += ' ';
+      char word[16];
+      std::snprintf(word, sizeof(word), "w%04zu", zipf.Sample(&rng));
+      line += word;
+    }
+    records.push_back({"", std::move(line)});
+  }
+  return records;
+}
+
+std::vector<std::vector<KV>> Chunk(const std::vector<KV>& records,
+                                   int num_splits) {
+  std::vector<std::vector<KV>> chunks;
+  const size_t per =
+      (records.size() + num_splits - 1) / static_cast<size_t>(num_splits);
+  for (size_t start = 0; start < records.size(); start += per) {
+    const size_t end = std::min(records.size(), start + per);
+    chunks.emplace_back(records.begin() + static_cast<long>(start),
+                        records.begin() + static_cast<long>(end));
+  }
+  return chunks;
+}
+
+/// Order-insensitive output fingerprint (same construction as the CLI's
+/// --output-hash): equal across partitioner modes and process layouts.
+uint64_t OutputHash(const std::vector<KV>& records) {
+  uint64_t h = 0;
+  for (const KV& kv : records) {
+    h += Hash64(Slice(kv.value), Hash64(Slice(kv.key)));
+  }
+  return h;
+}
+
+struct Spread {
+  uint64_t max = 0;
+  double mean = 0;
+  double ratio = 0;  ///< max / mean; 0 when nothing was shuffled
+};
+
+Spread LoadSpread(const std::vector<uint64_t>& per_reducer) {
+  Spread s;
+  if (per_reducer.empty()) return s;
+  uint64_t total = 0;
+  for (uint64_t v : per_reducer) {
+    s.max = std::max(s.max, v);
+    total += v;
+  }
+  s.mean = static_cast<double>(total) /
+           static_cast<double>(per_reducer.size());
+  if (s.mean > 0) s.ratio = static_cast<double>(s.max) / s.mean;
+  return s;
+}
+
+struct SkewRun {
+  engine::DistJobResult result;
+  uint64_t wall_nanos = 0;
+  bool split = false;       ///< the split1 -> merge chain actually ran
+  size_t hot_keys = 0;      ///< superfrequent keys the sample found
+  uint64_t output_hash = 0;
+};
+
+/// Fresh cluster per measurement, as in bench_e5: coordinator + in-process
+/// workers on one transport, one job, teardown.
+SkewRun RunOne(const std::string& transport_kind, const std::string& mode,
+               const std::string& strategy, bool speculation,
+               const std::vector<std::vector<KV>>& splits) {
+  std::unique_ptr<net::Transport> transport =
+      transport_kind == "tcp" ? net::NewTcpTransport()
+                              : net::NewLoopbackTransport();
+  engine::Coordinator coord(transport.get());
+  ANTIMR_CHECK_OK(coord.Start(""));
+  std::vector<std::unique_ptr<engine::Worker>> fleet;
+  for (int i = 0; i < kWorkers; ++i) {
+    engine::WorkerOptions options;
+    options.name = "skew_w" + std::to_string(i);
+    options.slots = 2;
+    fleet.push_back(
+        std::make_unique<engine::Worker>(transport.get(), options));
+    ANTIMR_CHECK_OK(fleet.back()->Start(coord.addr()));
+  }
+  ANTIMR_CHECK_OK(coord.WaitForWorkers(kWorkers, 10ull * 1000 * 1000 * 1000)
+                      ? Status::OK()
+                      : Status::IOError("worker quorum timeout"));
+
+  // The combiner stays off so the skewed shuffle is actually skewed.
+  net::JobParams params = {{"reduces", std::to_string(kReduces)},
+                           {"combiner", "false"}};
+  if (strategy != "original") params.emplace_back("anti_combine", strategy);
+
+  engine::DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = params;
+  options.splits = splits;
+  options.collect_outputs = true;
+  options.speculative_execution = speculation;
+
+  SkewRun run;
+  const uint64_t t0 = NowNanos();
+  if (mode == "hash") {
+    ANTIMR_CHECK_OK(engine::RunDistributedJob(&coord, options, &run.result));
+  } else {
+    // The sampling pass models the *base* mapper: no anti-combine params.
+    net::JobParams base = {{"reduces", std::to_string(kReduces)},
+                           {"combiner", "false"}};
+    JobSpec sample_spec;
+    ANTIMR_CHECK_OK(
+        engine::BuildRegisteredJob(options.job_name, base, &sample_spec));
+    engine::DistSkewResult skew;
+    ANTIMR_CHECK_OK(engine::RunDistributedSkewJob(
+        &coord, options, sample_spec, SkewSampleOptions(), mode == "split",
+        &skew));
+    run.result = std::move(skew.job);
+    run.split = skew.split;
+    run.hot_keys = skew.model.hot_keys.size();
+  }
+  run.wall_nanos = NowNanos() - t0;
+  run.output_hash = OutputHash(run.result.FlatOutput());
+
+  coord.Stop();
+  for (auto& worker : fleet) worker->Stop();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool perf_gate = true;
+  std::string transport_arg = "both";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--no-perf-gate") == 0) perf_gate = false;
+    if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      transport_arg = argv[i] + 12;
+    }
+  }
+
+  workloads::RegisterStandardJobs();
+  Header("E7-skew: range partitioning + hot-key splitting vs hash",
+         "skew extension; paper Section 7 workloads under Zipf input",
+         "per-reducer load spread and wall time, crossed with "
+         "EagerSH/LazySH/Adaptive and speculation");
+
+  const std::vector<KV> text =
+      quick ? ZipfLines(1200, 500, 1.5, 6, 0x5eed)
+            : ZipfLines(6000, 2000, 1.5, 6, 0x5eed);
+  const auto splits = Chunk(text, kMaps);
+
+  std::vector<std::string> transports;
+  if (transport_arg == "both") {
+    transports = {"loopback", "tcp"};
+  } else {
+    transports = {transport_arg};
+  }
+  const std::vector<std::string> strategies =
+      quick ? std::vector<std::string>{"original", "adaptive"}
+            : std::vector<std::string>{"original", "eager", "lazy",
+                                       "adaptive"};
+
+  std::vector<JsonRow> rows;
+  std::map<std::string, double> gate_ratio;  // "<transport>/<mode>" -> ratio
+  std::vector<uint64_t> hashes;
+  bool split_ran = false;
+  uint64_t total_backups = 0;
+
+  std::printf("%-9s %-6s %-9s %-5s %10s %9s %9s %7s %7s\n", "transport",
+              "mode", "strategy", "spec", "wall", "rec-max", "rec-mean",
+              "spread", "backups");
+  for (const std::string& transport : transports) {
+    for (const std::string mode : {"hash", "range", "split"}) {
+      for (const std::string& strategy : strategies) {
+        for (const bool speculation : {false, true}) {
+          const SkewRun run =
+              RunOne(transport, mode, strategy, speculation, splits);
+          const Spread records = LoadSpread(run.result.reduce_input_records);
+          const Spread bytes = LoadSpread(run.result.reduce_shuffle_bytes);
+          hashes.push_back(run.output_hash);
+          split_ran = split_ran || run.split;
+          total_backups += run.result.spec_backups;
+          std::printf("%-9s %-6s %-9s %-5s %10s %9llu %9.0f %6.2fx %7llu\n",
+                      transport.c_str(), mode.c_str(), strategy.c_str(),
+                      speculation ? "on" : "off",
+                      FormatNanos(run.wall_nanos).c_str(),
+                      static_cast<unsigned long long>(records.max),
+                      records.mean, records.ratio,
+                      static_cast<unsigned long long>(
+                          run.result.spec_backups));
+
+          // The gates read the untransformed, speculation-off rows: record
+          // counts there are pure partitioning signal.
+          if (strategy == "original" && !speculation) {
+            gate_ratio[transport + "/" + mode] = records.ratio;
+          }
+
+          JsonRow row;
+          row.name = transport + "/" + mode + "/" + strategy +
+                     (speculation ? "/spec" : "/nospec");
+          row.metrics = run.result.metrics;
+          row.metrics.wall_nanos = run.wall_nanos;
+          char extra[512];
+          std::snprintf(
+              extra, sizeof(extra),
+              "\"transport\": \"%s\", \"mode\": \"%s\", "
+              "\"strategy\": \"%s\", \"speculation\": %s, "
+              "\"split\": %s, \"hot_keys\": %zu, "
+              "\"reduce_records_max\": %llu, \"reduce_records_mean\": %.1f, "
+              "\"reduce_records_spread\": %.3f, "
+              "\"reduce_bytes_max\": %llu, \"reduce_bytes_spread\": %.3f, "
+              "\"spec_backups\": %llu, \"spec_backup_wins\": %llu, "
+              "\"spec_cancels\": %llu, \"output_hash\": \"%016llx\"",
+              transport.c_str(), mode.c_str(), strategy.c_str(),
+              speculation ? "true" : "false", run.split ? "true" : "false",
+              run.hot_keys,
+              static_cast<unsigned long long>(records.max), records.mean,
+              records.ratio, static_cast<unsigned long long>(bytes.max),
+              bytes.ratio,
+              static_cast<unsigned long long>(run.result.spec_backups),
+              static_cast<unsigned long long>(run.result.spec_backup_wins),
+              static_cast<unsigned long long>(run.result.spec_cancels),
+              static_cast<unsigned long long>(run.output_hash));
+          row.extra = extra;
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+
+  PaperNote(
+      "Hash partitioning pins the Zipf head on one reducer (spread >= 3x); "
+      "sampled range pivots balance the cold keys; salting the sampled hot "
+      "keys plus the merge fix-up stage levels the heavy stage-1 shuffle to "
+      "<= 1.5x while the output multiset — and hash — stay identical, under "
+      "every Anti-Combining strategy and with speculation racing backups.");
+  WriteJsonReport("BENCH_e7.json", "bench_e7_skew", rows);
+
+  bool ok = true;
+  // Correctness gates (always on): identical output everywhere, and the
+  // split chain must actually have run.
+  for (uint64_t h : hashes) {
+    if (h != hashes[0]) {
+      std::fprintf(stderr, "FAIL: output hash diverged across runs\n");
+      ok = false;
+      break;
+    }
+  }
+  if (!split_ran) {
+    std::fprintf(stderr,
+                 "FAIL: sampling never found a hot key; split path unused\n");
+    ok = false;
+  }
+  // Load-spread gates on the measured record counts.
+  for (const auto& [name, ratio] : gate_ratio) {
+    const bool is_hash = name.find("/hash") != std::string::npos;
+    const bool is_split = name.find("/split") != std::string::npos;
+    if (is_hash && ratio < 3.0) {
+      std::fprintf(stderr,
+                   "%s: %s spread %.2fx < 3x — input not skewed enough to "
+                   "demonstrate the problem\n",
+                   perf_gate ? "FAIL" : "note", name.c_str(), ratio);
+      if (perf_gate) ok = false;
+    }
+    if (is_split && ratio > 1.5) {
+      std::fprintf(stderr,
+                   "%s: %s spread %.2fx > 1.5x — hot-key split failed to "
+                   "level the shuffle\n",
+                   perf_gate ? "FAIL" : "note", name.c_str(), ratio);
+      if (perf_gate) ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("\nall gates passed: identical output hash %016llx across "
+                "%zu runs; spec backups launched: %llu\n",
+                static_cast<unsigned long long>(hashes.empty() ? 0
+                                                               : hashes[0]),
+                hashes.size(),
+                static_cast<unsigned long long>(total_backups));
+  }
+  return ok ? 0 : 1;
+}

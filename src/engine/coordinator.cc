@@ -139,6 +139,13 @@ void Coordinator::ReceiveLoop(WorkerState* worker) {
         {
           std::lock_guard<std::mutex> lock(mu_);
           worker->last_activity_nanos = NowNanos();
+          // Straggler signal: progress of this worker's in-flight rpcs.
+          // Gated on pending_ so completed rpcs cannot re-insert entries.
+          for (const net::TaskProgress& p : hb.task_progress) {
+            if (pending_.count(p.rpc_id) > 0) {
+              rpc_progress_[p.rpc_id] = p.permille;
+            }
+          }
         }
         // Federate the worker's registry snapshot. Absolute cumulative
         // values make the fold idempotent under retransmits, so no seq
@@ -254,12 +261,31 @@ void Coordinator::MarkDead(WorkerState* worker, const std::string& why) {
 }
 
 bool Coordinator::WaitForWorkers(int n, uint64_t timeout_nanos) {
+  const uint64_t deadline = NowNanos() + timeout_nanos;
   std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, std::chrono::nanoseconds(timeout_nanos), [&] {
+  auto live_count = [this] {
     int live = 0;
     for (const auto& [id, worker] : workers_) live += worker->alive ? 1 : 0;
-    return live >= n;
-  });
+    return live;
+  };
+  for (;;) {
+    uint64_t now = NowNanos();
+    if (live_count() >= n) {
+      // Quorum seen — but a worker that registered and died in the same
+      // instant stays marked alive until its receiver observes the dead
+      // connection. Hold for the settle window, waking on worker-state
+      // changes, and only report success if the quorum survived it.
+      const uint64_t settle_deadline = now + options_.quorum_settle_nanos;
+      while ((now = NowNanos()) < settle_deadline && live_count() >= n) {
+        cv_.wait_for(lock, std::chrono::nanoseconds(settle_deadline - now));
+      }
+      if (live_count() >= n) return true;
+      if (NowNanos() >= deadline) return false;  // quorum regressed
+      continue;  // keep waiting for a real quorum
+    }
+    if (now >= deadline) return false;
+    cv_.wait_for(lock, std::chrono::nanoseconds(deadline - now));
+  }
 }
 
 int Coordinator::live_workers() const {
@@ -269,11 +295,11 @@ int Coordinator::live_workers() const {
   return live;
 }
 
-Status Coordinator::PickWorker(uint32_t* worker_id) {
+Status Coordinator::PickWorker(uint32_t* worker_id, uint32_t exclude_worker) {
   std::lock_guard<std::mutex> lock(mu_);
   const WorkerState* best = nullptr;
   for (const auto& [id, worker] : workers_) {
-    if (!worker->alive) continue;
+    if (!worker->alive || id == exclude_worker) continue;
     // Least inflight-per-slot keeps a big worker busier than a small one.
     if (best == nullptr ||
         worker->inflight * best->slots < best->inflight * worker->slots) {
@@ -300,7 +326,8 @@ std::string Coordinator::WorkerShuffleAddr(uint32_t worker_id) const {
 }
 
 Status Coordinator::Call(uint32_t worker_id, net::TaskAssignMsg assign,
-                         net::TaskResultMsg* result) {
+                         net::TaskResultMsg* result,
+                         std::atomic<uint64_t>* rpc_id_out) {
   ANTIMR_TRACE_SPAN_DYN(
       "rpc", std::string(assign.kind == net::TaskKind::kMap ? "map" : "reduce") +
                  ":" + assign.job_id + ":" +
@@ -308,6 +335,11 @@ Status Coordinator::Call(uint32_t worker_id, net::TaskAssignMsg assign,
                  std::to_string(worker_id));
   const uint64_t call_start = NowNanos();
   assign.rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
+  // Published before the frame goes out so a speculation monitor can cancel
+  // this call while it is still in flight.
+  if (rpc_id_out != nullptr) {
+    rpc_id_out->store(assign.rpc_id, std::memory_order_release);
+  }
 
   PendingCall call;
   call.worker_id = worker_id;
@@ -363,12 +395,55 @@ Status Coordinator::Call(uint32_t worker_id, net::TaskAssignMsg assign,
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return call.done; });
   worker->inflight--;
-  rpc_latency_hist_->Observe(NowNanos() - call_start);
+  rpc_progress_.erase(assign.rpc_id);
+  const uint64_t duration = NowNanos() - call_start;
+  rpc_latency_hist_->Observe(duration);
+  if (call.status.ok() && result->status_code == 0) {
+    // Successful completions feed the speculation slowness baseline.
+    auto& recent = recent_task_nanos_[assign.kind == net::TaskKind::kMap ? 0 : 1];
+    if (recent.size() >= 64) recent.erase(recent.begin());
+    recent.push_back(duration);
+  }
   if (!call.status.ok()) return call.status;
   if (result->status_code != 0) {
     return net::StatusFromWire(result->status_code, result->status_msg);
   }
   return Status::OK();
+}
+
+void Coordinator::CancelTask(uint32_t worker_id, uint64_t rpc_id) {
+  if (rpc_id == 0) return;  // attempt not dispatched yet: nothing to cancel
+  WorkerState* worker = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = workers_.find(worker_id);
+    if (it == workers_.end() || !it->second->alive) return;
+    worker = it->second.get();
+  }
+  net::CancelTaskMsg msg;
+  msg.rpc_id = rpc_id;
+  std::string payload;
+  net::EncodeCancelTask(msg, &payload);
+  std::lock_guard<std::mutex> lock(worker->write_mu);
+  net::WriteFrame(worker->conn.get(), net::kCancelTask, payload);  // best effort
+}
+
+uint32_t Coordinator::RpcProgressPermille(uint64_t rpc_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rpc_progress_.find(rpc_id);
+  return it == rpc_progress_.end() ? 0 : it->second;
+}
+
+uint64_t Coordinator::TypicalTaskNanos(net::TaskKind kind) const {
+  std::vector<uint64_t> recent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recent = recent_task_nanos_[kind == net::TaskKind::kMap ? 0 : 1];
+  }
+  if (recent.empty()) return 0;
+  std::nth_element(recent.begin(), recent.begin() + recent.size() / 2,
+                   recent.end());
+  return recent[recent.size() / 2];
 }
 
 void Coordinator::Stop() {
@@ -572,6 +647,182 @@ std::string UniqueJobId(const std::string& name) {
          std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
 
+// --- speculative execution ------------------------------------------------
+
+/// Launch one attempt of a task: pick a worker (excluding `exclude_worker`;
+/// 0 = none), publish the chosen worker and the rpc_id through the atomics
+/// *before* blocking, then block in Coordinator::Call. Returning means the
+/// attempt finished (either way); the atomics let the race monitor cancel a
+/// still-running attempt from outside.
+using AttemptFn =
+    std::function<Status(uint32_t exclude_worker, std::atomic<uint64_t>* rpc_id,
+                         std::atomic<uint32_t>* worker,
+                         net::TaskResultMsg* res)>;
+
+struct SpecConfig {
+  bool enabled = false;
+  double slowness_factor = 2.0;
+  uint64_t min_elapsed_nanos = 0;
+  uint64_t force_after_nanos = 0;
+  net::TaskKind kind = net::TaskKind::kMap;
+};
+
+struct SpecStats {
+  std::atomic<uint64_t> backups{0};
+  std::atomic<uint64_t> backup_wins{0};
+  std::atomic<uint64_t> cancels{0};
+};
+
+/// First-finisher-wins execution of `attempt`, optionally racing a backup
+/// against a straggling primary. The winner's result lands in *result /
+/// *winner_worker; the loser is cancelled (kCancelTask) and awaited, so no
+/// attempt outlives this call. With cfg.enabled false this is a plain
+/// single-attempt run.
+Status RunWithSpeculation(Coordinator* coord, const SpecConfig& cfg,
+                          const AttemptFn& attempt, net::TaskResultMsg* result,
+                          uint32_t* winner_worker, SpecStats* stats) {
+  struct Side {
+    std::atomic<uint64_t> rpc_id{0};
+    std::atomic<uint32_t> worker{0};
+    net::TaskResultMsg res;
+    Status status;
+    bool done = false;  // guarded by mu below
+  };
+  if (!cfg.enabled) {
+    Side solo;
+    const Status st = attempt(0, &solo.rpc_id, &solo.worker, &solo.res);
+    *result = std::move(solo.res);
+    *winner_worker = solo.worker.load(std::memory_order_relaxed);
+    return st;
+  }
+
+  static obs::Counter* const backups_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "antimr_spec_backups_total",
+          "speculative backup attempts launched for stragglers");
+  static obs::Counter* const wins_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "antimr_spec_wins_total",
+          "speculative races won by the backup attempt");
+  static obs::Counter* const cancelled_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "antimr_spec_cancelled_total",
+          "attempts cancelled after losing a speculative race");
+
+  Side primary, backup;
+  std::mutex mu;
+  std::condition_variable cv;
+  auto run_side = [&](Side* side, uint32_t exclude) {
+    const Status st = attempt(exclude, &side->rpc_id, &side->worker, &side->res);
+    std::lock_guard<std::mutex> lock(mu);
+    side->status = st;
+    side->done = true;
+    cv.notify_all();
+  };
+  std::thread primary_thread(run_side, &primary, 0u);
+  std::thread backup_thread;
+  bool backup_started = false;
+  const uint64_t start = NowNanos();
+
+  // Adaptive threshold: explicit override wins; otherwise slowness_factor x
+  // the median completed duration of this task kind, floored. No baseline
+  // yet (cold start) = no speculation.
+  auto slowness_threshold = [&]() -> uint64_t {
+    if (cfg.force_after_nanos > 0) return cfg.force_after_nanos;
+    const uint64_t typical = coord->TypicalTaskNanos(cfg.kind);
+    if (typical == 0) return 0;
+    const auto scaled =
+        static_cast<uint64_t>(static_cast<double>(typical) * cfg.slowness_factor);
+    return std::max(cfg.min_elapsed_nanos, scaled);
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      const bool all_done = primary.done && (!backup_started || backup.done);
+      const bool have_winner = (primary.done && primary.status.ok()) ||
+                               (backup_started && backup.done &&
+                                backup.status.ok());
+      if (all_done || have_winner) break;
+      cv.wait_for(lock, std::chrono::milliseconds(5));
+      if (backup_started || primary.done) continue;
+      const uint64_t threshold = slowness_threshold();
+      if (threshold == 0 || NowNanos() - start < threshold) continue;
+      // Nearly-finished primaries are not worth racing (adaptive mode only;
+      // a forced threshold is a test asking for a deterministic race).
+      if (cfg.force_after_nanos == 0 &&
+          coord->RpcProgressPermille(
+              primary.rpc_id.load(std::memory_order_acquire)) >= 900) {
+        continue;
+      }
+      if (coord->live_workers() < 2) continue;  // nowhere to place a backup
+      backup_started = true;
+      stats->backups.fetch_add(1, std::memory_order_relaxed);
+      backups_counter->Inc();
+      ANTIMR_TRACE_INSTANT(
+          "engine", "speculative_backup",
+          obs::TraceArgs()
+              .Add("rpc", static_cast<int64_t>(
+                              primary.rpc_id.load(std::memory_order_acquire)))
+              .Add("kind", cfg.kind == net::TaskKind::kMap ? "map" : "reduce"));
+      lock.unlock();
+      backup_thread = std::thread(run_side, &backup,
+                                  primary.worker.load(std::memory_order_relaxed));
+      lock.lock();
+    }
+  }
+
+  // Decide the race and cancel the still-running loser, if any.
+  Side* winner = nullptr;
+  Side* loser = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (primary.done && primary.status.ok()) {
+      winner = &primary;
+      loser = backup_started ? &backup : nullptr;
+    } else if (backup_started && backup.done && backup.status.ok()) {
+      winner = &backup;
+      loser = &primary;
+    }
+  }
+  if (winner != nullptr && loser != nullptr) {
+    bool loser_running;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      loser_running = !loser->done;
+    }
+    if (loser_running) {
+      coord->CancelTask(loser->worker.load(std::memory_order_relaxed),
+                        loser->rpc_id.load(std::memory_order_acquire));
+      stats->cancels.fetch_add(1, std::memory_order_relaxed);
+      cancelled_counter->Inc();
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return loser->done; });
+    }
+  }
+  primary_thread.join();
+  if (backup_thread.joinable()) backup_thread.join();
+
+  if (winner == nullptr) {
+    // Both attempts failed (or the lone primary did): surface the primary's
+    // error — the TaskGraph retry layer treats it like any failed attempt.
+    return !primary.status.ok() ? primary.status : backup.status;
+  }
+  if (winner == &backup) {
+    stats->backup_wins.fetch_add(1, std::memory_order_relaxed);
+    wins_counter->Inc();
+    ANTIMR_TRACE_INSTANT(
+        "engine", "speculation_win",
+        obs::TraceArgs()
+            .Add("rpc", static_cast<int64_t>(
+                            backup.rpc_id.load(std::memory_order_acquire)))
+            .Add("kind", cfg.kind == net::TaskKind::kMap ? "map" : "reduce"));
+  }
+  *result = std::move(winner->res);
+  *winner_worker = winner->worker.load(std::memory_order_relaxed);
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
@@ -626,31 +877,53 @@ Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
   };
   publish_status("running");
 
-  // Runs (or re-runs) map `m` on a live worker and records its placement.
-  // Callers hold placements[m].mu.
+  SpecStats spec_stats;
+  SpecConfig map_spec, reduce_spec;
+  map_spec.enabled = reduce_spec.enabled = options.speculative_execution;
+  map_spec.slowness_factor = reduce_spec.slowness_factor =
+      options.speculation_slowness_factor;
+  map_spec.min_elapsed_nanos = reduce_spec.min_elapsed_nanos =
+      options.speculation_min_elapsed_nanos;
+  map_spec.force_after_nanos = reduce_spec.force_after_nanos =
+      options.speculation_force_after_nanos;
+  map_spec.kind = net::TaskKind::kMap;
+  reduce_spec.kind = net::TaskKind::kReduce;
+
+  // Runs (or re-runs) map `m` on a live worker and records its placement —
+  // under speculation, the first of up to two racing attempts to finish.
+  // Callers hold placements[m].mu, so each attempt draws a fresh
+  // attempt-scoped job_id: a re-execution (retry, heal, or speculative
+  // backup) can land on a worker that already holds a previous attempt's
+  // files, and unique names keep stale segments from masking fresh ones.
   auto run_map_once = [&](int m) -> Status {
     MapPlacement& loc = placements[m];
-    uint32_t worker_id = 0;
-    ANTIMR_RETURN_NOT_OK(coord->PickWorker(&worker_id));
-    net::TaskAssignMsg assign;
-    assign.kind = net::TaskKind::kMap;
-    assign.job_name = options.job_name;
-    assign.params = options.params;
-    // Attempt-scoped job_id: a re-execution (retry or heal) can land on a
-    // worker that already holds the previous attempt's files; unique names
-    // keep stale segments from masking the fresh ones.
-    const uint32_t attempt =
-        loc.attempts.fetch_add(1, std::memory_order_relaxed);
-    assign.job_id = job_id + "_a" + std::to_string(attempt);
-    assign.task_index = static_cast<uint32_t>(m);
-    assign.attempt = attempt;
-    assign.trace_enabled = trace_enabled;
-    assign.split_records = encoded_splits[m];
+    auto start_attempt = [&](uint32_t exclude, std::atomic<uint64_t>* rpc_id,
+                             std::atomic<uint32_t>* worker,
+                             net::TaskResultMsg* res) -> Status {
+      uint32_t worker_id = 0;
+      ANTIMR_RETURN_NOT_OK(coord->PickWorker(&worker_id, exclude));
+      worker->store(worker_id, std::memory_order_relaxed);
+      net::TaskAssignMsg assign;
+      assign.kind = net::TaskKind::kMap;
+      assign.job_name = options.job_name;
+      assign.params = options.params;
+      const uint32_t attempt =
+          loc.attempts.fetch_add(1, std::memory_order_relaxed);
+      assign.job_id = job_id + "_a" + std::to_string(attempt);
+      assign.task_index = static_cast<uint32_t>(m);
+      assign.attempt = attempt;
+      assign.trace_enabled = trace_enabled;
+      assign.split_records = encoded_splits[m];
+      return coord->Call(worker_id, std::move(assign), res, rpc_id);
+    };
     net::TaskResultMsg res;
-    ANTIMR_RETURN_NOT_OK(coord->Call(worker_id, std::move(assign), &res));
+    uint32_t winner_worker = 0;
+    ANTIMR_RETURN_NOT_OK(RunWithSpeculation(coord, map_spec, start_attempt,
+                                            &res, &winner_worker,
+                                            &spec_stats));
     JobMetrics metrics;
     ANTIMR_RETURN_NOT_OK(net::DecodeJobMetrics(res.metrics, &metrics));
-    loc.worker = worker_id;
+    loc.worker = winner_worker;
     loc.segment_files = std::move(res.segment_files);
     loc.metrics = metrics;
     loc.cpu_nanos = res.cpu_nanos;
@@ -698,17 +971,17 @@ Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
               ANTIMR_RETURN_NOT_OK(run_map_once(m));
             }
           }
-          net::TaskAssignMsg assign;
-          assign.kind = net::TaskKind::kReduce;
-          assign.job_name = options.job_name;
-          assign.params = options.params;
-          assign.job_id = job_id;
-          assign.task_index = static_cast<uint32_t>(p);
-          assign.attempt = static_cast<uint32_t>(attempt);
-          assign.trace_enabled = trace_enabled;
-          assign.collect_output = options.collect_outputs;
-          assign.network_mb_per_s = options.network_mb_per_s;
-          assign.readahead_blocks = options.readahead_blocks;
+          net::TaskAssignMsg base;
+          base.kind = net::TaskKind::kReduce;
+          base.job_name = options.job_name;
+          base.params = options.params;
+          base.job_id = job_id;
+          base.task_index = static_cast<uint32_t>(p);
+          base.attempt = static_cast<uint32_t>(attempt);
+          base.trace_enabled = trace_enabled;
+          base.collect_output = options.collect_outputs;
+          base.network_mb_per_s = options.network_mb_per_s;
+          base.readahead_blocks = options.readahead_blocks;
           // Segment list in map-index order: merge order is part of the
           // output contract, identical to the single-process planner.
           for (int m = 0; m < num_maps; ++m) {
@@ -716,14 +989,25 @@ Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
             std::lock_guard<std::mutex> lock(loc.mu);
             const std::string& file = loc.segment_files[p];
             if (file.empty()) continue;
-            assign.segments.push_back(
+            base.segments.push_back(
                 {coord->WorkerShuffleAddr(loc.worker), file});
           }
-          uint32_t worker_id = 0;
-          ANTIMR_RETURN_NOT_OK(coord->PickWorker(&worker_id));
+          auto start_attempt =
+              [&, base](uint32_t exclude, std::atomic<uint64_t>* rpc_id,
+                        std::atomic<uint32_t>* worker,
+                        net::TaskResultMsg* res) -> Status {
+            uint32_t worker_id = 0;
+            ANTIMR_RETURN_NOT_OK(coord->PickWorker(&worker_id, exclude));
+            worker->store(worker_id, std::memory_order_relaxed);
+            net::TaskAssignMsg assign = base;
+            return coord->Call(worker_id, std::move(assign), res, rpc_id);
+          };
           net::TaskResultMsg res;
-          ANTIMR_RETURN_NOT_OK(
-              coord->Call(worker_id, std::move(assign), &res));
+          uint32_t winner_worker = 0;
+          ANTIMR_RETURN_NOT_OK(RunWithSpeculation(coord, reduce_spec,
+                                                  start_attempt, &res,
+                                                  &winner_worker,
+                                                  &spec_stats));
           ANTIMR_RETURN_NOT_OK(
               net::DecodeKVList(res.output_records, &outputs[p]));
           ANTIMR_RETURN_NOT_OK(
@@ -744,10 +1028,18 @@ Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
     result->metrics.Add(placements[m].metrics);
     result->metrics.total_cpu_nanos += placements[m].cpu_nanos;
   }
+  result->reduce_shuffle_bytes.resize(num_reduces, 0);
+  result->reduce_input_records.resize(num_reduces, 0);
   for (int p = 0; p < num_reduces; ++p) {
     result->metrics.Add(reduce_metrics[p]);
     result->metrics.total_cpu_nanos += reduce_cpu[p];
+    result->reduce_shuffle_bytes[p] = reduce_metrics[p].shuffle_bytes;
+    result->reduce_input_records[p] = reduce_metrics[p].reduce_input_records;
   }
+  result->spec_backups = spec_stats.backups.load(std::memory_order_relaxed);
+  result->spec_backup_wins =
+      spec_stats.backup_wins.load(std::memory_order_relaxed);
+  result->spec_cancels = spec_stats.cancels.load(std::memory_order_relaxed);
   result->outputs = std::move(outputs);
   const uint64_t total_runs = map_runs.load(std::memory_order_relaxed);
   result->map_reruns =

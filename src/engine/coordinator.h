@@ -57,6 +57,11 @@ struct CoordinatorOptions {
   uint64_t heartbeat_timeout_nanos = 2ull * 1000 * 1000 * 1000;
   /// How often the monitor thread scans for lost workers.
   uint64_t monitor_period_nanos = 50ull * 1000 * 1000;
+  /// Once WaitForWorkers first sees its quorum, it re-checks liveness after
+  /// this settle window so a worker that registered and immediately died
+  /// (connection reset before its first heartbeat) regresses the count
+  /// instead of being handed to the driver as capacity.
+  uint64_t quorum_settle_nanos = 20ull * 1000 * 1000;
 };
 
 /// \brief Accepts workers, tracks liveness, routes task RPCs.
@@ -80,14 +85,18 @@ class Coordinator {
   const std::string& addr() const { return addr_; }
 
   /// Block until `n` workers are registered and alive, or `timeout_nanos`
-  /// elapses. Returns whether the quorum was reached.
+  /// elapses. Returns whether the quorum held at the deadline: a worker
+  /// that registers then immediately dies within the wait window is
+  /// re-checked (quorum_settle_nanos) and not counted once it regresses.
   bool WaitForWorkers(int n, uint64_t timeout_nanos);
 
   int live_workers() const;
 
   /// Least-loaded live worker, or ResourceExhausted (transient — a retry
-  /// may find a recovered cluster) when none is alive.
-  Status PickWorker(uint32_t* worker_id);
+  /// may find a recovered cluster) when none is alive. `exclude_worker`
+  /// (0 = none) skips one worker, so a speculative backup lands on
+  /// different hardware than the primary it races.
+  Status PickWorker(uint32_t* worker_id, uint32_t exclude_worker = 0);
 
   bool WorkerAlive(uint32_t worker_id) const;
 
@@ -98,9 +107,26 @@ class Coordinator {
   /// Execute one task on `worker_id`: send the assignment, block until the
   /// matching TaskResult arrives or the worker dies. Worker death surfaces
   /// as transient IOError("worker N lost"); a task failure on the worker
-  /// surfaces as the task's own Status. `assign.rpc_id` is set here.
+  /// surfaces as the task's own Status. `assign.rpc_id` is set here; when
+  /// `rpc_id_out` is non-null it is published there *before* the frame is
+  /// sent, so a concurrent monitor can cancel the call mid-flight.
   Status Call(uint32_t worker_id, net::TaskAssignMsg assign,
-              net::TaskResultMsg* result);
+              net::TaskResultMsg* result,
+              std::atomic<uint64_t>* rpc_id_out = nullptr);
+
+  /// Best-effort kCancelTask to the worker running `rpc_id` (the loser of a
+  /// speculative race). The task fails with a transient IOError on the
+  /// worker and scrubs its attempt-scoped partial output; errors here are
+  /// swallowed (a dead worker cancelled itself).
+  void CancelTask(uint32_t worker_id, uint64_t rpc_id);
+
+  /// Latest heartbeat-reported progress (0..1000) for an in-flight rpc;
+  /// 0 when the worker has not reported yet.
+  uint32_t RpcProgressPermille(uint64_t rpc_id) const;
+
+  /// Median duration of recently completed tasks of one kind (speculation's
+  /// slowness baseline); 0 until a completion of that kind was observed.
+  uint64_t TypicalTaskNanos(net::TaskKind kind) const;
 
   /// Best-effort Shutdown to every live worker, close everything, join all
   /// threads. When a trace is being captured, waits briefly for workers'
@@ -181,6 +207,11 @@ class Coordinator {
   std::map<uint32_t, std::unique_ptr<WorkerState>> workers_;
   std::atomic<uint64_t> next_rpc_id_{1};
   std::map<uint64_t, PendingCall*> pending_;
+  /// Heartbeat-reported progress per in-flight rpc (erased on completion).
+  std::map<uint64_t, uint32_t> rpc_progress_;
+  /// Recent completed-task durations per kind (map, reduce), bounded, for
+  /// the speculation slowness baseline.
+  std::vector<uint64_t> recent_task_nanos_[2];
 
   obs::Gauge* workers_live_gauge_;
   obs::Counter* tasks_assigned_counter_;
@@ -216,6 +247,22 @@ struct DistJobOptions {
   /// Dispatcher threads driving blocking Calls; 0 sizes to the task count
   /// (dispatchers spend their life blocked on worker RPCs, not CPU).
   int dispatch_threads = 0;
+
+  // --- speculative execution ---------------------------------------------
+  /// Launch a backup attempt for a task whose primary attempt looks like a
+  /// straggler; first finisher wins, the loser is cancelled and its
+  /// attempt-scoped partial output scrubbed (same machinery as a retried
+  /// attempt). Output is unchanged: the winner's result is used verbatim.
+  bool speculative_execution = false;
+  /// A primary is a straggler once its elapsed time exceeds
+  /// slowness_factor x the median completed duration of its task kind.
+  double speculation_slowness_factor = 2.0;
+  /// Never speculate before this much elapsed time (guards the cold start
+  /// where no duration baseline exists yet).
+  uint64_t speculation_min_elapsed_nanos = 200ull * 1000 * 1000;
+  /// Test override: when > 0, a backup launches after exactly this elapsed
+  /// time regardless of the adaptive baseline (deterministic races).
+  uint64_t speculation_force_after_nanos = 0;
 };
 
 struct DistJobResult {
@@ -226,6 +273,14 @@ struct DistJobResult {
   JobMetrics metrics;
   /// Map task executions beyond the first num_maps (retries + heals).
   uint64_t map_reruns = 0;
+  /// Per reduce partition: transport bytes fetched (shuffle load) and input
+  /// records — the load-spread signal bench_e7_skew plots.
+  std::vector<uint64_t> reduce_shuffle_bytes;
+  std::vector<uint64_t> reduce_input_records;
+  /// Speculation outcome counts for this job.
+  uint64_t spec_backups = 0;       ///< backup attempts launched
+  uint64_t spec_backup_wins = 0;   ///< races the backup won
+  uint64_t spec_cancels = 0;       ///< losers sent kCancelTask
 
   /// Flatten outputs across partitions (partition order, then emission
   /// order) — comparable to PlanResult::FlatOutput / JobResult::FlatOutput.

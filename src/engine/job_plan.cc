@@ -51,6 +51,10 @@ Status JobPlan::Validate() const {
   for (size_t i = 0; i < stages_.size(); ++i) {
     const Stage& stage = stages_[i];
     ANTIMR_RETURN_NOT_OK(stage.spec.Validate());
+    // Plan-time partitioner check: a bad partition count must surface here
+    // as a permanent InvalidArgument, not as modulo-by-zero UB mid-task.
+    ANTIMR_RETURN_NOT_OK(stage.spec.partitioner->ValidatePartitions(
+        stage.spec.num_reduce_tasks));
     if (stage.output.empty()) {
       return Status::InvalidArgument("JobPlan: stage " + stage.name +
                                      " has no output dataset");

@@ -81,6 +81,14 @@ void Worker::ReceiveLoop() {
         inflight_tasks_.fetch_sub(1, std::memory_order_relaxed);
         cv_.notify_all();
       });
+    } else if (type == net::kCancelTask) {
+      net::CancelTaskMsg cancel;
+      if (!net::DecodeCancelTask(payload, &cancel).ok()) break;
+      std::lock_guard<std::mutex> lock(tasks_mu_);
+      auto it = running_tasks_.find(cancel.rpc_id);
+      // Unknown rpc_id: the task already finished (its result is in flight)
+      // or never started here — either way there is nothing to cancel.
+      if (it != running_tasks_.end()) it->second->RequestCancel();
     } else if (type == net::kShutdown) {
       if (options_.exclusive_process && obs::kTraceCompiled &&
           obs::TraceEnabled()) {
@@ -131,6 +139,18 @@ void Worker::HeartbeatLoop() {
     net::HeartbeatMsg hb;
     hb.worker_id = id_;
     hb.seq = ++seq;
+    {
+      // Per-task progress rides on every beat; the coordinator's speculation
+      // pass uses it to spare nearly-done stragglers a backup attempt.
+      std::lock_guard<std::mutex> lock(tasks_mu_);
+      for (const auto& entry : running_tasks_) {
+        net::TaskProgress p;
+        p.rpc_id = entry.first;
+        p.permille = entry.second->progress_permille.load(
+            std::memory_order_relaxed);
+        hb.task_progress.push_back(p);
+      }
+    }
     // Every beat carries the registry's full absolute state — the
     // federation protocol's idempotency comes from exactly this.
     obs::MetricsSnapshot snap;
@@ -155,7 +175,16 @@ void Worker::Execute(const net::TaskAssignMsg& assign) {
   if (obs::kTraceCompiled && assign.trace_enabled && !obs::TraceEnabled()) {
     obs::Tracer::Global().Start();
   }
-  const Status st = ExecuteTask(assign, &result);
+  auto control = std::make_shared<TaskControl>();
+  if (assign.rpc_id != 0) {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    running_tasks_[assign.rpc_id] = control;
+  }
+  const Status st = ExecuteTask(assign, control.get(), &result);
+  if (assign.rpc_id != 0) {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    running_tasks_.erase(assign.rpc_id);
+  }
   if (!st.ok()) {
     result.status_code = static_cast<int32_t>(st.code());
     result.status_msg = st.message();
@@ -180,7 +209,7 @@ void Worker::Execute(const net::TaskAssignMsg& assign) {
 }
 
 Status Worker::ExecuteTask(const net::TaskAssignMsg& assign,
-                           net::TaskResultMsg* result) {
+                           TaskControl* control, net::TaskResultMsg* result) {
   JobSpec spec;
   ANTIMR_RETURN_NOT_OK(
       BuildRegisteredJob(assign.job_name, assign.params, &spec));
@@ -201,10 +230,11 @@ Status Worker::ExecuteTask(const net::TaskAssignMsg& assign,
     if (crashed()) return Status::IOError("worker crashed");
     std::vector<KV> records;
     ANTIMR_RETURN_NOT_OK(net::DecodeKVList(assign.split_records, &records));
+    const uint64_t total_records = records.size();
     MapTaskResult map_result;
     ANTIMR_RETURN_NOT_OK(RunMapTask(spec, assign.job_id, index,
                                     MakeSplit(std::move(records)), env_,
-                                    &map_result));
+                                    &map_result, control, total_records));
     result->segment_files = std::move(map_result.segment_files);
     net::EncodeJobMetrics(map_result.metrics, &result->metrics);
   } else {
@@ -226,6 +256,7 @@ Status Worker::ExecuteTask(const net::TaskAssignMsg& assign,
     ReduceTaskInputs inputs;
     inputs.remote.assign(assign.segments.begin(), assign.segments.end());
     inputs.shuffle = &shuffle;
+    inputs.control = control;
     if (assign.readahead_blocks > 0) {
       inputs.readahead_blocks = assign.readahead_blocks;
     }

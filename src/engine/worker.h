@@ -15,6 +15,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,6 +23,7 @@
 
 #include "io/env.h"
 #include "mr/local_cluster.h"
+#include "mr/task_control.h"
 #include "net/shuffle_service.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -90,7 +92,7 @@ class Worker {
   void ReceiveLoop();
   void HeartbeatLoop();
   void Execute(const net::TaskAssignMsg& assign);
-  Status ExecuteTask(const net::TaskAssignMsg& assign,
+  Status ExecuteTask(const net::TaskAssignMsg& assign, TaskControl* control,
                      net::TaskResultMsg* result);
 
   net::Transport* transport_;
@@ -106,6 +108,11 @@ class Worker {
 
   std::mutex write_mu_;  ///< serializes frame writes on conn_
   std::mutex trace_mu_;  ///< guards pending_trace_
+  std::mutex tasks_mu_;  ///< guards running_tasks_
+  /// Live tasks keyed by rpc_id: heartbeats read their progress, CancelTask
+  /// frames flip their cancel flags. Entries live exactly as long as
+  /// Execute runs the task.
+  std::map<uint64_t, std::shared_ptr<TaskControl>> running_tasks_;
   /// Trace chunks drained by shuffle handler threads (via the SegmentServer
   /// sink); piggybacked on the next TaskResult or the final Shutdown chunk.
   std::string pending_trace_;

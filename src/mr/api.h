@@ -47,14 +47,43 @@ struct KV {
 class Partitioner {
  public:
   virtual ~Partitioner() = default;
-  /// Return the reduce task in [0, num_partitions) for `key`.
+  /// Return the reduce task in [0, num_partitions) for `key`. Callers must
+  /// have validated num_partitions (ValidatePartitions) at plan time;
+  /// Partition itself clamps a non-positive count to partition 0 rather
+  /// than hitting modulo-by-zero UB.
   virtual int Partition(const Slice& key, int num_partitions) const = 0;
+
+  /// Plan-time validation of the partition count this partitioner will be
+  /// asked to cover. The base check rejects num_partitions <= 0 with a
+  /// permanent InvalidArgument (never retried); subclasses may add checks
+  /// but must call the base first.
+  virtual Status ValidatePartitions(int num_partitions) const;
 };
 
 /// Default partitioner: hash(key) mod num_partitions.
 class HashPartitioner : public Partitioner {
  public:
   int Partition(const Slice& key, int num_partitions) const override;
+};
+
+/// Range partitioner over sorted pivots built from an input sample
+/// (mr/skew.h). pivots holds num_partitions - 1 bytewise-sorted boundary
+/// keys (duplicates allowed); Partition(key) is the index of the first
+/// pivot > key (upper_bound), clamped to num_partitions - 1, so partition p
+/// receives keys in (pivot[p-1], pivot[p]]. An empty pivot list (empty
+/// sample) falls back to hash partitioning. Stateless after construction,
+/// so LazySH re-invocation on reducers sees identical placements.
+class RangePartitioner : public Partitioner {
+ public:
+  explicit RangePartitioner(std::vector<std::string> pivots);
+
+  int Partition(const Slice& key, int num_partitions) const override;
+  Status ValidatePartitions(int num_partitions) const override;
+
+  const std::vector<std::string>& pivots() const { return pivots_; }
+
+ private:
+  std::vector<std::string> pivots_;  ///< bytewise-sorted boundary keys
 };
 
 std::shared_ptr<const Partitioner> DefaultPartitioner();

@@ -18,6 +18,7 @@ Status JobSpec::Validate() const {
   if (num_reduce_tasks <= 0) {
     return Status::InvalidArgument("JobSpec: num_reduce_tasks must be > 0");
   }
+  ANTIMR_RETURN_NOT_OK(partitioner->ValidatePartitions(num_reduce_tasks));
   if (map_buffer_bytes < 1024) {
     return Status::InvalidArgument("JobSpec: map_buffer_bytes too small");
   }

@@ -23,6 +23,13 @@ struct JobSpec {
   /// and — in Anti-Combining jobs — inside the reduce-phase Shared structure.
   ReducerFactory combiner_factory;
 
+  /// Optional partial-aggregation Reducer for multi-stage plans (hot-key
+  /// splitting, mr/skew.h): unlike reducer_factory, its *output* records
+  /// must be parseable as its own (and the final reducer's) *input* values,
+  /// so stage-1 partial results can be re-reduced in a merge fix-up stage.
+  /// A Combiner usually qualifies. Unset = the job cannot be key-split.
+  ReducerFactory partial_reducer_factory;
+
   std::shared_ptr<const Partitioner> partitioner = DefaultPartitioner();
 
   /// Total order on intermediate keys (reduce calls happen in this order).

@@ -267,7 +267,8 @@ class MapTaskContext : public MapContext {
 }  // namespace
 
 Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
-                  const InputSplit& split, Env* env, MapTaskResult* result) {
+                  const InputSplit& split, Env* env, MapTaskResult* result,
+                  TaskControl* control, uint64_t total_records) {
   JobMetrics& m = result->metrics;
   ANTIMR_TRACE_SPAN_DYN("task",
                         "map:" + spec.name + " #" + std::to_string(task_id));
@@ -301,6 +302,15 @@ Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
     // per-record, so spill points (and therefore job output) are identical
     // to the record-wise loop.
     while (source->NextBatch(&batch) > 0) {
+      if (control != nullptr) {
+        if (control->cancelled()) {
+          // Transient, so retry machinery treats the loser of a speculative
+          // race like any other recoverable attempt failure.
+          return Status::IOError("map task " + std::to_string(task_id) +
+                                 " cancelled");
+        }
+        control->SetProgress(m.input_records, total_records);
+      }
       for (const RecordRef& record : batch) {
         m.input_records += 1;
         m.input_bytes += record.bytes();

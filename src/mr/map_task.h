@@ -11,6 +11,7 @@
 #include "mr/job_spec.h"
 #include "mr/metrics.h"
 #include "mr/shuffle.h"
+#include "mr/task_control.h"
 
 namespace antimr {
 
@@ -22,9 +23,14 @@ struct MapTaskResult {
 };
 
 /// Execute map task `task_id` over `split`, writing output to `env` under
-/// names scoped by `job_id`.
+/// names scoped by `job_id`. `control` (optional) is polled between input
+/// batches: a requested cancel aborts with a transient IOError after
+/// scrubbing this attempt's partial output, and coarse progress is
+/// published for straggler detection. `total_records` (0 = unknown) scales
+/// the progress denominator.
 Status RunMapTask(const JobSpec& spec, const std::string& job_id, int task_id,
-                  const InputSplit& split, Env* env, MapTaskResult* result);
+                  const InputSplit& split, Env* env, MapTaskResult* result,
+                  TaskControl* control = nullptr, uint64_t total_records = 0);
 
 }  // namespace antimr
 

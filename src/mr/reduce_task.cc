@@ -252,9 +252,22 @@ Status RunReduceTask(const JobSpec& spec, int partition,
     }
     remote_storage.resize(inputs.remote.size());
     for (size_t i = 0; i < inputs.remote.size(); ++i) {
+      if (inputs.control != nullptr) {
+        if (inputs.control->cancelled()) {
+          return Status::IOError("reduce task " + std::to_string(partition) +
+                                 " cancelled");
+        }
+        // Fetch dominates reduce wall time at bench scale; report the
+        // fetched fraction as this task's (coarse) progress.
+        inputs.control->SetProgress(i, inputs.remote.size());
+      }
       ANTIMR_RETURN_NOT_OK(inputs.shuffle->Fetch(
           inputs.remote[i].addr, inputs.remote[i].file, &remote_storage[i]));
     }
+  }
+  if (inputs.control != nullptr && inputs.control->cancelled()) {
+    return Status::IOError("reduce task " + std::to_string(partition) +
+                           " cancelled");
   }
   auto adopt_fetched = [&](const FetchedSegment& fs) -> Status {
     m.shuffle_bytes += fs.fetched_bytes;

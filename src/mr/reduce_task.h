@@ -10,6 +10,7 @@
 #include "mr/job_spec.h"
 #include "mr/metrics.h"
 #include "mr/shuffle.h"
+#include "mr/task_control.h"
 #include "net/shuffle_service.h"
 #include "net/wire.h"
 
@@ -121,6 +122,10 @@ struct ReduceTaskInputs {
   double network_mb_per_s = 0;
   /// Per-segment streaming readahead window, in blocks.
   size_t readahead_blocks = kShuffleReadaheadBlocks;
+  /// Optional cancellation/progress hook (mr/task_control.h), polled between
+  /// remote segment fetches. A cancelled reduce aborts with a transient
+  /// IOError before emitting output.
+  TaskControl* control = nullptr;
 };
 
 struct ReduceTaskResult {

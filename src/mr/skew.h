@@ -1,0 +1,116 @@
+// Skew defense for the shuffle (ISSUE 9 / ROADMAP "skew mastery"):
+//
+//  1. Sampling: reservoir-sample each input split, run the job's Mapper over
+//     the sample, and derive quantile pivots over the observed intermediate
+//     keys — the input of a RangePartitioner (mr/api.h).
+//  2. Hot-key splitting: keys whose sample frequency exceeds a threshold are
+//     *salted* — rewritten to `key '\0' salt` where the salt is a
+//     deterministic hash of the input record — so one superfrequent key
+//     spreads across several adjacent ranges. Determinism matters: LazySH
+//     re-executes Map + Partition per record on reducers, so the salt must
+//     be a pure function of the input record, never of emit order.
+//  3. Merge fix-up: splitting is only correct with a second pass. Stage 1
+//     reduces salted groups with the job's *partial* reducer
+//     (JobSpec::partial_reducer_factory) and strips the salt on emit;
+//     stage 2 re-partitions by the unsalted pivots and runs the original
+//     reducer over the partial results, making the final output equal (as a
+//     key/value multiset) to the unsplit run.
+//
+// MakeSplitStage1Spec/MakeSplitStage2Spec derive the per-stage JobSpecs;
+// engine/skew_runner.h wires them through the DAG planner (local) and the
+// coordinator (distributed). Applied *before* EnableAntiCombining, so the
+// anti-combine wrappers see salted keys end to end.
+#ifndef ANTIMR_MR_SKEW_H_
+#define ANTIMR_MR_SKEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/job_spec.h"
+
+namespace antimr {
+
+struct SkewSampleOptions {
+  /// Reservoir size per input split.
+  size_t sample_per_split = 256;
+  /// A key is "superfrequent" when it holds at least this fraction of the
+  /// sampled intermediate records (and appears more than once).
+  double hot_key_min_fraction = 0.10;
+  /// Salt variants per hot key; 0 = num_reduce_tasks (maximum spread).
+  int hot_fanout = 0;
+  /// PRNG seed for the reservoirs (per-split offset added internally).
+  uint64_t seed = 0x5eed5eedULL;
+};
+
+/// What the sampling pass learned. Immutable after construction; shared by
+/// the salting mapper, both stage partitioners, and the CLI/registry codecs.
+struct SkewModel {
+  /// num_reduce_tasks - 1 bytewise-sorted quantile pivots over the *unsalted*
+  /// sampled keys. Empty when the sample was empty (hash fallback).
+  std::vector<std::string> pivots;
+  /// Pivots over the sample with hot keys salted round-robin: the stage-1
+  /// partitioner, balancing salted variants across ranges.
+  std::vector<std::string> salted_pivots;
+  /// Bytewise-sorted superfrequent keys.
+  std::vector<std::string> hot_keys;
+  /// Salt variants per hot key (>= 2 when hot_keys is non-empty).
+  int hot_fanout = 0;
+
+  bool HasHotKeys() const { return !hot_keys.empty() && hot_fanout >= 2; }
+};
+
+/// Run the sampling pass: reservoir over each split, Mapper over the sample,
+/// pivots + hot keys from the observed intermediate key distribution.
+/// Deterministic for a fixed (spec, splits, options).
+Status BuildSkewModel(const JobSpec& spec,
+                      const std::vector<InputSplit>& splits,
+                      const SkewSampleOptions& options, SkewModel* model);
+
+/// `key '\0' ('a' + salt)`. Sorts adjacent to the unsalted key bytewise, so
+/// quantile pivots can separate the variants.
+std::string SaltKey(const Slice& key, uint32_t salt);
+
+/// Inverse of SaltKey for keys whose unsalted form is in model.hot_keys;
+/// returns `key` unchanged otherwise.
+Slice StripSalt(const SkewModel& model, const Slice& key);
+
+/// True when `key` is one of the model's superfrequent keys.
+bool IsHotKey(const SkewModel& model, const Slice& key);
+
+/// Deterministic salt for one input record (pure function of the record, so
+/// LazySH re-execution reproduces it).
+uint32_t RecordSalt(const Slice& input_key, const Slice& input_value,
+                    int fanout);
+
+/// Mapper factory wrapping `base`: every emit of a hot key is rewritten to
+/// its salted variant for the current input record.
+MapperFactory MakeSaltingMapperFactory(MapperFactory base,
+                                       std::shared_ptr<const SkewModel> model);
+
+/// Mapper that re-emits its input unchanged (stage-2 map phase).
+MapperFactory IdentityMapperFactory();
+
+/// Stage 1 of the fix-up plan: salting mapper, salt-stripping partial
+/// reducer, salted-pivot range partitioner. Requires
+/// base.partial_reducer_factory (InvalidArgument otherwise).
+Status MakeSplitStage1Spec(const JobSpec& base,
+                           std::shared_ptr<const SkewModel> model,
+                           JobSpec* out);
+
+/// Stage 2: identity mapper, the original reducer, unsalted-pivot range
+/// partitioner — merges stage-1 partials into the final, unsplit-identical
+/// output.
+Status MakeSplitStage2Spec(const JobSpec& base,
+                           std::shared_ptr<const SkewModel> model,
+                           JobSpec* out);
+
+/// Length-prefixed codec for pivot / hot-key lists, used to ship the model
+/// through net::JobParams (binary-safe).
+std::string EncodeKeyList(const std::vector<std::string>& keys);
+Status DecodeKeyList(const std::string& encoded,
+                     std::vector<std::string>* keys);
+
+}  // namespace antimr
+
+#endif  // ANTIMR_MR_SKEW_H_

@@ -1,11 +1,57 @@
 #include "mr/api.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 
 namespace antimr {
 
+Status Partitioner::ValidatePartitions(int num_partitions) const {
+  if (num_partitions <= 0) {
+    return Status::InvalidArgument("Partitioner: num_partitions must be > 0, got " +
+                                   std::to_string(num_partitions));
+  }
+  return Status::OK();
+}
+
 int HashPartitioner::Partition(const Slice& key, int num_partitions) const {
+  if (num_partitions <= 0) return 0;  // rejected at plan time; avoid mod-by-zero
   return static_cast<int>(Hash64(key) % static_cast<uint64_t>(num_partitions));
+}
+
+RangePartitioner::RangePartitioner(std::vector<std::string> pivots)
+    : pivots_(std::move(pivots)) {
+  std::sort(pivots_.begin(), pivots_.end());
+}
+
+int RangePartitioner::Partition(const Slice& key, int num_partitions) const {
+  if (num_partitions <= 0) return 0;  // rejected at plan time; avoid UB
+  if (pivots_.empty()) {
+    // Empty sample: no range information, degrade to hash placement.
+    return static_cast<int>(Hash64(key) %
+                            static_cast<uint64_t>(num_partitions));
+  }
+  // First pivot strictly greater than key; duplicates collapse to the first
+  // occurrence, so repeated pivots simply leave partitions empty.
+  const auto it = std::upper_bound(
+      pivots_.begin(), pivots_.end(), key,
+      [](const Slice& k, const std::string& pivot) {
+        return k.compare(Slice(pivot)) < 0;
+      });
+  const auto idx = static_cast<int>(it - pivots_.begin());
+  return std::min(idx, num_partitions - 1);
+}
+
+Status RangePartitioner::ValidatePartitions(int num_partitions) const {
+  ANTIMR_RETURN_NOT_OK(Partitioner::ValidatePartitions(num_partitions));
+  if (!pivots_.empty() &&
+      pivots_.size() > static_cast<size_t>(num_partitions) - 1) {
+    return Status::InvalidArgument(
+        "RangePartitioner: " + std::to_string(pivots_.size()) +
+        " pivots cover more than num_partitions=" +
+        std::to_string(num_partitions) + " ranges");
+  }
+  return Status::OK();
 }
 
 std::shared_ptr<const Partitioner> DefaultPartitioner() {

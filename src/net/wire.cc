@@ -93,14 +93,41 @@ void EncodeHeartbeat(const HeartbeatMsg& msg, std::string* out) {
   PutVarint32(out, msg.worker_id);
   PutVarint64(out, msg.seq);
   PutString(out, msg.metrics_snapshot);
+  PutVarint64(out, msg.task_progress.size());
+  for (const TaskProgress& p : msg.task_progress) {
+    PutVarint64(out, p.rpc_id);
+    PutVarint32(out, p.permille);
+  }
 }
 
 Status DecodeHeartbeat(const std::string& payload, HeartbeatMsg* msg) {
   Slice in(payload);
+  uint64_t num_progress = 0;
   if (!GetVarint32(&in, &msg->worker_id) || !GetVarint64(&in, &msg->seq) ||
-      !GetString(&in, &msg->metrics_snapshot)) {
+      !GetString(&in, &msg->metrics_snapshot) ||
+      !GetVarint64(&in, &num_progress)) {
     return Malformed("Heartbeat");
   }
+  msg->task_progress.clear();
+  msg->task_progress.reserve(num_progress);
+  for (uint64_t i = 0; i < num_progress; ++i) {
+    TaskProgress p;
+    if (!GetVarint64(&in, &p.rpc_id) || !GetVarint32(&in, &p.permille)) {
+      return Malformed("Heartbeat progress");
+    }
+    msg->task_progress.push_back(p);
+  }
+  return Status::OK();
+}
+
+void EncodeCancelTask(const CancelTaskMsg& msg, std::string* out) {
+  out->clear();
+  PutVarint64(out, msg.rpc_id);
+}
+
+Status DecodeCancelTask(const std::string& payload, CancelTaskMsg* msg) {
+  Slice in(payload);
+  if (!GetVarint64(&in, &msg->rpc_id)) return Malformed("CancelTask");
   return Status::OK();
 }
 

@@ -44,6 +44,7 @@ enum MsgType : uint8_t {
   kTaskResult = 5,
   kShutdown = 6,
   kTraceChunk = 7,
+  kCancelTask = 8,
   kFetchReq = 16,
   kFetchChunk = 17,
   kFetchEnd = 18,
@@ -60,6 +61,14 @@ struct RegisterAckMsg {
   uint32_t worker_id = 0;
 };
 
+/// Per-inflight-task progress carried on every heartbeat so the coordinator
+/// can spot stragglers without extra round-trips. permille is coarse
+/// (records processed / split size for maps, fetch fraction for reduces).
+struct TaskProgress {
+  uint64_t rpc_id = 0;
+  uint32_t permille = 0;  ///< 0..1000
+};
+
 struct HeartbeatMsg {
   uint32_t worker_id = 0;
   uint64_t seq = 0;
@@ -67,6 +76,17 @@ struct HeartbeatMsg {
   /// values, so a retransmitted or reordered beat folds idempotently at the
   /// coordinator (obs/federation.h). Empty = no snapshot this beat.
   std::string metrics_snapshot;
+  /// Progress of every task currently executing on this worker. Absolute
+  /// values, so a dropped beat costs only staleness.
+  std::vector<TaskProgress> task_progress;
+};
+
+/// coordinator -> worker: stop the attempt identified by rpc_id (the loser
+/// of a speculative race). Best-effort: the worker flips the task's cancel
+/// flag; the task fails with a transient error and scrubs its partial
+/// output through the same path a crashed attempt would.
+struct CancelTaskMsg {
+  uint64_t rpc_id = 0;
 };
 
 /// String key/value pairs a registered job builder turns back into a
@@ -155,6 +175,9 @@ Status DecodeRegisterAck(const std::string& payload, RegisterAckMsg* msg);
 
 void EncodeHeartbeat(const HeartbeatMsg& msg, std::string* out);
 Status DecodeHeartbeat(const std::string& payload, HeartbeatMsg* msg);
+
+void EncodeCancelTask(const CancelTaskMsg& msg, std::string* out);
+Status DecodeCancelTask(const std::string& payload, CancelTaskMsg* msg);
 
 void EncodeTaskAssign(const TaskAssignMsg& msg, std::string* out);
 Status DecodeTaskAssign(const std::string& payload, TaskAssignMsg* msg);

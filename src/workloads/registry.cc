@@ -5,6 +5,7 @@
 
 #include "anticombine/transform.h"
 #include "engine/job_registry.h"
+#include "mr/skew.h"
 #include "workloads/sort.h"
 #include "workloads/theta_join.h"
 #include "workloads/wordcount.h"
@@ -46,6 +47,50 @@ Status ApplyAntiCombine(const Params& params, JobSpec* spec) {
   return Status::OK();
 }
 
+// Apply skew-defense params *before* ApplyAntiCombine, so the anti-combine
+// wrappers (and LazySH's per-record re-execution on reducers) see the salted
+// keys and range pivots exactly as the map side produced them.
+//   range_pivots       EncodeKeyList'd pivots -> RangePartitioner
+//   skew_stage=split1  salting mapper + salt-stripping partial reducer; needs
+//                      hot_keys + hot_fanout, range_pivots = salted pivots
+//   skew_stage=merge   identity mapper + original reducer over stage-1
+//                      partials; range_pivots = unsalted pivots
+Status ApplySkewParams(const Params& params, JobSpec* spec) {
+  auto pivots_it = params.find("range_pivots");
+  auto stage_it = params.find("skew_stage");
+  if (pivots_it == params.end() && stage_it == params.end()) {
+    return Status::OK();
+  }
+  std::vector<std::string> pivots;
+  if (pivots_it != params.end()) {
+    ANTIMR_RETURN_NOT_OK(DecodeKeyList(pivots_it->second, &pivots));
+  }
+  if (stage_it == params.end()) {
+    spec->partitioner = std::make_shared<RangePartitioner>(std::move(pivots));
+    return Status::OK();
+  }
+  auto model = std::make_shared<SkewModel>();
+  JobSpec staged;
+  if (stage_it->second == "split1") {
+    auto hot_it = params.find("hot_keys");
+    if (hot_it == params.end()) {
+      return Status::InvalidArgument("skew_stage=split1 requires hot_keys");
+    }
+    ANTIMR_RETURN_NOT_OK(DecodeKeyList(hot_it->second, &model->hot_keys));
+    ANTIMR_RETURN_NOT_OK(
+        ParamInt(params, "hot_fanout", 2, &model->hot_fanout));
+    model->salted_pivots = std::move(pivots);
+    ANTIMR_RETURN_NOT_OK(MakeSplitStage1Spec(*spec, model, &staged));
+  } else if (stage_it->second == "merge") {
+    model->pivots = std::move(pivots);
+    ANTIMR_RETURN_NOT_OK(MakeSplitStage2Spec(*spec, model, &staged));
+  } else {
+    return Status::InvalidArgument("bad skew_stage: " + stage_it->second);
+  }
+  *spec = std::move(staged);
+  return Status::OK();
+}
+
 Status BuildWordCount(const Params& params, JobSpec* spec) {
   WordCountConfig config;
   ANTIMR_RETURN_NOT_OK(ParamInt(params, "reduces", config.num_reduce_tasks,
@@ -59,6 +104,7 @@ Status BuildWordCount(const Params& params, JobSpec* spec) {
       ParamUint64(params, "map_buffer_bytes", buffer, &buffer));
   config.map_buffer_bytes = static_cast<size_t>(buffer);
   *spec = MakeWordCountJob(config);
+  ANTIMR_RETURN_NOT_OK(ApplySkewParams(params, spec));
   return ApplyAntiCombine(params, spec);
 }
 
@@ -73,6 +119,7 @@ Status BuildSort(const Params& params, JobSpec* spec) {
       ParamUint64(params, "map_buffer_bytes", buffer, &buffer));
   config.map_buffer_bytes = static_cast<size_t>(buffer);
   *spec = MakeSortJob(config);
+  ANTIMR_RETURN_NOT_OK(ApplySkewParams(params, spec));
   return ApplyAntiCombine(params, spec);
 }
 
@@ -94,6 +141,7 @@ Status BuildThetaJoin(const Params& params, JobSpec* spec) {
       ParamUint64(params, "map_buffer_bytes", buffer, &buffer));
   config.map_buffer_bytes = static_cast<size_t>(buffer);
   *spec = MakeThetaJoinJob(config);
+  ANTIMR_RETURN_NOT_OK(ApplySkewParams(params, spec));
   return ApplyAntiCombine(params, spec);
 }
 

@@ -66,6 +66,12 @@ JobSpec MakeWordCountJob(const WordCountConfig& config) {
       return std::make_unique<WordCountCombiner>();
     };
   }
+  // Always splittable: the combiner's varint output re-parses as both its
+  // own and the final reducer's input, so hot-key splitting can use it as
+  // the stage-1 partial reducer even when the combiner itself is off.
+  spec.partial_reducer_factory = []() {
+    return std::make_unique<WordCountCombiner>();
+  };
   spec.num_reduce_tasks = config.num_reduce_tasks;
   spec.map_output_codec = config.codec;
   spec.map_buffer_bytes = config.map_buffer_bytes;

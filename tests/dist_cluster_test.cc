@@ -255,6 +255,81 @@ TEST_P(DistClusterTest, SilentWorkerIsDeclaredLostByHeartbeatTimeout) {
   EXPECT_EQ(lost->value(), lost_before + 1);
 }
 
+TEST_P(DistClusterTest, RegisterThenDieIsNotCountedInQuorum) {
+  // A worker that registers and immediately dies used to satisfy
+  // WaitForWorkers: its `alive` flag is set at registration and only
+  // cleared once the receiver observes the closed connection. The settle
+  // window re-checks liveness, so the zombie must not be handed to the
+  // driver as capacity.
+  std::unique_ptr<net::Conn> conn;
+  ASSERT_TRUE(transport_->Dial(coord_->addr(), &conn).ok());
+  net::RegisterMsg reg;
+  reg.worker_name = "flash";
+  reg.shuffle_addr = "nowhere:0";
+  reg.slots = 1;
+  std::string payload;
+  net::EncodeRegister(reg, &payload);
+  ASSERT_TRUE(net::WriteFrame(conn.get(), net::kRegister, payload).ok());
+  uint8_t type = 0;
+  ASSERT_TRUE(net::ReadFrame(conn.get(), &type, &payload).ok());
+  ASSERT_EQ(type, net::kRegisterAck);
+  conn->Close();
+
+  EXPECT_FALSE(coord_->WaitForWorkers(1, 500ull * 1000 * 1000));
+
+  // A healthy worker still satisfies the same quorum (StartWorkers asserts
+  // WaitForWorkers returns true).
+  StartWorkers(1);
+}
+
+TEST_P(DistClusterTest, SpeculationRescuesStragglerWithUnchangedOutput) {
+  const std::vector<KV> input = WordCountInput();
+  const net::JobParams params = {{"reduces", "3"}};
+  StartWorkers(3);
+
+  // The first map placed on worker 0 stalls long past the forced
+  // speculation threshold; the backup attempt on another worker must win
+  // the race while the straggler is cancelled — and the output must be
+  // exactly the single-process result, as if the race never happened.
+  std::atomic<bool> stalled{false};
+  workers_[0]->on_map_start = [&](int, uint32_t) {
+    if (!stalled.exchange(true)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+  };
+
+  DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = params;
+  options.splits = Chunk(input, 6);
+  options.max_task_attempts = 4;
+  options.speculative_execution = true;
+  options.speculation_force_after_nanos = 50ull * 1000 * 1000;
+  DistJobResult result;
+  const Status st = RunDistributedJob(coord_.get(), options, &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  EXPECT_TRUE(stalled.load());
+  EXPECT_GE(result.spec_backups, 1u);
+  EXPECT_EQ(result.FlatOutput(),
+            SingleProcessOutput("wordcount", params, input, 6));
+}
+
+TEST_P(DistClusterTest, SpeculationOffByDefaultLaunchesNoBackups) {
+  const std::vector<KV> input = WordCountInput();
+  StartWorkers(2);
+  DistJobOptions options;
+  options.job_name = "wordcount";
+  options.params = {{"reduces", "3"}};
+  options.splits = Chunk(input, 4);
+  DistJobResult result;
+  const Status st = RunDistributedJob(coord_.get(), options, &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(result.spec_backups, 0u);
+  EXPECT_EQ(result.spec_backup_wins, 0u);
+  EXPECT_EQ(result.spec_cancels, 0u);
+}
+
 TEST_P(DistClusterTest, NoWorkersFailsAfterRetryBudget) {
   DistJobOptions options;
   options.job_name = "wordcount";

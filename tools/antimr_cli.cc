@@ -31,6 +31,8 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "engine/coordinator.h"
+#include "engine/job_registry.h"
+#include "engine/skew_runner.h"
 #include "engine/worker.h"
 #include "net/frame.h"
 #include "net/transport.h"
@@ -89,9 +91,18 @@ int Usage() {
       "                        retries transient (I/O) task failures with\n"
       "                        capped exponential backoff (default 1)\n"
       "  --json                dump metrics as a JSON object\n"
-      "  --output-hash         collect the output and print a stable hash\n"
-      "                        (for cross-process identity checks)\n"
+      "  --output-hash         collect the output and print a stable,\n"
+      "                        order-insensitive hash (identical across\n"
+      "                        partitioner choices and process layouts)\n"
       "  --partitioner=hash|prefix1|prefix5        (qsuggest)\n"
+      "  --partitioner=hash|range  sampled range partitioning for the other\n"
+      "                        workloads (local and --dist runs)\n"
+      "  --hot-key-split       with range: salt sampled superfrequent keys\n"
+      "                        across reducers + a deterministic merge\n"
+      "                        fix-up stage (output multiset unchanged)\n"
+      "  --sample-per-split=N --hot-key-fraction=F --hot-fanout=N\n"
+      "  --sample-seed=N       sampling-pass knobs (defaults 256/0.10/\n"
+      "                        reduces/fixed)\n"
       "distributed run (wordcount, sort, thetajoin):\n"
       "  --dist=off|loopback|tcp   off (default) runs single-process;\n"
       "                        loopback runs coordinator + in-process\n"
@@ -113,6 +124,13 @@ int Usage() {
       "  --gate-file=PATH      after the worker quorum, wait for PATH to\n"
       "                        exist before submitting the job (lets scripts\n"
       "                        probe /status first)\n"
+      "  --speculation         launch backup attempts for straggler tasks;\n"
+      "                        first finisher wins, the loser is cancelled\n"
+      "                        and its partial output scrubbed\n"
+      "  --speculation-slowness=F   straggler threshold: F x the median\n"
+      "                        completed duration of the kind (default 2.0)\n"
+      "  --speculation-force-after-ms=N  test override: speculate after\n"
+      "                        exactly N ms, ignoring the adaptive baseline\n"
       "worker options:\n"
       "  --connect=HOST:PORT   coordinator address (required)\n"
       "  --slots=N             concurrent task slots (default 2)\n"
@@ -222,6 +240,86 @@ Status BuildJob(const Flags& flags, JobSpec* spec,
 uint64_t HashOutput(const std::vector<KV>& kvs);
 int DistRunCommand(const Flags& flags, const std::string& mode);
 
+SkewSampleOptions ParseSampleFlags(const Flags& flags) {
+  SkewSampleOptions sample;
+  sample.sample_per_split =
+      flags.GetUint("sample-per-split", sample.sample_per_split);
+  sample.hot_key_min_fraction =
+      flags.GetDouble("hot-key-fraction", sample.hot_key_min_fraction);
+  sample.hot_fanout =
+      static_cast<int>(flags.GetUint("hot-fanout", sample.hot_fanout));
+  sample.seed = flags.GetUint("sample-seed", sample.seed);
+  return sample;
+}
+
+/// `run --partitioner=range [--hot-key-split]` for the standard workloads:
+/// sample the input, build the skew plan (one range-partitioned stage, or
+/// the split1 -> merge fix-up chain when hot keys were found and splitting
+/// is on), and run it on the Executor.
+int SkewRunCommand(const Flags& flags, const JobSpec& spec,
+                   std::vector<InputSplit> splits,
+                   const anticombine::AntiCombineOptions& ac_options,
+                   const std::string& strategy, const RunOptions& run) {
+  engine::SkewPlanOptions skew;
+  skew.sample = ParseSampleFlags(flags);
+  skew.hot_key_split = flags.GetBool("hot-key-split", false);
+  skew.stage_options.anti_combine_options = ac_options;
+  if (strategy == "eager") {
+    skew.stage_options.anti_combine = true;
+    skew.stage_options.anti_combine_options.lazy_threshold_nanos = 0;
+  } else if (strategy == "lazy") {
+    skew.stage_options.anti_combine = true;
+    skew.stage_options.anti_combine_options.force_lazy = true;
+  } else if (strategy == "adaptive") {
+    skew.stage_options.anti_combine = true;
+  } else if (strategy != "original") {
+    std::fprintf(stderr, "error: unknown strategy %s\n", strategy.c_str());
+    return Usage();
+  }
+
+  engine::JobPlan plan;
+  std::string output;
+  SkewModel model;
+  Status st = engine::MakeSkewPlan(spec, std::move(splits), skew, &plan,
+                                   &output, &model);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  engine::ExecutorOptions exec_options;
+  exec_options.num_workers = run.num_workers;
+  exec_options.hardware = run.hardware;
+  exec_options.max_task_attempts = run.max_task_attempts;
+  exec_options.record_format = run.record_format;
+  exec_options.chunk_block_bytes = run.chunk_block_bytes;
+  exec_options.chunk_codec = run.chunk_codec;
+  exec_options.collect_outputs = flags.Has("output-hash");
+  engine::Executor executor(exec_options);
+  engine::PlanResult result;
+  st = executor.Run(plan, &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("partitioner=range strategy=%s hot_keys=%zu split=%d "
+              "stages=%zu\n",
+              strategy.c_str(), model.hot_keys.size(),
+              model.HasHotKeys() && skew.hot_key_split ? 1 : 0,
+              result.stages.size());
+  if (flags.Has("output-hash")) {
+    const std::vector<KV> flat = result.FlatOutput(output);
+    std::printf("output_hash=%016llx output_records=%zu\n",
+                static_cast<unsigned long long>(HashOutput(flat)),
+                flat.size());
+  }
+  if (flags.GetBool("json", false)) {
+    std::printf("%s\n", result.metrics.ToJson().c_str());
+    return 0;
+  }
+  std::printf("\n%s", result.metrics.ToString().c_str());
+  return 0;
+}
+
 int RunCommand(const Flags& flags) {
   const uint64_t records = flags.GetUint("records", 20000);
   const int maps = static_cast<int>(flags.GetUint("maps", 8));
@@ -316,6 +414,14 @@ int RunCommand(const Flags& flags) {
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return Usage();
+  }
+
+  // --partitioner=range routes through the skew plan driver. qsuggest keeps
+  // its own meaning for the flag (hash|prefix1|prefix5 key schemes).
+  if (workload != "qsuggest" &&
+      flags.GetString("partitioner", "hash") == "range") {
+    return SkewRunCommand(flags, spec, std::move(splits), options, strategy,
+                          run);
   }
 
   if (strategy == "eager") {
@@ -535,14 +641,17 @@ int CodecsCommand(const Flags& flags) {
   return 0;
 }
 
-/// Order-sensitive FNV chain over the flattened output. Two runs that
-/// produced byte-identical output in the same partition order hash equal —
-/// the cross-process identity check run_local_cluster.sh relies on.
+/// Order-insensitive digest over the flattened output: the wrapping sum of
+/// per-record FNV hashes (value hashed with the key's hash as seed). Two
+/// runs that produced the same key/value multiset hash equal even when
+/// partition placement differs — so hash-, range-, and split-partitioned
+/// runs of the same job are directly comparable, as are cross-process runs
+/// (the identity check run_local_cluster.sh relies on).
 uint64_t HashOutput(const std::vector<KV>& kvs) {
-  uint64_t h = 0xcbf29ce484222325ULL;
+  uint64_t h = 0;
   for (const KV& kv : kvs) {
-    h = Hash64(kv.key.data(), kv.key.size(), h);
-    h = Hash64(kv.value.data(), kv.value.size(), h);
+    h += Hash64(kv.value.data(), kv.value.size(),
+                Hash64(kv.key.data(), kv.key.size()));
   }
   return h;
 }
@@ -658,6 +767,13 @@ int DistRunCommand(const Flags& flags, const std::string& mode) {
   dist.max_task_attempts =
       static_cast<int>(flags.GetUint("max-task-attempts", 3));
   dist.collect_outputs = true;
+  dist.speculative_execution = flags.GetBool("speculation", false);
+  dist.speculation_slowness_factor = flags.GetDouble(
+      "speculation-slowness", dist.speculation_slowness_factor);
+  if (flags.Has("speculation-force-after-ms")) {
+    dist.speculation_force_after_nanos =
+        flags.GetUint("speculation-force-after-ms", 0) * 1000000ull;
+  }
 
   std::unique_ptr<net::Transport> transport =
       mode == "tcp" ? net::NewTcpTransport() : net::NewLoopbackTransport();
@@ -717,9 +833,31 @@ int DistRunCommand(const Flags& flags, const std::string& mode) {
     }
   }
 
+  const bool range = flags.GetString("partitioner", "hash") == "range";
   const net::WireCounters wire_before = net::SnapshotWireCounters();
   engine::DistJobResult result;
-  st = RunDistributedJob(&coord, dist, &result);
+  engine::DistSkewResult skew_result;
+  if (range) {
+    // Sampling runs the *base* job's mapper on the driver; the anti-combine
+    // params are reapplied per stage on the workers.
+    net::JobParams base_params;
+    for (const auto& kv : dist.params) {
+      if (kv.first != "anti_combine" && kv.first != "lazy_threshold_nanos") {
+        base_params.push_back(kv);
+      }
+    }
+    JobSpec sample_spec;
+    st = engine::BuildRegisteredJob(dist.job_name, base_params, &sample_spec);
+    if (st.ok()) {
+      st = engine::RunDistributedSkewJob(&coord, dist, sample_spec,
+                                         ParseSampleFlags(flags),
+                                         flags.GetBool("hot-key-split", false),
+                                         &skew_result);
+    }
+    if (st.ok()) result = std::move(skew_result.job);
+  } else {
+    st = RunDistributedJob(&coord, dist, &result);
+  }
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
@@ -737,6 +875,16 @@ int DistRunCommand(const Flags& flags, const std::string& mode) {
               static_cast<unsigned long long>(wire_after.bytes_received -
                                               wire_before.bytes_received),
               static_cast<unsigned long long>(result.map_reruns));
+  if (range) {
+    std::printf("partitioner=range hot_keys=%zu split=%d\n",
+                skew_result.model.hot_keys.size(), skew_result.split ? 1 : 0);
+  }
+  if (dist.speculative_execution) {
+    std::printf("spec_backups=%llu spec_backup_wins=%llu spec_cancels=%llu\n",
+                static_cast<unsigned long long>(result.spec_backups),
+                static_cast<unsigned long long>(result.spec_backup_wins),
+                static_cast<unsigned long long>(result.spec_cancels));
+  }
   if (flags.Has("output-hash")) {
     const std::vector<KV> flat = result.FlatOutput();
     std::printf("output_hash=%016llx output_records=%zu\n",

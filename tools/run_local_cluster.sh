@@ -28,8 +28,13 @@ fi
 
 WORK_DIR=$(mktemp -d "${TMPDIR:-/tmp}/antimr_cluster.XXXXXX")
 WORKER_PIDS=""
+COORD_PID=""
+# Every child dies with the script: a failing step between the coordinator
+# launch and the final wait used to orphan the coordinator (and thereby its
+# listen port) and leak WORK_DIR.
 cleanup() {
   for pid in $WORKER_PIDS; do kill "$pid" 2>/dev/null || true; done
+  if [ -n "$COORD_PID" ]; then kill "$COORD_PID" 2>/dev/null || true; fi
   rm -rf "$WORK_DIR"
 }
 trap cleanup EXIT INT TERM
@@ -101,7 +106,10 @@ if [ "$LIVE" != "$WORKERS" ]; then
 fi
 touch "$WORK_DIR/gate"
 
-if ! wait "$COORD_PID"; then
+COORD_WAIT=0
+wait "$COORD_PID" || COORD_WAIT=$?
+COORD_PID=""
+if [ "$COORD_WAIT" -ne 0 ]; then
   echo "run_local_cluster: distributed run failed:" >&2
   cat "$WORK_DIR/coord.out" >&2
   exit 1
