@@ -159,14 +159,8 @@ void WriteReport(const PipelineMeasurement& wc_seq,
                  const PipelineMeasurement& wc_dag,
                  const PipelineMeasurement& pr_loop,
                  const PipelineMeasurement& pr_dag) {
-  // Hand-rolled (rather than WriteJsonReport) so the per-run stage overlap
-  // rides next to each metrics object.
-  const char* path = "BENCH_e2.json";
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    return;
-  }
+  // The per-run stage overlap rides next to each metrics object via the
+  // JsonRow extra member; the shared helper stamps the envelope.
   struct Row {
     const char* name;
     const PipelineMeasurement* m;
@@ -175,21 +169,18 @@ void WriteReport(const PipelineMeasurement& wc_seq,
                       {"wordcount_sort_dag", &wc_dag},
                       {"pagerank_loop", &pr_loop},
                       {"pagerank_dag", &pr_dag}};
-  std::fprintf(f,
-               "{\"schema_version\": %d, \"bench\": \"bench_e2_engine_dag\", "
-               "\"rows\": [\n",
-               kReportSchemaVersion);
-  for (size_t i = 0; i < 4; ++i) {
-    const std::string json = rows[i].m->total.ToJson();
-    std::fprintf(f,
-                 "  {\"name\": \"%s\", \"stage_overlap_nanos\": %" PRIu64
-                 ", %s%s\n",
-                 rows[i].name, rows[i].m->stage_overlap_nanos,
-                 json.substr(1).c_str(), i + 1 < 4 ? "," : "");
+  std::vector<JsonRow> report;
+  for (const Row& row : rows) {
+    char extra[64];
+    std::snprintf(extra, sizeof(extra), "\"stage_overlap_nanos\": %" PRIu64,
+                  row.m->stage_overlap_nanos);
+    JsonRow out;
+    out.name = row.name;
+    out.metrics = row.m->total;
+    out.extra = extra;
+    report.push_back(std::move(out));
   }
-  std::fprintf(f, "]}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
+  WriteJsonReport("BENCH_e2.json", "bench_e2_engine_dag", report);
 }
 
 void Run() {

@@ -287,11 +287,9 @@ int main() {
 
   const Workload workloads[] = {WordCountEmits(), ThetaJoinEmits()};
 
-  std::string json =
-      "{\"schema_version\": 2, \"bench\": \"bench_e3_record_path\", "
-      "\"rows\": [\n";
+  JsonSection section;
+  section.name = "rows";
   bool all_pass = true;
-  bool first_row = true;
   for (const Workload& w : workloads) {
     const PathStats base = RunStringBaselinePath(w);
     const PathStats zc = RunZeroCopyPath(w);
@@ -328,14 +326,13 @@ int main() {
     char row[1024];
     std::snprintf(
         row, sizeof(row),
-        "%s  {\"name\": \"%s\", \"records\": %llu, \"payload_bytes\": %llu, "
+        "{\"name\": \"%s\", \"records\": %llu, \"payload_bytes\": %llu, "
         "\"baseline_bytes_copied\": %llu, \"zero_copy_bytes_copied\": %llu, "
         "\"baseline_heap_allocs\": %llu, \"zero_copy_heap_allocs\": %llu, "
         "\"baseline_wall_nanos\": %llu, \"zero_copy_wall_nanos\": %llu, "
         "\"bytes_copied_reduction_pct\": %.2f, "
         "\"heap_allocs_reduction_pct\": %.2f}",
-        first_row ? "" : ",\n", w.name.c_str(),
-        static_cast<unsigned long long>(zc.records),
+        w.name.c_str(), static_cast<unsigned long long>(zc.records),
         static_cast<unsigned long long>(zc.payload_bytes),
         static_cast<unsigned long long>(base.bytes_copied),
         static_cast<unsigned long long>(zc.bytes_copied),
@@ -343,17 +340,11 @@ int main() {
         static_cast<unsigned long long>(zc.heap_allocs),
         static_cast<unsigned long long>(base.wall_nanos),
         static_cast<unsigned long long>(zc.wall_nanos), bytes_cut, allocs_cut);
-    json += row;
-    first_row = false;
+    section.rows.push_back(row);
   }
-  json += "\n]}\n";
-
-  std::FILE* f = std::fopen("BENCH_e3.json", "w");
-  if (f != nullptr) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::printf("\nwrote BENCH_e3.json\n");
-  }
+  std::printf("\n");
+  WriteJsonSections("BENCH_e3.json", "bench_e3_record_path",
+                    {std::move(section)});
 
   std::printf("\nacceptance (>=25%% cut in both metrics, both workloads): "
               "%s\n", all_pass ? "PASS" : "FAIL");

@@ -395,53 +395,44 @@ int main(int argc, char** argv) {
                 j.output_ok ? "" : "  OUTPUT MISMATCH");
   }
 
-  std::string json =
-      "{\"schema_version\": 2, \"bench\": \"bench_e4_columnar_scan\", "
-      "\"scan\": [\n";
-  for (size_t i = 0; i < scans.size(); ++i) {
-    const ScanRow& s = scans[i];
+  JsonSection scan_section, job_section;
+  scan_section.name = "scan";
+  job_section.name = "jobs";
+  for (const ScanRow& s : scans) {
     char buf[512];
     std::snprintf(
         buf, sizeof(buf),
-        "%s  {\"name\": \"%s\", \"records\": %llu, \"payload_bytes\": %llu, "
+        "{\"name\": \"%s\", \"records\": %llu, \"payload_bytes\": %llu, "
         "\"row_stored_bytes\": %llu, \"col_stored_bytes\": %llu, "
         "\"row_scan_nanos\": %llu, \"col_scan_nanos\": %llu, "
         "\"throughput_ratio\": %.3f, \"min_ratio\": %.1f, "
         "\"checksum_ok\": %s}",
-        i == 0 ? "" : ",\n", s.name.c_str(),
-        static_cast<unsigned long long>(s.records),
+        s.name.c_str(), static_cast<unsigned long long>(s.records),
         static_cast<unsigned long long>(s.payload_bytes),
         static_cast<unsigned long long>(s.row_stored_bytes),
         static_cast<unsigned long long>(s.col_stored_bytes),
         static_cast<unsigned long long>(s.row_scan_nanos),
         static_cast<unsigned long long>(s.col_scan_nanos), s.ratio,
         s.min_ratio, s.checksum_ok ? "true" : "false");
-    json += buf;
+    scan_section.rows.push_back(buf);
   }
-  json += "\n], \"jobs\": [\n";
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    const JobRow& j = jobs[i];
+  for (const JobRow& j : jobs) {
     char buf[512];
     std::snprintf(
         buf, sizeof(buf),
-        "%s  {\"name\": \"%s\", \"row_shuffle_bytes\": %llu, "
+        "{\"name\": \"%s\", \"row_shuffle_bytes\": %llu, "
         "\"col_shuffle_bytes\": %llu, \"row_cpu_nanos\": %llu, "
         "\"col_cpu_nanos\": %llu, \"output_ok\": %s}",
-        i == 0 ? "" : ",\n", j.name.c_str(),
-        static_cast<unsigned long long>(j.row_shuffle_bytes),
+        j.name.c_str(), static_cast<unsigned long long>(j.row_shuffle_bytes),
         static_cast<unsigned long long>(j.col_shuffle_bytes),
         static_cast<unsigned long long>(j.row_cpu_nanos),
         static_cast<unsigned long long>(j.col_cpu_nanos),
         j.output_ok ? "true" : "false");
-    json += buf;
+    job_section.rows.push_back(buf);
   }
-  json += "\n]}\n";
-  std::FILE* f = std::fopen("BENCH_e4.json", "w");
-  if (f != nullptr) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::printf("\nwrote BENCH_e4.json\n");
-  }
+  std::printf("\n");
+  WriteJsonSections("BENCH_e4.json", "bench_e4_columnar_scan",
+                    {std::move(scan_section), std::move(job_section)});
 
   std::printf("\ncorrectness (checksums + byte-identical job output): %s\n",
               correctness_ok ? "PASS" : "FAIL");

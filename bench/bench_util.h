@@ -110,32 +110,59 @@ struct JsonRow {
 /// schema_version and the bench name).
 constexpr int kReportSchemaVersion = 2;
 
+/// A named JSON array of pre-rendered row objects, for benches whose rows
+/// are not JobMetrics counters (record-path stats, scan rows, job-service
+/// latencies). Every element must be a complete JSON object.
+struct JsonSection {
+  std::string name;               ///< array key, e.g. "rows" or "scan"
+  std::vector<std::string> rows;  ///< rendered JSON objects, one per row
+};
+
+/// Write `sections` to `path` under the shared report envelope
+/// {"schema_version": N, "bench": "<binary>", "<section>": [...], ...}.
+/// The single place the envelope is stamped: every bench that wants its
+/// BENCH_*.json mergeable with the trajectory goes through here (directly,
+/// or via WriteJsonReport for JobMetrics-shaped rows).
+inline void WriteJsonSections(const std::string& path,
+                              const std::string& bench,
+                              const std::vector<JsonSection>& sections) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteJsonSections: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"schema_version\": %d, \"bench\": \"%s\"",
+               kReportSchemaVersion, bench.c_str());
+  for (const JsonSection& section : sections) {
+    std::fprintf(f, ", \"%s\": [\n", section.name.c_str());
+    for (size_t i = 0; i < section.rows.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", section.rows[i].c_str(),
+                   i + 1 < section.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 /// Write `rows` to `path` as a JSON object
 /// {"schema_version": N, "bench": "<binary>", "rows": [{"name":..., ...}]},
 /// flattening each JobMetrics via ToJson. Lets scripts ingest bench output
 /// (wall/cpu/shuffle-phase counters) without scraping the printed tables.
 inline void WriteJsonReport(const std::string& path, const std::string& bench,
                             const std::vector<JsonRow>& rows) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "WriteJsonReport: cannot open %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\"schema_version\": %d, \"bench\": \"%s\", \"rows\": [\n",
-               kReportSchemaVersion, bench.c_str());
-  for (size_t i = 0; i < rows.size(); ++i) {
+  JsonSection section;
+  section.name = "rows";
+  for (const JsonRow& row : rows) {
     // Splice "name" (and any extra members) into the metrics object:
     // {"name": "...", <extra,> <counters>}.
-    const std::string json = rows[i].metrics.ToJson();
-    const std::string extra =
-        rows[i].extra.empty() ? "" : rows[i].extra + ", ";
-    std::fprintf(f, "  {\"name\": \"%s\", %s%s%s\n", rows[i].name.c_str(),
-                 extra.c_str(), json.substr(1).c_str(),
-                 i + 1 < rows.size() ? "," : "");
+    const std::string json = row.metrics.ToJson();
+    const std::string extra = row.extra.empty() ? "" : row.extra + ", ";
+    section.rows.push_back("{\"name\": \"" + row.name + "\", " + extra +
+                           json.substr(1));
   }
-  std::fprintf(f, "]}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  WriteJsonSections(path, bench, {std::move(section)});
 }
 
 inline std::string Ratio(uint64_t base, uint64_t other) {

@@ -3,12 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <deque>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
-#include "engine/job_registry.h"
 #include "net/frame.h"
 #include "obs/trace.h"
 
@@ -295,15 +293,29 @@ int Coordinator::live_workers() const {
   return live;
 }
 
-Status Coordinator::PickWorker(uint32_t* worker_id, uint32_t exclude_worker) {
+Status Coordinator::PickWorker(uint32_t* worker_id, uint32_t exclude_worker,
+                               const std::map<uint32_t, int>* job_inflight) {
   std::lock_guard<std::mutex> lock(mu_);
   const WorkerState* best = nullptr;
+  int best_job_load = 0;
+  auto job_load_of = [job_inflight](uint32_t id) {
+    if (job_inflight == nullptr) return 0;
+    auto it = job_inflight->find(id);
+    return it == job_inflight->end() ? 0 : it->second;
+  };
   for (const auto& [id, worker] : workers_) {
     if (!worker->alive || id == exclude_worker) continue;
+    const int job_load = job_load_of(id);
     // Least inflight-per-slot keeps a big worker busier than a small one.
+    // With a per-job load map the job's own per-slot load dominates and the
+    // global count only breaks ties — placement stays spread per tenant
+    // even when another job has one worker saturated.
     if (best == nullptr ||
-        worker->inflight * best->slots < best->inflight * worker->slots) {
+        job_load * best->slots < best_job_load * worker->slots ||
+        (job_load * best->slots == best_job_load * worker->slots &&
+         worker->inflight * best->slots < best->inflight * worker->slots)) {
       best = worker.get();
+      best_job_load = job_load;
     }
   }
   if (best == nullptr) {
@@ -428,6 +440,24 @@ void Coordinator::CancelTask(uint32_t worker_id, uint64_t rpc_id) {
   net::WriteFrame(worker->conn.get(), net::kCancelTask, payload);  // best effort
 }
 
+void Coordinator::BroadcastJobFrame(uint8_t type, const std::string& job_id) {
+  net::JobIdMsg msg;
+  msg.job_id = job_id;
+  std::string payload;
+  net::EncodeJobId(msg, &payload);
+  std::vector<WorkerState*> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, worker] : workers_) {
+      if (worker->alive) targets.push_back(worker.get());
+    }
+  }
+  for (WorkerState* w : targets) {
+    std::lock_guard<std::mutex> lock(w->write_mu);
+    net::WriteFrame(w->conn.get(), type, payload);  // best effort
+  }
+}
+
 uint32_t Coordinator::RpcProgressPermille(uint64_t rpc_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = rpc_progress_.find(rpc_id);
@@ -510,6 +540,11 @@ void Coordinator::Stop() {
 
 // --- observability surface ------------------------------------------------
 
+void Coordinator::AddStatusHandler(const std::string& path,
+                                   net::HttpServer::Handler handler) {
+  extra_status_handlers_.emplace_back(path, std::move(handler));
+}
+
 Status Coordinator::StartStatusServer(const std::string& addr) {
   http_ = std::make_unique<net::HttpServer>(transport_);
   http_->Handle("/metrics", [this](std::string* content_type) {
@@ -520,6 +555,9 @@ Status Coordinator::StartStatusServer(const std::string& addr) {
     *content_type = "application/json";
     return StatusJson();
   });
+  for (auto& [path, handler] : extra_status_handlers_) {
+    http_->Handle(path, handler);
+  }
   ANTIMR_RETURN_NOT_OK(http_->Start(addr));
   ANTIMR_LOG(kInfo) << "status server listening on " << http_->addr();
   return Status::OK();
@@ -617,437 +655,6 @@ Status Coordinator::WriteClusterTrace(const std::string& path) {
     }
   }
   return trace_merger_.WriteJson(path);
-}
-
-// --- distributed job driver ----------------------------------------------
-
-std::vector<KV> DistJobResult::FlatOutput() const {
-  std::vector<KV> flat;
-  for (const auto& part : outputs) {
-    flat.insert(flat.end(), part.begin(), part.end());
-  }
-  return flat;
-}
-
-namespace {
-
-/// Placement of one map task's current (latest successful) execution.
-struct MapPlacement {
-  std::mutex mu;  ///< serializes heal re-runs of this map
-  uint32_t worker = 0;
-  std::vector<std::string> segment_files;  ///< per reduce partition
-  JobMetrics metrics;                      ///< latest attempt only
-  uint64_t cpu_nanos = 0;
-  std::atomic<uint32_t> attempts{0};  ///< executions started (job_id scope)
-};
-
-std::string UniqueJobId(const std::string& name) {
-  static std::atomic<uint64_t> counter{0};
-  return "dist_" + name + "_" +
-         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
-}
-
-// --- speculative execution ------------------------------------------------
-
-/// Launch one attempt of a task: pick a worker (excluding `exclude_worker`;
-/// 0 = none), publish the chosen worker and the rpc_id through the atomics
-/// *before* blocking, then block in Coordinator::Call. Returning means the
-/// attempt finished (either way); the atomics let the race monitor cancel a
-/// still-running attempt from outside.
-using AttemptFn =
-    std::function<Status(uint32_t exclude_worker, std::atomic<uint64_t>* rpc_id,
-                         std::atomic<uint32_t>* worker,
-                         net::TaskResultMsg* res)>;
-
-struct SpecConfig {
-  bool enabled = false;
-  double slowness_factor = 2.0;
-  uint64_t min_elapsed_nanos = 0;
-  uint64_t force_after_nanos = 0;
-  net::TaskKind kind = net::TaskKind::kMap;
-};
-
-struct SpecStats {
-  std::atomic<uint64_t> backups{0};
-  std::atomic<uint64_t> backup_wins{0};
-  std::atomic<uint64_t> cancels{0};
-};
-
-/// First-finisher-wins execution of `attempt`, optionally racing a backup
-/// against a straggling primary. The winner's result lands in *result /
-/// *winner_worker; the loser is cancelled (kCancelTask) and awaited, so no
-/// attempt outlives this call. With cfg.enabled false this is a plain
-/// single-attempt run.
-Status RunWithSpeculation(Coordinator* coord, const SpecConfig& cfg,
-                          const AttemptFn& attempt, net::TaskResultMsg* result,
-                          uint32_t* winner_worker, SpecStats* stats) {
-  struct Side {
-    std::atomic<uint64_t> rpc_id{0};
-    std::atomic<uint32_t> worker{0};
-    net::TaskResultMsg res;
-    Status status;
-    bool done = false;  // guarded by mu below
-  };
-  if (!cfg.enabled) {
-    Side solo;
-    const Status st = attempt(0, &solo.rpc_id, &solo.worker, &solo.res);
-    *result = std::move(solo.res);
-    *winner_worker = solo.worker.load(std::memory_order_relaxed);
-    return st;
-  }
-
-  static obs::Counter* const backups_counter =
-      obs::MetricsRegistry::Global().GetCounter(
-          "antimr_spec_backups_total",
-          "speculative backup attempts launched for stragglers");
-  static obs::Counter* const wins_counter =
-      obs::MetricsRegistry::Global().GetCounter(
-          "antimr_spec_wins_total",
-          "speculative races won by the backup attempt");
-  static obs::Counter* const cancelled_counter =
-      obs::MetricsRegistry::Global().GetCounter(
-          "antimr_spec_cancelled_total",
-          "attempts cancelled after losing a speculative race");
-
-  Side primary, backup;
-  std::mutex mu;
-  std::condition_variable cv;
-  auto run_side = [&](Side* side, uint32_t exclude) {
-    const Status st = attempt(exclude, &side->rpc_id, &side->worker, &side->res);
-    std::lock_guard<std::mutex> lock(mu);
-    side->status = st;
-    side->done = true;
-    cv.notify_all();
-  };
-  std::thread primary_thread(run_side, &primary, 0u);
-  std::thread backup_thread;
-  bool backup_started = false;
-  const uint64_t start = NowNanos();
-
-  // Adaptive threshold: explicit override wins; otherwise slowness_factor x
-  // the median completed duration of this task kind, floored. No baseline
-  // yet (cold start) = no speculation.
-  auto slowness_threshold = [&]() -> uint64_t {
-    if (cfg.force_after_nanos > 0) return cfg.force_after_nanos;
-    const uint64_t typical = coord->TypicalTaskNanos(cfg.kind);
-    if (typical == 0) return 0;
-    const auto scaled =
-        static_cast<uint64_t>(static_cast<double>(typical) * cfg.slowness_factor);
-    return std::max(cfg.min_elapsed_nanos, scaled);
-  };
-
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    for (;;) {
-      const bool all_done = primary.done && (!backup_started || backup.done);
-      const bool have_winner = (primary.done && primary.status.ok()) ||
-                               (backup_started && backup.done &&
-                                backup.status.ok());
-      if (all_done || have_winner) break;
-      cv.wait_for(lock, std::chrono::milliseconds(5));
-      if (backup_started || primary.done) continue;
-      const uint64_t threshold = slowness_threshold();
-      if (threshold == 0 || NowNanos() - start < threshold) continue;
-      // Nearly-finished primaries are not worth racing (adaptive mode only;
-      // a forced threshold is a test asking for a deterministic race).
-      if (cfg.force_after_nanos == 0 &&
-          coord->RpcProgressPermille(
-              primary.rpc_id.load(std::memory_order_acquire)) >= 900) {
-        continue;
-      }
-      if (coord->live_workers() < 2) continue;  // nowhere to place a backup
-      backup_started = true;
-      stats->backups.fetch_add(1, std::memory_order_relaxed);
-      backups_counter->Inc();
-      ANTIMR_TRACE_INSTANT(
-          "engine", "speculative_backup",
-          obs::TraceArgs()
-              .Add("rpc", static_cast<int64_t>(
-                              primary.rpc_id.load(std::memory_order_acquire)))
-              .Add("kind", cfg.kind == net::TaskKind::kMap ? "map" : "reduce"));
-      lock.unlock();
-      backup_thread = std::thread(run_side, &backup,
-                                  primary.worker.load(std::memory_order_relaxed));
-      lock.lock();
-    }
-  }
-
-  // Decide the race and cancel the still-running loser, if any.
-  Side* winner = nullptr;
-  Side* loser = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    if (primary.done && primary.status.ok()) {
-      winner = &primary;
-      loser = backup_started ? &backup : nullptr;
-    } else if (backup_started && backup.done && backup.status.ok()) {
-      winner = &backup;
-      loser = &primary;
-    }
-  }
-  if (winner != nullptr && loser != nullptr) {
-    bool loser_running;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      loser_running = !loser->done;
-    }
-    if (loser_running) {
-      coord->CancelTask(loser->worker.load(std::memory_order_relaxed),
-                        loser->rpc_id.load(std::memory_order_acquire));
-      stats->cancels.fetch_add(1, std::memory_order_relaxed);
-      cancelled_counter->Inc();
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return loser->done; });
-    }
-  }
-  primary_thread.join();
-  if (backup_thread.joinable()) backup_thread.join();
-
-  if (winner == nullptr) {
-    // Both attempts failed (or the lone primary did): surface the primary's
-    // error — the TaskGraph retry layer treats it like any failed attempt.
-    return !primary.status.ok() ? primary.status : backup.status;
-  }
-  if (winner == &backup) {
-    stats->backup_wins.fetch_add(1, std::memory_order_relaxed);
-    wins_counter->Inc();
-    ANTIMR_TRACE_INSTANT(
-        "engine", "speculation_win",
-        obs::TraceArgs()
-            .Add("rpc", static_cast<int64_t>(
-                            backup.rpc_id.load(std::memory_order_acquire)))
-            .Add("kind", cfg.kind == net::TaskKind::kMap ? "map" : "reduce"));
-  }
-  *result = std::move(winner->res);
-  *winner_worker = winner->worker.load(std::memory_order_relaxed);
-  return Status::OK();
-}
-
-}  // namespace
-
-Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
-                         DistJobResult* result) {
-  *result = DistJobResult();
-  const uint64_t wall_start = NowNanos();
-
-  // Build the spec locally only to learn the job's shape (and fail fast on
-  // bad params) — workers rebuild their own from the same registry.
-  JobSpec spec;
-  ANTIMR_RETURN_NOT_OK(
-      BuildRegisteredJob(options.job_name, options.params, &spec));
-  const int num_maps = static_cast<int>(options.splits.size());
-  const int num_reduces = spec.num_reduce_tasks;
-  if (num_maps == 0) return Status::InvalidArgument("no input splits");
-  const std::string job_id =
-      options.job_id.empty() ? UniqueJobId(options.job_name) : options.job_id;
-  ANTIMR_TRACE_SPAN_DYN("engine", "dist:" + job_id);
-
-  // Encode each split once; retries and heals reuse the bytes.
-  std::vector<std::string> encoded_splits(num_maps);
-  for (int m = 0; m < num_maps; ++m) {
-    net::EncodeKVList(options.splits[m], &encoded_splits[m]);
-  }
-
-  std::deque<MapPlacement> placements(num_maps);
-  std::vector<std::vector<KV>> outputs(num_reduces);
-  std::vector<JobMetrics> reduce_metrics(num_reduces);
-  std::vector<uint64_t> reduce_cpu(num_reduces, 0);
-  std::atomic<uint64_t> map_runs{0};
-  std::atomic<uint64_t> maps_done{0};
-  std::atomic<uint64_t> reduces_done{0};
-
-  // Workers capture and ship trace spans only when this run is tracing.
-  const bool trace_enabled = obs::kTraceCompiled && obs::TraceEnabled();
-
-  auto publish_status = [&](const char* state) {
-    JobStatusSnapshot s;
-    s.job_id = job_id;
-    s.job_name = options.job_name;
-    s.state = state;
-    s.maps_total = static_cast<uint64_t>(num_maps);
-    s.maps_done = std::min(maps_done.load(std::memory_order_relaxed),
-                           static_cast<uint64_t>(num_maps));
-    s.reduces_total = static_cast<uint64_t>(num_reduces);
-    s.reduces_done = reduces_done.load(std::memory_order_relaxed);
-    const uint64_t runs = map_runs.load(std::memory_order_relaxed);
-    s.map_reruns = runs > static_cast<uint64_t>(num_maps)
-                       ? runs - static_cast<uint64_t>(num_maps)
-                       : 0;
-    coord->PublishJobStatus(s);
-  };
-  publish_status("running");
-
-  SpecStats spec_stats;
-  SpecConfig map_spec, reduce_spec;
-  map_spec.enabled = reduce_spec.enabled = options.speculative_execution;
-  map_spec.slowness_factor = reduce_spec.slowness_factor =
-      options.speculation_slowness_factor;
-  map_spec.min_elapsed_nanos = reduce_spec.min_elapsed_nanos =
-      options.speculation_min_elapsed_nanos;
-  map_spec.force_after_nanos = reduce_spec.force_after_nanos =
-      options.speculation_force_after_nanos;
-  map_spec.kind = net::TaskKind::kMap;
-  reduce_spec.kind = net::TaskKind::kReduce;
-
-  // Runs (or re-runs) map `m` on a live worker and records its placement —
-  // under speculation, the first of up to two racing attempts to finish.
-  // Callers hold placements[m].mu, so each attempt draws a fresh
-  // attempt-scoped job_id: a re-execution (retry, heal, or speculative
-  // backup) can land on a worker that already holds a previous attempt's
-  // files, and unique names keep stale segments from masking fresh ones.
-  auto run_map_once = [&](int m) -> Status {
-    MapPlacement& loc = placements[m];
-    auto start_attempt = [&](uint32_t exclude, std::atomic<uint64_t>* rpc_id,
-                             std::atomic<uint32_t>* worker,
-                             net::TaskResultMsg* res) -> Status {
-      uint32_t worker_id = 0;
-      ANTIMR_RETURN_NOT_OK(coord->PickWorker(&worker_id, exclude));
-      worker->store(worker_id, std::memory_order_relaxed);
-      net::TaskAssignMsg assign;
-      assign.kind = net::TaskKind::kMap;
-      assign.job_name = options.job_name;
-      assign.params = options.params;
-      const uint32_t attempt =
-          loc.attempts.fetch_add(1, std::memory_order_relaxed);
-      assign.job_id = job_id + "_a" + std::to_string(attempt);
-      assign.task_index = static_cast<uint32_t>(m);
-      assign.attempt = attempt;
-      assign.trace_enabled = trace_enabled;
-      assign.split_records = encoded_splits[m];
-      return coord->Call(worker_id, std::move(assign), res, rpc_id);
-    };
-    net::TaskResultMsg res;
-    uint32_t winner_worker = 0;
-    ANTIMR_RETURN_NOT_OK(RunWithSpeculation(coord, map_spec, start_attempt,
-                                            &res, &winner_worker,
-                                            &spec_stats));
-    JobMetrics metrics;
-    ANTIMR_RETURN_NOT_OK(net::DecodeJobMetrics(res.metrics, &metrics));
-    loc.worker = winner_worker;
-    loc.segment_files = std::move(res.segment_files);
-    loc.metrics = metrics;
-    loc.cpu_nanos = res.cpu_nanos;
-    map_runs.fetch_add(1, std::memory_order_relaxed);
-    return Status::OK();
-  };
-
-  // Dispatcher threads only block on worker RPCs, so size the pool to run
-  // every task's dispatch concurrently by default.
-  const int total_tasks = num_maps + num_reduces;
-  TaskPool dispatch(options.dispatch_threads > 0 ? options.dispatch_threads
-                                                 : std::min(total_tasks, 64),
-                    "dispatch");
-  RetryPolicy retry;
-  retry.max_attempts = std::max(1, options.max_task_attempts);
-  retry.backoff_nanos = options.retry_backoff_nanos;
-  TaskGraph graph(&dispatch, retry);
-
-  std::vector<int> map_ids(num_maps);
-  for (int m = 0; m < num_maps; ++m) {
-    map_ids[m] = graph.AddTask(
-        [&, m](int) -> Status {
-          {
-            std::lock_guard<std::mutex> lock(placements[m].mu);
-            ANTIMR_RETURN_NOT_OK(run_map_once(m));
-          }
-          maps_done.fetch_add(1, std::memory_order_relaxed);
-          publish_status("running");
-          return Status::OK();
-        },
-        {}, TaskGraph::TaskOptions());
-  }
-
-  for (int p = 0; p < num_reduces; ++p) {
-    graph.AddTask(
-        [&, p](int attempt) -> Status {
-          // Heal before placing: any map whose owning worker died lost its
-          // segments, so re-run it first. The per-map mutex lets concurrent
-          // reduce attempts heal disjoint maps in parallel while never
-          // double-running one.
-          for (int m = 0; m < num_maps; ++m) {
-            MapPlacement& loc = placements[m];
-            std::lock_guard<std::mutex> lock(loc.mu);
-            if (!coord->WorkerAlive(loc.worker)) {
-              ANTIMR_RETURN_NOT_OK(run_map_once(m));
-            }
-          }
-          net::TaskAssignMsg base;
-          base.kind = net::TaskKind::kReduce;
-          base.job_name = options.job_name;
-          base.params = options.params;
-          base.job_id = job_id;
-          base.task_index = static_cast<uint32_t>(p);
-          base.attempt = static_cast<uint32_t>(attempt);
-          base.trace_enabled = trace_enabled;
-          base.collect_output = options.collect_outputs;
-          base.network_mb_per_s = options.network_mb_per_s;
-          base.readahead_blocks = options.readahead_blocks;
-          // Segment list in map-index order: merge order is part of the
-          // output contract, identical to the single-process planner.
-          for (int m = 0; m < num_maps; ++m) {
-            MapPlacement& loc = placements[m];
-            std::lock_guard<std::mutex> lock(loc.mu);
-            const std::string& file = loc.segment_files[p];
-            if (file.empty()) continue;
-            base.segments.push_back(
-                {coord->WorkerShuffleAddr(loc.worker), file});
-          }
-          auto start_attempt =
-              [&, base](uint32_t exclude, std::atomic<uint64_t>* rpc_id,
-                        std::atomic<uint32_t>* worker,
-                        net::TaskResultMsg* res) -> Status {
-            uint32_t worker_id = 0;
-            ANTIMR_RETURN_NOT_OK(coord->PickWorker(&worker_id, exclude));
-            worker->store(worker_id, std::memory_order_relaxed);
-            net::TaskAssignMsg assign = base;
-            return coord->Call(worker_id, std::move(assign), res, rpc_id);
-          };
-          net::TaskResultMsg res;
-          uint32_t winner_worker = 0;
-          ANTIMR_RETURN_NOT_OK(RunWithSpeculation(coord, reduce_spec,
-                                                  start_attempt, &res,
-                                                  &winner_worker,
-                                                  &spec_stats));
-          ANTIMR_RETURN_NOT_OK(
-              net::DecodeKVList(res.output_records, &outputs[p]));
-          ANTIMR_RETURN_NOT_OK(
-              net::DecodeJobMetrics(res.metrics, &reduce_metrics[p]));
-          reduce_cpu[p] = res.cpu_nanos;
-          reduces_done.fetch_add(1, std::memory_order_relaxed);
-          publish_status("running");
-          return Status::OK();
-        },
-        map_ids, TaskGraph::TaskOptions());
-  }
-
-  const Status run_status = graph.Wait();
-  publish_status(run_status.ok() ? "done" : "failed");
-  if (!run_status.ok()) return run_status;
-
-  for (int m = 0; m < num_maps; ++m) {
-    result->metrics.Add(placements[m].metrics);
-    result->metrics.total_cpu_nanos += placements[m].cpu_nanos;
-  }
-  result->reduce_shuffle_bytes.resize(num_reduces, 0);
-  result->reduce_input_records.resize(num_reduces, 0);
-  for (int p = 0; p < num_reduces; ++p) {
-    result->metrics.Add(reduce_metrics[p]);
-    result->metrics.total_cpu_nanos += reduce_cpu[p];
-    result->reduce_shuffle_bytes[p] = reduce_metrics[p].shuffle_bytes;
-    result->reduce_input_records[p] = reduce_metrics[p].reduce_input_records;
-  }
-  result->spec_backups = spec_stats.backups.load(std::memory_order_relaxed);
-  result->spec_backup_wins =
-      spec_stats.backup_wins.load(std::memory_order_relaxed);
-  result->spec_cancels = spec_stats.cancels.load(std::memory_order_relaxed);
-  result->outputs = std::move(outputs);
-  const uint64_t total_runs = map_runs.load(std::memory_order_relaxed);
-  result->map_reruns =
-      total_runs > static_cast<uint64_t>(num_maps)
-          ? total_runs - static_cast<uint64_t>(num_maps)
-          : 0;
-  result->metrics.wall_nanos = NowNanos() - wall_start;
-  return Status::OK();
 }
 
 }  // namespace engine

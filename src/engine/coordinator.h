@@ -84,6 +84,10 @@ class Coordinator {
   /// The address workers dial.
   const std::string& addr() const { return addr_; }
 
+  /// The transport this coordinator rides on (borrowed; embedders like the
+  /// JobService open their own listeners on it).
+  net::Transport* transport() const { return transport_; }
+
   /// Block until `n` workers are registered and alive, or `timeout_nanos`
   /// elapses. Returns whether the quorum held at the deadline: a worker
   /// that registers then immediately dies within the wait window is
@@ -95,8 +99,12 @@ class Coordinator {
   /// Least-loaded live worker, or ResourceExhausted (transient — a retry
   /// may find a recovered cluster) when none is alive. `exclude_worker`
   /// (0 = none) skips one worker, so a speculative backup lands on
-  /// different hardware than the primary it races.
-  Status PickWorker(uint32_t* worker_id, uint32_t exclude_worker = 0);
+  /// different hardware than the primary it races. When `job_inflight`
+  /// (worker id -> this job's in-flight task count) is supplied, placement
+  /// balances the *job's own* load per slot first and breaks ties on global
+  /// load — one tenant's flood cannot skew another tenant's spread.
+  Status PickWorker(uint32_t* worker_id, uint32_t exclude_worker = 0,
+                    const std::map<uint32_t, int>* job_inflight = nullptr);
 
   bool WorkerAlive(uint32_t worker_id) const;
 
@@ -120,6 +128,11 @@ class Coordinator {
   /// swallowed (a dead worker cancelled itself).
   void CancelTask(uint32_t worker_id, uint64_t rpc_id);
 
+  /// Best-effort job-scoped frame (kCancelJob or kScrubJob, payload
+  /// JobIdMsg) to every live worker. AbortJob cancels a job's running
+  /// attempts everywhere at once; job teardown scrubs its segments.
+  void BroadcastJobFrame(uint8_t type, const std::string& job_id);
+
   /// Latest heartbeat-reported progress (0..1000) for an in-flight rpc;
   /// 0 when the worker has not reported yet.
   uint32_t RpcProgressPermille(uint64_t rpc_id) const;
@@ -139,6 +152,12 @@ class Coordinator {
   /// Serve GET /metrics (Prometheus text) and GET /status (JSON) on `addr`
   /// ("" = auto) over the coordinator's transport. Call after Start.
   Status StartStatusServer(const std::string& addr);
+
+  /// Register an extra status-surface path (e.g. the JobService's /jobs).
+  /// Call before StartStatusServer; handlers run on HTTP conn threads and
+  /// must be thread-safe.
+  void AddStatusHandler(const std::string& path,
+                        net::HttpServer::Handler handler);
 
   /// Resolved status-server address ("" if not started).
   std::string status_addr() const {
@@ -220,6 +239,8 @@ class Coordinator {
 
   obs::ClusterMetrics cluster_metrics_;
   obs::ClusterTraceMerger trace_merger_;
+  std::vector<std::pair<std::string, net::HttpServer::Handler>>
+      extra_status_handlers_;
   std::unique_ptr<net::HttpServer> http_;
 
   mutable std::mutex status_mu_;
@@ -288,6 +309,12 @@ struct DistJobResult {
 };
 
 /// Run one registered job across `coord`'s workers. Blocks until done.
+///
+/// Since the JobService refactor this is a thin submit-and-wait shim over an
+/// ephemeral single-pool JobService (engine/job_service.h) — the job passes
+/// through the same admission/queue/dispatch path a daemon-submitted job
+/// does, with an unlimited quota and legacy dispatch-width sizing so callers
+/// observe identical behavior. Defined in job_service.cc.
 Status RunDistributedJob(Coordinator* coord, const DistJobOptions& options,
                          DistJobResult* result);
 

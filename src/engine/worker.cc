@@ -17,6 +17,18 @@
 namespace antimr {
 namespace engine {
 
+bool JobIdInScope(const std::string& id, const std::string& scope) {
+  if (scope.empty()) return false;
+  if (id.size() < scope.size() || id.compare(0, scope.size(), scope) != 0) {
+    return false;
+  }
+  if (id.size() == scope.size()) return true;
+  // Only the two delimiters the engine itself appends extend a scope:
+  // "<scope>/" (stored files) and "<scope>_a" (attempt-scoped map ids).
+  return id[scope.size()] == '/' ||
+         id.compare(scope.size(), 2, "_a") == 0;
+}
+
 Worker::Worker(net::Transport* transport, const WorkerOptions& options)
     : transport_(transport),
       options_(options),
@@ -88,7 +100,15 @@ void Worker::ReceiveLoop() {
       auto it = running_tasks_.find(cancel.rpc_id);
       // Unknown rpc_id: the task already finished (its result is in flight)
       // or never started here — either way there is nothing to cancel.
-      if (it != running_tasks_.end()) it->second->RequestCancel();
+      if (it != running_tasks_.end()) it->second.control->RequestCancel();
+    } else if (type == net::kCancelJob) {
+      net::JobIdMsg msg;
+      if (!net::DecodeJobId(payload, &msg).ok()) break;
+      CancelJobTasks(msg.job_id);
+    } else if (type == net::kScrubJob) {
+      net::JobIdMsg msg;
+      if (!net::DecodeJobId(payload, &msg).ok()) break;
+      ScrubJobFiles(msg.job_id);
     } else if (type == net::kShutdown) {
       if (options_.exclusive_process && obs::kTraceCompiled &&
           obs::TraceEnabled()) {
@@ -125,6 +145,28 @@ void Worker::ReceiveLoop() {
   cv_.notify_all();
 }
 
+void Worker::CancelJobTasks(const std::string& scope) {
+  std::lock_guard<std::mutex> lock(tasks_mu_);
+  for (auto& [rpc_id, task] : running_tasks_) {
+    if (JobIdInScope(task.job_id, scope)) task.control->RequestCancel();
+  }
+}
+
+void Worker::ScrubJobFiles(const std::string& scope) {
+  std::vector<std::string> names;
+  if (!env_->ListFiles(&names).ok()) return;
+  int deleted = 0;
+  for (const std::string& name : names) {
+    if (JobIdInScope(name, scope)) {
+      if (env_->DeleteFile(name).ok()) ++deleted;
+    }
+  }
+  if (deleted > 0) {
+    ANTIMR_LOG(kInfo) << "worker " << options_.name << " scrubbed " << deleted
+                      << " files of job " << scope;
+  }
+}
+
 void Worker::HeartbeatLoop() {
   uint64_t seq = 0;
   for (;;) {
@@ -146,7 +188,7 @@ void Worker::HeartbeatLoop() {
       for (const auto& entry : running_tasks_) {
         net::TaskProgress p;
         p.rpc_id = entry.first;
-        p.permille = entry.second->progress_permille.load(
+        p.permille = entry.second.control->progress_permille.load(
             std::memory_order_relaxed);
         hb.task_progress.push_back(p);
       }
@@ -178,7 +220,7 @@ void Worker::Execute(const net::TaskAssignMsg& assign) {
   auto control = std::make_shared<TaskControl>();
   if (assign.rpc_id != 0) {
     std::lock_guard<std::mutex> lock(tasks_mu_);
-    running_tasks_[assign.rpc_id] = control;
+    running_tasks_[assign.rpc_id] = RunningTask{control, assign.job_id};
   }
   const Status st = ExecuteTask(assign, control.get(), &result);
   if (assign.rpc_id != 0) {

@@ -31,6 +31,13 @@
 namespace antimr {
 namespace engine {
 
+/// True when `id` (a task's job_id or a stored file name) belongs to job
+/// `scope`. Attempt-scoped map ids are `<scope>_a<N>` and every job file is
+/// `<scoped id>/<segment name>`, so the scope's footprint is exactly:
+/// the id itself, anything under `<scope>/`, and anything starting
+/// `<scope>_a` — the delimiters keep "job_1" from matching "job_10".
+bool JobIdInScope(const std::string& id, const std::string& scope);
+
 struct WorkerOptions {
   std::string name = "worker";
   /// Concurrent task executions (advertised to the coordinator's placer).
@@ -91,6 +98,10 @@ class Worker {
  private:
   void ReceiveLoop();
   void HeartbeatLoop();
+  /// Cancel every running attempt whose job_id is in `scope` (kCancelJob).
+  void CancelJobTasks(const std::string& scope);
+  /// Delete every stored file in `scope` from this worker's Env (kScrubJob).
+  void ScrubJobFiles(const std::string& scope);
   void Execute(const net::TaskAssignMsg& assign);
   Status ExecuteTask(const net::TaskAssignMsg& assign, TaskControl* control,
                      net::TaskResultMsg* result);
@@ -109,10 +120,14 @@ class Worker {
   std::mutex write_mu_;  ///< serializes frame writes on conn_
   std::mutex trace_mu_;  ///< guards pending_trace_
   std::mutex tasks_mu_;  ///< guards running_tasks_
+  struct RunningTask {
+    std::shared_ptr<TaskControl> control;
+    std::string job_id;  ///< assignment's (attempt-scoped) job id
+  };
   /// Live tasks keyed by rpc_id: heartbeats read their progress, CancelTask
-  /// frames flip their cancel flags. Entries live exactly as long as
-  /// Execute runs the task.
-  std::map<uint64_t, std::shared_ptr<TaskControl>> running_tasks_;
+  /// frames flip their cancel flags, CancelJob sweeps them by job scope.
+  /// Entries live exactly as long as Execute runs the task.
+  std::map<uint64_t, RunningTask> running_tasks_;
   /// Trace chunks drained by shuffle handler threads (via the SegmentServer
   /// sink); piggybacked on the next TaskResult or the final Shutdown chunk.
   std::string pending_trace_;

@@ -273,6 +273,187 @@ Status DecodeFetchError(const std::string& payload, FetchErrorMsg* msg) {
   return Status::OK();
 }
 
+void EncodeJobId(const JobIdMsg& msg, std::string* out) {
+  out->clear();
+  PutString(out, msg.job_id);
+}
+
+Status DecodeJobId(const std::string& payload, JobIdMsg* msg) {
+  Slice in(payload);
+  if (!GetString(&in, &msg->job_id)) return Malformed("JobId");
+  return Status::OK();
+}
+
+void EncodeSubmitJob(const SubmitJobMsg& msg, std::string* out) {
+  out->clear();
+  PutString(out, msg.pool);
+  PutString(out, msg.job_name);
+  PutParams(out, msg.params);
+  PutString(out, msg.job_id);
+  PutVarint32(out, msg.cpu_slots);
+  PutVarint64(out, msg.memory_bytes);
+  PutVarint32(out, msg.max_task_attempts);
+  PutDouble(out, msg.network_mb_per_s);
+  PutVarint32(out, msg.readahead_blocks);
+  out->push_back(msg.collect_output ? 1 : 0);
+  PutVarint64(out, msg.splits.size());
+  for (const std::string& s : msg.splits) PutString(out, s);
+}
+
+Status DecodeSubmitJob(const std::string& payload, SubmitJobMsg* msg) {
+  Slice in(payload);
+  if (!GetString(&in, &msg->pool) || !GetString(&in, &msg->job_name) ||
+      !GetParams(&in, &msg->params) || !GetString(&in, &msg->job_id) ||
+      !GetVarint32(&in, &msg->cpu_slots) ||
+      !GetVarint64(&in, &msg->memory_bytes) ||
+      !GetVarint32(&in, &msg->max_task_attempts) ||
+      !GetDouble(&in, &msg->network_mb_per_s) ||
+      !GetVarint32(&in, &msg->readahead_blocks) || in.empty()) {
+    return Malformed("SubmitJob");
+  }
+  msg->collect_output = in[0] != 0;
+  in.RemovePrefix(1);
+  uint64_t num_splits = 0;
+  if (!GetVarint64(&in, &num_splits)) return Malformed("SubmitJob splits");
+  msg->splits.clear();
+  msg->splits.reserve(num_splits);
+  for (uint64_t i = 0; i < num_splits; ++i) {
+    std::string s;
+    if (!GetString(&in, &s)) return Malformed("SubmitJob splits");
+    msg->splits.push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+void EncodeSubmitJobAck(const SubmitJobAckMsg& msg, std::string* out) {
+  out->clear();
+  PutVarint32(out, static_cast<uint32_t>(msg.status_code));
+  PutString(out, msg.status_msg);
+  PutString(out, msg.job_id);
+}
+
+Status DecodeSubmitJobAck(const std::string& payload, SubmitJobAckMsg* msg) {
+  Slice in(payload);
+  uint32_t code = 0;
+  if (!GetVarint32(&in, &code) || !GetString(&in, &msg->status_msg) ||
+      !GetString(&in, &msg->job_id)) {
+    return Malformed("SubmitJobAck");
+  }
+  msg->status_code = static_cast<int32_t>(code);
+  return Status::OK();
+}
+
+namespace {
+
+void PutJobStatusWire(std::string* out, const JobStatusWire& job) {
+  PutString(out, job.job_id);
+  PutString(out, job.pool);
+  PutString(out, job.job_name);
+  PutString(out, job.state);
+  PutVarint32(out, job.queue_position);
+  PutVarint32(out, job.cpu_slots);
+  PutVarint64(out, job.maps_total);
+  PutVarint64(out, job.maps_done);
+  PutVarint64(out, job.reduces_total);
+  PutVarint64(out, job.reduces_done);
+  PutVarint64(out, job.map_reruns);
+  PutVarint32(out, static_cast<uint32_t>(job.status_code));
+  PutString(out, job.status_msg);
+  PutVarint64(out, job.output_hash);
+  PutVarint64(out, job.output_records);
+  PutVarint64(out, job.submit_nanos);
+  PutVarint64(out, job.start_nanos);
+  PutVarint64(out, job.finish_nanos);
+  PutVarint64(out, job.dispatch_seq);
+}
+
+bool GetJobStatusWire(Slice* in, JobStatusWire* job) {
+  uint32_t code = 0;
+  if (!GetString(in, &job->job_id) || !GetString(in, &job->pool) ||
+      !GetString(in, &job->job_name) || !GetString(in, &job->state) ||
+      !GetVarint32(in, &job->queue_position) ||
+      !GetVarint32(in, &job->cpu_slots) ||
+      !GetVarint64(in, &job->maps_total) ||
+      !GetVarint64(in, &job->maps_done) ||
+      !GetVarint64(in, &job->reduces_total) ||
+      !GetVarint64(in, &job->reduces_done) ||
+      !GetVarint64(in, &job->map_reruns) || !GetVarint32(in, &code) ||
+      !GetString(in, &job->status_msg) ||
+      !GetVarint64(in, &job->output_hash) ||
+      !GetVarint64(in, &job->output_records) ||
+      !GetVarint64(in, &job->submit_nanos) ||
+      !GetVarint64(in, &job->start_nanos) ||
+      !GetVarint64(in, &job->finish_nanos) ||
+      !GetVarint64(in, &job->dispatch_seq)) {
+    return false;
+  }
+  job->status_code = static_cast<int32_t>(code);
+  return true;
+}
+
+}  // namespace
+
+void EncodeJobStatusResp(const JobStatusRespMsg& msg, std::string* out) {
+  out->clear();
+  PutVarint32(out, static_cast<uint32_t>(msg.status_code));
+  PutString(out, msg.status_msg);
+  PutJobStatusWire(out, msg.job);
+}
+
+Status DecodeJobStatusResp(const std::string& payload, JobStatusRespMsg* msg) {
+  Slice in(payload);
+  uint32_t code = 0;
+  if (!GetVarint32(&in, &code) || !GetString(&in, &msg->status_msg) ||
+      !GetJobStatusWire(&in, &msg->job)) {
+    return Malformed("JobStatusResp");
+  }
+  msg->status_code = static_cast<int32_t>(code);
+  return Status::OK();
+}
+
+void EncodeJobOpAck(const JobOpAckMsg& msg, std::string* out) {
+  out->clear();
+  PutVarint32(out, static_cast<uint32_t>(msg.status_code));
+  PutString(out, msg.status_msg);
+}
+
+Status DecodeJobOpAck(const std::string& payload, JobOpAckMsg* msg) {
+  Slice in(payload);
+  uint32_t code = 0;
+  if (!GetVarint32(&in, &code) || !GetString(&in, &msg->status_msg)) {
+    return Malformed("JobOpAck");
+  }
+  msg->status_code = static_cast<int32_t>(code);
+  return Status::OK();
+}
+
+void EncodeListJobsResp(const ListJobsRespMsg& msg, std::string* out) {
+  out->clear();
+  PutVarint32(out, static_cast<uint32_t>(msg.status_code));
+  PutString(out, msg.status_msg);
+  PutVarint64(out, msg.jobs.size());
+  for (const JobStatusWire& job : msg.jobs) PutJobStatusWire(out, job);
+}
+
+Status DecodeListJobsResp(const std::string& payload, ListJobsRespMsg* msg) {
+  Slice in(payload);
+  uint32_t code = 0;
+  uint64_t n = 0;
+  if (!GetVarint32(&in, &code) || !GetString(&in, &msg->status_msg) ||
+      !GetVarint64(&in, &n)) {
+    return Malformed("ListJobsResp");
+  }
+  msg->status_code = static_cast<int32_t>(code);
+  msg->jobs.clear();
+  msg->jobs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    JobStatusWire job;
+    if (!GetJobStatusWire(&in, &job)) return Malformed("ListJobsResp job");
+    msg->jobs.push_back(std::move(job));
+  }
+  return Status::OK();
+}
+
 Status StatusFromWire(int32_t code, const std::string& msg) {
   if (code == 0) return Status::OK();
   const auto c = static_cast<Status::Code>(code);

@@ -45,10 +45,26 @@ enum MsgType : uint8_t {
   kShutdown = 6,
   kTraceChunk = 7,
   kCancelTask = 8,
+  // coordinator -> worker, job-scoped (payload: JobIdMsg). CancelJob flips
+  // the cancel flag of every running attempt in the job's id scope;
+  // ScrubJob deletes the job's files (segments, spills) from the worker's
+  // storage — the GC a persistent multi-tenant daemon needs.
+  kCancelJob = 9,
+  kScrubJob = 10,
   kFetchReq = 16,
   kFetchChunk = 17,
   kFetchEnd = 18,
   kFetchError = 19,
+  // Job lifecycle plane (client <-> JobService listener, one conn per
+  // client, request/response in lockstep):
+  kSubmitJob = 32,
+  kSubmitJobAck = 33,
+  kJobStatusReq = 34,   ///< payload: JobIdMsg
+  kJobStatusResp = 35,
+  kAbortJob = 36,       ///< payload: JobIdMsg
+  kJobOpAck = 37,
+  kListJobsReq = 38,    ///< payload: empty
+  kListJobsResp = 39,
 };
 
 struct RegisterMsg {
@@ -162,6 +178,82 @@ struct FetchErrorMsg {
   std::string status_msg;
 };
 
+// --- job lifecycle plane -------------------------------------------------
+
+/// Payload of every message that names one job: kCancelJob / kScrubJob on
+/// the worker control plane, kJobStatusReq / kAbortJob on the service plane.
+struct JobIdMsg {
+  std::string job_id;
+};
+
+/// client -> JobService: admit one job into a pool. Splits ship pre-encoded
+/// (each entry is an EncodeKVList payload) so the service never re-encodes
+/// what the client already serialized. Zero-valued resource/limit fields
+/// mean "service default".
+struct SubmitJobMsg {
+  std::string pool;      ///< "" = the service's first (default) pool
+  std::string job_name;  ///< registered builder name
+  JobParams params;
+  std::string job_id;  ///< "" = service assigns one
+  uint32_t cpu_slots = 0;      ///< concurrent task-dispatch grant
+  uint64_t memory_bytes = 0;   ///< map-buffer/Shared admission estimate
+  uint32_t max_task_attempts = 0;
+  double network_mb_per_s = 0;
+  uint32_t readahead_blocks = 0;
+  bool collect_output = true;
+  std::vector<std::string> splits;  ///< EncodeKVList payload per map task
+};
+
+struct SubmitJobAckMsg {
+  int32_t status_code = 0;  ///< admission verdict; 0 = queued
+  std::string status_msg;
+  std::string job_id;
+};
+
+/// Point-in-time job row, served by kJobStatusResp and kListJobsResp.
+/// Timestamps are the service's monotonic clock (durations are meaningful,
+/// absolute values are not). output_hash is the order-insensitive multiset
+/// hash of the job's collected output — the byte-identity check crosses the
+/// wire as 8 bytes instead of the whole output.
+struct JobStatusWire {
+  std::string job_id;
+  std::string pool;
+  std::string job_name;
+  std::string state;  ///< queued|admitted|running|succeeded|failed|aborted
+  uint32_t queue_position = 0;  ///< 1-based within pool; 0 = not queued
+  uint32_t cpu_slots = 0;       ///< granted dispatch slots
+  uint64_t maps_total = 0;
+  uint64_t maps_done = 0;
+  uint64_t reduces_total = 0;
+  uint64_t reduces_done = 0;
+  uint64_t map_reruns = 0;
+  int32_t status_code = 0;  ///< terminal Status; 0 until failed/aborted
+  std::string status_msg;
+  uint64_t output_hash = 0;
+  uint64_t output_records = 0;
+  uint64_t submit_nanos = 0;
+  uint64_t start_nanos = 0;   ///< 0 until dispatched
+  uint64_t finish_nanos = 0;  ///< 0 until terminal
+  uint64_t dispatch_seq = 0;  ///< fair-share dispatch order; 0 = not yet
+};
+
+struct JobStatusRespMsg {
+  int32_t status_code = 0;  ///< lookup verdict (NotFound for unknown ids)
+  std::string status_msg;
+  JobStatusWire job;
+};
+
+struct JobOpAckMsg {
+  int32_t status_code = 0;
+  std::string status_msg;
+};
+
+struct ListJobsRespMsg {
+  int32_t status_code = 0;
+  std::string status_msg;
+  std::vector<JobStatusWire> jobs;
+};
+
 // --- encode/decode -------------------------------------------------------
 // Decode returns IOError on malformed payloads (transient: a garbled
 // message is wire trouble, and the frame CRC already screens storage-level
@@ -193,6 +285,24 @@ Status DecodeTraceChunk(const std::string& payload, TraceChunkMsg* msg);
 
 void EncodeFetchError(const FetchErrorMsg& msg, std::string* out);
 Status DecodeFetchError(const std::string& payload, FetchErrorMsg* msg);
+
+void EncodeJobId(const JobIdMsg& msg, std::string* out);
+Status DecodeJobId(const std::string& payload, JobIdMsg* msg);
+
+void EncodeSubmitJob(const SubmitJobMsg& msg, std::string* out);
+Status DecodeSubmitJob(const std::string& payload, SubmitJobMsg* msg);
+
+void EncodeSubmitJobAck(const SubmitJobAckMsg& msg, std::string* out);
+Status DecodeSubmitJobAck(const std::string& payload, SubmitJobAckMsg* msg);
+
+void EncodeJobStatusResp(const JobStatusRespMsg& msg, std::string* out);
+Status DecodeJobStatusResp(const std::string& payload, JobStatusRespMsg* msg);
+
+void EncodeJobOpAck(const JobOpAckMsg& msg, std::string* out);
+Status DecodeJobOpAck(const std::string& payload, JobOpAckMsg* msg);
+
+void EncodeListJobsResp(const ListJobsRespMsg& msg, std::string* out);
+Status DecodeListJobsResp(const std::string& payload, ListJobsRespMsg* msg);
 
 /// Rebuild a Status from a (code, message) pair that crossed the wire.
 Status StatusFromWire(int32_t code, const std::string& msg);

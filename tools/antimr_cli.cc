@@ -17,7 +17,9 @@
 //   antimr_cli help
 #include <sys/stat.h>
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -32,6 +34,7 @@
 #include "common/stopwatch.h"
 #include "engine/coordinator.h"
 #include "engine/job_registry.h"
+#include "engine/job_service.h"
 #include "engine/skew_runner.h"
 #include "engine/worker.h"
 #include "net/frame.h"
@@ -66,6 +69,12 @@ int Usage() {
       "                                     join a distributed cluster\n"
       "  antimr_cli status --connect=HOST:PORT [--endpoint=status|metrics]\n"
       "                                     scrape a live coordinator\n"
+      "  antimr_cli serve [serve options]   persistent multi-tenant job\n"
+      "                                     daemon (see 'serve options')\n"
+      "  antimr_cli submit --connect=HOST:PORT --workload=W [--pool=P]\n"
+      "                    [--wait] [run options]   submit a job to a daemon\n"
+      "  antimr_cli jobs --connect=HOST:PORT        list a daemon's job table\n"
+      "  antimr_cli abort --connect=HOST:PORT --job=ID\n"
       "options:\n"
       "  --strategy=original|eager|lazy|adaptive   (default adaptive)\n"
       "  --engine=dag|loop     pagerank driver: one multi-stage plan (dag)\n"
@@ -131,6 +140,38 @@ int Usage() {
       "                        completed duration of the kind (default 2.0)\n"
       "  --speculation-force-after-ms=N  test override: speculate after\n"
       "                        exactly N ms, ignoring the adaptive baseline\n"
+      "serve options:\n"
+      "  --dist=tcp|loopback   transport (default tcp; loopback is\n"
+      "                        in-process only, for tests)\n"
+      "  --listen=HOST:PORT    coordinator bind address for workers\n"
+      "                        (default 127.0.0.1:0)\n"
+      "  --job-listen=HOST:PORT  job-submission RPC bind address\n"
+      "                        (default 127.0.0.1:0, printed on stdout)\n"
+      "  --status-listen=HOST:PORT  /status, /metrics and /jobs over HTTP\n"
+      "  --workers=N           worker quorum before dispatch (default 2)\n"
+      "  --local-workers=0|1   spawn the quorum in-process (default 1;\n"
+      "                        0 = wait for external `antimr_cli worker`)\n"
+      "  --pools=SPEC          comma-separated pools, each\n"
+      "                        name:weight[:cpu-slots[:max-jobs[:mem-mb]]]\n"
+      "                        (0 = unlimited; default one unlimited pool)\n"
+      "  --max-concurrent-jobs=N  running jobs across pools (default 8)\n"
+      "  --max-queued-jobs=N   queue cap; over it submits are rejected\n"
+      "                        with ResourceExhausted (default 64)\n"
+      "  --default-cpu-slots=N dispatch slots granted when a submission\n"
+      "                        doesn't ask (default 2)\n"
+      "  --heartbeat-timeout-ms=N  declare a silent worker lost "
+      "(default 2000)\n"
+      "  --speculation         default speculative execution for jobs\n"
+      "                        (default off)\n"
+      "  --ready-file=PATH     write the resolved addresses (coord=, jobs=,\n"
+      "                        status=) once serving, for scripts\n"
+      "submit options (plus the run input flags --records/--maps/...):\n"
+      "  --connect=HOST:PORT   daemon job-RPC address (required)\n"
+      "  --pool=NAME           target pool (default: the daemon's first)\n"
+      "  --cpu-slots=N         dispatch-slot ask (default: daemon default)\n"
+      "  --memory-mb=N         admission memory estimate\n"
+      "  --wait                block until terminal; prints state +\n"
+      "                        output_hash, exit 0 only on success\n"
       "worker options:\n"
       "  --connect=HOST:PORT   coordinator address (required)\n"
       "  --slots=N             concurrent task slots (default 2)\n"
@@ -239,6 +280,7 @@ Status BuildJob(const Flags& flags, JobSpec* spec,
 
 uint64_t HashOutput(const std::vector<KV>& kvs);
 int DistRunCommand(const Flags& flags, const std::string& mode);
+Status WriteTextFile(const std::string& path, const std::string& body);
 
 SkewSampleOptions ParseSampleFlags(const Flags& flags) {
   SkewSampleOptions sample;
@@ -972,6 +1014,281 @@ int StatusCommand(const Flags& flags) {
   return 0;
 }
 
+// --- multi-tenant job service commands -----------------------------------
+
+std::atomic<bool> g_serve_stop{false};
+void HandleServeSignal(int) { g_serve_stop.store(true); }
+
+/// Parse --pools=name:weight[:cpu-slots[:max-jobs[:mem-mb]]],... into the
+/// service options. Zero fields mean unlimited, matching PoolConfig.
+Status ParsePoolsFlag(const std::string& spec,
+                      std::vector<engine::PoolConfig>* pools) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    engine::PoolConfig cfg;
+    char name[64] = {0};
+    double weight = 1.0;
+    int slots = 0, jobs = 0;
+    unsigned long long mem_mb = 0;
+    const int n = std::sscanf(entry.c_str(), "%63[^:]:%lf:%d:%d:%llu", name,
+                              &weight, &slots, &jobs, &mem_mb);
+    if (n < 1 || weight <= 0 || slots < 0 || jobs < 0) {
+      return Status::InvalidArgument("bad pool spec: " + entry);
+    }
+    cfg.name = name;
+    cfg.weight = weight;
+    cfg.cpu_slots_quota = slots;
+    cfg.max_running_jobs = jobs;
+    cfg.memory_quota_bytes = mem_mb << 20;
+    pools->push_back(std::move(cfg));
+  }
+  if (pools->empty()) return Status::InvalidArgument("empty --pools spec");
+  return Status::OK();
+}
+
+/// `antimr_cli serve`: the persistent daemon. Coordinator + JobService on
+/// one transport, optional in-process worker quorum, runs until SIGINT or
+/// SIGTERM.
+int ServeCommand(const Flags& flags) {
+  workloads::RegisterStandardJobs();
+  SetLogNodeLabel("serve");
+  const std::string mode = flags.GetString("dist", "tcp");
+  if (mode != "tcp" && mode != "loopback") {
+    std::fprintf(stderr, "error: unknown dist mode %s\n", mode.c_str());
+    return Usage();
+  }
+  const bool tcp = mode == "tcp";
+  std::unique_ptr<net::Transport> transport =
+      tcp ? net::NewTcpTransport() : net::NewLoopbackTransport();
+
+  engine::CoordinatorOptions coord_options;
+  coord_options.heartbeat_timeout_nanos =
+      flags.GetUint("heartbeat-timeout-ms", 2000) * 1000000ull;
+  engine::Coordinator coord(transport.get(), coord_options);
+  Status st =
+      coord.Start(flags.GetString("listen", tcp ? "127.0.0.1:0" : ""));
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("coordinator listening at %s\n", coord.addr().c_str());
+  std::fflush(stdout);
+
+  engine::JobServiceOptions sopts;
+  if (flags.Has("pools")) {
+    st = ParsePoolsFlag(flags.GetString("pools", ""), &sopts.pools);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return Usage();
+    }
+  }
+  const int workers = static_cast<int>(flags.GetUint("workers", 2));
+  sopts.max_concurrent_jobs =
+      static_cast<int>(flags.GetUint("max-concurrent-jobs", 8));
+  sopts.max_queued_jobs =
+      static_cast<int>(flags.GetUint("max-queued-jobs", 64));
+  sopts.default_cpu_slots =
+      static_cast<int>(flags.GetUint("default-cpu-slots", 2));
+  sopts.min_workers = static_cast<int>(flags.GetUint("min-workers", 1));
+  sopts.speculative_execution = flags.GetBool("speculation", false);
+  engine::JobService service(&coord, sopts);
+  service.AttachStatusEndpoint();
+  st = service.Serve(flags.GetString("job-listen", tcp ? "127.0.0.1:0" : ""));
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("job service listening at %s\n", service.serve_addr().c_str());
+  std::fflush(stdout);
+  if (flags.Has("status-listen")) {
+    st = coord.StartStatusServer(flags.GetString("status-listen", ""));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("status listening at %s\n", coord.status_addr().c_str());
+    std::fflush(stdout);
+  }
+
+  std::vector<std::unique_ptr<engine::Worker>> local_workers;
+  if (flags.GetBool("local-workers", true)) {
+    for (int i = 0; i < workers; ++i) {
+      engine::WorkerOptions worker_options;
+      worker_options.name = "worker" + std::to_string(i);
+      worker_options.slots = static_cast<int>(flags.GetUint("slots", 2));
+      local_workers.push_back(
+          std::make_unique<engine::Worker>(transport.get(), worker_options));
+      st = local_workers.back()->Start(coord.addr());
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  const uint64_t wait_ms = flags.GetUint("wait-workers-ms", 30000);
+  if (workers > 0 && !coord.WaitForWorkers(workers, wait_ms * 1000000ull)) {
+    std::fprintf(stderr, "error: timed out waiting for %d workers\n",
+                 workers);
+    return 1;
+  }
+  std::printf("serving %d workers\n", workers);
+  std::fflush(stdout);
+
+  const std::string ready_file = flags.GetString("ready-file", "");
+  if (!ready_file.empty()) {
+    const Status wt = WriteTextFile(
+        ready_file, "coord=" + coord.addr() + "\njobs=" +
+                        service.serve_addr() + "\nstatus=" +
+                        coord.status_addr() + "\n");
+    if (!wt.ok()) {
+      std::fprintf(stderr, "error: %s\n", wt.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (!g_serve_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down\n");
+  service.Stop();
+  coord.Stop();
+  for (auto& worker : local_workers) worker->Stop();
+  return 0;
+}
+
+/// Render one job-table row the same way everywhere (jobs, submit --wait).
+void PrintJobRow(const net::JobStatusWire& row) {
+  std::printf("job=%s pool=%s name=%s state=%s maps=%llu/%llu "
+              "reduces=%llu/%llu",
+              row.job_id.c_str(), row.pool.c_str(), row.job_name.c_str(),
+              row.state.c_str(),
+              static_cast<unsigned long long>(row.maps_done),
+              static_cast<unsigned long long>(row.maps_total),
+              static_cast<unsigned long long>(row.reduces_done),
+              static_cast<unsigned long long>(row.reduces_total));
+  if (row.state == "queued") {
+    std::printf(" queue_position=%u", row.queue_position);
+  }
+  if (row.state == "succeeded") {
+    std::printf(" output_hash=%016llx output_records=%llu wall_ms=%llu",
+                static_cast<unsigned long long>(row.output_hash),
+                static_cast<unsigned long long>(row.output_records),
+                static_cast<unsigned long long>(
+                    (row.finish_nanos - row.submit_nanos) / 1000000ull));
+  } else if (!row.status_msg.empty()) {
+    std::printf(" error=%s", row.status_msg.c_str());
+  }
+  std::printf("\n");
+}
+
+/// `antimr_cli submit`: build a workload's splits locally, ship them to a
+/// serve daemon, optionally wait for the terminal state.
+int SubmitCommand(const Flags& flags) {
+  const std::string connect = flags.GetString("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "error: submit requires --connect=HOST:PORT\n");
+    return Usage();
+  }
+  const uint64_t records = flags.GetUint("records", 20000);
+  const int maps = static_cast<int>(flags.GetUint("maps", 8));
+  engine::DistJobOptions dist;
+  Status st = BuildDistJob(flags, records, maps, &dist);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return Usage();
+  }
+
+  net::SubmitJobMsg msg;
+  msg.pool = flags.GetString("pool", "");
+  msg.job_name = dist.job_name;
+  msg.params = std::move(dist.params);
+  msg.job_id = flags.GetString("job-id", "");
+  msg.cpu_slots = static_cast<uint32_t>(flags.GetUint("cpu-slots", 0));
+  msg.memory_bytes = flags.GetUint("memory-mb", 0) << 20;
+  msg.max_task_attempts =
+      static_cast<uint32_t>(flags.GetUint("max-task-attempts", 0));
+  msg.network_mb_per_s = flags.GetDouble("net-mbps", 0);
+  msg.collect_output = true;
+  msg.splits.resize(dist.splits.size());
+  for (size_t m = 0; m < dist.splits.size(); ++m) {
+    net::EncodeKVList(dist.splits[m], &msg.splits[m]);
+  }
+
+  std::unique_ptr<net::Transport> transport = net::NewTcpTransport();
+  engine::JobServiceClient client(transport.get(), connect);
+  std::string job_id;
+  st = client.Submit(msg, &job_id);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("job=%s submitted\n", job_id.c_str());
+  std::fflush(stdout);
+  if (!flags.GetBool("wait", false)) return 0;
+
+  for (;;) {
+    net::JobStatusWire row;
+    st = client.GetStatus(job_id, &row);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (row.state == "succeeded" || row.state == "failed" ||
+        row.state == "aborted") {
+      PrintJobRow(row);
+      return row.state == "succeeded" ? 0 : 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+/// `antimr_cli jobs`: print a daemon's whole job table, submit order.
+int JobsCommand(const Flags& flags) {
+  const std::string connect = flags.GetString("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "error: jobs requires --connect=HOST:PORT\n");
+    return Usage();
+  }
+  std::unique_ptr<net::Transport> transport = net::NewTcpTransport();
+  engine::JobServiceClient client(transport.get(), connect);
+  std::vector<net::JobStatusWire> rows;
+  const Status st = client.List(&rows);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  for (const net::JobStatusWire& row : rows) PrintJobRow(row);
+  std::printf("total=%zu\n", rows.size());
+  return 0;
+}
+
+/// `antimr_cli abort`: abort one job on a serve daemon.
+int AbortCommand(const Flags& flags) {
+  const std::string connect = flags.GetString("connect", "");
+  const std::string job_id = flags.GetString("job", "");
+  if (connect.empty() || job_id.empty()) {
+    std::fprintf(stderr,
+                 "error: abort requires --connect=HOST:PORT and --job=ID\n");
+    return Usage();
+  }
+  std::unique_ptr<net::Transport> transport = net::NewTcpTransport();
+  engine::JobServiceClient client(transport.get(), connect);
+  const Status st = client.Abort(job_id);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("job=%s abort requested\n", job_id.c_str());
+  return 0;
+}
+
 /// Write `body` to `path`, mirroring Tracer::WriteJson's error convention.
 Status WriteTextFile(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -990,6 +1307,10 @@ int Dispatch(const Flags& flags, const std::string& command) {
   if (command == "codecs") return CodecsCommand(flags);
   if (command == "worker") return WorkerCommand(flags);
   if (command == "status") return StatusCommand(flags);
+  if (command == "serve") return ServeCommand(flags);
+  if (command == "submit") return SubmitCommand(flags);
+  if (command == "jobs") return JobsCommand(flags);
+  if (command == "abort") return AbortCommand(flags);
   return Usage();
 }
 

@@ -8,7 +8,12 @@
 # usage: run_local_cluster.sh [CLI_BINARY] [WORKERS] [WORKLOAD]
 #   CLI_BINARY  path to antimr_cli      (default: ./build/tools/antimr_cli)
 #   WORKERS     worker process count    (default: 2)
-#   WORKLOAD    wordcount|sort|thetajoin (default: wordcount)
+#   WORKLOAD    wordcount|sort|thetajoin|serve (default: wordcount)
+#
+# WORKLOAD=serve exercises the multi-tenant daemon instead of a one-shot
+# run: `antimr_cli serve` + external worker processes, 8 concurrent jobs
+# submitted across two weighted pools, every job's output hash compared to
+# its single-process run, CLI error paths checked, clean SIGTERM shutdown.
 #
 # Exit 0 when the output hashes match, non-zero otherwise.
 set -eu
@@ -38,6 +43,181 @@ cleanup() {
   rm -rf "$WORK_DIR"
 }
 trap cleanup EXIT INT TERM
+
+if [ "$WORKLOAD" = "serve" ]; then
+  # --- Daemon mode: persistent job service, multi-tenant submissions. ---
+  READY="$WORK_DIR/ready"
+  "$CLI" serve --dist=tcp --listen=127.0.0.1:0 --job-listen=127.0.0.1:0 \
+      --status-listen=127.0.0.1:0 --local-workers=0 --workers="$WORKERS" \
+      --pools=small:3:8,big:1:8 --max-concurrent-jobs=8 \
+      --default-cpu-slots=1 --heartbeat-timeout-ms=4000 \
+      --ready-file="$READY" > "$WORK_DIR/coord.out" 2>&1 &
+  COORD_PID=$!
+
+  # The coordinator binds an ephemeral port; external workers need it off
+  # stdout (the ready file only lands once the worker quorum is up).
+  COORD_ADDR=""
+  i=0
+  while [ "$i" -lt 100 ]; do
+    COORD_ADDR=$(sed -n 's/^coordinator listening at //p' \
+                 "$WORK_DIR/coord.out")
+    [ -n "$COORD_ADDR" ] && break
+    kill -0 "$COORD_PID" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ -z "$COORD_ADDR" ]; then
+    echo "run_local_cluster: serve daemon never announced coordinator:" >&2
+    cat "$WORK_DIR/coord.out" >&2
+    exit 1
+  fi
+
+  i=0
+  while [ "$i" -lt "$WORKERS" ]; do
+    "$CLI" worker --connect="$COORD_ADDR" --name="worker$i" \
+        > "$WORK_DIR/worker$i.out" 2>&1 &
+    WORKER_PIDS="$WORKER_PIDS $!"
+    i=$((i + 1))
+  done
+
+  # The ready file is the daemon's "worker quorum live, RPC planes bound"
+  # signal; it carries the job-service and status addresses.
+  i=0
+  while [ "$i" -lt 300 ]; do
+    [ -f "$READY" ] && break
+    kill -0 "$COORD_PID" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ ! -f "$READY" ]; then
+    echo "run_local_cluster: serve daemon never became ready:" >&2
+    cat "$WORK_DIR/coord.out" >&2
+    exit 1
+  fi
+  JOBS_ADDR=$(sed -n 's/^jobs=//p' "$READY")
+
+  # CLI error paths: an unreachable endpoint and an unknown job must print
+  # an error on stderr and exit non-zero — never hang or die silently.
+  if "$CLI" jobs --connect=127.0.0.1:1 > "$WORK_DIR/neg1.out" 2>&1; then
+    echo "run_local_cluster: jobs against a dead endpoint exited 0" >&2
+    exit 1
+  fi
+  grep -q "error:" "$WORK_DIR/neg1.out" || {
+    echo "run_local_cluster: no error message for dead endpoint" >&2
+    cat "$WORK_DIR/neg1.out" >&2
+    exit 1
+  }
+  if "$CLI" abort --connect="$JOBS_ADDR" --job=doesnotexist \
+      > "$WORK_DIR/neg2.out" 2>&1; then
+    echo "run_local_cluster: abort of an unknown job exited 0" >&2
+    exit 1
+  fi
+  grep -q "error:" "$WORK_DIR/neg2.out" || {
+    echo "run_local_cluster: no error message for unknown job" >&2
+    cat "$WORK_DIR/neg2.out" >&2
+    exit 1
+  }
+
+  # Two tenants, one cluster: pool "small" (weight 3) gets 6 wordcounts,
+  # pool "big" (weight 1) gets 2 theta-joins, all in flight at once.
+  SUB_PIDS=""
+  i=0
+  while [ "$i" -lt 6 ]; do
+    "$CLI" submit --connect="$JOBS_ADDR" --pool=small --wait \
+        --workload=wordcount --strategy="$STRATEGY" --records=3000 \
+        --maps=4 --reduces=2 > "$WORK_DIR/sub_small$i.out" 2>&1 &
+    SUB_PIDS="$SUB_PIDS $!"
+    i=$((i + 1))
+  done
+  i=0
+  while [ "$i" -lt 2 ]; do
+    "$CLI" submit --connect="$JOBS_ADDR" --pool=big --wait \
+        --workload=thetajoin --strategy="$STRATEGY" --records=4000 \
+        --maps=4 --reduces=4 > "$WORK_DIR/sub_big$i.out" 2>&1 &
+    SUB_PIDS="$SUB_PIDS $!"
+    i=$((i + 1))
+  done
+
+  # All 8 must be admitted concurrently (max-concurrent-jobs=8, quotas
+  # 6x1 + 2x1 slots within the 8-slot pool quotas).
+  PEAK=0
+  i=0
+  while [ "$i" -lt 100 ]; do
+    RUNNING=$("$CLI" jobs --connect="$JOBS_ADDR" 2>/dev/null \
+              | grep -c "state=running" || true)
+    [ "$RUNNING" -gt "$PEAK" ] && PEAK=$RUNNING
+    [ "$PEAK" -ge 8 ] && break
+    sleep 0.05
+    i=$((i + 1))
+  done
+
+  SUB_FAIL=0
+  for pid in $SUB_PIDS; do wait "$pid" || SUB_FAIL=1; done
+  if [ "$SUB_FAIL" -ne 0 ]; then
+    echo "run_local_cluster: a submitted job failed:" >&2
+    cat "$WORK_DIR"/sub_*.out >&2
+    exit 1
+  fi
+  if [ "$PEAK" -lt 8 ]; then
+    echo "run_local_cluster: never saw 8 concurrent jobs (peak $PEAK)" >&2
+    "$CLI" jobs --connect="$JOBS_ADDR" >&2 || true
+    exit 1
+  fi
+
+  # Isolation gate: every tenant's hash must equal its single-process run.
+  "$CLI" run --workload=wordcount --strategy="$STRATEGY" --records=3000 \
+      --maps=4 --reduces=2 --output-hash > "$WORK_DIR/solo_small.out" 2>&1
+  SMALL_HASH=$(sed -n 's/.*output_hash=\([0-9a-f]*\).*/\1/p' \
+               "$WORK_DIR/solo_small.out")
+  "$CLI" run --workload=thetajoin --strategy="$STRATEGY" --records=4000 \
+      --maps=4 --reduces=4 --output-hash > "$WORK_DIR/solo_big.out" 2>&1
+  BIG_HASH=$(sed -n 's/.*output_hash=\([0-9a-f]*\).*/\1/p' \
+             "$WORK_DIR/solo_big.out")
+  i=0
+  while [ "$i" -lt 6 ]; do
+    H=$(sed -n 's/.*output_hash=\([0-9a-f]*\).*/\1/p' \
+        "$WORK_DIR/sub_small$i.out")
+    if [ "$H" != "$SMALL_HASH" ]; then
+      echo "run_local_cluster: small job $i hash $H != solo $SMALL_HASH" >&2
+      exit 1
+    fi
+    i=$((i + 1))
+  done
+  i=0
+  while [ "$i" -lt 2 ]; do
+    H=$(sed -n 's/.*output_hash=\([0-9a-f]*\).*/\1/p' \
+        "$WORK_DIR/sub_big$i.out")
+    if [ "$H" != "$BIG_HASH" ]; then
+      echo "run_local_cluster: big job $i hash $H != solo $BIG_HASH" >&2
+      exit 1
+    fi
+    i=$((i + 1))
+  done
+
+  DONE=$("$CLI" jobs --connect="$JOBS_ADDR" | grep -c "state=succeeded" \
+         || true)
+  if [ "$DONE" -ne 8 ]; then
+    echo "run_local_cluster: expected 8 succeeded jobs, table shows $DONE" >&2
+    "$CLI" jobs --connect="$JOBS_ADDR" >&2 || true
+    exit 1
+  fi
+
+  # Clean shutdown on SIGTERM: exit 0, workers reaped by the broadcast.
+  kill -TERM "$COORD_PID"
+  COORD_WAIT=0
+  wait "$COORD_PID" || COORD_WAIT=$?
+  COORD_PID=""
+  if [ "$COORD_WAIT" -ne 0 ]; then
+    echo "run_local_cluster: serve daemon exited $COORD_WAIT on SIGTERM:" >&2
+    cat "$WORK_DIR/coord.out" >&2
+    exit 1
+  fi
+  for pid in $WORKER_PIDS; do wait "$pid" || true; done
+  WORKER_PIDS=""
+  echo "run_local_cluster: serve mode with $WORKERS workers ran 8" \
+       "concurrent jobs across 2 pools; all hashes match single-process"
+  exit 0
+fi
 
 # Derive a port from the PID to dodge parallel ctest instances; the bind is
 # retried on the next port if something else got there first.
